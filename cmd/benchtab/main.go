@@ -1,0 +1,57 @@
+// Command benchtab regenerates the paper's tables and figures on the
+// simulated testbed and prints them in the same rows/series the paper
+// reports.
+//
+// Usage:
+//
+//	benchtab -list
+//	benchtab -run fig10a
+//	benchtab -run table2,fig10b
+//	benchtab -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ranbooster"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiment ids")
+	run := flag.String("run", "", "comma-separated experiment ids, or \"all\"")
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, id := range ranbooster.ExperimentIDs() {
+			fmt.Println("  ", id)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nrun with -run <id>[,<id>...] or -run all")
+		}
+		return
+	}
+
+	var ids []string
+	if *run == "all" {
+		ids = ranbooster.ExperimentIDs()
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner, ok := ranbooster.Experiments[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		table := runner()
+		fmt.Println(table)
+		fmt.Printf("(regenerated in %.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

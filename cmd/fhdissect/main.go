@@ -1,0 +1,91 @@
+// Command fhdissect decodes fronthaul capture files the way the
+// Wireshark view of the paper's Fig. 2 does: Ethernet + eCPRI + O-RAN
+// CUS headers, sections, BFP compression parameters and IQ samples.
+//
+// Usage:
+//
+//	fhdissect -sample fronthaul.pcap     # capture 20 ms of a simulated cell
+//	fhdissect fronthaul.pcap             # dissect a capture
+//	fhdissect -n 5 -prbs 273 capture.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ranbooster/internal/fh"
+	"ranbooster/internal/pcap"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+	"ranbooster/internal/testbed"
+)
+
+func main() {
+	sample := flag.String("sample", "", "write a sample capture of a simulated 100 MHz cell to this path, then exit")
+	n := flag.Int("n", 10, "number of packets to dissect")
+	prbs := flag.Int("prbs", 273, "carrier PRB count for resolving \"all PRBs\" sections")
+	flag.Parse()
+
+	if *sample != "" {
+		if err := writeSample(*sample); err != nil {
+			fmt.Fprintln(os.Stderr, "sample:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *sample)
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fhdissect [-n N] [-prbs P] <capture.pcap> | fhdissect -sample <out.pcap>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	r := pcap.NewReader(f)
+	for i := 0; i < *n; i++ {
+		p, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- packet %d @ %v --\n", i+1, p.TS)
+		fmt.Print(fh.Dissect(p.Frame, *prbs))
+		fmt.Println()
+	}
+}
+
+// writeSample runs a short simulated cell with one loaded UE and captures
+// every fronthaul frame crossing the switch.
+func writeSample(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := pcap.NewWriter(f)
+
+	tb := testbed.New(7)
+	var werr error
+	tb.Switch.SetTap(func(frame []byte) {
+		if werr == nil {
+			werr = w.WritePacket(time.Duration(tb.Sched.Now()), frame)
+		}
+	})
+	cell := testbed.CellConfig("cap", 1, testbed.Carrier100(), phy.StackSRSRAN, 4)
+	tb.DirectCell("cap", cell, testbed.RUPosition(0, 0), 4, false)
+	ue := tb.AddUE(0, testbed.RUXPositions[0]+4, radio.FloorWidth/2)
+	ue.OfferedDLbps = 400e6
+	ue.OfferedULbps = 40e6
+	tb.Settle()
+	tb.Run(20 * time.Millisecond)
+	return werr
+}

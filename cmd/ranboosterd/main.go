@@ -1,0 +1,131 @@
+// Command ranboosterd runs a RANBooster middlebox deployment on the
+// simulated enterprise testbed and reports live KPIs — the operational
+// face of the framework: pick an application, a datapath, a duration.
+//
+// Usage:
+//
+//	ranboosterd -app das -mode dpdk -duration 500ms
+//	ranboosterd -app dmimo -mode xdp
+//	ranboosterd -app rushare
+//	ranboosterd -app prbmon -load 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ranbooster/internal/air"
+	"ranbooster/internal/core"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+	"ranbooster/internal/telemetry"
+	"ranbooster/internal/testbed"
+)
+
+func main() {
+	app := flag.String("app", "das", "middlebox application: das | dmimo | rushare | prbmon")
+	modeS := flag.String("mode", "dpdk", "datapath: dpdk | xdp")
+	dur := flag.Duration("duration", 500*time.Millisecond, "simulated run time after settling")
+	load := flag.Float64("load", 500, "offered downlink load per UE, Mbps")
+	flag.Parse()
+
+	mode := core.ModeDPDK
+	if *modeS == "xdp" {
+		mode = core.ModeXDP
+	}
+	tb := testbed.New(42)
+	var engine *core.Engine
+	var ues []*air.UE
+
+	switch *app {
+	case "das":
+		cell := testbed.CellConfig("cell0", 1, testbed.Carrier100(), phy.StackSRSRAN, 4)
+		var pos []radio.Point
+		for f := 0; f < testbed.Floors; f++ {
+			pos = append(pos, testbed.RUPosition(f, 1))
+		}
+		dep, err := tb.DASCell("das", cell, pos, testbed.DASOpts{Mode: mode, Cores: 2})
+		exitOn(err)
+		engine = dep.Engine
+		for f := 0; f < testbed.Floors; f++ {
+			ues = append(ues, tb.AddUE(f, testbed.RUXPositions[1]+4, radio.FloorWidth/2))
+		}
+	case "dmimo":
+		cell := testbed.CellConfig("cell0", 1, testbed.Carrier100(), phy.StackSRSRAN, 4)
+		pos := []radio.Point{testbed.RUPosition(0, 1), testbed.RUPosition(0, 2)}
+		dep, err := tb.DMIMOCell("dmimo", cell, pos, testbed.DMIMOOpts{Mode: mode, PortsPerRU: 2})
+		exitOn(err)
+		engine = dep.Engine
+		ues = append(ues, tb.AddUE(0, (testbed.RUXPositions[1]+testbed.RUXPositions[2])/2, radio.FloorWidth/2))
+	case "rushare":
+		ruCarrier := testbed.Carrier100()
+		duPRBs := phy.PRBsFor(40)
+		cells := []air.CellConfig{
+			testbed.CellConfig("mnoA", 11, phy.Carrier{BandwidthMHz: 40, CenterHz: phy.AlignedDUCenterHz(ruCarrier, 0, duPRBs), NumPRB: duPRBs}, phy.StackSRSRAN, 4),
+			testbed.CellConfig("mnoB", 12, phy.Carrier{BandwidthMHz: 40, CenterHz: phy.AlignedDUCenterHz(ruCarrier, ruCarrier.NumPRB-duPRBs, duPRBs), NumPRB: duPRBs}, phy.StackSRSRAN, 4),
+		}
+		dep, err := tb.SharedRU("share", ruCarrier, testbed.RUPosition(0, 0), cells, mode)
+		exitOn(err)
+		engine = dep.Engine
+		a := tb.AddUE(0, testbed.RUXPositions[0]+4, radio.FloorWidth/2)
+		a.AllowedCell = "mnoA"
+		b := tb.AddUE(0, testbed.RUXPositions[0]-4, radio.FloorWidth/2)
+		b.AllowedCell = "mnoB"
+		ues = append(ues, a, b)
+	case "prbmon":
+		cell := testbed.CellConfig("cell0", 1, testbed.Carrier100(), phy.StackSRSRAN, 4)
+		dep, err := tb.MonitoredCell("mon", cell, testbed.RUPosition(0, 0), testbed.MonitorOpts{Mode: mode})
+		exitOn(err)
+		engine = dep.Engine
+		rec := telemetry.NewRecorder()
+		rec.Attach(dep.Engine.Bus(), "")
+		defer func() {
+			for _, name := range rec.Names() {
+				fmt.Printf("telemetry %-22s mean %.3f (%d samples)\n", name, rec.Mean(name), len(rec.Series(name)))
+			}
+		}()
+		ues = append(ues, tb.AddUE(0, testbed.RUXPositions[0]+4, radio.FloorWidth/2))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+		os.Exit(2)
+	}
+
+	for _, u := range ues {
+		u.OfferedDLbps = *load * 1e6
+		u.OfferedULbps = *load * 1e6 / 10
+	}
+	fmt.Printf("%s middlebox (%s datapath): settling...\n", *app, mode)
+	tb.Settle()
+	attached := 0
+	for _, u := range ues {
+		if u.Attached() {
+			attached++
+		}
+	}
+	fmt.Printf("%d/%d UEs attached; running %v of traffic\n", attached, len(ues), *dur)
+	engine.ResetMeasurement()
+	tb.Measure(*dur)
+
+	now := tb.Sched.Now()
+	var dl, ul float64
+	for _, u := range ues {
+		dl += u.ThroughputDLbps(now)
+		ul += u.ThroughputULbps(now)
+	}
+	st := engine.Stats()
+	fmt.Printf("aggregate goodput: DL %.1f Mbps, UL %.1f Mbps\n", dl/1e6, ul/1e6)
+	fmt.Printf("middlebox: rx %d tx %d frames, kernelTx %d, punts %d, utilization %.1f%%\n",
+		st.RxFrames, st.TxFrames, st.KernelTx, st.Punts, engine.Utilization()*100)
+	if lat, ok := engine.LatencyPercentile(core.ClassULU, 0.99); ok {
+		fmt.Printf("UL U-plane p99 processing: %v\n", lat)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

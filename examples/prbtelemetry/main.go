@@ -1,0 +1,76 @@
+// PRB telemetry: the §4.4 monitoring middlebox feeding an energy-saver
+// application — the class of consumer the paper motivates (congestion
+// control, bitrate adaptation, energy savings) that today's coarse E2
+// KPIs cannot serve. The middlebox estimates PRB utilization from BFP
+// exponents in real time; the subscriber decides when the cell could be
+// put to sleep.
+//
+//	go run ./examples/prbtelemetry
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ranbooster"
+	"ranbooster/internal/telemetry"
+)
+
+func main() {
+	tb := ranbooster.NewTestbed(3)
+	cell := ranbooster.NewCell("monitored", 1, ranbooster.Carrier100(), ranbooster.StackSRSRAN, 4)
+	dep, err := tb.MonitoredCell("mon", cell, ranbooster.RUPosition(0, 0),
+		ranbooster.MonitorOpts{Mode: ranbooster.ModeDPDK})
+	if err != nil {
+		panic(err)
+	}
+
+	// The energy saver subscribes to the middlebox's telemetry bus and
+	// tracks utilization windows.
+	type window struct {
+		at   time.Duration
+		util float64
+	}
+	var history []window
+	dep.Engine.Bus().Subscribe("prb.utilization.dl", func(s telemetry.Sample) {
+		history = append(history, window{at: time.Duration(s.At), util: s.Value})
+	})
+
+	ue := tb.AddUE(0, 10, 10.5)
+	tb.Settle()
+
+	// A bursty day: busy, quiet, busy.
+	phases := []struct {
+		label string
+		mbps  float64
+	}{
+		{"busy hour", 600},
+		{"quiet period", 30},
+		{"evening peak", 500},
+	}
+	for _, ph := range phases {
+		ue.OfferedDLbps = ph.mbps * 1e6
+		tb.Run(400 * time.Millisecond)
+		fmt.Printf("-- %s (%.0f Mbps offered) --\n", ph.label, ph.mbps)
+	}
+
+	// The saver's policy: three consecutive windows under 10% ⇒ the cell
+	// is a sleep candidate.
+	low := 0
+	for _, w := range history {
+		state := "active"
+		if w.util < 0.10 {
+			low++
+			if low >= 3 {
+				state = "SLEEP CANDIDATE"
+			} else {
+				state = "low"
+			}
+		} else {
+			low = 0
+		}
+		fmt.Printf("t=%-8v dl utilization %5.1f%%  -> %s\n", w.at.Round(time.Millisecond), w.util*100, state)
+	}
+	fmt.Println("\nthe estimate comes from compression exponents alone — no IQ was decompressed,")
+	fmt.Println("no RAN vendor hook was needed, and the granularity is sub-millisecond (paper §4.4).")
+}

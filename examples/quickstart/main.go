@@ -1,0 +1,57 @@
+// Quickstart: deploy a RANBooster DAS middlebox that extends one 100 MHz
+// cell across two floors — the smallest end-to-end scenario.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ranbooster"
+)
+
+func main() {
+	// A deterministic testbed: five-floor building, TOR switch, radio model.
+	tb := ranbooster.NewTestbed(1)
+
+	// One 100 MHz 4x4 cell (srsRAN-profile DU), distributed by a DAS
+	// middlebox over an RU on floor 0 and an RU on floor 1.
+	cell := ranbooster.NewCell("quickstart", 1, ranbooster.Carrier100(), ranbooster.StackSRSRAN, 4)
+	dep, err := tb.DASCell("quick", cell, []ranbooster.Point{
+		ranbooster.RUPosition(0, 1),
+		ranbooster.RUPosition(1, 1),
+	}, ranbooster.DASOpts{Mode: ranbooster.ModeDPDK})
+	if err != nil {
+		panic(err)
+	}
+
+	// One UE per floor, each pulling a 400 Mbps iperf-style stream.
+	ues := []*ranbooster.UE{
+		tb.AddUE(0, 23, 10.5),
+		tb.AddUE(1, 23, 10.5),
+	}
+	for _, u := range ues {
+		u.OfferedDLbps = 400e6
+		u.OfferedULbps = 40e6
+	}
+
+	// Let attachment and link adaptation converge, then measure.
+	tb.Settle()
+	for i, u := range ues {
+		fmt.Printf("floor %d UE attached: %v (%v)\n", i, u.Attached(), u)
+	}
+	tb.Measure(300 * time.Millisecond)
+
+	now := tb.Sched.Now()
+	var dl, ul float64
+	for _, u := range ues {
+		dl += u.ThroughputDLbps(now)
+		ul += u.ThroughputULbps(now)
+	}
+	fmt.Printf("aggregate goodput through the DAS: DL %.1f Mbps, UL %.1f Mbps\n",
+		ranbooster.Mbps(dl), ranbooster.Mbps(ul))
+	fmt.Printf("uplink IQ merges performed by the middlebox: %d\n", dep.App.Merges)
+	fmt.Println("the same cell would cover only one floor without the middlebox —")
+	fmt.Println("no DU, RU or infrastructure change was needed to add the second.")
+}

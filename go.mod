@@ -1,0 +1,3 @@
+module ranbooster
+
+go 1.22

@@ -1,0 +1,484 @@
+// Package air is the over-the-air oracle of the testbed: it connects the
+// fronthaul simulation to the radio model. RUs report what they actually
+// transmit and sample; the oracle resolves which cells those emissions
+// belong to (by spectrum overlap, so RU sharing attributes correctly),
+// which UEs can hear them, SSB-based attachment, PRACH detection, and the
+// per-slot delivery accounting DUs use to credit UE throughput.
+//
+// The oracle deliberately knows nothing about middleboxes: a middlebox
+// influences outcomes only through the fronthaul packets it lets through,
+// mutates or delays — exactly the paper's transparency property.
+package air
+
+import (
+	"fmt"
+	"math"
+
+	"ranbooster/internal/oran"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+	"ranbooster/internal/sim"
+)
+
+// AbsSlot converts a timing header to an absolute slot index within the
+// 256-frame wrap of the fronthaul timing space.
+func AbsSlot(t oran.Timing) int {
+	return (int(t.FrameID)*phy.SubframesPerFrame+int(t.SubframeID))*phy.SlotsPerSubframe + int(t.SlotID)
+}
+
+// SlotsPerWrap is the number of distinct absolute slots before FrameID wraps.
+const SlotsPerWrap = 256 * phy.SlotsPerFrame
+
+// AbsSlotNear resolves a (wrapped) timing header to the absolute slot
+// index closest to the current time — how a synchronized node anchors
+// fronthaul timestamps to its own clock.
+func AbsSlotNear(now sim.Time, t oran.Timing) int {
+	cur := phy.SlotAt(now)
+	target := AbsSlot(t)
+	base := (cur/SlotsPerWrap)*SlotsPerWrap + target
+	best := base
+	for _, c := range [3]int{base - SlotsPerWrap, base, base + SlotsPerWrap} {
+		if c < 0 {
+			continue
+		}
+		if absInt(c-cur) < absInt(best-cur) {
+			best = c
+		}
+	}
+	return best
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// CellConfig describes a cell's air-interface identity.
+type CellConfig struct {
+	Name      string
+	PCI       int
+	Carrier   phy.Carrier
+	TDD       phy.TDD
+	Stack     phy.StackProfile
+	SSB       phy.SSBConfig
+	PRACH     phy.PRACHConfig
+	MaxLayers int
+}
+
+// Cell is the oracle's view of one cell.
+type Cell struct {
+	CellConfig
+	// Activity is the cell's recent DL resource utilization in [0,1],
+	// updated by its DU; it weights the interference this cell causes.
+	Activity float64
+
+	freqLo, freqHi int64
+	slots          map[int]*slotState
+	ssbTx          map[string]sim.Time // ruID -> last SSB transmission
+	attached       map[*UE]bool
+}
+
+type slotState struct {
+	expected int
+	received map[slotMsgKey]bool
+	perRU    map[string]int
+}
+
+type slotMsgKey struct {
+	ru   string
+	sym  uint8
+	port uint8
+}
+
+// RUInfo is a registered radio unit: its antenna elements, as placed in
+// the building.
+type RUInfo struct {
+	ID       string
+	Elements []radio.Element
+}
+
+// Air is the oracle.
+type Air struct {
+	sched *sim.Scheduler
+	Model radio.Model
+
+	cells map[string]*Cell
+	rus   map[string]*RUInfo
+	ues   []*UE
+
+	prach    map[prachKey][]*UE
+	captured map[prachKey][]*UE
+	ul       map[ulKey][]ulAlloc
+}
+
+type prachKey struct {
+	cell    string
+	absSlot int
+}
+
+// New creates an oracle over the given propagation model.
+func New(sched *sim.Scheduler, model radio.Model) *Air {
+	return &Air{
+		sched:    sched,
+		Model:    model,
+		cells:    make(map[string]*Cell),
+		rus:      make(map[string]*RUInfo),
+		prach:    make(map[prachKey][]*UE),
+		captured: make(map[prachKey][]*UE),
+		ul:       make(map[ulKey][]ulAlloc),
+	}
+}
+
+// RegisterCell adds a cell. Registering an existing name returns the
+// existing cell: a redundant DU pair (the §8.1 resilience scenario)
+// shares one air-interface identity.
+func (a *Air) RegisterCell(cfg CellConfig) *Cell {
+	if c := a.cells[cfg.Name]; c != nil {
+		return c
+	}
+	c := &Cell{
+		CellConfig: cfg,
+		freqLo:     cfg.Carrier.PRB0Hz(),
+		freqHi:     cfg.Carrier.PRB0Hz() + int64(cfg.Carrier.NumPRB)*phy.PRBBandwidthHz,
+		slots:      make(map[int]*slotState),
+		ssbTx:      make(map[string]sim.Time),
+		attached:   make(map[*UE]bool),
+	}
+	a.cells[cfg.Name] = c
+	return c
+}
+
+// Cell returns a registered cell.
+func (a *Air) Cell(name string) *Cell { return a.cells[name] }
+
+// RegisterRU adds a radio unit's antenna elements.
+func (a *Air) RegisterRU(id string, elements []radio.Element) {
+	a.rus[id] = &RUInfo{ID: id, Elements: elements}
+}
+
+// RU returns a registered RU.
+func (a *Air) RU(id string) *RUInfo { return a.rus[id] }
+
+// AddUE registers a UE.
+func (a *Air) AddUE(u *UE) {
+	u.air = a
+	a.ues = append(a.ues, u)
+}
+
+// UEs returns the registered UEs.
+func (a *Air) UEs() []*UE { return a.ues }
+
+// ---- RU reporting ----
+
+// ReportDL records that RU ruID radiated the frequency span [freqLo,
+// freqHi) on its antenna port during the given symbol, with or without
+// meaningful energy. The span is attributed to every cell whose spectrum
+// it overlaps; a non-zero sector (the eAxC BandSector field, which DUs
+// stamp with their PCI) additionally disambiguates co-channel cells the
+// way a UE's PCI detection would. Sector 0 — combined streams rebuilt by
+// an RU-sharing middlebox — falls back to pure spectrum attribution.
+func (a *Air) ReportDL(ruID string, port uint8, sector uint8, t oran.Timing, freqLo, freqHi int64, energy bool) {
+	abs := AbsSlot(t)
+	for _, c := range a.cells {
+		if freqHi <= c.freqLo || freqLo >= c.freqHi {
+			continue
+		}
+		if sector != 0 && int(sector) != c.PCI&0xf {
+			continue
+		}
+		st := c.slot(abs)
+		k := slotMsgKey{ru: ruID, sym: t.SymbolID, port: port}
+		if !st.received[k] {
+			st.received[k] = true
+			st.perRU[ruID]++
+		}
+		// SSB detection: energy in the cell's SSB window and PRB region.
+		if energy && c.SSB.Occupies(int(t.FrameID), AbsSlot(t)%phy.SlotsPerFrame, int(t.SymbolID)) {
+			ssbLo := c.Carrier.PRBStartHz(c.SSB.StartPRB)
+			ssbHi := c.Carrier.PRBStartHz(c.SSB.StartPRB + phy.SSBPRBs)
+			if freqLo < ssbHi && freqHi > ssbLo {
+				c.ssbTx[ruID] = a.sched.Now()
+			}
+		}
+	}
+}
+
+func (c *Cell) slot(abs int) *slotState {
+	st := c.slots[abs]
+	if st == nil {
+		st = &slotState{received: make(map[slotMsgKey]bool), perRU: make(map[string]int)}
+		c.slots[abs] = st
+		// Bound memory: forget slots half a wrap away.
+		delete(c.slots, (abs+SlotsPerWrap/2)%SlotsPerWrap)
+	}
+	return st
+}
+
+// ExpectDL lets the DU declare how many (symbol, port) U-plane messages a
+// complete copy of this slot comprises, and refresh the cell's activity.
+func (a *Air) ExpectDL(cell string, absSlot, expectedMsgs int, activity float64) {
+	c := a.cells[cell]
+	if c == nil {
+		return
+	}
+	c.slot(absSlot).expected = expectedMsgs
+	c.Activity = activity
+}
+
+// ---- propagation queries ----
+
+// ssbFresh is how long an SSB transmission keeps an RU "serving": a few
+// SSB periods, after which a UE declares radio link failure — the
+// detection window of the §8.1 resilience scenario.
+const ssbFresh = 5 * phy.FrameDuration
+
+// ActiveRUs returns the RUs recently transmitting the cell's SSB — the
+// cell's current radiating set.
+func (a *Air) ActiveRUs(cell *Cell) []*RUInfo {
+	now := a.sched.Now()
+	var out []*RUInfo
+	for id, at := range cell.ssbTx {
+		if now.Sub(at) <= ssbFresh {
+			out = append(out, a.rus[id])
+		}
+	}
+	return out
+}
+
+// servingElements collects the antenna elements of the cell's active RUs.
+func (a *Air) servingElements(cell *Cell) []radio.Element {
+	var els []radio.Element
+	for _, ru := range a.ActiveRUs(cell) {
+		els = append(els, ru.Elements...)
+	}
+	return els
+}
+
+// ControlActivityFloor is the minimum transmission activity of a live
+// cell: SSB, PDCCH and reference signals radiate even with no user
+// traffic, so a co-channel neighbour never interferes at exactly zero.
+const ControlActivityFloor = 0.05
+
+// interferenceMW aggregates co-channel interference at a point from every
+// other cell with overlapping spectrum, weighted by that cell's activity.
+func (a *Air) interferenceMW(victim *Cell, at radio.Point) float64 {
+	var sum float64
+	for _, c := range a.cells {
+		if c == victim || c.freqHi <= victim.freqLo || c.freqLo >= victim.freqHi {
+			continue
+		}
+		els := a.servingElements(c)
+		if len(els) == 0 {
+			continue
+		}
+		act := c.Activity
+		if act < ControlActivityFloor {
+			act = ControlActivityFloor
+		}
+		sum += a.Model.InterferenceMW(els, at, act)
+	}
+	return sum
+}
+
+// DLQuality computes the downlink link adaptation inputs for a UE on a
+// cell: the chosen rank and per-layer SINR, given the cell's current
+// radiating RU set and co-channel interference.
+func (a *Air) DLQuality(cell *Cell, u *UE) (rank int, layerSINRdB float64, ok bool) {
+	els := a.servingElements(cell)
+	if len(els) == 0 {
+		return 0, 0, false
+	}
+	noise := radio.LinearMW(a.Model.NoiseDBm(float64(cell.Carrier.NumPRB) * phy.PRBBandwidthHz))
+	interf := a.interferenceMW(cell, u.Pos)
+	sinrs := a.Model.ElementSINRs(els, u.Pos, noise, interf)
+	maxL := cell.MaxLayers
+	if u.MaxLayers < maxL {
+		maxL = u.MaxLayers
+	}
+	capDB := els[0].EVMCapDB
+	rank, layerSINRdB = phy.AdaptRank(sinrs, maxL, capDB)
+	return rank, layerSINRdB, true
+}
+
+// ULQuality computes the uplink per-layer SINR (rank 1: all testbed UEs
+// transmit SISO uplink) for a UE on a cell.
+func (a *Air) ULQuality(cell *Cell, u *UE) (layerSINRdB float64, ok bool) {
+	rus := a.ActiveRUs(cell)
+	if len(rus) == 0 {
+		return 0, false
+	}
+	noise := radio.LinearMW(a.Model.NoiseDBm(float64(cell.Carrier.NumPRB) * phy.PRBBandwidthHz))
+	var elements []float64
+	for _, ru := range rus {
+		for _, el := range ru.Elements {
+			// Reciprocal path: UE transmits at its own power toward the
+			// RU element.
+			rx := radio.LinearMW(a.Model.RxPowerDBm(u.TxDBm, u.Pos, el.Pos))
+			air := rx / noise
+			capLin := radio.LinearMW(phy.SINRCapUL)
+			elements = append(elements, 1/(1/air+1/capLin))
+		}
+	}
+	return phy.LayerSINRdB(elements, 1, phy.SINRCapUL), true
+}
+
+// covers reports whether RU coverage of the UE is at least minimally
+// usable (CQI >= 1) for the cell's carrier.
+func (a *Air) covers(cell *Cell, ru *RUInfo, u *UE) bool {
+	noise := radio.LinearMW(a.Model.NoiseDBm(float64(cell.Carrier.NumPRB) * phy.PRBBandwidthHz))
+	sinrs := a.Model.ElementSINRs(ru.Elements, u.Pos, noise, 0)
+	var sum float64
+	for _, s := range sinrs {
+		sum += s
+	}
+	return 10*math.Log10(sum) >= -6.7 // CQI 1 threshold
+}
+
+// DLDeliveredFraction reports what fraction of a slot's downlink reached
+// UE u over the air: the sum over RUs covering u of their share of the
+// expected (symbol, port) messages, clamped to 1. It is the hook through
+// which lost, late or mis-addressed fronthaul packets become lost bits.
+func (a *Air) DLDeliveredFraction(cell *Cell, absSlot int, u *UE) float64 {
+	st := cell.slots[absSlot]
+	if st == nil || st.expected == 0 {
+		return 0
+	}
+	var frac float64
+	for ruID, n := range st.perRU {
+		ru := a.rus[ruID]
+		if ru == nil || !a.covers(cell, ru, u) {
+			continue
+		}
+		frac += float64(n) / float64(st.expected)
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+// ---- attachment and PRACH ----
+
+// AttachableCell returns the best cell whose SSB the UE currently
+// receives (highest SSB SNR), if any.
+func (a *Air) AttachableCell(u *UE) (*Cell, bool) {
+	var best *Cell
+	bestSNR := math.Inf(-1)
+	for _, c := range a.cells {
+		if u.AllowedCell != "" && c.Name != u.AllowedCell {
+			continue
+		}
+		snr, ok := a.ssbSNR(c, u)
+		if ok && snr >= u.SSBThresholdDB && snr > bestSNR {
+			best, bestSNR = c, snr
+		}
+	}
+	return best, best != nil
+}
+
+// ssbSNR computes the strongest SSB SNR of the cell at the UE over the
+// SSB bandwidth, across the RUs currently transmitting the SSB.
+func (a *Air) ssbSNR(c *Cell, u *UE) (float64, bool) {
+	rus := a.ActiveRUs(c)
+	if len(rus) == 0 {
+		return 0, false
+	}
+	noise := a.Model.NoiseDBm(float64(phy.SSBPRBs) * phy.PRBBandwidthHz)
+	best := math.Inf(-1)
+	for _, ru := range rus {
+		for _, el := range ru.Elements {
+			snr := a.Model.RxPowerDBm(el.TxDBm, el.Pos, u.Pos) - noise
+			if snr > best {
+				best = snr
+			}
+		}
+	}
+	return best, true
+}
+
+// SendPRACH records a UE preamble transmission for a cell's PRACH
+// occasion in absSlot. The DU detects it only if an RU samples the right
+// physical frequencies (SamplePRACH) and forwards the energy upstream.
+func (a *Air) SendPRACH(u *UE, cell *Cell, absSlot int) {
+	k := prachKey{cell: cell.Name, absSlot: absSlot % SlotsPerWrap}
+	a.prach[k] = append(a.prach[k], u)
+}
+
+// SamplePRACH returns the UEs whose preamble an RU captures when sampling
+// [freqLo, freqHi) during absSlot: the preamble must overlap the sampled
+// span in frequency and reach the RU with usable power. Captured UEs are
+// recorded so the DU can resolve preamble energy back to devices once the
+// fronthaul delivers it (TakeCaptured).
+func (a *Air) SamplePRACH(ruID string, absSlot int, freqLo, freqHi int64) []*UE {
+	ru := a.rus[ruID]
+	if ru == nil {
+		return nil
+	}
+	var out []*UE
+	for k, ues := range a.prach {
+		if k.absSlot != absSlot%SlotsPerWrap {
+			continue
+		}
+		c := a.cells[k.cell]
+		if c == nil {
+			continue
+		}
+		pLo := c.Carrier.PRBStartHz(c.PRACH.StartPRB)
+		pHi := c.Carrier.PRBStartHz(c.PRACH.StartPRB + c.PRACH.NumPRB)
+		if pHi <= freqLo || pLo >= freqHi {
+			continue
+		}
+		var captured []*UE
+		for _, u := range ues {
+			noise := radio.LinearMW(a.Model.NoiseDBm(float64(c.PRACH.NumPRB) * phy.PRBBandwidthHz))
+			rx := radio.LinearMW(a.Model.RxPowerDBm(u.TxDBm, u.Pos, ru.Elements[0].Pos))
+			if 10*math.Log10(rx/noise) >= -6 { // preamble correlation gain
+				captured = append(captured, u)
+			}
+		}
+		if len(captured) > 0 {
+			a.MarkCaptured(k.cell, absSlot, captured)
+			out = append(out, captured...)
+		}
+	}
+	return out
+}
+
+// ClearPRACH discards preambles for an occasion once processed.
+func (a *Air) ClearPRACH(cell string, absSlot int) {
+	delete(a.prach, prachKey{cell: cell, absSlot: absSlot % SlotsPerWrap})
+}
+
+// Attach completes a UE's attachment to a cell (the abstracted RRC
+// exchange after preamble detection).
+func (a *Air) Attach(u *UE, cell *Cell) {
+	if u.Cell != nil {
+		delete(u.Cell.attached, u)
+	}
+	u.Cell = cell
+	cell.attached[u] = true
+}
+
+// Detach drops a UE from its cell.
+func (a *Air) Detach(u *UE) {
+	if u.Cell != nil {
+		delete(u.Cell.attached, u)
+		u.Cell = nil
+	}
+}
+
+// Attached returns the UEs attached to the cell.
+func (c *Cell) Attached() []*UE {
+	out := make([]*UE, 0, len(c.attached))
+	for u := range c.attached {
+		out = append(out, u)
+	}
+	return out
+}
+
+// String describes the cell.
+func (c *Cell) String() string {
+	return fmt.Sprintf("cell %s (PCI %d, %s)", c.Name, c.PCI, c.Carrier)
+}

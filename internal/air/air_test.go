@@ -1,0 +1,257 @@
+package air
+
+import (
+	"testing"
+
+	"ranbooster/internal/oran"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+	"ranbooster/internal/sim"
+)
+
+func newAir() (*sim.Scheduler, *Air) {
+	s := sim.NewScheduler()
+	return s, New(s, radio.DefaultModel())
+}
+
+func cellCfg(name string, pci int) CellConfig {
+	return CellConfig{
+		Name: name, PCI: pci,
+		Carrier:   phy.NewCarrier(100, 3_460_000_000),
+		TDD:       phy.MustTDD("DDDSU"),
+		Stack:     phy.StackSRSRAN,
+		SSB:       phy.DefaultSSB(),
+		PRACH:     phy.DefaultPRACH(),
+		MaxLayers: 4,
+	}
+}
+
+func elems(pos radio.Point, n int) []radio.Element {
+	out := make([]radio.Element, n)
+	for i := range out {
+		out[i] = radio.DefaultRUElement(pos)
+	}
+	return out
+}
+
+func TestAbsSlotRoundTrip(t *testing.T) {
+	for _, abs := range []int{0, 19, 20, 5119, 777} {
+		frame, subframe, slot := phy.SlotCoords(abs)
+		tm := oran.Timing{FrameID: frame, SubframeID: subframe, SlotID: slot}
+		if got := AbsSlot(tm); got != abs%SlotsPerWrap {
+			t.Fatalf("AbsSlot(%d) = %d", abs, got)
+		}
+	}
+}
+
+func TestAbsSlotNearHandlesWrap(t *testing.T) {
+	// Time sits just past a wrap boundary; a timestamp from the end of the
+	// previous wrap must resolve backwards, not half a wrap forward.
+	now := phy.SlotStart(SlotsPerWrap + 3)
+	frame, subframe, slot := phy.SlotCoords(SlotsPerWrap - 1)
+	tm := oran.Timing{FrameID: frame, SubframeID: subframe, SlotID: slot}
+	if got := AbsSlotNear(now, tm); got != SlotsPerWrap-1 {
+		t.Fatalf("wrap-back resolution = %d, want %d", got, SlotsPerWrap-1)
+	}
+	// And a current-wrap timestamp resolves in place.
+	frame, subframe, slot = phy.SlotCoords(SlotsPerWrap + 2)
+	tm = oran.Timing{FrameID: frame, SubframeID: subframe, SlotID: slot}
+	if got := AbsSlotNear(now, tm); got != SlotsPerWrap+2 {
+		t.Fatalf("in-wrap resolution = %d", got)
+	}
+}
+
+func TestSSBAttributionBySector(t *testing.T) {
+	_, a := newAir()
+	c1 := a.RegisterCell(cellCfg("c1", 1))
+	c2 := a.RegisterCell(cellCfg("c2", 2)) // co-channel
+	a.RegisterRU("ru1", elems(radio.RUAt(0, 10, 10), 4))
+
+	ssbTiming := oran.Timing{Direction: oran.Downlink, FrameID: 0, SubframeID: 0, SlotID: 0, SymbolID: 2}
+	lo := c1.Carrier.PRB0Hz()
+	hi := lo + 20*phy.PRBBandwidthHz
+	// Sector 1: only cell with PCI 1 hears it.
+	a.ReportDL("ru1", 0, 1, ssbTiming, lo, hi, true)
+	if len(a.ActiveRUs(c1)) != 1 {
+		t.Fatal("cell 1 should have an active RU")
+	}
+	if len(a.ActiveRUs(c2)) != 0 {
+		t.Fatal("co-channel cell 2 must not claim cell 1's SSB")
+	}
+	// Sector 0 (combined stream): attribution falls back to spectrum.
+	a.ReportDL("ru1", 0, 0, ssbTiming, lo, hi, true)
+	if len(a.ActiveRUs(c2)) != 1 {
+		t.Fatal("sector-0 transmission should attribute by frequency")
+	}
+}
+
+func TestDLDeliveredFraction(t *testing.T) {
+	_, a := newAir()
+	c := a.RegisterCell(cellCfg("c", 1))
+	a.RegisterRU("ru1", elems(radio.RUAt(0, 10, 10), 4))
+	u := NewUE(1, radio.UEAt(0, 12, 10))
+	a.AddUE(u)
+
+	// Activate the RU for the cell via an SSB report.
+	ssb := oran.Timing{Direction: oran.Downlink, SymbolID: 2}
+	a.ReportDL("ru1", 0, 1, ssb, c.Carrier.PRB0Hz(), c.Carrier.PRB0Hz()+20*phy.PRBBandwidthHz, true)
+
+	dataT := oran.Timing{Direction: oran.Downlink, FrameID: 1, SubframeID: 0, SlotID: 0}
+	abs := AbsSlot(dataT)
+	a.ExpectDL("c", abs, 4, 0.5)
+	lo, hi := c.Carrier.PRB0Hz(), c.Carrier.PRBStartHz(c.Carrier.NumPRB)
+	for sym := uint8(0); sym < 2; sym++ {
+		tt := dataT
+		tt.SymbolID = sym
+		a.ReportDL("ru1", 0, 1, tt, lo, hi, true)
+		// Duplicate reports of the same (sym, port) must not double count.
+		a.ReportDL("ru1", 0, 1, tt, lo, hi, true)
+	}
+	if got := a.DLDeliveredFraction(c, abs, u); got != 0.5 {
+		t.Fatalf("fraction = %v, want 0.5", got)
+	}
+	// A UE out of radio range gets nothing even though the RU received.
+	far := NewUE(2, radio.UEAt(3, 10, 10))
+	a.AddUE(far)
+	if got := a.DLDeliveredFraction(c, abs, far); got != 0 {
+		t.Fatalf("uncovered UE fraction = %v", got)
+	}
+}
+
+func TestDLQualityNeedsActiveRUs(t *testing.T) {
+	_, a := newAir()
+	c := a.RegisterCell(cellCfg("c", 1))
+	u := NewUE(1, radio.UEAt(0, 12, 10))
+	a.AddUE(u)
+	if _, _, ok := a.DLQuality(c, u); ok {
+		t.Fatal("quality without any radiating RU")
+	}
+}
+
+func TestPRACHSampleByFrequency(t *testing.T) {
+	_, a := newAir()
+	c := a.RegisterCell(cellCfg("c", 1))
+	a.RegisterRU("ru1", elems(radio.RUAt(0, 10, 10), 4))
+	u := NewUE(1, radio.UEAt(0, 12, 10))
+	a.AddUE(u)
+
+	abs := 39 // some occasion slot
+	a.SendPRACH(u, c, abs)
+	pLo := c.Carrier.PRBStartHz(c.PRACH.StartPRB)
+	pHi := c.Carrier.PRBStartHz(c.PRACH.StartPRB + c.PRACH.NumPRB)
+
+	// Sampling the wrong frequencies captures nothing (the A.1.2
+	// mistranslation failure mode).
+	if got := a.SamplePRACH("ru1", abs, pHi+1_000_000, pHi+5_000_000); len(got) != 0 {
+		t.Fatalf("wrong-frequency sample captured %d UEs", len(got))
+	}
+	if got := a.CapturedPreambles("c", abs); len(got) != 0 {
+		t.Fatal("nothing should be marked captured yet")
+	}
+	// The right span captures the preamble and records it for the DU.
+	if got := a.SamplePRACH("ru1", abs, pLo, pHi); len(got) != 1 {
+		t.Fatalf("captured %d UEs", len(got))
+	}
+	if got := a.TakeCaptured("c", abs); len(got) != 1 {
+		t.Fatalf("TakeCaptured = %d", len(got))
+	}
+	if got := a.TakeCaptured("c", abs); len(got) != 0 {
+		t.Fatal("TakeCaptured should consume")
+	}
+}
+
+func TestAttachDetach(t *testing.T) {
+	_, a := newAir()
+	c1 := a.RegisterCell(cellCfg("c1", 1))
+	c2 := a.RegisterCell(cellCfg("c2", 2))
+	u := NewUE(1, radio.UEAt(0, 12, 10))
+	a.AddUE(u)
+	a.Attach(u, c1)
+	if !u.Attached() || len(c1.Attached()) != 1 {
+		t.Fatal("attach")
+	}
+	a.Attach(u, c2)
+	if len(c1.Attached()) != 0 || len(c2.Attached()) != 1 {
+		t.Fatal("re-attach should move the UE")
+	}
+	a.Detach(u)
+	if u.Attached() || len(c2.Attached()) != 0 {
+		t.Fatal("detach")
+	}
+}
+
+func TestMaintainUEAttachesAndFails(t *testing.T) {
+	_, a := newAir()
+	c := a.RegisterCell(cellCfg("c", 1))
+	a.RegisterRU("ru1", elems(radio.RUAt(0, 10, 10), 4))
+	u := NewUE(1, radio.UEAt(0, 12, 10))
+	a.AddUE(u)
+
+	// No SSB yet: nothing to do.
+	if got := a.MaintainUE(u, 0); got != "" {
+		t.Fatalf("action = %q before any SSB", got)
+	}
+	ssb := oran.Timing{Direction: oran.Downlink, SymbolID: 2}
+	a.ReportDL("ru1", 0, 1, ssb, c.Carrier.PRB0Hz(), c.Carrier.PRB0Hz()+20*phy.PRBBandwidthHz, true)
+	if got := a.MaintainUE(u, 0); got != "prach" {
+		t.Fatalf("action = %q, want prach", got)
+	}
+	// Attached UE whose serving SSB vanished detaches (radio link failure).
+	a.Attach(u, c)
+	u.Pos = radio.UEAt(4, 12, 10) // four floors up: unreachable
+	if got := a.MaintainUE(u, 0); got != "detach" {
+		t.Fatalf("action = %q, want detach", got)
+	}
+}
+
+func TestNextPRACHOccasion(t *testing.T) {
+	c := &Cell{CellConfig: cellCfg("c", 1)}
+	first := NextPRACHOccasion(c, 0)
+	if first != c.PRACH.Slot {
+		t.Fatalf("first occasion = %d", first)
+	}
+	next := NextPRACHOccasion(c, first+1)
+	if next != first+c.PRACH.PeriodFrames*phy.SlotsPerFrame {
+		t.Fatalf("next occasion = %d", next)
+	}
+}
+
+func TestULSignalSampling(t *testing.T) {
+	_, a := newAir()
+	c := a.RegisterCell(cellCfg("c", 1))
+	a.RegisterRU("ru1", elems(radio.RUAt(0, 10, 10), 4))
+	near := NewUE(1, radio.UEAt(0, 12, 10))
+	far := NewUE(2, radio.UEAt(4, 12, 10)) // floors away: buried in noise
+	a.AddUE(near)
+	a.AddUE(far)
+	a.RegisterUL(c, 100, near, 0, 50)
+	a.RegisterUL(c, 100, far, 60, 50)
+
+	lo, hi := c.Carrier.PRB0Hz(), c.Carrier.PRBStartHz(c.Carrier.NumPRB)
+	sig := a.SampleUL("ru1", 100, lo, hi)
+	if len(sig) != 1 {
+		t.Fatalf("signals = %d, want 1 (far UE below noise)", len(sig))
+	}
+	if sig[0].Amplitude <= NoiseAmplitude {
+		t.Fatalf("amplitude = %d", sig[0].Amplitude)
+	}
+	// Out-of-span sampling sees nothing.
+	if got := a.SampleUL("ru1", 100, hi+1, hi+1000); len(got) != 0 {
+		t.Fatal("out-of-span signals")
+	}
+}
+
+func TestUEThroughputAccounting(t *testing.T) {
+	u := NewUE(1, radio.UEAt(0, 1, 1))
+	u.StartMeasurement(0)
+	u.DeliveredDLBits = 1e6
+	if got := u.ThroughputDLbps(sim.Time(1e9)); got != 1e6 {
+		t.Fatalf("DL throughput = %v", got)
+	}
+	if got := u.ThroughputULbps(sim.Time(1e9)); got != 0 {
+		t.Fatalf("UL throughput = %v", got)
+	}
+	if u.String() == "" {
+		t.Fatal("String")
+	}
+}

@@ -1,0 +1,54 @@
+package air
+
+import "ranbooster/internal/phy"
+
+// Idle- and connected-mode mobility, abstracted to the decisions that
+// matter for the paper's experiments: detection of SSB, random access,
+// radio-link failure when the serving SSB fades, and A3-style handover
+// when a neighbour becomes decisively stronger (the mechanism whose
+// *absence* inside a DAS cell makes Fig. 11's O3 walk seamless).
+
+// HandoverHysteresisDB is the margin a neighbour must exceed before a
+// handover is attempted.
+const HandoverHysteresisDB = 3
+
+// NextPRACHOccasion returns the first PRACH occasion of the cell at or
+// after absSlot.
+func NextPRACHOccasion(c *Cell, absSlot int) int {
+	period := c.PRACH.PeriodFrames * phy.SlotsPerFrame
+	start := (phy.FrameOf(absSlot)/c.PRACH.PeriodFrames)*period + c.PRACH.Slot
+	for start < absSlot {
+		start += period
+	}
+	return start
+}
+
+// MaintainUE runs one round of mobility management for a UE and reports
+// what happened ("", "prach", "detach", "handover").
+func (a *Air) MaintainUE(u *UE, absSlot int) string {
+	if u.Cell == nil {
+		c, ok := a.AttachableCell(u)
+		if !ok {
+			return ""
+		}
+		a.SendPRACH(u, c, NextPRACHOccasion(c, absSlot))
+		return "prach"
+	}
+	servingSNR, servingOK := a.ssbSNR(u.Cell, u)
+	if !servingOK || servingSNR < u.SSBThresholdDB-HandoverHysteresisDB {
+		// Radio link failure: the serving cell's SSB no longer reaches us
+		// (the dMIMO-without-SSB-copy failure mode of §4.2).
+		a.Detach(u)
+		return "detach"
+	}
+	best, ok := a.AttachableCell(u)
+	if ok && best != u.Cell {
+		bestSNR, _ := a.ssbSNR(best, u)
+		if bestSNR > servingSNR+HandoverHysteresisDB {
+			a.Detach(u)
+			a.SendPRACH(u, best, NextPRACHOccasion(best, absSlot))
+			return "handover"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,93 @@
+package air
+
+import (
+	"fmt"
+
+	"ranbooster/internal/radio"
+	"ranbooster/internal/sim"
+)
+
+// UE is a user device: a position, radio capabilities, an attachment
+// state, and iperf-like traffic endpoints. The DU serves its queues; the
+// oracle moves its radio state.
+type UE struct {
+	ID        int
+	Name      string
+	Pos       radio.Point
+	MaxLayers int // downlink MIMO capability (testbed devices: 4)
+	TxDBm     float64
+	// SSBThresholdDB is the minimum SSB SNR the device needs to detect a
+	// cell.
+	SSBThresholdDB float64
+
+	// Cell is the current serving cell (nil when detached).
+	Cell *Cell
+	// AllowedCell restricts attachment to one cell name ("force the
+	// association ... based on the physical cell id", §6.2.3). Empty
+	// allows any.
+	AllowedCell string
+
+	// Offered traffic rates in bits/second (iperf UDP style: the traffic
+	// exists whether or not the network can carry it).
+	OfferedDLbps float64
+	OfferedULbps float64
+
+	// Delivered bit counters, credited by the DU.
+	DeliveredDLBits float64
+	DeliveredULBits float64
+
+	// measureStart marks the beginning of the current measurement window.
+	measureStart sim.Time
+
+	air *Air
+}
+
+// NewUE creates a UE with testbed-typical capabilities.
+func NewUE(id int, pos radio.Point) *UE {
+	return &UE{
+		ID:             id,
+		Name:           fmt.Sprintf("ue%d", id),
+		Pos:            pos,
+		MaxLayers:      4,
+		TxDBm:          23,
+		SSBThresholdDB: 0,
+	}
+}
+
+// Attached reports whether the UE is on a cell.
+func (u *UE) Attached() bool { return u.Cell != nil }
+
+// StartMeasurement zeroes the delivered counters.
+func (u *UE) StartMeasurement(now sim.Time) {
+	u.DeliveredDLBits = 0
+	u.DeliveredULBits = 0
+	u.measureStart = now
+}
+
+// ThroughputDLbps returns the measured downlink goodput since the last
+// StartMeasurement.
+func (u *UE) ThroughputDLbps(now sim.Time) float64 {
+	d := now.Sub(u.measureStart)
+	if d <= 0 {
+		return 0
+	}
+	return u.DeliveredDLBits / d.Seconds()
+}
+
+// ThroughputULbps returns the measured uplink goodput.
+func (u *UE) ThroughputULbps(now sim.Time) float64 {
+	d := now.Sub(u.measureStart)
+	if d <= 0 {
+		return 0
+	}
+	return u.DeliveredULBits / d.Seconds()
+}
+
+// String identifies the UE.
+func (u *UE) String() string {
+	cell := "detached"
+	if u.Cell != nil {
+		cell = u.Cell.Name
+	}
+	return fmt.Sprintf("%s@(%.1f,%.1f,f%d) on %s", u.Name, u.Pos.X, u.Pos.Y, radio.FloorOf(u.Pos), cell)
+}

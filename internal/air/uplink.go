@@ -1,0 +1,118 @@
+package air
+
+import (
+	"math"
+
+	"ranbooster/internal/phy"
+)
+
+// Uplink allocation registry: the DU registers which UE transmits on
+// which PRBs of its carrier, and RUs ask what signal their antennas would
+// capture over a frequency span — the link between scheduling decisions
+// and the IQ payloads the RU synthesizes.
+
+type ulAlloc struct {
+	ue             *UE
+	freqLo, freqHi int64
+}
+
+type ulKey struct {
+	absSlot int
+}
+
+// RegisterUL records that UE u transmits on PRBs [startPRB, startPRB+n)
+// of cell's carrier during absSlot.
+func (a *Air) RegisterUL(cell *Cell, absSlot int, u *UE, startPRB, n int) {
+	k := ulKey{absSlot: absSlot % SlotsPerWrap}
+	a.ul[k] = append(a.ul[k], ulAlloc{
+		ue:     u,
+		freqLo: cell.Carrier.PRBStartHz(startPRB),
+		freqHi: cell.Carrier.PRBStartHz(startPRB + n),
+	})
+	// Forget the slot half a wrap away.
+	delete(a.ul, ulKey{absSlot: (absSlot + SlotsPerWrap/2) % SlotsPerWrap})
+}
+
+// ULSignal describes one captured uplink transmission within a sampled span.
+type ULSignal struct {
+	FreqLo, FreqHi int64
+	// Amplitude is the fixed-point sample amplitude the RU should
+	// synthesize for this transmission.
+	Amplitude int16
+}
+
+// SampleUL returns the uplink transmissions an RU element set captures
+// over [freqLo, freqHi) during absSlot. Transmissions below the noise
+// floor at this RU are omitted — their PRBs stay noise.
+func (a *Air) SampleUL(ruID string, absSlot int, freqLo, freqHi int64) []ULSignal {
+	ru := a.rus[ruID]
+	if ru == nil {
+		return nil
+	}
+	var out []ULSignal
+	for _, al := range a.ul[ulKey{absSlot: absSlot % SlotsPerWrap}] {
+		lo, hi := al.freqLo, al.freqHi
+		if hi <= freqLo || lo >= freqHi {
+			continue
+		}
+		if lo < freqLo {
+			lo = freqLo
+		}
+		if hi > freqHi {
+			hi = freqHi
+		}
+		amp := a.ulAmplitude(ru, al.ue)
+		if amp == 0 {
+			continue
+		}
+		out = append(out, ULSignal{FreqLo: lo, FreqHi: hi, Amplitude: amp})
+	}
+	return out
+}
+
+// NoiseAmplitude is the fixed-point amplitude of thermal noise in
+// synthesized uplink PRBs. With 9-bit BFP it compresses to exponent <= 2,
+// which is exactly why Algorithm 1's uplink threshold is 2.
+const NoiseAmplitude = 300
+
+// ulAmplitude maps the UE→RU link budget to a synthesis amplitude.
+func (a *Air) ulAmplitude(ru *RUInfo, u *UE) int16 {
+	rx := a.Model.RxPowerDBm(u.TxDBm, u.Pos, ru.Elements[0].Pos)
+	noise := a.Model.NoiseDBm(phy.PRBBandwidthHz)
+	snr := rx - noise
+	if snr < 0 {
+		return 0 // buried in noise: synthesize nothing
+	}
+	// Amplitude grows with sqrt of power; clamp into fixed-point range,
+	// always clearly above the noise amplitude.
+	amp := float64(NoiseAmplitude) * math.Pow(10, snr/20)
+	if amp > 28000 {
+		amp = 28000
+	}
+	if amp < 2*NoiseAmplitude {
+		amp = 2 * NoiseAmplitude
+	}
+	return int16(amp)
+}
+
+// CapturedPreambles exposes (without clearing) the UEs whose PRACH an RU
+// captured for a cell's occasion; the DU consumes them with TakeCaptured
+// after it sees preamble energy arrive on the fronthaul.
+func (a *Air) CapturedPreambles(cell string, absSlot int) []*UE {
+	return a.captured[prachKey{cell: cell, absSlot: absSlot % SlotsPerWrap}]
+}
+
+// MarkCaptured records RU-side preamble capture (called by SamplePRACH
+// consumers, i.e. RUs, when they synthesize preamble energy).
+func (a *Air) MarkCaptured(cell string, absSlot int, ues []*UE) {
+	k := prachKey{cell: cell, absSlot: absSlot % SlotsPerWrap}
+	a.captured[k] = append(a.captured[k], ues...)
+}
+
+// TakeCaptured consumes the captured preamble list for an occasion.
+func (a *Air) TakeCaptured(cell string, absSlot int) []*UE {
+	k := prachKey{cell: cell, absSlot: absSlot % SlotsPerWrap}
+	ues := a.captured[k]
+	delete(a.captured, k)
+	return ues
+}

@@ -1,0 +1,182 @@
+// Package das implements the Distributed Antenna System middlebox of
+// §4.1: one cell's signal replicated across many RUs.
+//
+// Downlink: every C- and U-plane packet from the DU is replicated to all
+// DAS RUs (actions A1+A2). Uplink: the U-plane packets of all RUs for the
+// same (symbol, antenna port) are cached (A3) and their IQ samples summed
+// element-wise on a per-subcarrier basis — decompressing and
+// re-compressing around the merge (A4) — before a single combined packet
+// is forwarded to the DU (A1).
+package das
+
+import (
+	"fmt"
+
+	"ranbooster/internal/bfp"
+	"ranbooster/internal/core"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/iq"
+	"ranbooster/internal/oran"
+)
+
+// Config describes one DAS middlebox.
+type Config struct {
+	Name string
+	// MAC is the middlebox's own address (the DU's "RU" and every RU's
+	// "DU").
+	MAC eth.MAC
+	// DU is the upstream cell.
+	DU eth.MAC
+	// RUs are the distribution points.
+	RUs []eth.MAC
+	// CarrierPRBs resolves section encodings.
+	CarrierPRBs int
+}
+
+// App is the DAS middlebox.
+type App struct {
+	cfg Config
+	rus map[eth.MAC]bool
+
+	// Merges counts completed uplink combinations (for tests/telemetry).
+	Merges uint64
+}
+
+// New builds the middlebox.
+func New(cfg Config) *App {
+	a := &App{cfg: cfg, rus: make(map[eth.MAC]bool, len(cfg.RUs))}
+	for _, m := range cfg.RUs {
+		a.rus[m] = true
+	}
+	return a
+}
+
+// Name implements core.App.
+func (a *App) Name() string { return a.cfg.Name }
+
+// Control implements the management interface: RUs can be added or
+// removed on-the-fly ("add-ru" / "remove-ru" with arg "mac").
+func (a *App) Control(cmd string, args map[string]string) error {
+	mac, err := eth.ParseMAC(args["mac"])
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "add-ru":
+		if !a.rus[mac] {
+			a.rus[mac] = true
+			a.cfg.RUs = append(a.cfg.RUs, mac)
+		}
+		return nil
+	case "remove-ru":
+		if a.rus[mac] {
+			delete(a.rus, mac)
+			for i, m := range a.cfg.RUs {
+				if m == mac {
+					a.cfg.RUs = append(a.cfg.RUs[:i], a.cfg.RUs[i+1:]...)
+					break
+				}
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("das: unknown command %q", cmd)
+	}
+}
+
+// Handle implements core.App.
+func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
+	switch {
+	case pkt.Eth.Src == a.cfg.DU:
+		return a.handleDownstream(ctx, pkt)
+	case a.rus[pkt.Eth.Src]:
+		return a.handleUpstream(ctx, pkt)
+	default:
+		ctx.Drop(pkt)
+		return nil
+	}
+}
+
+// handleDownstream replicates DU traffic to every RU (A1+A2).
+func (a *App) handleDownstream(ctx *core.Context, pkt *fh.Packet) error {
+	for _, ruMAC := range a.cfg.RUs[1:] {
+		cp := ctx.Replicate(pkt)
+		if err := ctx.Redirect(cp, ruMAC, a.cfg.MAC, -1); err != nil {
+			return err
+		}
+	}
+	return ctx.Redirect(pkt, a.cfg.RUs[0], a.cfg.MAC, -1)
+}
+
+// handleUpstream caches RU uplink and merges once every RU reported (A3+A4).
+func (a *App) handleUpstream(ctx *core.Context, pkt *fh.Packet) error {
+	key, err := fh.KeyOf(pkt)
+	if err != nil {
+		return err
+	}
+	ctx.Cache(key, pkt)
+	if ctx.CachedCount(key) < len(a.cfg.RUs) {
+		return nil
+	}
+	pkts := ctx.TakeCached(key)
+	merged, err := a.merge(ctx, pkts)
+	if err != nil {
+		return err
+	}
+	a.Merges++
+	return ctx.Redirect(merged, a.cfg.DU, a.cfg.MAC, -1)
+}
+
+// merge sums the IQ payloads of packets (one per RU, same symbol and
+// port) on a per-subcarrier basis, returning a rebuilt packet. The inputs
+// must share a section layout, which they do by construction: each RU
+// answered the same replicated C-plane request.
+func (a *App) merge(ctx *core.Context, pkts []*fh.Packet) (*fh.Packet, error) {
+	base := pkts[0]
+	var baseMsg oran.UPlaneMsg
+	if err := base.UPlane(&baseMsg, a.cfg.CarrierPRBs); err != nil {
+		return nil, err
+	}
+	// Decode every section of every packet into grids and accumulate.
+	grids := make([]iq.Grid, len(baseMsg.Sections))
+	comps := make([]bfp.Params, len(baseMsg.Sections))
+	totalPRB := 0
+	for i := range baseMsg.Sections {
+		s := &baseMsg.Sections[i]
+		grids[i] = iq.NewGrid(s.NumPRB)
+		comps[i] = s.Comp
+		totalPRB += s.NumPRB
+		if _, err := bfp.DecompressGrid(s.Payload, grids[i], s.Comp); err != nil {
+			return nil, err
+		}
+	}
+	var msg oran.UPlaneMsg
+	for _, p := range pkts[1:] {
+		if err := p.UPlane(&msg, a.cfg.CarrierPRBs); err != nil {
+			return nil, err
+		}
+		if len(msg.Sections) != len(grids) {
+			return nil, fmt.Errorf("das: section layout mismatch (%d vs %d)", len(msg.Sections), len(grids))
+		}
+		for i := range msg.Sections {
+			s := &msg.Sections[i]
+			g := iq.NewGrid(s.NumPRB)
+			if _, err := bfp.DecompressGrid(s.Payload, g, s.Comp); err != nil {
+				return nil, err
+			}
+			grids[i].AddSat(g)
+		}
+	}
+	ctx.ChargeMerge(totalPRB, len(pkts))
+
+	// Re-encode into the base packet's layout.
+	for i := range baseMsg.Sections {
+		payload, err := bfp.CompressGrid(nil, grids[i], comps[i])
+		if err != nil {
+			return nil, err
+		}
+		baseMsg.Sections[i].Payload = payload
+	}
+	return fh.Rebuild(base, baseMsg.AppendTo), nil
+}

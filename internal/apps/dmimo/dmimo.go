@@ -1,0 +1,218 @@
+// Package dmimo implements the distributed MIMO middlebox of §4.2:
+// several small RUs presented to the DU as one large virtual RU.
+//
+// For N MIMO layers over RUs with M antennas each, the middlebox remaps
+// eAxC antenna-port ids (A4) and redirects packets to the physical RU
+// owning the layer (A1): the DU believes a single N-antenna RU exists,
+// each RU believes it talks to an M-antenna DU. The periodic SSB, which
+// the DU emits only on the primary antenna, is replicated to every
+// secondary RU's first port (A2+A4) so distant UEs keep receiving it —
+// without it they detach when they stray from the primary RU.
+package dmimo
+
+import (
+	"fmt"
+
+	"ranbooster/internal/core"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/oran"
+	"ranbooster/internal/phy"
+)
+
+// RUSlot describes one physical RU in the cluster.
+type RUSlot struct {
+	MAC eth.MAC
+	// Ports is the RU's antenna count.
+	Ports int
+}
+
+// Config describes one dMIMO middlebox.
+type Config struct {
+	Name string
+	MAC  eth.MAC
+	DU   eth.MAC
+	// RUs in layer order: RUs[0] carries DU ports [0, RUs[0].Ports), the
+	// next RU the following ports, and so on.
+	RUs []RUSlot
+	// SSB locates the synchronization block for replication. ReplicateSSB
+	// can be disabled to reproduce the detachment failure mode.
+	SSB          phy.SSBConfig
+	ReplicateSSB bool
+	CarrierPRBs  int
+}
+
+// App is the dMIMO middlebox.
+type App struct {
+	cfg Config
+	// base[i] is the first DU port of RUs[i].
+	base []int
+	// byMAC maps an RU to its index.
+	byMAC map[eth.MAC]int
+
+	// SSBReplicas counts SSB copies fanned out (observability for tests).
+	SSBReplicas uint64
+}
+
+// New builds the middlebox. The RU port sum is the virtual RU's layer count.
+func New(cfg Config) *App {
+	a := &App{cfg: cfg, byMAC: make(map[eth.MAC]int)}
+	off := 0
+	for i, ru := range cfg.RUs {
+		a.base = append(a.base, off)
+		a.byMAC[ru.MAC] = i
+		off += ru.Ports
+	}
+	return a
+}
+
+// Name implements core.App.
+func (a *App) Name() string { return a.cfg.Name }
+
+// Layers returns the virtual RU's total antenna count.
+func (a *App) Layers() int {
+	n := 0
+	for _, ru := range a.cfg.RUs {
+		n += ru.Ports
+	}
+	return n
+}
+
+// ruForPort locates the RU owning a DU antenna port.
+func (a *App) ruForPort(p int) (idx int, local uint8, err error) {
+	for i := len(a.cfg.RUs) - 1; i >= 0; i-- {
+		if p >= a.base[i] {
+			if p-a.base[i] >= a.cfg.RUs[i].Ports {
+				return 0, 0, fmt.Errorf("dmimo: DU port %d beyond virtual RU", p)
+			}
+			return i, uint8(p - a.base[i]), nil
+		}
+	}
+	return 0, 0, fmt.Errorf("dmimo: negative port %d", p)
+}
+
+// Handle implements core.App.
+func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
+	if pkt.Eth.Src == a.cfg.DU {
+		return a.handleDownlink(ctx, pkt)
+	}
+	if i, ok := a.byMAC[pkt.Eth.Src]; ok {
+		return a.handleUplink(ctx, pkt, i)
+	}
+	ctx.Drop(pkt)
+	return nil
+}
+
+// handleDownlink remaps the DU port onto the owning RU.
+func (a *App) handleDownlink(ctx *core.Context, pkt *fh.Packet) error {
+	pc := pkt.EAxC()
+	idx, local, err := a.ruForPort(int(pc.RUPort))
+	if err != nil {
+		ctx.Drop(pkt)
+		return err
+	}
+	// SSB replication: the primary-antenna SSB packet fans out to every
+	// secondary RU's first port before normal forwarding.
+	if a.cfg.ReplicateSSB && pc.RUPort == 0 && a.isSSB(pkt) {
+		for _, sec := range a.cfg.RUs[1:] {
+			cp := ctx.Replicate(pkt)
+			ctx.ChargeHeaderMod()
+			if err := ctx.Redirect(cp, sec.MAC, a.cfg.MAC, -1); err != nil {
+				return err
+			}
+			a.SSBReplicas++
+		}
+	}
+	if local != pc.RUPort {
+		pc.RUPort = local
+		pkt.SetEAxC(pc)
+		ctx.ChargeHeaderMod()
+	}
+	return ctx.Redirect(pkt, a.cfg.RUs[idx].MAC, a.cfg.MAC, -1)
+}
+
+// isSSB reports whether a packet sits in the SSB window.
+func (a *App) isSSB(pkt *fh.Packet) bool {
+	if pkt.Plane() != fh.PlaneU {
+		return false
+	}
+	t, err := pkt.Timing()
+	if err != nil || t.Direction != oran.Downlink {
+		return false
+	}
+	slotInFrame := int(t.SubframeID)*phy.SlotsPerSubframe + int(t.SlotID)
+	return a.cfg.SSB.Occupies(int(t.FrameID), slotInFrame, int(t.SymbolID))
+}
+
+// handleUplink remaps an RU's local port back onto the DU's layer space.
+func (a *App) handleUplink(ctx *core.Context, pkt *fh.Packet, idx int) error {
+	pc := pkt.EAxC()
+	global := uint8(a.base[idx]) + pc.RUPort
+	if global != pc.RUPort {
+		pc.RUPort = global
+		pkt.SetEAxC(pc)
+		ctx.ChargeHeaderMod()
+	}
+	return ctx.Redirect(pkt, a.cfg.DU, a.cfg.MAC, -1)
+}
+
+// KernelProgram expresses the dMIMO datapath as XDP rules (Table 1: this
+// middlebox runs entirely in kernel space): downlink port remaps and SSB
+// mirrors as Tx rules, uplink remaps keyed on the source RU.
+func (a *App) KernelProgram() *core.KernelProgram {
+	var prog core.KernelProgram
+	dl := oran.Downlink
+	// SSB fan-out + primary forward for the DU's port-0 stream.
+	if a.cfg.ReplicateSSB && len(a.cfg.RUs) > 1 {
+		var mirrors []core.Rewrite
+		for i := range a.cfg.RUs[1:] {
+			mac := a.cfg.RUs[1+i].MAC
+			mirrors = append(mirrors, core.Rewrite{SetDst: &mac, SetSrc: &a.cfg.MAC})
+		}
+		prog.Rules = append(prog.Rules, core.Rule{
+			Match: core.Match{
+				Src: &a.cfg.DU, Plane: fh.PlaneU, Dir: &dl,
+				RUPorts:  &core.Range{Min: 0, Max: 0},
+				FrameMod: a.cfg.SSB.PeriodFrames, FrameVal: 0,
+				Subframe: u8(uint8(a.cfg.SSB.Slot / phy.SlotsPerSubframe)),
+				Slot:     u8(uint8(a.cfg.SSB.Slot % phy.SlotsPerSubframe)),
+				Symbols:  &core.Range{Min: a.cfg.SSB.StartSymbol, Max: a.cfg.SSB.StartSymbol + phy.SSBSymbols - 1},
+			},
+			Verdict: core.VerdictTx,
+			Rewrite: &core.Rewrite{SetDst: &a.cfg.RUs[0].MAC, SetSrc: &a.cfg.MAC},
+			Mirrors: mirrors,
+		})
+	}
+	// Downlink remap per RU.
+	for i := range a.cfg.RUs {
+		ru := a.cfg.RUs[i]
+		pm := core.IdentityPortMap()
+		for p := 0; p < ru.Ports; p++ {
+			pm[a.base[i]+p] = uint8(p)
+		}
+		prog.Rules = append(prog.Rules, core.Rule{
+			Match: core.Match{
+				Src:     &a.cfg.DU,
+				RUPorts: &core.Range{Min: a.base[i], Max: a.base[i] + ru.Ports - 1},
+			},
+			Verdict: core.VerdictTx,
+			Rewrite: &core.Rewrite{SetDst: &ru.MAC, SetSrc: &a.cfg.MAC, RUPortMap: pm},
+		})
+	}
+	// Uplink remap per RU (matched on source).
+	for i := range a.cfg.RUs {
+		ru := a.cfg.RUs[i]
+		pm := core.IdentityPortMap()
+		for p := 0; p < ru.Ports; p++ {
+			pm[p] = uint8(a.base[i] + p)
+		}
+		prog.Rules = append(prog.Rules, core.Rule{
+			Match:   core.Match{Src: &ru.MAC},
+			Verdict: core.VerdictTx,
+			Rewrite: &core.Rewrite{SetDst: &a.cfg.DU, SetSrc: &a.cfg.MAC, RUPortMap: pm},
+		})
+	}
+	return &prog
+}
+
+func u8(v uint8) *uint8 { return &v }

@@ -1,0 +1,123 @@
+// Package fhguard implements the fronthaul security middlebox sketched in
+// §8.1: the open fronthaul mandates no integrity protection, so spoofed
+// or replayed C/U-plane traffic can steer a cell's radio resources. The
+// guard sits bump-in-the-wire and enforces a lightweight admission policy
+// through inspection and drops (actions A4 + A1):
+//
+//   - frames whose source is not an enrolled DU/RU endpoint are dropped;
+//   - per-eAxC eCPRI sequence numbers must advance; stalls and replays
+//     beyond a tolerance are dropped and counted;
+//   - C-plane from the RU side (an injection vector: RUs never originate
+//     control) is dropped.
+//
+// Violations are published on the telemetry bus so an operator can react
+// in real time — the monitor-and-mitigate alternative to heavyweight
+// per-packet cryptography the paper argues for.
+package fhguard
+
+import (
+	"ranbooster/internal/core"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/oran"
+)
+
+// KPIViolation is published (value = total violations) on each drop.
+const KPIViolation = "fhguard.violation"
+
+// Config describes one guard.
+type Config struct {
+	Name string
+	MAC  eth.MAC
+	// DU and RU are the enrolled endpoints of the protected segment.
+	DU, RU eth.MAC
+	// ReplayTolerance is how far backwards a sequence number may step
+	// before the frame counts as a replay (reordering slack).
+	ReplayTolerance uint8
+}
+
+// Stats counts enforcement outcomes.
+type Stats struct {
+	Forwarded     uint64
+	UnknownSource uint64
+	Replays       uint64
+	RogueCPlane   uint64
+}
+
+// App is the guard middlebox.
+type App struct {
+	cfg   Config
+	seq   map[seqKey]uint8
+	stats Stats
+}
+
+type seqKey struct {
+	src  eth.MAC
+	eaxc uint16
+	typ  uint8
+}
+
+// New builds the guard.
+func New(cfg Config) *App {
+	if cfg.ReplayTolerance == 0 {
+		cfg.ReplayTolerance = 8
+	}
+	return &App{cfg: cfg, seq: make(map[seqKey]uint8)}
+}
+
+// Name implements core.App.
+func (a *App) Name() string { return a.cfg.Name }
+
+// Stats returns a snapshot of the enforcement counters.
+func (a *App) Stats() Stats { return a.stats }
+
+// Handle implements core.App.
+func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
+	src := pkt.Eth.Src
+	if src != a.cfg.DU && src != a.cfg.RU {
+		a.stats.UnknownSource++
+		a.violate(ctx, pkt)
+		return nil
+	}
+	// RUs never originate C-plane: control from the RU side is injection.
+	if src == a.cfg.RU && pkt.Plane() == fh.PlaneC {
+		a.stats.RogueCPlane++
+		a.violate(ctx, pkt)
+		return nil
+	}
+	// Sequence discipline per (source, eAxC, plane).
+	k := seqKey{src: src, eaxc: pkt.EAxC().Uint16(), typ: uint8(pkt.Plane())}
+	if last, ok := a.seq[k]; ok {
+		if delta := pkt.Ecpri.SeqID - last; delta == 0 || delta > 128 {
+			// Not advancing (or stepping far backwards): replay. Allow the
+			// configured reordering slack.
+			if back := last - pkt.Ecpri.SeqID; back <= a.cfg.ReplayTolerance && back > 0 {
+				// tolerated reordering: forward without updating state
+				return a.forward(ctx, pkt, src)
+			}
+			a.stats.Replays++
+			a.violate(ctx, pkt)
+			return nil
+		}
+	}
+	a.seq[k] = pkt.Ecpri.SeqID
+	return a.forward(ctx, pkt, src)
+}
+
+func (a *App) forward(ctx *core.Context, pkt *fh.Packet, src eth.MAC) error {
+	a.stats.Forwarded++
+	dst := a.cfg.RU
+	if src == a.cfg.RU {
+		dst = a.cfg.DU
+	}
+	return ctx.Redirect(pkt, dst, a.cfg.MAC, -1)
+}
+
+func (a *App) violate(ctx *core.Context, pkt *fh.Packet) {
+	ctx.Drop(pkt)
+	total := a.stats.UnknownSource + a.stats.Replays + a.stats.RogueCPlane
+	ctx.Publish(KPIViolation, float64(total))
+}
+
+// Timing is re-exported so tests can build attack traffic conveniently.
+type Timing = oran.Timing

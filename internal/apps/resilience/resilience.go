@@ -1,0 +1,126 @@
+// Package resilience implements the RAN-resilience middlebox sketched in
+// §8.1: it watches the downlink fronthaul's inter-packet gaps to detect a
+// failed or wedged DU and re-routes the RU's traffic to a standby DU
+// within a few milliseconds (actions A4 for the monitoring, A1 for the
+// re-route) — the middlebox rendition of Slingshot/Atlas-style failover,
+// without touching either DU.
+//
+// Mechanics: downlink packets from the active DU refresh a liveness
+// timestamp. The engine has no timers of its own, so liveness is checked
+// against uplink arrivals (which keep flowing from the RU regardless of
+// DU health); when the gap since the last downlink exceeds the failover
+// threshold, the middlebox flips its forwarding to the standby and
+// publishes a telemetry event. Uplink is always steered to whichever DU
+// is currently active, so the standby starts hearing the RU (PRACH
+// included) the instant it takes over.
+package resilience
+
+import (
+	"time"
+
+	"ranbooster/internal/core"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/oran"
+	"ranbooster/internal/sim"
+)
+
+// KPIFailover is published (value = new active index) on each failover.
+const KPIFailover = "resilience.failover"
+
+// Config describes one resilience middlebox.
+type Config struct {
+	Name string
+	MAC  eth.MAC
+	// DUs in priority order; index 0 is active first.
+	DUs []eth.MAC
+	// RU is the protected radio unit.
+	RU eth.MAC
+	// FailoverAfter is the downlink silence that declares the active DU
+	// dead ("re-routing the RU traffic to a new DU within a few
+	// milliseconds", §8.1).
+	FailoverAfter time.Duration
+}
+
+// armCount is how many downlink packets must arrive within failover-sized
+// gaps before the detector arms. An idle cell's downlink is just the SSB
+// every couple of frames; its long gaps keep resetting the counter, so
+// only a cell under regular load can trip a failover — exactly when one
+// matters.
+const armCount = 50
+
+// App is the resilience middlebox.
+type App struct {
+	cfg     Config
+	active  int
+	lastDL  sim.Time
+	seenDL  bool
+	dlCount int
+
+	// Failovers counts activations of a standby.
+	Failovers uint64
+}
+
+// New builds the middlebox.
+func New(cfg Config) *App {
+	if cfg.FailoverAfter == 0 {
+		cfg.FailoverAfter = 3 * time.Millisecond
+	}
+	return &App{cfg: cfg}
+}
+
+// Name implements core.App.
+func (a *App) Name() string { return a.cfg.Name }
+
+// Active returns the index of the DU currently serving the RU.
+func (a *App) Active() int { return a.active }
+
+// Handle implements core.App.
+func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
+	src := pkt.Eth.Src
+	if src == a.cfg.RU {
+		a.checkLiveness(ctx)
+		return ctx.Redirect(pkt, a.cfg.DUs[a.active], a.cfg.MAC, -1)
+	}
+	for i, du := range a.cfg.DUs {
+		if src != du {
+			continue
+		}
+		if i != a.active {
+			// Standby traffic (e.g. its SSB slots) is suppressed so the RU
+			// only ever sees one master — but it also drives the liveness
+			// clock: when the active DU dies, the RU stops talking (no
+			// C-plane requests reach it), and the standby's own cadence is
+			// what still ticks.
+			a.checkLiveness(ctx)
+			ctx.Drop(pkt)
+			return nil
+		}
+		if t, err := pkt.Timing(); err == nil && t.Direction == oran.Downlink {
+			if a.seenDL && ctx.Now().Sub(a.lastDL) >= a.cfg.FailoverAfter {
+				a.dlCount = 0 // idle cadence: disarm
+			}
+			a.lastDL = ctx.Now()
+			a.seenDL = true
+			a.dlCount++
+		}
+		return ctx.Redirect(pkt, a.cfg.RU, a.cfg.MAC, -1)
+	}
+	ctx.Drop(pkt)
+	return nil
+}
+
+// checkLiveness fails over when an armed (loaded) active DU goes silent.
+func (a *App) checkLiveness(ctx *core.Context) {
+	if !a.seenDL || a.dlCount < armCount || a.active >= len(a.cfg.DUs)-1 {
+		return
+	}
+	if ctx.Now().Sub(a.lastDL) < a.cfg.FailoverAfter {
+		return
+	}
+	a.active++
+	a.Failovers++
+	a.seenDL = false
+	a.dlCount = 0
+	ctx.Publish(KPIFailover, float64(a.active))
+}

@@ -1,0 +1,87 @@
+package rushare
+
+import (
+	"ranbooster/internal/core"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/oran"
+	"ranbooster/internal/phy"
+)
+
+// Algorithm 3: PRACH multiplexing. Unlike data channels, the RU returns
+// only the PRBs each type 3 section requested, so the middlebox appends
+// every DU's sections into one C-plane message — after translating each
+// frequency offset into the RU's spectrum (Appendix A.1.2) and stamping
+// the owning DU's id into the section id — and demultiplexes the uplink
+// response sections by that id.
+
+// prachCPlane caches tenant requests and emits the merged message once
+// every tenant's occasion request arrived.
+func (a *App) prachCPlane(ctx *core.Context, pkt *fh.Packet, t oran.Timing) error {
+	key := cKey(t, pkt.EAxC().RUPort, true)
+	ctx.Cache(key, pkt)
+	if len(a.duSet(ctx.Cached(key))) < len(a.cfg.DUs) {
+		return nil
+	}
+	pkts := ctx.TakeCached(key)
+	out := oran.CPlaneMsg{
+		Timing:      t,
+		SectionType: oran.SectionType3,
+		Comp:        a.cfg.Comp,
+	}
+	var msg oran.CPlaneMsg
+	for _, p := range pkts {
+		idx := a.byMAC[p.Eth.Src]
+		du := a.cfg.DUs[idx]
+		if err := p.CPlane(&msg, du.Carrier.NumPRB); err != nil {
+			return err
+		}
+		out.TimeOffset = msg.TimeOffset
+		out.FrameStructure = msg.FrameStructure
+		out.CPLength = msg.CPLength
+		for i := range msg.Sections {
+			s := msg.Sections[i]
+			s.FreqOffset = phy.TranslateFreqOffset(s.FreqOffset, du.Carrier, a.cfg.RUCarrier)
+			s.SectionID = uint16(du.PortID)
+			ctx.ChargeHeaderMod()
+			out.Sections = append(out.Sections, s)
+		}
+	}
+	merged := fh.Rebuild(pkts[0], out.AppendTo)
+	a.PRACHMuxed++
+	return ctx.Redirect(merged, a.cfg.RU, a.cfg.MAC, -1)
+}
+
+// prachULDemux splits the RU's PRACH response: each DU receives a packet
+// holding only the sections stamped with its id.
+func (a *App) prachULDemux(ctx *core.Context, pkt *fh.Packet, t oran.Timing) error {
+	var msg oran.UPlaneMsg
+	if err := pkt.UPlane(&msg, a.cfg.RUCarrier.NumPRB); err != nil {
+		return err
+	}
+	for idx := range a.cfg.DUs {
+		du := a.cfg.DUs[idx]
+		var secs []oran.USection
+		for i := range msg.Sections {
+			if msg.Sections[i].SectionID == uint16(du.PortID) {
+				s := msg.Sections[i]
+				s.Payload = append([]byte(nil), s.Payload...)
+				secs = append(secs, s)
+			}
+		}
+		if len(secs) == 0 {
+			continue
+		}
+		out := oran.UPlaneMsg{Timing: t, Sections: secs}
+		replica := ctx.Replicate(pkt)
+		rebuilt := fh.Rebuild(replica, out.AppendTo)
+		pc := rebuilt.EAxC()
+		pc.DUPort = du.PortID
+		rebuilt.SetEAxC(pc)
+		ctx.ChargeHeaderMod()
+		if err := ctx.Redirect(rebuilt, du.MAC, a.cfg.MAC, -1); err != nil {
+			return err
+		}
+	}
+	ctx.Drop(pkt)
+	return nil
+}

@@ -1,0 +1,269 @@
+// Package bfp implements the O-RAN Block Floating Point compression used on
+// fronthaul U-plane payloads (O-RAN WG4 CUS-plane §A.1, "BFP").
+//
+// BFP compresses the 12 IQ samples of a PRB together: a common exponent e is
+// chosen so that every I and Q value of the block, shifted right by e, fits
+// in the configured mantissa width (iqWidth bits, two's complement). The
+// exponent travels in a one-byte udCompParam header ahead of the bit-packed
+// mantissas, exactly as the Wireshark capture in Fig. 2 of the paper shows.
+//
+// The exponent is also the signal RANBooster's PRB-monitoring application
+// exploits (Algorithm 1): a PRB whose samples all fit without shifting
+// (exponent at the floor) is carrying almost no energy and can be counted
+// as unutilized without decompressing anything.
+package bfp
+
+import (
+	"errors"
+	"fmt"
+
+	"ranbooster/internal/iq"
+)
+
+// Method identifies a U-plane compression method, as carried in udCompHdr.
+type Method uint8
+
+// Compression methods from the O-RAN CUS-plane specification. Only None and
+// BlockFloatingPoint are implemented; the others are listed so headers from
+// other stacks decode cleanly.
+const (
+	MethodNone               Method = 0
+	MethodBlockFloatingPoint Method = 1
+	MethodBlockScaling       Method = 2
+	MethodMuLaw              Method = 3
+)
+
+// String returns the spec name of the method.
+func (m Method) String() string {
+	switch m {
+	case MethodNone:
+		return "no compression"
+	case MethodBlockFloatingPoint:
+		return "Block floating point compression"
+	case MethodBlockScaling:
+		return "Block scaling"
+	case MethodMuLaw:
+		return "Mu-law"
+	default:
+		return fmt.Sprintf("Method(%d)", uint8(m))
+	}
+}
+
+// Params describes the compression configuration of a U-plane section, the
+// contents of the udCompHdr byte: a 4-bit mantissa width and a 4-bit method.
+type Params struct {
+	IQWidth uint8 // mantissa bits per I or Q value; 1..16, where 0 encodes 16
+	Method  Method
+}
+
+// Errors returned by the codec.
+var (
+	ErrWidth     = errors.New("bfp: iqWidth out of range")
+	ErrTruncated = errors.New("bfp: truncated payload")
+	ErrMethod    = errors.New("bfp: unsupported compression method")
+)
+
+// Byte packs the parameters into the wire udCompHdr byte.
+func (p Params) Byte() byte {
+	return byte(p.IQWidth&0x0f)<<4 | byte(p.Method)&0x0f
+}
+
+// ParamsFromByte decodes a udCompHdr byte.
+func ParamsFromByte(b byte) Params {
+	return Params{IQWidth: b >> 4, Method: Method(b & 0x0f)}
+}
+
+// EffectiveWidth maps the 4-bit wire encoding to the real mantissa width
+// (a wire value of 0 means 16 bits).
+func (p Params) EffectiveWidth() int {
+	if p.IQWidth == 0 {
+		return 16
+	}
+	return int(p.IQWidth)
+}
+
+// PRBSize returns the encoded size in bytes of one compressed PRB, including
+// the udCompParam exponent byte. For the 9-bit width used throughout the
+// paper's testbed this is 28 bytes (1 + ceil(12*2*9/8)), versus 48 bytes
+// uncompressed.
+func (p Params) PRBSize() int {
+	w := p.EffectiveWidth()
+	if p.Method == MethodNone {
+		return iq.SubcarriersPerPRB * 4 // 16-bit I + 16-bit Q, no header
+	}
+	return 1 + (iq.SubcarriersPerPRB*2*w+7)/8
+}
+
+// MaxExponent is the largest exponent the 4-bit udCompParam field can carry.
+const MaxExponent = 15
+
+// ExponentFor computes the BFP exponent the encoder would choose for the
+// PRB under the given mantissa width, without encoding anything. This is
+// what a middlebox needs to reason about utilization cheaply.
+func ExponentFor(prb *iq.PRB, width int) uint8 {
+	if width >= 16 {
+		return 0
+	}
+	max := prb.MaxMagnitude()
+	// Find the smallest e such that every sample >> e fits in a signed
+	// width-bit value, i.e. max>>e <= 2^(width-1)-1 and min>>e >= -2^(width-1).
+	// Using the magnitude bound 2^(width-1)-1 is conservative by one LSB for
+	// exactly -2^(width-1), which keeps the search branch-free.
+	limit := int32(1)<<(width-1) - 1
+	var e uint8
+	for max > limit && e < MaxExponent {
+		max >>= 1
+		e++
+	}
+	return e
+}
+
+// CompressPRB encodes one PRB into dst (appending) and returns the extended
+// slice. Layout: 1 byte udCompParam (low nibble = exponent) followed by the
+// bit-packed mantissas, I then Q per subcarrier, MSB first.
+func CompressPRB(dst []byte, prb *iq.PRB, p Params) ([]byte, error) {
+	switch p.Method {
+	case MethodNone:
+		for i := range prb {
+			dst = append(dst, byte(uint16(prb[i].I)>>8), byte(prb[i].I), byte(uint16(prb[i].Q)>>8), byte(prb[i].Q))
+		}
+		return dst, nil
+	case MethodBlockFloatingPoint:
+	default:
+		return dst, ErrMethod
+	}
+	w := p.EffectiveWidth()
+	if w < 2 || w > 16 {
+		return dst, ErrWidth
+	}
+	exp := ExponentFor(prb, w)
+	dst = append(dst, exp&0x0f)
+	var bw bitWriter
+	bw.dst = dst
+	for i := range prb {
+		bw.write(int32(prb[i].I)>>exp, w)
+		bw.write(int32(prb[i].Q)>>exp, w)
+	}
+	return bw.flush(), nil
+}
+
+// DecompressPRB decodes one compressed PRB from src into prb and returns
+// the number of bytes consumed plus the exponent that was applied.
+func DecompressPRB(src []byte, prb *iq.PRB, p Params) (n int, exp uint8, err error) {
+	switch p.Method {
+	case MethodNone:
+		need := iq.SubcarriersPerPRB * 4
+		if len(src) < need {
+			return 0, 0, ErrTruncated
+		}
+		for i := range prb {
+			off := i * 4
+			prb[i].I = int16(uint16(src[off])<<8 | uint16(src[off+1]))
+			prb[i].Q = int16(uint16(src[off+2])<<8 | uint16(src[off+3]))
+		}
+		return need, 0, nil
+	case MethodBlockFloatingPoint:
+	default:
+		return 0, 0, ErrMethod
+	}
+	w := p.EffectiveWidth()
+	if w < 2 || w > 16 {
+		return 0, 0, ErrWidth
+	}
+	size := p.PRBSize()
+	if len(src) < size {
+		return 0, 0, ErrTruncated
+	}
+	exp = src[0] & 0x0f
+	br := bitReader{src: src[1:size]}
+	for i := range prb {
+		prb[i].I = int16(br.read(w) << exp)
+		prb[i].Q = int16(br.read(w) << exp)
+	}
+	return size, exp, nil
+}
+
+// PeekExponent returns the BFP exponent of the compressed PRB at the start
+// of src without decoding any mantissas — the O(1) inspection at the heart
+// of the PRB-monitoring middlebox.
+func PeekExponent(src []byte) (uint8, error) {
+	if len(src) < 1 {
+		return 0, ErrTruncated
+	}
+	return src[0] & 0x0f, nil
+}
+
+// CompressGrid encodes a run of PRBs, appending to dst.
+func CompressGrid(dst []byte, g iq.Grid, p Params) ([]byte, error) {
+	var err error
+	for i := range g {
+		dst, err = CompressPRB(dst, &g[i], p)
+		if err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// DecompressGrid decodes len(g) PRBs from src into g, returning bytes consumed.
+func DecompressGrid(src []byte, g iq.Grid, p Params) (int, error) {
+	off := 0
+	for i := range g {
+		n, _, err := DecompressPRB(src[off:], &g[i], p)
+		if err != nil {
+			return off, err
+		}
+		off += n
+	}
+	return off, nil
+}
+
+// bitWriter packs signed values MSB-first.
+type bitWriter struct {
+	dst  []byte
+	acc  uint64
+	bits uint
+}
+
+func (w *bitWriter) write(v int32, width int) {
+	mask := uint32(1)<<uint(width) - 1
+	w.acc = w.acc<<uint(width) | uint64(uint32(v)&mask)
+	w.bits += uint(width)
+	for w.bits >= 8 {
+		w.bits -= 8
+		w.dst = append(w.dst, byte(w.acc>>w.bits))
+	}
+}
+
+func (w *bitWriter) flush() []byte {
+	if w.bits > 0 {
+		w.dst = append(w.dst, byte(w.acc<<(8-w.bits)))
+		w.bits = 0
+	}
+	return w.dst
+}
+
+// bitReader unpacks signed values MSB-first.
+type bitReader struct {
+	src  []byte
+	acc  uint64
+	bits uint
+	pos  int
+}
+
+func (r *bitReader) read(width int) int32 {
+	for r.bits < uint(width) {
+		var b byte
+		if r.pos < len(r.src) {
+			b = r.src[r.pos]
+			r.pos++
+		}
+		r.acc = r.acc<<8 | uint64(b)
+		r.bits += 8
+	}
+	r.bits -= uint(width)
+	v := uint32(r.acc>>r.bits) & (uint32(1)<<uint(width) - 1)
+	// Sign-extend from width bits.
+	shift := 32 - uint(width)
+	return int32(v<<shift) >> shift
+}

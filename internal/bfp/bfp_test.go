@@ -1,0 +1,278 @@
+package bfp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ranbooster/internal/iq"
+)
+
+func bfp9() Params { return Params{IQWidth: 9, Method: MethodBlockFloatingPoint} }
+
+func TestParamsByteRoundTrip(t *testing.T) {
+	for w := uint8(0); w < 16; w++ {
+		for m := Method(0); m < 16; m++ {
+			p := Params{IQWidth: w, Method: m}
+			if got := ParamsFromByte(p.Byte()); got != p {
+				t.Fatalf("round trip %+v -> %+v", p, got)
+			}
+		}
+	}
+}
+
+func TestEffectiveWidth(t *testing.T) {
+	if (Params{IQWidth: 0}).EffectiveWidth() != 16 {
+		t.Fatal("width 0 should mean 16")
+	}
+	if (Params{IQWidth: 9}).EffectiveWidth() != 9 {
+		t.Fatal("width 9")
+	}
+}
+
+func TestPRBSizeMatchesPaper(t *testing.T) {
+	// 9-bit BFP: 1 exponent byte + 27 mantissa bytes = 28 per PRB.
+	if got := bfp9().PRBSize(); got != 28 {
+		t.Fatalf("PRBSize(bfp9) = %d, want 28", got)
+	}
+	// Uncompressed: 12 samples x 32 bits = 48 bytes.
+	if got := (Params{Method: MethodNone}).PRBSize(); got != 48 {
+		t.Fatalf("PRBSize(none) = %d, want 48", got)
+	}
+}
+
+func TestCompressRoundTripLossless(t *testing.T) {
+	// Samples already fitting in 9 bits survive untouched (exponent 0).
+	var prb iq.PRB
+	for i := range prb {
+		prb[i] = iq.Sample{I: int16(i*20 - 120), Q: int16(255 - i*40)}
+	}
+	buf, err := CompressPRB(nil, &prb, bfp9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 28 {
+		t.Fatalf("encoded %d bytes", len(buf))
+	}
+	var got iq.PRB
+	n, exp, err := DecompressPRB(buf, &got, bfp9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 28 || exp != 0 {
+		t.Fatalf("n=%d exp=%d", n, exp)
+	}
+	if got != prb {
+		t.Fatalf("lossless round trip failed:\n got %v\nwant %v", got, prb)
+	}
+}
+
+func TestCompressRoundTripQuantized(t *testing.T) {
+	var prb iq.PRB
+	prb[0] = iq.Sample{I: 32000, Q: -32000}
+	prb[5] = iq.Sample{I: 1000, Q: -1}
+	buf, err := CompressPRB(nil, &prb, bfp9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got iq.PRB
+	_, exp, err := DecompressPRB(buf, &got, bfp9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp == 0 {
+		t.Fatal("large samples must need a shift")
+	}
+	step := int32(1) << exp
+	for i := range prb {
+		d := int32(prb[i].I) - int32(got[i].I)
+		if d < 0 {
+			d = -d
+		}
+		if d >= step {
+			t.Fatalf("sample %d I error %d >= step %d", i, d, step)
+		}
+	}
+}
+
+func TestRoundTripPropertyAllWidths(t *testing.T) {
+	for _, w := range []uint8{2, 4, 8, 9, 12, 14, 0 /* =16 */} {
+		p := Params{IQWidth: w, Method: MethodBlockFloatingPoint}
+		width := p.EffectiveWidth()
+		f := func(raw [24]int16) bool {
+			var prb iq.PRB
+			for i := range prb {
+				prb[i] = iq.Sample{I: raw[2*i], Q: raw[2*i+1]}
+			}
+			buf, err := CompressPRB(nil, &prb, p)
+			if err != nil {
+				return false
+			}
+			if len(buf) != p.PRBSize() {
+				return false
+			}
+			var got iq.PRB
+			n, exp, err := DecompressPRB(buf, &got, p)
+			if err != nil || n != len(buf) {
+				return false
+			}
+			// Quantization error must be bounded by the step implied by exp,
+			// and exact when exp==0 and the value fits.
+			step := int32(1) << exp
+			for i := range prb {
+				for _, pair := range [2][2]int32{
+					{int32(prb[i].I), int32(got[i].I)},
+					{int32(prb[i].Q), int32(got[i].Q)},
+				} {
+					d := pair[0] - pair[1]
+					if d < 0 {
+						d = -d
+					}
+					if d >= step && !(width >= 16 && d == 0) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+	}
+}
+
+func TestExponentForMatchesEncoder(t *testing.T) {
+	f := func(raw [24]int16) bool {
+		var prb iq.PRB
+		for i := range prb {
+			prb[i] = iq.Sample{I: raw[2*i], Q: raw[2*i+1]}
+		}
+		buf, err := CompressPRB(nil, &prb, bfp9())
+		if err != nil {
+			return false
+		}
+		peek, err := PeekExponent(buf)
+		if err != nil {
+			return false
+		}
+		return peek == ExponentFor(&prb, 9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroPRBHasZeroExponent(t *testing.T) {
+	var prb iq.PRB
+	if e := ExponentFor(&prb, 9); e != 0 {
+		t.Fatalf("zero PRB exponent = %d", e)
+	}
+}
+
+func TestUncompressedRoundTrip(t *testing.T) {
+	var prb iq.PRB
+	for i := range prb {
+		prb[i] = iq.Sample{I: int16(i * 1000), Q: int16(-i * 999)}
+	}
+	p := Params{Method: MethodNone}
+	buf, err := CompressPRB(nil, &prb, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got iq.PRB
+	n, exp, err := DecompressPRB(buf, &got, p)
+	if err != nil || n != 48 || exp != 0 {
+		t.Fatalf("n=%d exp=%d err=%v", n, exp, err)
+	}
+	if got != prb {
+		t.Fatal("uncompressed round trip failed")
+	}
+}
+
+func TestGridRoundTrip(t *testing.T) {
+	g := iq.NewGrid(10)
+	for i := range g {
+		g[i][0] = iq.Sample{I: int16(i * 100), Q: int16(-i * 100)}
+	}
+	buf, err := CompressGrid(nil, g, bfp9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 10*28 {
+		t.Fatalf("grid size = %d", len(buf))
+	}
+	got := iq.NewGrid(10)
+	n, err := DecompressGrid(buf, got, bfp9())
+	if err != nil || n != len(buf) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	for i := range g {
+		if got[i] != g[i] {
+			t.Fatalf("PRB %d mismatch", i)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var prb iq.PRB
+	if _, err := CompressPRB(nil, &prb, Params{IQWidth: 1, Method: MethodBlockFloatingPoint}); err != ErrWidth {
+		t.Fatalf("width 1: %v", err)
+	}
+	if _, err := CompressPRB(nil, &prb, Params{IQWidth: 9, Method: MethodMuLaw}); err != ErrMethod {
+		t.Fatalf("mu-law: %v", err)
+	}
+	if _, _, err := DecompressPRB(make([]byte, 5), &prb, bfp9()); err != ErrTruncated {
+		t.Fatalf("truncated: %v", err)
+	}
+	if _, _, err := DecompressPRB(make([]byte, 5), &prb, Params{Method: MethodNone}); err != ErrTruncated {
+		t.Fatalf("truncated none: %v", err)
+	}
+	if _, err := PeekExponent(nil); err != ErrTruncated {
+		t.Fatalf("peek empty: %v", err)
+	}
+	if _, err := DecompressGrid(make([]byte, 30), iq.NewGrid(2), bfp9()); err == nil {
+		t.Fatal("grid truncation not detected")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodBlockFloatingPoint.String() != "Block floating point compression" {
+		t.Fatal(MethodBlockFloatingPoint.String())
+	}
+	if Method(9).String() == "" {
+		t.Fatal("unknown method string empty")
+	}
+}
+
+func BenchmarkCompressPRB9(b *testing.B) {
+	var prb iq.PRB
+	for i := range prb {
+		prb[i] = iq.Sample{I: int16(i * 2000), Q: int16(-i * 1999)}
+	}
+	p := bfp9()
+	buf := make([]byte, 0, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		var err error
+		buf, err = CompressPRB(buf, &prb, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressPRB9(b *testing.B) {
+	var prb iq.PRB
+	for i := range prb {
+		prb[i] = iq.Sample{I: int16(i * 2000), Q: int16(-i * 1999)}
+	}
+	p := bfp9()
+	buf, _ := CompressPRB(nil, &prb, p)
+	b.ReportAllocs()
+	var out iq.PRB
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecompressPRB(buf, &out, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"time"
+
+	"ranbooster/internal/fh"
+	"ranbooster/internal/sim"
+)
+
+// Cache is the A3 packet store: packets keyed by (symbol, eAxC, direction)
+// awaiting combination with packets that arrive later or from different
+// sources. Entries that are never taken (e.g. a DU that went quiet in the
+// RU-sharing scenario) are swept once they exceed MaxAge, so a stalled
+// peer cannot leak memory.
+type Cache struct {
+	// MaxAge bounds how long an entry may wait; symbol-scoped state is
+	// stale after a couple of slots.
+	MaxAge time.Duration
+
+	entries map[fh.Key]*cacheEntry
+	swept   uint64
+}
+
+type cacheEntry struct {
+	pkts     []*fh.Packet
+	inserted sim.Time
+}
+
+// NewCache returns an empty cache with the given entry lifetime.
+func NewCache(maxAge time.Duration) *Cache {
+	return &Cache{MaxAge: maxAge, entries: make(map[fh.Key]*cacheEntry)}
+}
+
+// Put appends a packet under key.
+func (c *Cache) Put(key fh.Key, pkt *fh.Packet, now sim.Time) {
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{inserted: now}
+		c.entries[key] = e
+	}
+	e.pkts = append(e.pkts, pkt)
+}
+
+// Peek returns the packets under key without removing them. The returned
+// slice must not be retained across further cache operations.
+func (c *Cache) Peek(key fh.Key) []*fh.Packet {
+	if e := c.entries[key]; e != nil {
+		return e.pkts
+	}
+	return nil
+}
+
+// Take removes and returns the packets under key.
+func (c *Cache) Take(key fh.Key) []*fh.Packet {
+	e := c.entries[key]
+	if e == nil {
+		return nil
+	}
+	delete(c.entries, key)
+	return e.pkts
+}
+
+// Sweep drops entries older than MaxAge and reports how many packets were
+// discarded.
+func (c *Cache) Sweep(now sim.Time) int {
+	dropped := 0
+	for k, e := range c.entries {
+		if now.Sub(e.inserted) > c.MaxAge {
+			dropped += len(e.pkts)
+			delete(c.entries, k)
+		}
+	}
+	c.swept += uint64(dropped)
+	return dropped
+}
+
+// Len reports the number of live keys.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Swept reports the total packets discarded by sweeps.
+func (c *Cache) Swept() uint64 { return c.swept }

@@ -1,0 +1,213 @@
+// Package core implements the RANBooster middlebox framework (§3 of the
+// paper): the templated middlebox design, the four processing actions —
+//
+//	A1  packet redirection and drop,
+//	A2  packet replication,
+//	A3  packet caching,
+//	A4  payload inspection and modification,
+//
+// — and the two datapath engines the paper evaluates: a DPDK-like
+// poll-mode engine and an XDP-like engine with a restricted, verified
+// in-kernel rule program plus an AF_XDP-style userspace handoff.
+//
+// A middlebox is an App: user code invoked per fronthaul packet with a
+// Context exposing the actions. The engine owns CPU accounting (per-action
+// costs charged to virtual cores), per-traffic-class latency statistics,
+// a BPF-map-like counter store shared between the kernel program and
+// userspace, and the telemetry/management interfaces of §3.2.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ranbooster/internal/cpu"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/oran"
+	"ranbooster/internal/sim"
+	"ranbooster/internal/telemetry"
+)
+
+// App is the middlebox template (§3.2.2): RANBooster initializes the
+// datapath and calls Handle for every C- and U-plane packet; the handler
+// realizes its logic through the Context's action methods.
+type App interface {
+	// Name identifies the middlebox in telemetry and logs.
+	Name() string
+	// Handle processes one packet. The packet belongs to the handler: it
+	// may be forwarded, cached, mutated, replicated or dropped. Returning
+	// an error drops the packet and counts a processing failure.
+	Handle(ctx *Context, pkt *fh.Packet) error
+}
+
+// Controllable is the optional management interface of a middlebox
+// (§3.2: "expose monitoring and management interfaces to modify their
+// behavior on-the-fly").
+type Controllable interface {
+	Control(cmd string, args map[string]string) error
+}
+
+// Context carries one packet's processing state: the action API, cost
+// accounting, and access to the engine's cache, counters and telemetry.
+type Context struct {
+	eng   *Engine
+	now   sim.Time
+	cost  time.Duration
+	emits []*fh.Packet
+}
+
+// Now returns the current virtual time.
+func (c *Context) Now() sim.Time { return c.now }
+
+// AddCost charges extra processing time beyond the built-in action costs
+// (apps with unusual per-packet logic can model it explicitly).
+func (c *Context) AddCost(d time.Duration) { c.cost += d }
+
+// Forward queues the packet for transmission as currently addressed (A1).
+func (c *Context) Forward(pkt *fh.Packet) {
+	c.cost += cpu.CostForward
+	c.emits = append(c.emits, pkt)
+}
+
+// Redirect rewrites the packet's addressing and forwards it (A1). vlan < 0
+// keeps the current VLAN.
+func (c *Context) Redirect(pkt *fh.Packet, dst, src eth.MAC, vlan int) error {
+	if err := pkt.Redirect(dst, src, vlan); err != nil {
+		return err
+	}
+	c.Forward(pkt)
+	return nil
+}
+
+// Drop discards the packet (A1).
+func (c *Context) Drop(pkt *fh.Packet) {
+	c.cost += cpu.CostDrop
+	c.eng.stats.AppDrops++
+}
+
+// Replicate clones the packet (A2). The clone is independent: it can be
+// re-addressed and forwarded separately.
+func (c *Context) Replicate(pkt *fh.Packet) *fh.Packet {
+	c.cost += cpu.CostReplicate
+	return pkt.Clone()
+}
+
+// Cache stores the packet under key for later combination (A3).
+func (c *Context) Cache(key fh.Key, pkt *fh.Packet) {
+	c.cost += cpu.CostCacheInsert
+	c.eng.cache.Put(key, pkt, c.now)
+}
+
+// Cached returns the packets stored under key without removing them (A3).
+func (c *Context) Cached(key fh.Key) []*fh.Packet {
+	return c.eng.cache.Peek(key)
+}
+
+// CachedCount returns how many packets are stored under key.
+func (c *Context) CachedCount(key fh.Key) int { return len(c.eng.cache.Peek(key)) }
+
+// TakeCached removes and returns the packets stored under key (A3).
+func (c *Context) TakeCached(key fh.Key) []*fh.Packet {
+	c.cost += cpu.CostCacheTake
+	return c.eng.cache.Take(key)
+}
+
+// ModifyUPlane decodes the packet's U-plane message, applies fn, and
+// returns a re-encoded packet with the original addressing (A4). The
+// header-level cost is charged here; fn must charge IQ-level work through
+// ChargeMerge / ChargeCopy / ChargeRecompress as it performs it.
+func (c *Context) ModifyUPlane(pkt *fh.Packet, carrierPRBs int, fn func(msg *oran.UPlaneMsg) error) (*fh.Packet, error) {
+	c.cost += cpu.CostHeaderMod
+	var msg oran.UPlaneMsg
+	if err := pkt.UPlane(&msg, carrierPRBs); err != nil {
+		return nil, err
+	}
+	if err := fn(&msg); err != nil {
+		return nil, err
+	}
+	return fh.Rebuild(pkt, msg.AppendTo), nil
+}
+
+// ModifyCPlane is ModifyUPlane for C-plane messages (A4).
+func (c *Context) ModifyCPlane(pkt *fh.Packet, carrierPRBs int, fn func(msg *oran.CPlaneMsg) error) (*fh.Packet, error) {
+	c.cost += cpu.CostHeaderMod
+	var msg oran.CPlaneMsg
+	if err := pkt.CPlane(&msg, carrierPRBs); err != nil {
+		return nil, err
+	}
+	if err := fn(&msg); err != nil {
+		return nil, err
+	}
+	return fh.Rebuild(pkt, msg.AppendTo), nil
+}
+
+// ChargeHeaderMod charges one in-place header-field modification (A4).
+func (c *Context) ChargeHeaderMod() { c.cost += cpu.CostHeaderMod }
+
+// ChargeMerge charges an IQ merge of nStreams compressed streams of nPRB
+// PRBs (A4) — the DAS uplink combination.
+func (c *Context) ChargeMerge(nPRB, nStreams int) { c.cost += cpu.MergeCost(nPRB, nStreams) }
+
+// ChargeCopyAligned charges relocation of nPRB compressed PRBs without
+// recompression (the RU-sharing aligned fast path).
+func (c *Context) ChargeCopyAligned(nPRB int) { c.cost += cpu.AlignedCopyCost(nPRB) }
+
+// ChargeRecompress charges relocation of nPRB PRBs through the misaligned
+// decompress/copy/recompress path.
+func (c *Context) ChargeRecompress(nPRB int) { c.cost += cpu.RecompressCopyCost(nPRB) }
+
+// ChargeExponentScan charges Algorithm 1's per-PRB exponent inspection.
+func (c *Context) ChargeExponentScan(nPRB int) { c.cost += cpu.ExponentScanCost(nPRB) }
+
+// Publish emits a telemetry sample on the middlebox's bus.
+func (c *Context) Publish(name string, value float64) {
+	c.eng.bus.Publish(telemetry.Sample{Name: name, At: c.now, Value: value})
+}
+
+// Counter returns the named shared counter (the userspace view of the
+// kernel program's maps).
+func (c *Context) Counter(name string) *uint64 { return c.eng.Counter(name) }
+
+// TrafficClass buckets packets for the latency statistics of Fig. 15b.
+type TrafficClass uint8
+
+// Traffic classes.
+const (
+	ClassDLC TrafficClass = iota
+	ClassDLU
+	ClassULC
+	ClassULU
+	classCount
+)
+
+// String names the class as the paper's figure does.
+func (t TrafficClass) String() string {
+	switch t {
+	case ClassDLC:
+		return "DL C-Plane"
+	case ClassDLU:
+		return "DL U-Plane"
+	case ClassULC:
+		return "UL C-Plane"
+	case ClassULU:
+		return "UL U-Plane"
+	}
+	return fmt.Sprintf("class(%d)", uint8(t))
+}
+
+// Classify buckets a packet by plane and direction.
+func Classify(pkt *fh.Packet) TrafficClass {
+	t, err := pkt.Timing()
+	dl := err == nil && t.Direction == oran.Downlink
+	if pkt.Plane() == fh.PlaneC {
+		if dl {
+			return ClassDLC
+		}
+		return ClassULC
+	}
+	if dl {
+		return ClassDLU
+	}
+	return ClassULU
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ranbooster/internal/bfp"
+	"ranbooster/internal/ecpri"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/iq"
+	"ranbooster/internal/oran"
+	"ranbooster/internal/sim"
+)
+
+var (
+	duMAC  = eth.MAC{0x02, 0, 0, 0, 0, 0x01}
+	ruMAC  = eth.MAC{0x02, 0, 0, 0, 0, 0x02}
+	ru2MAC = eth.MAC{0x02, 0, 0, 0, 0, 0x03}
+)
+
+func bfp9() bfp.Params { return bfp.Params{IQWidth: 9, Method: bfp.MethodBlockFloatingPoint} }
+
+func uplaneFrame(t *testing.T, b *fh.Builder, dir oran.Direction, port uint8, sym uint8, fill int16) []byte {
+	t.Helper()
+	g := iq.NewGrid(4)
+	for i := range g {
+		for j := range g[i] {
+			g[i][j] = iq.Sample{I: fill, Q: -fill}
+		}
+	}
+	payload, err := bfp.CompressGrid(nil, g, bfp9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := &oran.UPlaneMsg{
+		Timing:   oran.Timing{Direction: dir, FrameID: 1, SubframeID: 0, SlotID: 0, SymbolID: sym},
+		Sections: []oran.USection{{NumPRB: 4, Comp: bfp9(), Payload: payload}},
+	}
+	return b.UPlane(ecpri.PcID{RUPort: port}, msg)
+}
+
+func cplaneFrame(t *testing.T, b *fh.Builder, dir oran.Direction, port uint8) []byte {
+	t.Helper()
+	msg := &oran.CPlaneMsg{
+		Timing:      oran.Timing{Direction: dir, FrameID: 1, SymbolID: 0},
+		SectionType: oran.SectionType1,
+		Comp:        bfp9(),
+		Sections:    []oran.CSection{{NumPRB: 106, ReMask: 0xfff, NumSymbol: 14}},
+	}
+	return b.CPlane(ecpri.PcID{RUPort: port}, msg)
+}
+
+// forwarder forwards every packet unchanged.
+type forwarder struct{ handled int }
+
+func (f *forwarder) Name() string { return "forwarder" }
+func (f *forwarder) Handle(ctx *Context, pkt *fh.Packet) error {
+	f.handled++
+	ctx.Forward(pkt)
+	return nil
+}
+
+func newDPDK(t *testing.T, app App) (*sim.Scheduler, *Engine, *[][]byte) {
+	t.Helper()
+	s := sim.NewScheduler()
+	e, err := NewEngine(s, Config{Name: "mb", Mode: ModeDPDK, App: app, CarrierPRBs: 106})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]byte
+	e.SetOutput(func(f []byte) { out = append(out, f) })
+	return s, e, &out
+}
+
+func TestEngineForwards(t *testing.T) {
+	app := &forwarder{}
+	s, e, out := newDPDK(t, app)
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 3, 100))
+	s.Run()
+	if app.handled != 1 || len(*out) != 1 {
+		t.Fatalf("handled=%d out=%d", app.handled, len(*out))
+	}
+	st := e.Stats()
+	if st.RxFrames != 1 || st.TxFrames != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEngineLatencyCharged(t *testing.T) {
+	s, e, _ := newDPDK(t, &forwarder{})
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 3, 100))
+	s.Run()
+	lat, ok := e.LatencyPercentile(ClassDLU, 0.5)
+	if !ok {
+		t.Fatal("no latency samples")
+	}
+	// Parse + forward: well under 300 ns (Fig. 15b's DL bound).
+	if lat <= 0 || lat >= 300*time.Nanosecond {
+		t.Fatalf("DL latency = %v", lat)
+	}
+}
+
+func TestEngineQueueingDelaysEmission(t *testing.T) {
+	// Two packets on the same core: the second's emission must queue
+	// behind the first's processing.
+	slow := appFunc(func(ctx *Context, pkt *fh.Packet) error {
+		ctx.AddCost(10 * time.Microsecond)
+		ctx.Forward(pkt)
+		return nil
+	})
+	s := sim.NewScheduler()
+	e, err := NewEngine(s, Config{Name: "mb", Mode: ModeDPDK, App: slow, CarrierPRBs: 106})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at []sim.Time
+	e.SetOutput(func([]byte) { at = append(at, s.Now()) })
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 3, 100))
+	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 4, 100))
+	s.Run()
+	if len(at) != 2 {
+		t.Fatalf("emissions = %d", len(at))
+	}
+	if at[1].Sub(at[0]) < 10*time.Microsecond {
+		t.Fatalf("no queueing: %v then %v", at[0], at[1])
+	}
+}
+
+type appFunc func(ctx *Context, pkt *fh.Packet) error
+
+func (appFunc) Name() string                            { return "func" }
+func (f appFunc) Handle(c *Context, p *fh.Packet) error { return f(c, p) }
+
+func TestEngineMultiCoreParallelism(t *testing.T) {
+	slow := appFunc(func(ctx *Context, pkt *fh.Packet) error {
+		ctx.AddCost(10 * time.Microsecond)
+		ctx.Forward(pkt)
+		return nil
+	})
+	s := sim.NewScheduler()
+	e, err := NewEngine(s, Config{Name: "mb", Mode: ModeDPDK, Cores: 2, App: slow, CarrierPRBs: 106})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at []sim.Time
+	e.SetOutput(func([]byte) { at = append(at, s.Now()) })
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 3, 100)) // core 0
+	e.Ingress(uplaneFrame(t, b, oran.Downlink, 1, 3, 100)) // core 1
+	s.Run()
+	if len(at) != 2 {
+		t.Fatalf("emissions = %d", len(at))
+	}
+	if at[1].Sub(at[0]) > time.Microsecond {
+		t.Fatalf("ports on different cores should process in parallel: %v vs %v", at[0], at[1])
+	}
+}
+
+func TestCacheActions(t *testing.T) {
+	var taken int
+	app := appFunc(func(ctx *Context, pkt *fh.Packet) error {
+		key, err := fh.KeyOf(pkt)
+		if err != nil {
+			return err
+		}
+		ctx.Cache(key, pkt)
+		if ctx.CachedCount(key) == 2 {
+			taken = len(ctx.TakeCached(key))
+		}
+		return nil
+	})
+	s, e, _ := newDPDK(t, app)
+	_ = e
+	b1 := fh.NewBuilder(duMAC, ruMAC, 6)
+	b2 := fh.NewBuilder(duMAC, ru2MAC, 6)
+	// Same symbol + port from two sources.
+	e.Ingress(uplaneFrame(t, b1, oran.Uplink, 0, 3, 100))
+	e.Ingress(uplaneFrame(t, b2, oran.Uplink, 0, 3, 200))
+	s.Run()
+	if taken != 2 {
+		t.Fatalf("taken = %d", taken)
+	}
+}
+
+func TestCacheSweep(t *testing.T) {
+	c := NewCache(time.Millisecond)
+	var p fh.Packet
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	if err := p.Decode(b.CPlane(ecpri.PcID{}, &oran.CPlaneMsg{
+		SectionType: oran.SectionType1, Sections: []oran.CSection{{NumPRB: 1}}})); err != nil {
+		t.Fatal(err)
+	}
+	key := fh.Key{}
+	c.Put(key, &p, 0)
+	if n := c.Sweep(sim.Time(500_000)); n != 0 {
+		t.Fatalf("early sweep dropped %d", n)
+	}
+	if n := c.Sweep(sim.Time(2_000_000)); n != 1 {
+		t.Fatalf("late sweep dropped %d", n)
+	}
+	if c.Len() != 0 || c.Swept() != 1 {
+		t.Fatalf("len=%d swept=%d", c.Len(), c.Swept())
+	}
+	if c.Take(key) != nil {
+		t.Fatal("swept entry still takeable")
+	}
+}
+
+func TestAppErrorCounted(t *testing.T) {
+	bad := appFunc(func(ctx *Context, pkt *fh.Packet) error { return errors.New("boom") })
+	s, e, out := newDPDK(t, bad)
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 3, 100))
+	s.Run()
+	if e.Stats().AppErrors != 1 || len(*out) != 0 {
+		t.Fatalf("stats = %+v out=%d", e.Stats(), len(*out))
+	}
+}
+
+func TestModifyUPlane(t *testing.T) {
+	app := appFunc(func(ctx *Context, pkt *fh.Packet) error {
+		q, err := ctx.ModifyUPlane(pkt, 106, func(msg *oran.UPlaneMsg) error {
+			msg.Sections[0].StartPRB = 50
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		ctx.Forward(q)
+		return nil
+	})
+	s, e, out := newDPDK(t, app)
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 3, 100))
+	s.Run()
+	if len(*out) != 1 {
+		t.Fatalf("out = %d", len(*out))
+	}
+	var p fh.Packet
+	if err := p.Decode((*out)[0]); err != nil {
+		t.Fatal(err)
+	}
+	var msg oran.UPlaneMsg
+	if err := p.UPlane(&msg, 106); err != nil {
+		t.Fatal(err)
+	}
+	if msg.Sections[0].StartPRB != 50 {
+		t.Fatalf("mutation lost: %+v", msg.Sections[0])
+	}
+}
+
+func TestReplicateIndependence(t *testing.T) {
+	app := appFunc(func(ctx *Context, pkt *fh.Packet) error {
+		cp := ctx.Replicate(pkt)
+		if err := cp.Redirect(ru2MAC, duMAC, -1); err != nil {
+			return err
+		}
+		ctx.Forward(pkt)
+		ctx.Forward(cp)
+		return nil
+	})
+	s, e, out := newDPDK(t, app)
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 3, 100))
+	s.Run()
+	if len(*out) != 2 {
+		t.Fatalf("out = %d", len(*out))
+	}
+	var a, c fh.Packet
+	if err := a.Decode((*out)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Decode((*out)[1]); err != nil {
+		t.Fatal(err)
+	}
+	if a.Eth.Dst == c.Eth.Dst {
+		t.Fatal("replica addressing leaked into original")
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	s := sim.NewScheduler()
+	if _, err := NewEngine(s, Config{Name: "x", Mode: ModeDPDK, App: &forwarder{}}); err == nil {
+		t.Fatal("missing CarrierPRBs accepted")
+	}
+	if _, err := NewEngine(s, Config{Name: "x", Mode: ModeDPDK, CarrierPRBs: 106}); err == nil {
+		t.Fatal("DPDK without app accepted")
+	}
+	if _, err := NewEngine(s, Config{Name: "x", Mode: ModeXDP, CarrierPRBs: 106}); err == nil {
+		t.Fatal("XDP without kernel accepted")
+	}
+	if _, err := NewEngine(s, Config{Name: "x", Mode: Mode(9), CarrierPRBs: 106}); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	var p fh.Packet
+	if err := p.Decode(uplaneFrame(t, b, oran.Downlink, 0, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if Classify(&p) != ClassDLU {
+		t.Fatal("DL U")
+	}
+	if err := p.Decode(uplaneFrame(t, b, oran.Uplink, 0, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if Classify(&p) != ClassULU {
+		t.Fatal("UL U")
+	}
+	if err := p.Decode(cplaneFrame(t, b, oran.Downlink, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if Classify(&p) != ClassDLC {
+		t.Fatal("DL C")
+	}
+	for _, c := range []TrafficClass{ClassDLC, ClassDLU, ClassULC, ClassULU, TrafficClass(9)} {
+		if c.String() == "" {
+			t.Fatal("class name")
+		}
+	}
+}
+
+func TestUtilizationModes(t *testing.T) {
+	s, e, _ := newDPDK(t, &forwarder{})
+	s.RunFor(time.Millisecond)
+	if u := e.Utilization(); u != 1 {
+		t.Fatalf("DPDK idle utilization = %v, want 1 (poll mode)", u)
+	}
+	if e.Mode().String() != "DPDK" || ModeXDP.String() != "XDP" {
+		t.Fatal("mode names")
+	}
+}
+
+func TestControlInterface(t *testing.T) {
+	s, e, _ := newDPDK(t, &forwarder{})
+	_ = s
+	if err := e.Control("set", nil); err == nil {
+		t.Fatal("non-controllable app accepted command")
+	}
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ranbooster/internal/cpu"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/sim"
+	"ranbooster/internal/telemetry"
+)
+
+// Mode selects the datapath technology (§5).
+type Mode uint8
+
+// Datapath modes.
+const (
+	// ModeDPDK is the kernel-bypass poll-mode datapath: lowest latency,
+	// but its cores spin at 100% regardless of load.
+	ModeDPDK Mode = iota
+	// ModeXDP is the in-kernel, interrupt-driven datapath: a verified rule
+	// program handles cheap actions at the driver hook; everything else is
+	// punted to the userspace App over an AF_XDP-style handoff.
+	ModeXDP
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeXDP {
+		return "XDP"
+	}
+	return "DPDK"
+}
+
+// Config describes one middlebox instance.
+type Config struct {
+	Name string
+	Mode Mode
+	// Cores is the number of datapath cores (work spreads by eAxC).
+	Cores int
+	// App is the userspace handler (may be nil for a pure-kernel XDP
+	// middlebox such as PRB monitoring).
+	App App
+	// Kernel is the XDP rule program (ModeXDP only); it must verify.
+	Kernel *KernelProgram
+	// CarrierPRBs resolves "all PRBs" encodings during payload access.
+	CarrierPRBs int
+	// CacheMaxAge bounds A3 entries (default 2 slots).
+	CacheMaxAge time.Duration
+}
+
+// Stats are the engine's datapath counters.
+type Stats struct {
+	RxFrames   uint64
+	TxFrames   uint64
+	ParseError uint64
+	// Kernel program outcomes (ModeXDP).
+	KernelTx   uint64
+	KernelDrop uint64
+	Punts      uint64 // AF_XDP handoffs to userspace
+	// Userspace outcomes.
+	AppDrops  uint64
+	AppErrors uint64
+}
+
+// Engine runs one middlebox over a fronthaul attachment point (a switch
+// port or NIC VF).
+type Engine struct {
+	cfg   Config
+	sched *sim.Scheduler
+	pool  *cpu.Pool
+	out   func(frame []byte)
+
+	cache    *Cache
+	bus      *telemetry.Bus
+	counters map[string]*uint64
+
+	stats Stats
+	lat   [classCount][]time.Duration
+}
+
+// sweepEvery bounds how many ingress frames may pass between cache sweeps.
+const sweepEvery = 1024
+
+// NewEngine builds and validates an engine. Kernel programs are verified
+// here; a program that fails verification refuses to load, like the eBPF
+// verifier would.
+func NewEngine(sched *sim.Scheduler, cfg Config) (*Engine, error) {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.CarrierPRBs <= 0 {
+		return nil, fmt.Errorf("core: %s: CarrierPRBs must be set", cfg.Name)
+	}
+	if cfg.CacheMaxAge <= 0 {
+		cfg.CacheMaxAge = time.Millisecond
+	}
+	switch cfg.Mode {
+	case ModeDPDK:
+		if cfg.App == nil {
+			return nil, fmt.Errorf("core: %s: DPDK engine requires an App", cfg.Name)
+		}
+	case ModeXDP:
+		if cfg.Kernel == nil {
+			return nil, fmt.Errorf("core: %s: XDP engine requires a kernel program", cfg.Name)
+		}
+		if err := cfg.Kernel.Verify(); err != nil {
+			return nil, fmt.Errorf("core: %s: kernel program rejected: %w", cfg.Name, err)
+		}
+	default:
+		return nil, fmt.Errorf("core: %s: unknown mode %d", cfg.Name, cfg.Mode)
+	}
+	e := &Engine{
+		cfg:      cfg,
+		sched:    sched,
+		pool:     cpu.NewPool(cfg.Cores),
+		cache:    NewCache(cfg.CacheMaxAge),
+		bus:      telemetry.NewBus(),
+		counters: make(map[string]*uint64),
+	}
+	e.pool.ResetWindows(sched.Now())
+	return e, nil
+}
+
+// Name returns the configured middlebox name.
+func (e *Engine) Name() string { return e.cfg.Name }
+
+// Mode returns the datapath mode.
+func (e *Engine) Mode() Mode { return e.cfg.Mode }
+
+// SetOutput attaches the transmit function (e.g. a fabric port's Send).
+func (e *Engine) SetOutput(fn func(frame []byte)) { e.out = fn }
+
+// Bus returns the middlebox telemetry bus.
+func (e *Engine) Bus() *telemetry.Bus { return e.bus }
+
+// Stats returns a snapshot of the datapath counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Counter returns (creating if needed) a shared counter — the moral
+// equivalent of a pinned BPF map entry, readable from kernel rules and
+// userspace alike.
+func (e *Engine) Counter(name string) *uint64 {
+	c := e.counters[name]
+	if c == nil {
+		c = new(uint64)
+		e.counters[name] = c
+	}
+	return c
+}
+
+// Control forwards a management command to the App (§3.2's management
+// interface). It fails if the App is absent or not controllable.
+func (e *Engine) Control(cmd string, args map[string]string) error {
+	if c, ok := e.cfg.App.(Controllable); ok {
+		return c.Control(cmd, args)
+	}
+	return fmt.Errorf("core: %s: app does not expose a management interface", e.cfg.Name)
+}
+
+// Utilization returns the busiest core's utilization since the last
+// ResetMeasurement. Poll-mode engines always report 1.0 (Fig. 16).
+func (e *Engine) Utilization() float64 {
+	return e.pool.MaxUtilization(e.sched.Now(), e.cfg.Mode == ModeDPDK)
+}
+
+// ResetMeasurement starts a fresh utilization/latency window.
+func (e *Engine) ResetMeasurement() {
+	e.pool.ResetWindows(e.sched.Now())
+	for i := range e.lat {
+		e.lat[i] = e.lat[i][:0]
+	}
+}
+
+// LatencyPercentile returns the p-th percentile (0..1) of per-packet
+// processing (service) time for a traffic class, and whether samples
+// exist. Queueing delay is excluded — it shows up in emission times and
+// therefore in endpoint deadline misses, matching how the paper reports
+// Fig. 15b.
+func (e *Engine) LatencyPercentile(class TrafficClass, p float64) (time.Duration, bool) {
+	s := e.lat[class]
+	if len(s) == 0 {
+		return 0, false
+	}
+	cp := append([]time.Duration(nil), s...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	idx := int(p * float64(len(cp)-1))
+	return cp[idx], true
+}
+
+// Ingress is the receive entry point; wire it to a fabric port handler.
+func (e *Engine) Ingress(frame []byte) {
+	e.stats.RxFrames++
+	if e.stats.RxFrames%sweepEvery == 0 {
+		e.cache.Sweep(e.sched.Now())
+	}
+	pkt := &fh.Packet{}
+	if err := pkt.Decode(frame); err != nil {
+		e.stats.ParseError++
+		return
+	}
+	arrival := e.sched.Now()
+	core := e.pool.ForKey(pkt.EAxC().Uint16())
+	start := core.Acquire(arrival)
+	cost := cpu.CostParse
+	if e.cfg.Mode == ModeXDP {
+		cost += cpu.CostKernelDriver
+		if start == arrival && core.BusyUntil < arrival {
+			// Interrupt-driven wakeup from idle.
+			cost += cpu.CostInterruptWake
+		}
+	}
+
+	class := Classify(pkt)
+	if e.cfg.Mode == ModeXDP {
+		verdict, kCost, emits := e.runKernel(pkt)
+		cost += kCost
+		switch verdict {
+		case VerdictTx:
+			e.stats.KernelTx++
+			fin := core.Charge(start, cost)
+			e.recordLatency(class, cost)
+			e.emitAll(emits, fin)
+			return
+		case VerdictDrop:
+			e.stats.KernelDrop++
+			core.Charge(start, cost)
+			return
+		default:
+			e.stats.Punts++
+			cost += cpu.CostAFXDPHandoff
+		}
+	}
+	if e.cfg.App == nil {
+		// Pure-kernel middlebox with no userspace half: passed packets
+		// continue unmodified (the XDP program returned PASS).
+		fin := core.Charge(start, cost+cpu.CostForward)
+		e.recordLatency(class, cost+cpu.CostForward)
+		e.emitAll([]*fh.Packet{pkt}, fin)
+		return
+	}
+
+	ctx := &Context{eng: e, now: e.sched.Now(), cost: cost}
+	if err := e.cfg.App.Handle(ctx, pkt); err != nil {
+		e.stats.AppErrors++
+		core.Charge(start, ctx.cost)
+		return
+	}
+	fin := core.Charge(start, ctx.cost)
+	e.recordLatency(class, ctx.cost)
+	e.emitAll(ctx.emits, fin)
+}
+
+// runKernel evaluates the rule program. It returns the verdict, the CPU
+// cost of the evaluation, and the packets to transmit on VerdictTx.
+func (e *Engine) runKernel(pkt *fh.Packet) (KernelVerdict, time.Duration, []*fh.Packet) {
+	t, err := pkt.Timing()
+	if err != nil {
+		return VerdictDrop, cpu.CostKernelRule, nil
+	}
+	var cost time.Duration
+	for i := range e.cfg.Kernel.Rules {
+		r := &e.cfg.Kernel.Rules[i]
+		cost += cpu.CostKernelRule
+		if !r.Match.Matches(pkt, t) {
+			continue
+		}
+		if r.Exponents != nil {
+			seen, used := scanExponents(pkt, e.cfg.CarrierPRBs, r.Exponents, t)
+			cost += cpu.ExponentScanCost(seen)
+			dir := "dl"
+			if t.Direction == 0 {
+				dir = "ul"
+			}
+			*e.Counter("prb.seen." + dir) += uint64(seen)
+			*e.Counter("prb.utilized." + dir) += uint64(used)
+		}
+		switch r.Verdict {
+		case VerdictDrop:
+			return VerdictDrop, cost, nil
+		case VerdictPass:
+			return VerdictPass, cost, nil
+		case VerdictTx:
+			emits := make([]*fh.Packet, 0, 1+len(r.Mirrors))
+			for j := range r.Mirrors {
+				cp := pkt.Clone()
+				r.Mirrors[j].apply(cp)
+				cost += cpu.CostReplicate + cpu.CostHeaderMod
+				emits = append(emits, cp)
+			}
+			if r.Rewrite != nil {
+				r.Rewrite.apply(pkt)
+				cost += cpu.CostHeaderMod
+				emits = append(emits, pkt)
+			}
+			cost += cpu.CostKernelTx
+			return VerdictTx, cost, emits
+		}
+	}
+	return VerdictPass, cost, nil
+}
+
+func (e *Engine) emitAll(pkts []*fh.Packet, at sim.Time) {
+	for _, p := range pkts {
+		frame := p.Frame
+		e.stats.TxFrames++
+		e.sched.At(at, func() {
+			if e.out != nil {
+				e.out(frame)
+			}
+		})
+	}
+}
+
+func (e *Engine) recordLatency(class TrafficClass, d time.Duration) {
+	if len(e.lat[class]) < 1<<16 { // bound memory on long runs
+		e.lat[class] = append(e.lat[class], d)
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+
+	"ranbooster/internal/bfp"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/oran"
+)
+
+// The XDP half of a middlebox (§5, Fig. 7 right): a restricted rule
+// program loaded "at the NIC driver hook". Rules are declarative so they
+// can be verified before loading, the way the kernel verifier bounds eBPF:
+// matches read only headers (plus BFP exponent bytes, which sit at fixed
+// strides), actions rewrite only addressing and eAxC fields, and fan-out
+// is bounded. Anything heavier must return VerdictPass, punting the packet
+// to the userspace App over the AF_XDP-style handoff.
+
+// KernelVerdict is the outcome of the kernel program for one packet.
+type KernelVerdict uint8
+
+// Verdicts, mirroring XDP_PASS / XDP_TX / XDP_DROP.
+const (
+	VerdictPass KernelVerdict = iota // hand to userspace via AF_XDP
+	VerdictTx                        // rewrite and transmit in kernel
+	VerdictDrop
+)
+
+// Range is an inclusive integer interval used by matches.
+type Range struct{ Min, Max int }
+
+// Contains reports whether v lies in the range.
+func (r Range) Contains(v int) bool { return v >= r.Min && v <= r.Max }
+
+// Match selects packets. The zero Match matches everything; nil pointer
+// fields mean "any".
+type Match struct {
+	// Src matches the Ethernet source address (nil = any) — how a kernel
+	// program tells DU-originated from RU-originated traffic apart.
+	Src *eth.MAC
+	// Plane filters C- vs U-plane (PlaneUnknown = any).
+	Plane fh.Plane
+	// Dir filters by data direction (nil = any).
+	Dir *oran.Direction
+	// FilterIndex filters the timing header's filter index (nil = any);
+	// PRACH C/U-plane traffic uses index 1.
+	FilterIndex *uint8
+	// RUPorts bounds the eAxC RU port (nil = any).
+	RUPorts *Range
+	// FrameMod/FrameVal match FrameID%FrameMod == FrameVal when FrameMod > 0.
+	FrameMod, FrameVal int
+	// Subframe / Slot match exact values when non-nil.
+	Subframe, Slot *uint8
+	// Symbols bounds the symbol id (nil = any).
+	Symbols *Range
+}
+
+// Matches reports whether the packet satisfies the match.
+func (m *Match) Matches(pkt *fh.Packet, t oran.Timing) bool {
+	if m.Src != nil && pkt.Eth.Src != *m.Src {
+		return false
+	}
+	if m.Plane != fh.PlaneUnknown && pkt.Plane() != m.Plane {
+		return false
+	}
+	if m.Dir != nil && t.Direction != *m.Dir {
+		return false
+	}
+	if m.FilterIndex != nil && t.FilterIndex != *m.FilterIndex {
+		return false
+	}
+	if m.RUPorts != nil && !m.RUPorts.Contains(int(pkt.EAxC().RUPort)) {
+		return false
+	}
+	if m.FrameMod > 0 && int(t.FrameID)%m.FrameMod != m.FrameVal {
+		return false
+	}
+	if m.Subframe != nil && t.SubframeID != *m.Subframe {
+		return false
+	}
+	if m.Slot != nil && t.SlotID != *m.Slot {
+		return false
+	}
+	if m.Symbols != nil && !m.Symbols.Contains(int(t.SymbolID)) {
+		return false
+	}
+	return true
+}
+
+// Rewrite is the header mutation a kernel action may perform.
+type Rewrite struct {
+	SetDst, SetSrc *eth.MAC
+	SetVLAN        *uint16
+	// RUPortMap remaps the eAxC RU port: entry i gives the new port for
+	// input port i. nil keeps ports untouched.
+	RUPortMap *[16]uint8
+	// SetDUPort overrides the eAxC DU port field.
+	SetDUPort *uint8
+}
+
+// apply mutates the packet in place.
+func (r *Rewrite) apply(pkt *fh.Packet) {
+	if r.SetDst != nil || r.SetSrc != nil || r.SetVLAN != nil {
+		dst, src := pkt.Eth.Dst, pkt.Eth.Src
+		if r.SetDst != nil {
+			dst = *r.SetDst
+		}
+		if r.SetSrc != nil {
+			src = *r.SetSrc
+		}
+		vlan := -1
+		if r.SetVLAN != nil {
+			vlan = int(*r.SetVLAN)
+		}
+		// Addressing was decoded once already; a rewrite on a decoded
+		// packet cannot fail.
+		if err := pkt.Redirect(dst, src, vlan); err != nil {
+			panic("core: kernel rewrite failed: " + err.Error())
+		}
+	}
+	if r.RUPortMap != nil || r.SetDUPort != nil {
+		pc := pkt.EAxC()
+		if r.RUPortMap != nil {
+			pc.RUPort = r.RUPortMap[pc.RUPort&0xf]
+		}
+		if r.SetDUPort != nil {
+			pc.DUPort = *r.SetDUPort
+		}
+		pkt.SetEAxC(pc)
+	}
+}
+
+// IdentityPortMap returns a RUPortMap that keeps every port.
+func IdentityPortMap() *[16]uint8 {
+	var m [16]uint8
+	for i := range m {
+		m[i] = uint8(i)
+	}
+	return &m
+}
+
+// ExponentStats configures the in-kernel half of Algorithm 1: scan the BFP
+// exponent of every PRB in matching U-plane packets and update the shared
+// counters "prb.seen.<dir>" and "prb.utilized.<dir>".
+type ExponentStats struct {
+	// ThrDL / ThrUL are the utilization thresholds of Algorithm 1
+	// (exponent strictly greater ⇒ utilized).
+	ThrDL, ThrUL uint8
+}
+
+// Rule is one verified kernel rule.
+type Rule struct {
+	Match   Match
+	Verdict KernelVerdict
+	// Rewrite applies on VerdictTx.
+	Rewrite *Rewrite
+	// Mirrors emit additional rewritten copies on VerdictTx (bounded; this
+	// models XDP clone-and-redirect, used for the dMIMO SSB fan-out).
+	Mirrors []Rewrite
+	// Exponents, when set, runs the Algorithm 1 scan on the matched packet
+	// (valid for U-plane matches only).
+	Exponents *ExponentStats
+}
+
+// KernelProgram is the ordered rule set; the first matching rule decides.
+// A packet matching no rule passes to userspace.
+type KernelProgram struct {
+	Rules []Rule
+}
+
+// Verifier limits, in the spirit of the eBPF verifier's complexity bounds.
+const (
+	MaxKernelRules   = 64
+	MaxKernelMirrors = 4
+)
+
+// Verify checks the program against the kernel restrictions. A program
+// that fails verification cannot be loaded into an XDP engine.
+func (p *KernelProgram) Verify() error {
+	if len(p.Rules) == 0 {
+		return fmt.Errorf("core: empty kernel program")
+	}
+	if len(p.Rules) > MaxKernelRules {
+		return fmt.Errorf("core: %d rules exceed the %d-rule bound", len(p.Rules), MaxKernelRules)
+	}
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if len(r.Mirrors) > MaxKernelMirrors {
+			return fmt.Errorf("core: rule %d: %d mirrors exceed the %d bound", i, len(r.Mirrors), MaxKernelMirrors)
+		}
+		if r.Verdict == VerdictTx && r.Rewrite == nil && len(r.Mirrors) == 0 {
+			return fmt.Errorf("core: rule %d: Tx verdict with no rewrite or mirror", i)
+		}
+		if r.Verdict != VerdictTx && (r.Rewrite != nil || len(r.Mirrors) > 0) {
+			return fmt.Errorf("core: rule %d: rewrite/mirror on non-Tx verdict", i)
+		}
+		if r.Exponents != nil && r.Match.Plane != fh.PlaneU {
+			return fmt.Errorf("core: rule %d: exponent stats require a U-plane match", i)
+		}
+		if rw := r.Rewrite; rw != nil && rw.SetVLAN != nil && *rw.SetVLAN > 0x0fff {
+			return fmt.Errorf("core: rule %d: VLAN %d out of range", i, *rw.SetVLAN)
+		}
+		for j := range r.Mirrors {
+			if v := r.Mirrors[j].SetVLAN; v != nil && *v > 0x0fff {
+				return fmt.Errorf("core: rule %d mirror %d: VLAN out of range", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// scanExponents runs Algorithm 1 over the packet's U-plane sections,
+// returning (seen, utilized) PRB counts. It reads one byte per PRB — the
+// udCompParam exponent — exactly the cheap inspection XDP can do.
+func scanExponents(pkt *fh.Packet, carrierPRBs int, es *ExponentStats, t oran.Timing) (seen, utilized int) {
+	var msg oran.UPlaneMsg
+	if err := pkt.UPlane(&msg, carrierPRBs); err != nil {
+		return 0, 0
+	}
+	thr := es.ThrDL
+	if t.Direction == oran.Uplink {
+		thr = es.ThrUL
+	}
+	for i := range msg.Sections {
+		s := &msg.Sections[i]
+		if s.Comp.Method != bfp.MethodBlockFloatingPoint {
+			continue
+		}
+		size := s.Comp.PRBSize()
+		for off := 0; off+size <= len(s.Payload); off += size {
+			exp, err := bfp.PeekExponent(s.Payload[off:])
+			if err != nil {
+				break
+			}
+			seen++
+			if exp > thr {
+				utilized++
+			}
+		}
+	}
+	return seen, utilized
+}

@@ -1,0 +1,185 @@
+// Package cpu models the compute side of a RANBooster deployment: per-core
+// busy-time accounting on the virtual clock (so poll-mode and interrupt-
+// driven datapaths report the utilizations of Fig. 16), a per-action cost
+// table calibrated against the microbenchmarks of Fig. 15b, and the server
+// power model behind the energy-saving comparison of Fig. 14.
+package cpu
+
+import (
+	"time"
+
+	"ranbooster/internal/sim"
+)
+
+// Per-action processing costs, calibrated to the paper's DPDK
+// microbenchmarks (§6.4.1): downlink C- and U-plane handling lands under
+// 300 ns, uplink caching under 300 ns, and an IQ merge over N streams of
+// 273 PRBs costs 4–6 µs growing with N.
+const (
+	// CostParse covers frame reception and header parsing.
+	CostParse = 40 * time.Nanosecond
+	// CostForward is action A1: addressing rewrite plus TX descriptor work.
+	CostForward = 40 * time.Nanosecond
+	// CostDrop is action A1's drop half.
+	CostDrop = 15 * time.Nanosecond
+	// CostReplicate is action A2, per copy produced.
+	CostReplicate = 30 * time.Nanosecond
+	// CostCacheInsert is action A3.
+	CostCacheInsert = 80 * time.Nanosecond
+	// CostCacheTake retrieves and unlinks a cached packet list.
+	CostCacheTake = 60 * time.Nanosecond
+	// CostHeaderMod is action A4 restricted to O-RAN header fields.
+	CostHeaderMod = 50 * time.Nanosecond
+
+	// CostKernelRule is the per-rule evaluation cost of the XDP program.
+	CostKernelRule = 25 * time.Nanosecond
+	// CostKernelTx is an in-kernel XDP_TX redirect.
+	CostKernelTx = 60 * time.Nanosecond
+	// CostAFXDPHandoff is the kernel→userspace context switch an AF_XDP
+	// punt pays (§5).
+	CostAFXDPHandoff = 2500 * time.Nanosecond
+	// CostKernelDriver is the per-packet kernel network stack and driver
+	// overhead of the XDP path ("additional performance and latency
+	// overheads due to the involvement of the kernel", §5) — the price of
+	// not bypassing the kernel the way DPDK does.
+	CostKernelDriver = 1800 * time.Nanosecond
+	// CostInterruptWake is charged per interrupt-driven wakeup batch.
+	CostInterruptWake = 800 * time.Nanosecond
+)
+
+// Sub-nanosecond per-PRB costs, in picoseconds. time.Duration cannot carry
+// fractional nanoseconds, so per-PRB rates stay integer picoseconds and the
+// cost helpers below convert whole-packet totals.
+const (
+	// psIQPerPRBPerStream: decompress and accumulate one PRB of one input
+	// stream during a merge (A4).
+	psIQPerPRBPerStream = 4000
+	// psIQCompressPerPRB: re-compress one merged PRB (A4).
+	psIQCompressPerPRB = 7600
+	// psIQCopyPerPRB: relocate one aligned, still-compressed PRB (the
+	// RU-sharing fast path of Fig. 6).
+	psIQCopyPerPRB = 900
+	// psExponentPerPRB: Algorithm 1's exponent inspection of one PRB.
+	psExponentPerPRB = 700
+)
+
+func psToDuration(ps int) time.Duration {
+	return time.Duration(ps) * time.Nanosecond / 1000
+}
+
+// MergeCost returns the A4 cost of merging nStreams compressed IQ streams
+// of nPRB PRBs into one (decompress+sum each input, compress the result).
+func MergeCost(nPRB, nStreams int) time.Duration {
+	return psToDuration(nPRB * (nStreams*psIQPerPRBPerStream + psIQCompressPerPRB))
+}
+
+// RecompressCopyCost returns the A4 cost of relocating nPRB misaligned
+// PRBs (decompress one stream, copy, recompress).
+func RecompressCopyCost(nPRB int) time.Duration {
+	return psToDuration(nPRB * (psIQPerPRBPerStream + psIQCompressPerPRB))
+}
+
+// AlignedCopyCost returns the A4 cost of relocating nPRB aligned PRBs
+// without touching their compression.
+func AlignedCopyCost(nPRB int) time.Duration {
+	return psToDuration(nPRB * psIQCopyPerPRB)
+}
+
+// ExponentScanCost returns the cost of Algorithm 1's per-PRB BFP exponent
+// scan over nPRB PRBs.
+func ExponentScanCost(nPRB int) time.Duration {
+	return psToDuration(nPRB * psExponentPerPRB)
+}
+
+// DecompressCost returns the cost of fully decompressing nPRB PRBs — what
+// the §4.4 alternative energy-threshold estimator pays per packet.
+func DecompressCost(nPRB int) time.Duration {
+	return psToDuration(nPRB * psIQPerPRBPerStream)
+}
+
+// Core tracks one CPU core's occupancy on the simulation clock.
+type Core struct {
+	ID int
+	// BusyUntil is when the core next becomes free.
+	BusyUntil sim.Time
+
+	busyAccum   time.Duration
+	windowStart sim.Time
+}
+
+// Acquire returns the time at which work arriving now can start.
+func (c *Core) Acquire(now sim.Time) sim.Time {
+	if c.BusyUntil > now {
+		return c.BusyUntil
+	}
+	return now
+}
+
+// Charge occupies the core from start for d and returns the finish time.
+func (c *Core) Charge(start sim.Time, d time.Duration) sim.Time {
+	fin := start.Add(d)
+	c.BusyUntil = fin
+	c.busyAccum += d
+	return fin
+}
+
+// Utilization returns the busy fraction since the last ResetWindow. Poll-
+// mode datapaths spin regardless of load, so poll=true always reports 1.
+func (c *Core) Utilization(now sim.Time, poll bool) float64 {
+	if poll {
+		return 1
+	}
+	w := now.Sub(c.windowStart)
+	if w <= 0 {
+		return 0
+	}
+	u := float64(c.busyAccum) / float64(w)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// ResetWindow starts a fresh utilization measurement window.
+func (c *Core) ResetWindow(now sim.Time) {
+	c.windowStart = now
+	c.busyAccum = 0
+}
+
+// Pool is a set of cores a datapath spreads work over (hashing by eAxC,
+// per §6.4.1: "each CPU core handles only a subset of the RU antennas").
+type Pool struct {
+	Cores []*Core
+}
+
+// NewPool allocates n cores.
+func NewPool(n int) *Pool {
+	p := &Pool{Cores: make([]*Core, n)}
+	for i := range p.Cores {
+		p.Cores[i] = &Core{ID: i}
+	}
+	return p
+}
+
+// ForKey returns the core responsible for a flow key.
+func (p *Pool) ForKey(key uint16) *Core {
+	return p.Cores[int(key)%len(p.Cores)]
+}
+
+// MaxUtilization returns the highest per-core utilization in the pool.
+func (p *Pool) MaxUtilization(now sim.Time, poll bool) float64 {
+	var m float64
+	for _, c := range p.Cores {
+		if u := c.Utilization(now, poll); u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+// ResetWindows resets every core's measurement window.
+func (p *Pool) ResetWindows(now sim.Time) {
+	for _, c := range p.Cores {
+		c.ResetWindow(now)
+	}
+}

@@ -1,0 +1,147 @@
+package cpu
+
+import (
+	"testing"
+	"time"
+
+	"ranbooster/internal/sim"
+)
+
+func TestMergeCostMatchesFig15b(t *testing.T) {
+	// Fig. 15b: UL merges on a 100 MHz (273 PRB) DAS run 4–6 µs for 2–4 RUs.
+	for n, lo, hi := 2, 3500, 4500; n <= 4; n, lo, hi = n+1, lo+800, hi+1200 {
+		got := MergeCost(273, n)
+		if got < time.Duration(lo)*time.Nanosecond || got > time.Duration(hi)*time.Nanosecond {
+			t.Errorf("MergeCost(273, %d) = %v, want in [%dns, %dns]", n, got, lo, hi)
+		}
+	}
+	if MergeCost(273, 4) <= MergeCost(273, 2) {
+		t.Fatal("merge cost must grow with streams")
+	}
+}
+
+func TestDownlinkActionsUnder300ns(t *testing.T) {
+	// Fig. 15b: DL C-plane and U-plane handling (parse + forward +
+	// replicate) stays under 300 ns.
+	if d := CostParse + CostForward + CostReplicate; d >= 300*time.Nanosecond {
+		t.Fatalf("DL path cost %v >= 300ns", d)
+	}
+	if d := CostParse + CostCacheInsert; d >= 300*time.Nanosecond {
+		t.Fatalf("UL cache path cost %v >= 300ns", d)
+	}
+}
+
+func TestCoreAcquireCharge(t *testing.T) {
+	var c Core
+	start := c.Acquire(100)
+	if start != 100 {
+		t.Fatalf("idle acquire = %v", start)
+	}
+	fin := c.Charge(start, 50*time.Nanosecond)
+	if fin != 150 {
+		t.Fatalf("finish = %v", fin)
+	}
+	// Work arriving while busy queues behind.
+	if got := c.Acquire(120); got != 150 {
+		t.Fatalf("busy acquire = %v", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	var c Core
+	c.ResetWindow(0)
+	c.Charge(c.Acquire(0), 250*time.Nanosecond)
+	now := sim.Time(1000)
+	if u := c.Utilization(now, false); u != 0.25 {
+		t.Fatalf("interrupt utilization = %v", u)
+	}
+	if u := c.Utilization(now, true); u != 1 {
+		t.Fatalf("poll utilization = %v", u)
+	}
+	c.ResetWindow(now)
+	if u := c.Utilization(now.Add(100), false); u != 0 {
+		t.Fatalf("fresh window = %v", u)
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	var c Core
+	c.ResetWindow(0)
+	c.Charge(0, 10*time.Microsecond)
+	if u := c.Utilization(100, false); u != 1 {
+		t.Fatalf("overloaded core utilization = %v, want clamp at 1", u)
+	}
+	if u := c.Utilization(0, false); u != 0 {
+		t.Fatal("zero window")
+	}
+}
+
+func TestPoolHashing(t *testing.T) {
+	p := NewPool(2)
+	if p.ForKey(0) == p.ForKey(1) {
+		t.Fatal("adjacent keys should spread")
+	}
+	if p.ForKey(0) != p.ForKey(2) {
+		t.Fatal("hash not stable")
+	}
+	p.Cores[1].ResetWindow(0)
+	p.Cores[1].Charge(0, 500*time.Nanosecond)
+	p.Cores[0].ResetWindow(0)
+	if u := p.MaxUtilization(1000, false); u != 0.5 {
+		t.Fatalf("max utilization = %v", u)
+	}
+	p.ResetWindows(1000)
+	if u := p.MaxUtilization(2000, false); u != 0 {
+		t.Fatalf("after reset = %v", u)
+	}
+}
+
+func TestServerPower(t *testing.T) {
+	s := NewServer("srv1")
+	s.SetOperatingPoint(16, 0)
+	if got := s.PowerW(); got != 200 {
+		t.Fatalf("16 active cores = %vW, want 200", got)
+	}
+	s.SetOperatingPoint(8, 12)
+	if got := s.PowerW(); got != 100+50+30 {
+		t.Fatalf("mixed point = %vW", got)
+	}
+	s.PoweredOn = false
+	if s.PowerW() != 0 {
+		t.Fatal("powered-off server draws power")
+	}
+}
+
+func TestServerPowerFig14Bands(t *testing.T) {
+	// Fig. 14a: two servers, 16 active cores each ⇒ ~400 W.
+	a, b := NewServer("a"), NewServer("b")
+	a.SetOperatingPoint(16, 0)
+	b.SetOperatingPoint(16, 0)
+	if got := TotalPowerW(a, b); got != 400 {
+		t.Fatalf("fig 14a = %vW, want 400", got)
+	}
+	// Fig. 14b: one server down, the other half at low frequency ⇒ ~180 W.
+	b.PoweredOn = false
+	a.SetOperatingPoint(8, 12)
+	if got := TotalPowerW(a, b); got != 180 {
+		t.Fatalf("fig 14b = %vW, want 180", got)
+	}
+}
+
+func TestSetOperatingPointPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewServer("x").SetOperatingPoint(40, 0)
+}
+
+func TestRecompressCopyCost(t *testing.T) {
+	if RecompressCopyCost(106) <= AlignedCopyCost(106) {
+		t.Fatal("misaligned path must cost more than the aligned copy")
+	}
+	if ExponentScanCost(273) >= AlignedCopyCost(273) {
+		t.Fatal("exponent scan should be the cheapest payload op")
+	}
+}

@@ -1,0 +1,61 @@
+package cpu
+
+// Server models the power draw of one HPE DL110-class host, matching the
+// out-of-band measurements used in Fig. 14: a platform base load plus a
+// per-core increment that depends on the core's operating point. Shutting
+// a server down removes its base load entirely; parking cores at low
+// frequency keeps them available at a fraction of the active cost.
+type Server struct {
+	Name string
+	// TotalCores available on the host.
+	TotalCores int
+	// BaseW is the platform power with all cores idle.
+	BaseW float64
+	// ActiveCoreW is the marginal power of a core running at high frequency.
+	ActiveCoreW float64
+	// LowFreqCoreW is the marginal power of a core parked at low frequency.
+	LowFreqCoreW float64
+
+	// Operating point.
+	PoweredOn   bool
+	ActiveCores int
+	LowCores    int
+}
+
+// NewServer returns a testbed server at the calibrated operating costs.
+func NewServer(name string) *Server {
+	return &Server{
+		Name:         name,
+		TotalCores:   32,
+		BaseW:        100,
+		ActiveCoreW:  6.25,
+		LowFreqCoreW: 2.5,
+		PoweredOn:    true,
+	}
+}
+
+// SetOperatingPoint configures the core allocation. It panics if the
+// request exceeds the host's cores — sizing errors are configuration bugs.
+func (s *Server) SetOperatingPoint(active, low int) {
+	if active+low > s.TotalCores || active < 0 || low < 0 {
+		panic("cpu: operating point exceeds server cores")
+	}
+	s.ActiveCores, s.LowCores = active, low
+}
+
+// PowerW returns the host's current draw.
+func (s *Server) PowerW() float64 {
+	if !s.PoweredOn {
+		return 0
+	}
+	return s.BaseW + float64(s.ActiveCores)*s.ActiveCoreW + float64(s.LowCores)*s.LowFreqCoreW
+}
+
+// TotalPowerW sums a rack.
+func TotalPowerW(servers ...*Server) float64 {
+	var w float64
+	for _, s := range servers {
+		w += s.PowerW()
+	}
+	return w
+}

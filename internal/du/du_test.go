@@ -1,0 +1,227 @@
+package du
+
+import (
+	"testing"
+	"time"
+
+	"ranbooster/internal/air"
+	"ranbooster/internal/bfp"
+	"ranbooster/internal/ecpri"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/iqsynth"
+	"ranbooster/internal/oran"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+	"ranbooster/internal/sim"
+)
+
+var (
+	duMAC = eth.MAC{2, 0, 0, 0, 0, 0x60}
+	ruMAC = eth.MAC{2, 0, 0, 0, 0, 0x61}
+)
+
+func bfp9() bfp.Params { return bfp.Params{IQWidth: 9, Method: bfp.MethodBlockFloatingPoint} }
+
+func cellCfg() air.CellConfig {
+	return air.CellConfig{
+		Name: "c", PCI: 1, Carrier: phy.NewCarrier(40, 3_460_000_000),
+		TDD: phy.MustTDD("DDDSU"), Stack: phy.StackSRSRAN,
+		SSB: phy.DefaultSSB(), PRACH: phy.DefaultPRACH(), MaxLayers: 4,
+	}
+}
+
+func newDU(t *testing.T) (*sim.Scheduler, *air.Air, *DU, *[][]byte) {
+	t.Helper()
+	s := sim.NewScheduler()
+	a := air.New(s, radio.DefaultModel())
+	d := New(s, a, Config{Name: "du0", MAC: duMAC, PeerMAC: ruMAC, VLAN: -1, Cell: cellCfg(), Comp: bfp9()})
+	var out [][]byte
+	d.SetOutput(func(f []byte) { out = append(out, f) })
+	return s, a, d, &out
+}
+
+// classify decodes emitted frames into buckets.
+func classify(t *testing.T, frames [][]byte) (dlC, dlU, ulC, prachC int, ssbSeen bool) {
+	t.Helper()
+	for _, f := range frames {
+		var p fh.Packet
+		if err := p.Decode(f); err != nil {
+			t.Fatal(err)
+		}
+		tm, err := p.Timing()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case p.Plane() == fh.PlaneC && tm.FilterIndex == 1:
+			prachC++
+		case p.Plane() == fh.PlaneC && tm.Direction == oran.Downlink:
+			dlC++
+		case p.Plane() == fh.PlaneC:
+			ulC++
+		case tm.Direction == oran.Downlink:
+			dlU++
+			var msg oran.UPlaneMsg
+			if err := p.UPlane(&msg, 106); err != nil {
+				t.Fatal(err)
+			}
+			for _, sec := range msg.Sections {
+				if sec.StartPRB == 0 && sec.NumPRB == phy.SSBPRBs {
+					ssbSeen = true
+				}
+			}
+		}
+	}
+	return
+}
+
+func TestIdleCellEmitsOnlySSBAndPRACH(t *testing.T) {
+	s, _, d, out := newDU(t)
+	d.Start()
+	s.RunUntil(phy.SlotStart(41)) // two frames + a bit
+	dlC, dlU, ulC, prachC, ssb := classify(t, *out)
+	if !ssb {
+		t.Fatal("no SSB emitted")
+	}
+	if prachC == 0 {
+		t.Fatal("no PRACH occasion emitted")
+	}
+	if ulC != 0 {
+		t.Fatalf("UL requests with no UEs: %d", ulC)
+	}
+	// DL C/U only for SSB slots.
+	if dlC == 0 || dlU == 0 {
+		t.Fatalf("SSB slots need C and U plane: c=%d u=%d", dlC, dlU)
+	}
+	if dlU > 10 {
+		t.Fatalf("idle cell too chatty: %d DL U messages", dlU)
+	}
+}
+
+func TestAttachedUEDrivesTraffic(t *testing.T) {
+	s, a, d, out := newDU(t)
+	u := air.NewUE(1, radio.UEAt(0, 12, 10))
+	a.AddUE(u)
+	u.OfferedDLbps = 100e6
+	u.OfferedULbps = 10e6
+
+	// Activate the cell's RU (as if an RU reported the SSB) and attach.
+	a.RegisterRU("ru0", []radio.Element{radio.DefaultRUElement(radio.RUAt(0, 10, 10))})
+	ssb := oran.Timing{Direction: oran.Downlink, SymbolID: 2}
+	lo := d.Cell().Carrier.PRB0Hz()
+	a.ReportDL("ru0", 0, 1, ssb, lo, lo+20*phy.PRBBandwidthHz, true)
+	a.Attach(u, d.Cell())
+
+	d.Start()
+	s.RunUntil(phy.SlotStart(40))
+	_, dlU, ulC, _, _ := classify(t, *out)
+	if dlU < 20 {
+		t.Fatalf("loaded cell DL U messages = %d", dlU)
+	}
+	if ulC == 0 {
+		t.Fatal("attached UE must trigger UL requests")
+	}
+	st := d.Stats()
+	if st.DLPRBSymSched == 0 || st.ULPRBSymSched == 0 {
+		t.Fatalf("scheduling log empty: %+v", st)
+	}
+	if d.RankIndicator(u) == 0 {
+		t.Fatal("rank indicator unset")
+	}
+}
+
+func TestULCreditRequiresTimelyEnergeticPackets(t *testing.T) {
+	s, a, d, _ := newDU(t)
+	u := air.NewUE(1, radio.UEAt(0, 12, 10))
+	a.AddUE(u)
+	u.OfferedULbps = 10e6
+	a.RegisterRU("ru0", []radio.Element{radio.DefaultRUElement(radio.RUAt(0, 10, 10))})
+	ssb := oran.Timing{Direction: oran.Downlink, SymbolID: 2}
+	lo := d.Cell().Carrier.PRB0Hz()
+	a.ReportDL("ru0", 0, 1, ssb, lo, lo+20*phy.PRBBandwidthHz, true)
+	a.Attach(u, d.Cell())
+	u.StartMeasurement(0)
+	d.Start()
+
+	// Synthesize the RU side: answer every UL slot with a full-band,
+	// data-amplitude U-plane arriving on time.
+	synth := iqsynth.New(bfp9())
+	b := fh.NewBuilder(ruMAC, duMAC, -1)
+	for slot := 4; slot < 40; slot += 5 { // the U slot of each DDDSU period
+		slot := slot
+		for sym := 0; sym < phy.SymbolsPerSlot; sym++ {
+			sym := sym
+			s.At(phy.SymbolEnd(slot, sym).Add(5*time.Microsecond), func() {
+				frame, sub, sl := phy.SlotCoords(slot)
+				payload := synth.Uniform(nil, 106, slot+sym, iqsynth.DataAmplitude)
+				msg := &oran.UPlaneMsg{
+					Timing:   oran.Timing{Direction: oran.Uplink, FrameID: frame, SubframeID: sub, SlotID: sl, SymbolID: uint8(sym)},
+					Sections: []oran.USection{{StartPRB: 0, NumPRB: 106, Comp: bfp9(), Payload: payload}},
+				}
+				d.Ingress(b.UPlane(ecpri.PcID{RUPort: 0}, msg))
+			})
+		}
+	}
+	s.RunUntil(phy.SlotStart(42))
+	if u.DeliveredULBits == 0 {
+		t.Fatal("timely energetic uplink not credited")
+	}
+	if d.Stats().ULLate != 0 {
+		t.Fatalf("late = %d", d.Stats().ULLate)
+	}
+}
+
+func TestLateULNotCredited(t *testing.T) {
+	s, a, d, _ := newDU(t)
+	u := air.NewUE(1, radio.UEAt(0, 12, 10))
+	a.AddUE(u)
+	u.OfferedULbps = 10e6
+	a.RegisterRU("ru0", []radio.Element{radio.DefaultRUElement(radio.RUAt(0, 10, 10))})
+	ssb := oran.Timing{Direction: oran.Downlink, SymbolID: 2}
+	lo := d.Cell().Carrier.PRB0Hz()
+	a.ReportDL("ru0", 0, 1, ssb, lo, lo+20*phy.PRBBandwidthHz, true)
+	a.Attach(u, d.Cell())
+	u.StartMeasurement(0)
+	d.Start()
+
+	synth := iqsynth.New(bfp9())
+	b := fh.NewBuilder(ruMAC, duMAC, -1)
+	for slot := 4; slot < 40; slot += 5 {
+		slot := slot
+		for sym := 0; sym < phy.SymbolsPerSlot; sym++ {
+			sym := sym
+			// 300 µs after the symbol: far past the deadline.
+			s.At(phy.SymbolEnd(slot, sym).Add(300*time.Microsecond), func() {
+				frame, sub, sl := phy.SlotCoords(slot)
+				payload := synth.Uniform(nil, 106, slot+sym, iqsynth.DataAmplitude)
+				msg := &oran.UPlaneMsg{
+					Timing:   oran.Timing{Direction: oran.Uplink, FrameID: frame, SubframeID: sub, SlotID: sl, SymbolID: uint8(sym)},
+					Sections: []oran.USection{{StartPRB: 0, NumPRB: 106, Comp: bfp9(), Payload: payload}},
+				}
+				d.Ingress(b.UPlane(ecpri.PcID{RUPort: 0}, msg))
+			})
+		}
+	}
+	s.RunUntil(phy.SlotStart(42))
+	if u.DeliveredULBits != 0 {
+		t.Fatalf("late uplink credited %.0f bits", u.DeliveredULBits)
+	}
+	if d.Stats().ULLate == 0 {
+		t.Fatal("late packets not counted")
+	}
+}
+
+func TestStopHaltsSlotLoop(t *testing.T) {
+	s, _, d, out := newDU(t)
+	d.Start()
+	s.RunUntil(phy.SlotStart(5))
+	d.Stop()
+	n := len(*out)
+	slots := d.Stats().SlotsPrepared
+	s.RunFor(50 * time.Millisecond)
+	if d.Stats().SlotsPrepared > slots+2 {
+		t.Fatalf("slot loop kept running: %d -> %d", slots, d.Stats().SlotsPrepared)
+	}
+	_ = n
+}

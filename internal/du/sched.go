@@ -1,0 +1,205 @@
+package du
+
+import (
+	"math"
+	"sort"
+
+	"ranbooster/internal/air"
+	"ranbooster/internal/phy"
+)
+
+// The MAC scheduler: per slot, convert offered traffic into PRB
+// allocations using link adaptation, splitting the carrier among UEs with
+// demand. The scheduling log it leaves behind (the allocation books) is
+// the ground truth Fig. 10c compares Algorithm 1's estimates against.
+
+// dlSymbolsOf lists the downlink symbols of a slot under the TDD pattern.
+func dlSymbolsOf(tdd phy.TDD, absSlot int) []int {
+	var out []int
+	for s := 0; s < phy.SymbolsPerSlot; s++ {
+		if dl, ok := tdd.SymbolDir(absSlot, s); ok && dl {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ulSymbolsOf lists the uplink symbols of a slot.
+func ulSymbolsOf(tdd phy.TDD, absSlot int) []int {
+	var out []int
+	for s := 0; s < phy.SymbolsPerSlot; s++ {
+		if dl, ok := tdd.SymbolDir(absSlot, s); ok && !dl {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// attachedSorted returns the cell's UEs in deterministic order.
+func (d *DU) attachedSorted() []*air.UE {
+	ues := d.cell.Attached()
+	sort.Slice(ues, func(i, j int) bool { return ues[i].ID < ues[j].ID })
+	return ues
+}
+
+// accrueBacklog adds one slot's worth of offered traffic for every
+// attached UE.
+func (d *DU) accrueBacklog() {
+	dt := phy.SlotDuration.Seconds()
+	for _, u := range d.attachedSorted() {
+		st := d.ues[u]
+		if st == nil {
+			st = &ueState{}
+			d.ues[u] = st
+		}
+		st.dlBacklog += u.OfferedDLbps * dt
+		st.ulBacklog += u.OfferedULbps * dt
+		// iperf UDP: stale backlog beyond one second of offered load is
+		// abandoned, not amortized.
+		st.dlBacklog = math.Min(st.dlBacklog, u.OfferedDLbps)
+		st.ulBacklog = math.Min(st.ulBacklog, u.OfferedULbps)
+	}
+}
+
+// scheduleDL builds the downlink allocations of a slot.
+func (d *DU) scheduleDL(absSlot int, nSyms int, reserveSSB bool) []alloc {
+	if nSyms == 0 {
+		return nil
+	}
+	budgetStart := 0
+	if reserveSSB {
+		budgetStart = d.cfg.Cell.SSB.StartPRB + phy.SSBPRBs
+	}
+	budget := d.cfg.Cell.Carrier.NumPRB - budgetStart
+
+	type cand struct {
+		ue         *air.UE
+		st         *ueState
+		rank       int
+		bitsPerPRB float64 // across all slot symbols
+		wantPRB    int
+	}
+	var cands []cand
+	totalWant := 0
+	for _, u := range d.attachedSorted() {
+		st := d.ues[u]
+		if st == nil || st.dlBacklog <= 0 {
+			continue
+		}
+		rank, layerSINR, ok := d.oracle.DLQuality(d.cell, u)
+		if !ok {
+			continue
+		}
+		cqi := phy.CQIFromSINR(layerSINR)
+		if cqi == 0 {
+			continue
+		}
+		se := phy.EfficiencyForCQI(cqi) * float64(rank) * d.cfg.Cell.Stack.Efficiency * (1 - phy.PHYOverhead)
+		bitsPerPRB := se * phy.SubcarriersPerPRB * float64(nSyms)
+		want := int(math.Ceil(st.dlBacklog / bitsPerPRB))
+		if want <= 0 {
+			continue
+		}
+		st.lastRank = rank
+		st.lastCQI = cqi
+		cands = append(cands, cand{ue: u, st: st, rank: rank, bitsPerPRB: bitsPerPRB, wantPRB: want})
+		totalWant += want
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	// Proportional split when oversubscribed.
+	scale := 1.0
+	if totalWant > budget {
+		scale = float64(budget) / float64(totalWant)
+	}
+	var out []alloc
+	cursor := budgetStart
+	for _, c := range cands {
+		n := int(float64(c.wantPRB) * scale)
+		if n < 1 {
+			n = 1
+		}
+		if cursor+n > budgetStart+budget {
+			n = budgetStart + budget - cursor
+		}
+		if n <= 0 {
+			break
+		}
+		bits := math.Min(c.st.dlBacklog, float64(n)*c.bitsPerPRB)
+		c.st.dlBacklog -= bits
+		out = append(out, alloc{ue: c.ue, startPRB: cursor, numPRB: n, rank: c.rank, bits: bits})
+		cursor += n
+	}
+	return out
+}
+
+// scheduleUL builds the uplink allocations (SISO, avoiding the PRACH
+// region on occasion slots).
+func (d *DU) scheduleUL(absSlot int, nSyms int, reservePRACH bool) []alloc {
+	if nSyms == 0 {
+		return nil
+	}
+	budgetStart := 0
+	if reservePRACH {
+		budgetStart = d.cfg.Cell.PRACH.StartPRB + d.cfg.Cell.PRACH.NumPRB
+	}
+	budget := d.cfg.Cell.Carrier.NumPRB - budgetStart
+
+	type cand struct {
+		ue         *air.UE
+		st         *ueState
+		bitsPerPRB float64
+		wantPRB    int
+	}
+	var cands []cand
+	totalWant := 0
+	for _, u := range d.attachedSorted() {
+		st := d.ues[u]
+		if st == nil || st.ulBacklog <= 0 {
+			continue
+		}
+		layerSINR, ok := d.oracle.ULQuality(d.cell, u)
+		if !ok {
+			continue
+		}
+		cqi := phy.CQIFromSINR(layerSINR)
+		if cqi == 0 {
+			continue
+		}
+		se := phy.EfficiencyForCQI(cqi) * d.cfg.Cell.Stack.Efficiency * (1 - phy.PHYOverhead)
+		bitsPerPRB := se * phy.SubcarriersPerPRB * float64(nSyms)
+		want := int(math.Ceil(st.ulBacklog / bitsPerPRB))
+		if want <= 0 {
+			continue
+		}
+		cands = append(cands, cand{ue: u, st: st, bitsPerPRB: bitsPerPRB, wantPRB: want})
+		totalWant += want
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	scale := 1.0
+	if totalWant > budget {
+		scale = float64(budget) / float64(totalWant)
+	}
+	var out []alloc
+	cursor := budgetStart
+	for _, c := range cands {
+		n := int(float64(c.wantPRB) * scale)
+		if n < 1 {
+			n = 1
+		}
+		if cursor+n > budgetStart+budget {
+			n = budgetStart + budget - cursor
+		}
+		if n <= 0 {
+			break
+		}
+		bits := math.Min(c.st.ulBacklog, float64(n)*c.bitsPerPRB)
+		c.st.ulBacklog -= bits
+		out = append(out, alloc{ue: c.ue, startPRB: cursor, numPRB: n, rank: 1, bits: bits})
+		cursor += n
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+// Package ecpri implements the eCPRI common transport header used by the
+// O-RAN fronthaul. Every C-plane and U-plane message rides inside an eCPRI
+// PDU directly over Ethernet (EtherType 0xAEFE).
+//
+// The header layout follows eCPRI v2.0 §3.1.3 with the O-RAN WG4 usage of
+// the PC_ID field: four 4-bit subfields identifying the DU port, band
+// sector, component carrier and RU port — together the "eAxC" (extended
+// antenna-carrier) that RANBooster middleboxes key their caches and
+// forwarding rules on.
+package ecpri
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// HeaderLen is the encoded size of the eCPRI common header plus the
+// PC_ID/SEQ_ID fields used by message types 0 and 2.
+const HeaderLen = 8
+
+// MessageType identifies the eCPRI service carried in the PDU.
+type MessageType uint8
+
+// The two message types the fronthaul C/U planes use.
+const (
+	// MsgIQData (type 0) carries U-plane IQ payloads.
+	MsgIQData MessageType = 0
+	// MsgRTControl (type 2) carries C-plane real-time control messages.
+	MsgRTControl MessageType = 2
+)
+
+// String names the message type as Wireshark does.
+func (t MessageType) String() string {
+	switch t {
+	case MsgIQData:
+		return "IQ Data"
+	case MsgRTControl:
+		return "Real-Time Control Data"
+	default:
+		return fmt.Sprintf("eCPRI type %d", uint8(t))
+	}
+}
+
+// PcID is the decoded ecpriPcid: the eAxC identifier. Each subfield is 4
+// bits wide (the O-RAN default partitioning).
+type PcID struct {
+	DUPort     uint8 // DU_Port_ID: distinguishes processing units at the DU
+	BandSector uint8 // BandSector_ID: cell/sector
+	CC         uint8 // CC_ID: component carrier
+	RUPort     uint8 // RU_Port_ID: spatial stream (antenna port / layer)
+}
+
+// Uint16 packs the eAxC into its wire form.
+func (p PcID) Uint16() uint16 {
+	return uint16(p.DUPort&0xf)<<12 | uint16(p.BandSector&0xf)<<8 |
+		uint16(p.CC&0xf)<<4 | uint16(p.RUPort&0xf)
+}
+
+// PcIDFromUint16 unpacks an eAxC.
+func PcIDFromUint16(v uint16) PcID {
+	return PcID{
+		DUPort:     uint8(v >> 12),
+		BandSector: uint8(v>>8) & 0xf,
+		CC:         uint8(v>>4) & 0xf,
+		RUPort:     uint8(v) & 0xf,
+	}
+}
+
+// String renders the eAxC in the capture format.
+func (p PcID) String() string {
+	return fmt.Sprintf("(DU_Port_ID: %d, BandSector_ID: %d, CC_ID: %d, RU_Port_ID: %d)",
+		p.DUPort, p.BandSector, p.CC, p.RUPort)
+}
+
+// Header is the eCPRI common header (8 bytes for types 0 and 2).
+type Header struct {
+	Version     uint8 // protocol revision, 1 on the wire today
+	Concat      bool  // C bit: another PDU follows in the same frame
+	Type        MessageType
+	PayloadSize uint16 // bytes following this header
+	PcID        PcID
+	SeqID       uint8 // increments per eAxC per direction
+	EBit        bool  // E: last message of a subsequence
+	SubSeqID    uint8 // 7-bit radio-transport subsequence
+}
+
+// ErrTruncated reports an eCPRI PDU shorter than its header.
+var ErrTruncated = errors.New("ecpri: truncated PDU")
+
+// DecodeFromBytes parses the header and returns the payload slice (bounded
+// by PayloadSize when it fits, else the remainder). It does not allocate.
+func (h *Header) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < HeaderLen {
+		return nil, ErrTruncated
+	}
+	h.Version = b[0] >> 4
+	h.Concat = b[0]&0x01 != 0
+	h.Type = MessageType(b[1])
+	h.PayloadSize = binary.BigEndian.Uint16(b[2:4])
+	h.PcID = PcIDFromUint16(binary.BigEndian.Uint16(b[4:6]))
+	h.SeqID = b[6]
+	h.EBit = b[7]&0x80 != 0
+	h.SubSeqID = b[7] & 0x7f
+	payload := b[HeaderLen:]
+	// PayloadSize counts PC_ID+SEQ_ID (4 bytes) plus the application payload.
+	if app := int(h.PayloadSize) - 4; app >= 0 && app <= len(payload) {
+		payload = payload[:app]
+	}
+	return payload, nil
+}
+
+// AppendTo serializes the header onto b. PayloadSize must already account
+// for the application payload; SetPayloadSize can fix it up afterwards.
+func (h *Header) AppendTo(b []byte) []byte {
+	b0 := h.Version << 4
+	if h.Concat {
+		b0 |= 0x01
+	}
+	b = append(b, b0, byte(h.Type))
+	b = binary.BigEndian.AppendUint16(b, h.PayloadSize)
+	b = binary.BigEndian.AppendUint16(b, h.PcID.Uint16())
+	b7 := h.SubSeqID & 0x7f
+	if h.EBit {
+		b7 |= 0x80
+	}
+	return append(b, h.SeqID, b7)
+}
+
+// SetPayloadSize patches the payload-size field of an encoded header found
+// at offset off in frame, given the application payload length that follows
+// the 8-byte header.
+func SetPayloadSize(frame []byte, off, appPayloadLen int) error {
+	if off+HeaderLen > len(frame) {
+		return ErrTruncated
+	}
+	binary.BigEndian.PutUint16(frame[off+2:off+4], uint16(appPayloadLen+4))
+	return nil
+}

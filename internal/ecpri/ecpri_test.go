@@ -1,0 +1,124 @@
+package ecpri
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		Version:     1,
+		Type:        MsgIQData,
+		PayloadSize: 104,
+		PcID:        PcID{DUPort: 0, BandSector: 0, CC: 0, RUPort: 3},
+		SeqID:       49,
+		EBit:        true,
+		SubSeqID:    0,
+	}
+	buf := h.AppendTo(nil)
+	if len(buf) != HeaderLen {
+		t.Fatalf("len = %d", len(buf))
+	}
+	payload := append(buf, make([]byte, 100)...)
+	var got Header
+	app, err := got.DecodeFromBytes(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, h)
+	}
+	if len(app) != 100 {
+		t.Fatalf("app payload = %d, want 100", len(app))
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(ver uint8, concat bool, typ uint8, size uint16, pc uint16, seq uint8, e bool, sub uint8) bool {
+		h := Header{
+			Version: ver & 0xf, Concat: concat, Type: MessageType(typ),
+			PayloadSize: size, PcID: PcIDFromUint16(pc),
+			SeqID: seq, EBit: e, SubSeqID: sub & 0x7f,
+		}
+		var got Header
+		_, err := got.DecodeFromBytes(h.AppendTo(nil))
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPcIDPacking(t *testing.T) {
+	p := PcID{DUPort: 1, BandSector: 2, CC: 3, RUPort: 4}
+	if p.Uint16() != 0x1234 {
+		t.Fatalf("Uint16 = %#04x", p.Uint16())
+	}
+	if PcIDFromUint16(0x1234) != p {
+		t.Fatal("unpack")
+	}
+	if p.String() != "(DU_Port_ID: 1, BandSector_ID: 2, CC_ID: 3, RU_Port_ID: 4)" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	var h Header
+	if _, err := h.DecodeFromBytes(make([]byte, 7)); err != ErrTruncated {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPayloadBounding(t *testing.T) {
+	h := Header{Type: MsgRTControl, PayloadSize: 4 + 10}
+	buf := h.AppendTo(nil)
+	buf = append(buf, make([]byte, 50)...) // trailing padding beyond payload
+	var got Header
+	app, err := got.DecodeFromBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app) != 10 {
+		t.Fatalf("bounded payload = %d, want 10", len(app))
+	}
+	// A lying PayloadSize larger than the frame falls back to the remainder.
+	h.PayloadSize = 4 + 1000
+	buf = h.AppendTo(nil)
+	buf = append(buf, make([]byte, 20)...)
+	app, err = got.DecodeFromBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app) != 20 {
+		t.Fatalf("oversize claim: payload = %d, want 20", len(app))
+	}
+}
+
+func TestSetPayloadSize(t *testing.T) {
+	h := Header{Type: MsgIQData}
+	buf := h.AppendTo(nil)
+	buf = append(buf, make([]byte, 32)...)
+	if err := SetPayloadSize(buf, 0, 32); err != nil {
+		t.Fatal(err)
+	}
+	var got Header
+	app, err := got.DecodeFromBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PayloadSize != 36 || len(app) != 32 {
+		t.Fatalf("size = %d app = %d", got.PayloadSize, len(app))
+	}
+	if err := SetPayloadSize(buf, 35, 1); err != ErrTruncated {
+		t.Fatalf("out of range offset: %v", err)
+	}
+}
+
+func TestMessageTypeString(t *testing.T) {
+	if MsgIQData.String() != "IQ Data" || MsgRTControl.String() != "Real-Time Control Data" {
+		t.Fatal("well-known names")
+	}
+	if MessageType(7).String() != "eCPRI type 7" {
+		t.Fatal(MessageType(7).String())
+	}
+}

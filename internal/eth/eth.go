@@ -1,0 +1,163 @@
+// Package eth implements the Ethernet II framing used by the O-RAN
+// fronthaul, including the optional 802.1Q VLAN tag the specification
+// recommends for C/U-plane separation. Encoding and decoding follow the
+// gopacket idiom: DecodeFromBytes fills a reusable struct without
+// allocating, and AppendTo serializes onto a caller-provided slice.
+package eth
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// EtherType values relevant to the fronthaul.
+const (
+	// TypeVLAN is the 802.1Q tag protocol identifier.
+	TypeVLAN uint16 = 0x8100
+	// TypeECPRI is the IEEE-assigned EtherType for eCPRI, the transport
+	// protocol of the O-RAN fronthaul C/U planes.
+	TypeECPRI uint16 = 0xAEFE
+)
+
+// HeaderLen is the length of an untagged Ethernet II header.
+const HeaderLen = 14
+
+// VLANHeaderLen is the length of an Ethernet II header carrying one 802.1Q tag.
+const VLANHeaderLen = 18
+
+// MAC is a 48-bit Ethernet address. The zero value is the null address.
+type MAC [6]byte
+
+// String renders the address in the canonical colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsZero reports whether the address is all-zero.
+func (m MAC) IsZero() bool { return m == MAC{} }
+
+// IsBroadcast reports whether the address is ff:ff:ff:ff:ff:ff.
+func (m MAC) IsBroadcast() bool { return m == MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff} }
+
+// Broadcast is the Ethernet broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// ParseMAC parses a colon-separated address.
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	if len(s) != 17 {
+		return m, fmt.Errorf("eth: bad MAC %q", s)
+	}
+	for i := 0; i < 6; i++ {
+		hi, ok1 := hexNibble(s[i*3])
+		lo, ok2 := hexNibble(s[i*3+1])
+		if !ok1 || !ok2 {
+			return m, fmt.Errorf("eth: bad MAC %q", s)
+		}
+		if i < 5 && s[i*3+2] != ':' {
+			return m, fmt.Errorf("eth: bad MAC %q", s)
+		}
+		m[i] = hi<<4 | lo
+	}
+	return m, nil
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// Header is a decoded Ethernet II header with an optional single 802.1Q tag.
+type Header struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16 // inner type when VLAN-tagged
+	// HasVLAN indicates an 802.1Q tag is present.
+	HasVLAN bool
+	// VLANID is the 12-bit VLAN identifier (valid when HasVLAN).
+	VLANID uint16
+	// Priority is the 3-bit PCP field (valid when HasVLAN). Fronthaul
+	// deployments commonly prioritize U-plane over management traffic.
+	Priority uint8
+}
+
+// ErrTruncated reports a frame shorter than its headers claim.
+var ErrTruncated = errors.New("eth: truncated frame")
+
+// Len returns the encoded header length.
+func (h *Header) Len() int {
+	if h.HasVLAN {
+		return VLANHeaderLen
+	}
+	return HeaderLen
+}
+
+// DecodeFromBytes parses the header from b and returns the payload slice
+// aliasing b. It does not allocate.
+func (h *Header) DecodeFromBytes(b []byte) (payload []byte, err error) {
+	if len(b) < HeaderLen {
+		return nil, ErrTruncated
+	}
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	et := binary.BigEndian.Uint16(b[12:14])
+	if et == TypeVLAN {
+		if len(b) < VLANHeaderLen {
+			return nil, ErrTruncated
+		}
+		tci := binary.BigEndian.Uint16(b[14:16])
+		h.HasVLAN = true
+		h.Priority = uint8(tci >> 13)
+		h.VLANID = tci & 0x0fff
+		h.EtherType = binary.BigEndian.Uint16(b[16:18])
+		return b[18:], nil
+	}
+	h.HasVLAN = false
+	h.Priority = 0
+	h.VLANID = 0
+	h.EtherType = et
+	return b[14:], nil
+}
+
+// AppendTo serializes the header onto b and returns the extended slice.
+func (h *Header) AppendTo(b []byte) []byte {
+	b = append(b, h.Dst[:]...)
+	b = append(b, h.Src[:]...)
+	if h.HasVLAN {
+		b = binary.BigEndian.AppendUint16(b, TypeVLAN)
+		tci := uint16(h.Priority&0x7)<<13 | h.VLANID&0x0fff
+		b = binary.BigEndian.AppendUint16(b, tci)
+	}
+	return binary.BigEndian.AppendUint16(b, h.EtherType)
+}
+
+// Rewrite updates the addressing of an already-encoded frame in place.
+// This is the mechanism behind RANBooster action A1 (redirection): steering
+// a fronthaul packet to a different DU or RU is a MAC/VLAN rewrite.
+func Rewrite(frame []byte, dst, src MAC, vlan int) error {
+	if len(frame) < HeaderLen {
+		return ErrTruncated
+	}
+	copy(frame[0:6], dst[:])
+	copy(frame[6:12], src[:])
+	if vlan >= 0 {
+		if binary.BigEndian.Uint16(frame[12:14]) != TypeVLAN {
+			return errors.New("eth: frame has no VLAN tag to rewrite")
+		}
+		if len(frame) < VLANHeaderLen {
+			return ErrTruncated
+		}
+		tci := binary.BigEndian.Uint16(frame[14:16])
+		tci = tci&0xf000 | uint16(vlan)&0x0fff
+		binary.BigEndian.PutUint16(frame[14:16], tci)
+	}
+	return nil
+}

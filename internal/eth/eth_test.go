@@ -1,0 +1,164 @@
+package eth
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTripUntagged(t *testing.T) {
+	h := Header{
+		Dst:       MAC{0x6c, 0xad, 0xad, 0x00, 0x0b, 0x6c},
+		Src:       MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01},
+		EtherType: TypeECPRI,
+	}
+	buf := h.AppendTo(nil)
+	if len(buf) != HeaderLen {
+		t.Fatalf("len = %d, want %d", len(buf), HeaderLen)
+	}
+	var got Header
+	payload, err := got.DecodeFromBytes(append(buf, 0xde, 0xad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip: got %+v want %+v", got, h)
+	}
+	if !bytes.Equal(payload, []byte{0xde, 0xad}) {
+		t.Fatalf("payload = %x", payload)
+	}
+}
+
+func TestHeaderRoundTripVLAN(t *testing.T) {
+	h := Header{
+		Dst:       Broadcast,
+		Src:       MAC{1, 2, 3, 4, 5, 6},
+		EtherType: TypeECPRI,
+		HasVLAN:   true,
+		VLANID:    6,
+		Priority:  7,
+	}
+	buf := h.AppendTo(nil)
+	if len(buf) != VLANHeaderLen {
+		t.Fatalf("len = %d, want %d", len(buf), VLANHeaderLen)
+	}
+	var got Header
+	if _, err := got.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip: got %+v want %+v", got, h)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(dst, src [6]byte, et uint16, hasVLAN bool, vid uint16, prio uint8) bool {
+		if et == TypeVLAN {
+			et = TypeECPRI // a bare frame whose type is the TPID is ambiguous by design
+		}
+		h := Header{Dst: dst, Src: src, EtherType: et, HasVLAN: hasVLAN}
+		if hasVLAN {
+			h.VLANID = vid & 0x0fff
+			h.Priority = prio & 0x7
+		}
+		var got Header
+		payload, err := got.DecodeFromBytes(h.AppendTo(nil))
+		return err == nil && got == h && len(payload) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	var h Header
+	if _, err := h.DecodeFromBytes(make([]byte, 13)); err != ErrTruncated {
+		t.Fatalf("short untagged: err = %v", err)
+	}
+	th := Header{EtherType: TypeECPRI, HasVLAN: true}
+	tagged := th.AppendTo(nil)
+	if _, err := h.DecodeFromBytes(tagged[:16]); err != ErrTruncated {
+		t.Fatalf("short tagged: err = %v", err)
+	}
+}
+
+func TestParseMAC(t *testing.T) {
+	m, err := ParseMAC("6c:ad:ad:00:0b:6c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "6c:ad:ad:00:0b:6c" {
+		t.Fatalf("String() = %q", m.String())
+	}
+	for _, bad := range []string{"", "6c:ad:ad:00:0b", "zz:ad:ad:00:0b:6c", "6c-ad-ad-00-0b-6c"} {
+		if _, err := ParseMAC(bad); err == nil {
+			t.Fatalf("ParseMAC(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMACPredicates(t *testing.T) {
+	if !Broadcast.IsBroadcast() {
+		t.Fatal("Broadcast not broadcast")
+	}
+	if (MAC{}).IsBroadcast() {
+		t.Fatal("zero is broadcast")
+	}
+	if !(MAC{}).IsZero() {
+		t.Fatal("zero not zero")
+	}
+}
+
+func TestRewrite(t *testing.T) {
+	h := Header{
+		Dst: MAC{1, 1, 1, 1, 1, 1}, Src: MAC{2, 2, 2, 2, 2, 2},
+		EtherType: TypeECPRI, HasVLAN: true, VLANID: 6, Priority: 5,
+	}
+	frame := h.AppendTo(nil)
+	frame = append(frame, 0xaa, 0xbb)
+	newDst := MAC{9, 9, 9, 9, 9, 9}
+	newSrc := MAC{8, 8, 8, 8, 8, 8}
+	if err := Rewrite(frame, newDst, newSrc, 42); err != nil {
+		t.Fatal(err)
+	}
+	var got Header
+	payload, err := got.DecodeFromBytes(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dst != newDst || got.Src != newSrc || got.VLANID != 42 {
+		t.Fatalf("rewrite: %+v", got)
+	}
+	if got.Priority != 5 {
+		t.Fatalf("priority clobbered: %d", got.Priority)
+	}
+	if !bytes.Equal(payload, []byte{0xaa, 0xbb}) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestRewriteKeepVLAN(t *testing.T) {
+	h := Header{EtherType: TypeECPRI, HasVLAN: true, VLANID: 6}
+	frame := h.AppendTo(nil)
+	if err := Rewrite(frame, MAC{1}, MAC{2}, -1); err != nil {
+		t.Fatal(err)
+	}
+	var got Header
+	if _, err := got.DecodeFromBytes(frame); err != nil {
+		t.Fatal(err)
+	}
+	if got.VLANID != 6 {
+		t.Fatalf("vlan = %d, want 6 (unchanged)", got.VLANID)
+	}
+}
+
+func TestRewriteErrors(t *testing.T) {
+	if err := Rewrite(make([]byte, 4), MAC{}, MAC{}, -1); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	uh := Header{EtherType: TypeECPRI}
+	untagged := uh.AppendTo(nil)
+	if err := Rewrite(untagged, MAC{}, MAC{}, 5); err == nil {
+		t.Fatal("vlan rewrite on untagged frame accepted")
+	}
+}

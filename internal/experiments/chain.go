@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"ranbooster/internal/apps/rushare"
+	"ranbooster/internal/core"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/testbed"
+)
+
+// rushareInfo is a tenant descriptor used by the chained builders.
+type rushareInfo struct {
+	mac     eth.MAC
+	carrier phy.Carrier
+	port    uint8
+}
+
+// buildRushareEngine builds an RU-sharing middlebox engine whose "RU" may
+// itself be another middlebox (chaining, Fig. 8).
+func buildRushareEngine(tb *testbed.TB, name string, mac, ruSide eth.MAC, ruCarrier phy.Carrier, tenants []rushareInfo) *core.Engine {
+	var infos []rushare.DUInfo
+	for _, t := range tenants {
+		infos = append(infos, rushare.DUInfo{MAC: t.mac, Carrier: t.carrier, PortID: t.port})
+	}
+	app, err := rushare.New(rushare.Config{
+		Name: name, MAC: mac, RU: ruSide,
+		RUCarrier: ruCarrier, Comp: testbed.BFP9(), DUs: infos,
+	})
+	if err != nil {
+		panic(err)
+	}
+	eng, err := core.NewEngine(tb.Sched, core.Config{
+		Name: name, Mode: core.ModeDPDK, App: app, CarrierPRBs: ruCarrier.NumPRB,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return eng
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import "fmt"
+
+func init() {
+	register("costs", CostsA2)
+}
+
+// CapEx model of Appendix A.2: the Cambridge deployment's commodity bill
+// of materials versus a conventional DAS quote.
+type CapExItem struct {
+	Item  string
+	Cost  float64
+	Notes string
+}
+
+// CambridgeBOM is the itemization behind the paper's "$60,000" commodity
+// estimate (16 RUs across four floors plus fabric and compute).
+var CambridgeBOM = []CapExItem{
+	{"16 commodity O-RAN RUs", 28800, "$1.8k each"},
+	{"cabling, mounting, building work", 12000, ""},
+	{"switching fabric (100GbE)", 9000, ""},
+	{"PTP grandmaster clock", 4200, ""},
+	{"NICs", 2000, ""},
+	{"8 CPU cores for middleboxes (amortized)", 4000, ""},
+}
+
+// Deployment geometry from Appendix A.2.
+const (
+	SquareFeetPerFloor = 15403.0
+	CambridgeFloors    = 5
+	// ConventionalDASPerSqFt is the conservative reference price.
+	ConventionalDASPerSqFt = 2.0
+	// VendorMargin is the speculative RANBooster offering's profit margin.
+	VendorMargin = 0.5
+)
+
+// CommodityCost sums the bill of materials.
+func CommodityCost() float64 {
+	var sum float64
+	for _, it := range CambridgeBOM {
+		sum += it.Cost
+	}
+	return sum
+}
+
+// ConventionalDASCost prices a conventional deployment of the same area.
+func ConventionalDASCost() float64 {
+	return SquareFeetPerFloor * CambridgeFloors * ConventionalDASPerSqFt
+}
+
+// SavingsFraction is the Appendix A.2 headline: cost reduction after the
+// vendor margin.
+func SavingsFraction() float64 {
+	offered := CommodityCost() * (1 + VendorMargin)
+	return 1 - offered/ConventionalDASCost()
+}
+
+// CostsA2 regenerates the Appendix A.2 CapEx comparison.
+func CostsA2() *Table {
+	t := &Table{
+		ID:      "costs",
+		Title:   "Appendix A.2: CapEx of the Cambridge deployment",
+		Columns: []string{"item", "cost USD"},
+	}
+	for _, it := range CambridgeBOM {
+		label := it.Item
+		if it.Notes != "" {
+			label += " (" + it.Notes + ")"
+		}
+		t.AddRow(label, fmt.Sprintf("%.0f", it.Cost))
+	}
+	t.AddRow("commodity total", fmt.Sprintf("%.0f", CommodityCost()))
+	t.AddRow("with 50% vendor margin", fmt.Sprintf("%.0f", CommodityCost()*(1+VendorMargin)))
+	t.AddRow(fmt.Sprintf("conventional DAS (%.0f sqft x $%.0f)", SquareFeetPerFloor*CambridgeFloors, ConventionalDASPerSqFt),
+		fmt.Sprintf("%.0f", ConventionalDASCost()))
+	t.AddRow("savings", fmt.Sprintf("%.0f%%", SavingsFraction()*100))
+	t.Note("paper: commodity ~$60k; conventional ~$154k; ~41%% cheaper even with a 50%% margin")
+	return t
+}

@@ -1,0 +1,89 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6, plus Appendix A.2) on the simulated testbed. Each
+// runner returns a Table carrying the same rows/series the paper reports,
+// alongside the paper's reference numbers, so shape comparisons are
+// immediate. EXPERIMENTS.md records a full run.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one regenerated result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner produces one result.
+type Runner func() *Table
+
+// Registry maps experiment ids to runners.
+var Registry = map[string]Runner{}
+
+// order preserves a stable listing.
+var order []string
+
+func register(id string, r Runner) {
+	Registry[id] = r
+	order = append(order, id)
+}
+
+// IDs returns the registered experiment ids in registration order.
+func IDs() []string {
+	out := append([]string(nil), order...)
+	sort.Strings(out)
+	return out
+}
+
+func mbpsCell(bps float64) string { return fmt.Sprintf("%.1f", bps/1e6) }
+func refCell(v float64) string    { return fmt.Sprintf("%.1f", v) }
+func pctCell(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }
+func gbpsCell(bps float64) string { return fmt.Sprintf("%.1f", bps/1e9) }

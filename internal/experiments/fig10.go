@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ranbooster/internal/air"
+	"ranbooster/internal/core"
+	"ranbooster/internal/du"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+	"ranbooster/internal/telemetry"
+	"ranbooster/internal/testbed"
+)
+
+func init() {
+	register("table2", Table2)
+	register("fig10a", Fig10a)
+	register("fig10b", Fig10b)
+	register("fig10c", Fig10c)
+}
+
+// Table2 regenerates Table 2: dMIMO downlink throughput and rank versus
+// the single co-located RU ground truth, for 2 and 4 layers.
+func Table2() *Table {
+	t := &Table{
+		ID:      "table2",
+		Title:   "dMIMO vs single-RU MIMO ground truth (100 MHz, UE at ~5 m)",
+		Columns: []string{"configuration", "DL Mbps", "paper Mbps", "rank", "paper rank"},
+	}
+	type cfg struct {
+		label   string
+		layers  int
+		dmimo   bool
+		perRU   int
+		refMbps float64
+		refRank int
+	}
+	cases := []cfg{
+		{"2x2 MIMO: single RU, 2 antennas", 2, false, 2, 653.4, 2},
+		{"2x2 MIMO: two RUs, 1 antenna each (RANBooster)", 2, true, 1, 654.1, 2},
+		{"4x4 MIMO: single RU, 4 antennas", 4, false, 4, 898.2, 4},
+		{"4x4 MIMO: two RUs, 2 antennas each (RANBooster)", 4, true, 2, 896.9, 4},
+	}
+	for _, c := range cases {
+		tb := testbed.New(100)
+		cell := testbed.CellConfig("cell", 1, testbed.Carrier100(), phy.StackSRSRAN, c.layers)
+		var d duHandle
+		if c.dmimo {
+			positions := []radio.Point{
+				radio.RUAt(0, 20, radio.FloorWidth/2),
+				radio.RUAt(0, 25, radio.FloorWidth/2),
+			}
+			dep, err := tb.DMIMOCell("dm", cell, positions, testbed.DMIMOOpts{Mode: core.ModeDPDK, PortsPerRU: c.perRU})
+			if err != nil {
+				panic(err)
+			}
+			d = duHandle{dep.DU}
+		} else {
+			dd, _ := tb.DirectCell("base", cell, radio.RUAt(0, 20, radio.FloorWidth/2), c.layers, false)
+			d = duHandle{dd}
+		}
+		ue := tb.AddUE(0, 22.5, radio.FloorWidth/2+3)
+		ue.OfferedDLbps = 1200e6
+		tb.Settle()
+		tb.Measure(300 * time.Millisecond)
+		dl := ue.ThroughputDLbps(tb.Sched.Now())
+		t.AddRow(c.label, mbpsCell(dl), refCell(c.refMbps),
+			fmt.Sprintf("%d", d.RankIndicator(ue)), fmt.Sprintf("%d", c.refRank))
+	}
+	t.Note("uplink (SISO) in all cases ~65 Mbps vs paper's expected 70 Mbps")
+	return t
+}
+
+type duHandle struct{ *du.DU }
+
+// Fig10a regenerates Fig. 10a: single-cell/1-RU baseline versus the
+// five-floor DAS, downlink and uplink, simultaneous and per-floor iperf.
+func Fig10a() *Table {
+	t := &Table{
+		ID:      "fig10a",
+		Title:   "DAS coverage expansion: throughput vs 1-RU baseline (100 MHz 4x4)",
+		Columns: []string{"scenario", "DL Mbps", "UL Mbps", "attached UEs"},
+	}
+
+	// Baseline: one RU, two close UEs.
+	{
+		tb := testbed.New(101)
+		cell := testbed.CellConfig("cell", 1, testbed.Carrier100(), phy.StackSRSRAN, 4)
+		tb.DirectCell("base", cell, testbed.RUPosition(0, 1), 4, false)
+		a := tb.AddUE(0, testbed.RUXPositions[1]-4, radio.FloorWidth/2)
+		b := tb.AddUE(0, testbed.RUXPositions[1]+4, radio.FloorWidth/2)
+		// Upper-floor UEs cannot attach to the single ground-floor cell.
+		up := tb.AddUE(2, testbed.RUXPositions[1], radio.FloorWidth/2)
+		a.OfferedDLbps, a.OfferedULbps = 600e6, 60e6
+		b.OfferedDLbps, b.OfferedULbps = 600e6, 60e6
+		tb.Settle()
+		tb.Measure(300 * time.Millisecond)
+		now := tb.Sched.Now()
+		attached := 0
+		for _, u := range []*air.UE{a, b, up} {
+			if u.Attached() {
+				attached++
+			}
+		}
+		t.AddRow("single cell, 1 RU (2 UEs ground floor)",
+			mbpsCell(a.ThroughputDLbps(now)+b.ThroughputDLbps(now)),
+			mbpsCell(a.ThroughputULbps(now)+b.ThroughputULbps(now)),
+			fmt.Sprintf("%d/3", attached))
+	}
+
+	// DAS: one RU per floor, one UE per floor.
+	das := func(label string, simultaneous bool) {
+		tb := testbed.New(102)
+		cell := testbed.CellConfig("cell", 1, testbed.Carrier100(), phy.StackSRSRAN, 4)
+		var positions []radio.Point
+		for f := 0; f < testbed.Floors; f++ {
+			positions = append(positions, testbed.RUPosition(f, 1))
+		}
+		if _, err := tb.DASCell("das", cell, positions, testbed.DASOpts{Mode: core.ModeDPDK, Cores: 2}); err != nil {
+			panic(err)
+		}
+		var ues []*air.UE
+		for f := 0; f < testbed.Floors; f++ {
+			ues = append(ues, tb.AddUE(f, testbed.RUXPositions[1]+4, radio.FloorWidth/2))
+		}
+		tb.Settle()
+		attached := 0
+		for _, u := range ues {
+			if u.Attached() {
+				attached++
+			}
+		}
+		if simultaneous {
+			for _, u := range ues {
+				u.OfferedDLbps, u.OfferedULbps = 300e6, 30e6
+			}
+		} else {
+			ues[2].OfferedDLbps, ues[2].OfferedULbps = 1000e6, 100e6
+		}
+		tb.Measure(300 * time.Millisecond)
+		now := tb.Sched.Now()
+		var dl, ul float64
+		for _, u := range ues {
+			dl += u.ThroughputDLbps(now)
+			ul += u.ThroughputULbps(now)
+		}
+		t.AddRow(label, mbpsCell(dl), mbpsCell(ul), fmt.Sprintf("%d/5", attached))
+	}
+	das("RANBooster DAS, 5 RUs/floors, all UEs transmitting", true)
+	das("RANBooster DAS, 5 RUs/floors, one UE transmitting", false)
+
+	t.Note("paper: all three bars equal (~same DL and UL); upper-floor UEs attach only with the DAS")
+	return t
+}
+
+// Fig10b regenerates Fig. 10b: 40 MHz cells on a dedicated RU versus on a
+// shared 100 MHz RU.
+func Fig10b() *Table {
+	t := &Table{
+		ID:      "fig10b",
+		Title:   "RU sharing: 40 MHz cells, dedicated RU vs shared 100 MHz RU",
+		Columns: []string{"scenario", "DL Mbps", "UL Mbps", "paper DL", "paper UL"},
+	}
+	// Dedicated baseline.
+	{
+		tb := testbed.New(103)
+		cell := testbed.CellConfig("ded", 1, phy.NewCarrier(40, 3_460_000_000), phy.StackSRSRAN, 4)
+		tb.DirectCell("base", cell, testbed.RUPosition(0, 0), 4, false)
+		u := tb.AddUE(0, testbed.RUXPositions[0]+4, radio.FloorWidth/2)
+		u.OfferedDLbps, u.OfferedULbps = 500e6, 50e6
+		tb.Settle()
+		tb.Measure(300 * time.Millisecond)
+		now := tb.Sched.Now()
+		t.AddRow("dedicated 40 MHz RU", mbpsCell(u.ThroughputDLbps(now)), mbpsCell(u.ThroughputULbps(now)), "330.0", "25.0")
+	}
+	// Shared.
+	{
+		tb := testbed.New(104)
+		ruCarrier := testbed.Carrier100()
+		duPRBs := phy.PRBsFor(40)
+		cells := []air.CellConfig{
+			testbed.CellConfig("mnoA", 11, phy.Carrier{BandwidthMHz: 40, CenterHz: phy.AlignedDUCenterHz(ruCarrier, 0, duPRBs), NumPRB: duPRBs}, phy.StackSRSRAN, 4),
+			testbed.CellConfig("mnoB", 12, phy.Carrier{BandwidthMHz: 40, CenterHz: phy.AlignedDUCenterHz(ruCarrier, ruCarrier.NumPRB-duPRBs, duPRBs), NumPRB: duPRBs}, phy.StackSRSRAN, 4),
+		}
+		if _, err := tb.SharedRU("sh", ruCarrier, testbed.RUPosition(0, 0), cells, core.ModeDPDK); err != nil {
+			panic(err)
+		}
+		ua := tb.AddUE(0, testbed.RUXPositions[0]+4, radio.FloorWidth/2)
+		ua.AllowedCell = "mnoA"
+		ub := tb.AddUE(0, testbed.RUXPositions[0]-4, radio.FloorWidth/2)
+		ub.AllowedCell = "mnoB"
+		for _, u := range []*air.UE{ua, ub} {
+			u.OfferedDLbps, u.OfferedULbps = 500e6, 50e6
+		}
+		tb.Settle()
+		tb.Measure(300 * time.Millisecond)
+		now := tb.Sched.Now()
+		t.AddRow("shared 100 MHz RU, cell A", mbpsCell(ua.ThroughputDLbps(now)), mbpsCell(ua.ThroughputULbps(now)), "330.0", "25.0")
+		t.AddRow("shared 100 MHz RU, cell B", mbpsCell(ub.ThroughputDLbps(now)), mbpsCell(ub.ThroughputULbps(now)), "330.0", "25.0")
+	}
+	t.Note("paper: shared-RU throughput identical to the dedicated baseline")
+	return t
+}
+
+// Fig10c regenerates Fig. 10c: Algorithm 1's PRB utilization estimate
+// versus the MAC-log ground truth across offered loads.
+func Fig10c() *Table {
+	t := &Table{
+		ID:      "fig10c",
+		Title:   "Real-time PRB monitoring: estimate vs MAC-log ground truth (100 MHz)",
+		Columns: []string{"offered Mbps", "DL truth", "DL estimate", "UL truth", "UL estimate"},
+	}
+	for _, load := range []float64{0, 100, 200, 300, 400, 500, 600, 700} {
+		tb := testbed.New(105)
+		cell := testbed.CellConfig("mon", 1, testbed.Carrier100(), phy.StackSRSRAN, 4)
+		dep, err := tb.MonitoredCell("mon", cell, testbed.RUPosition(0, 0), testbed.MonitorOpts{Mode: core.ModeDPDK})
+		if err != nil {
+			panic(err)
+		}
+		rec := telemetry.NewRecorder()
+		rec.Attach(dep.Engine.Bus(), "")
+		u := tb.AddUE(0, testbed.RUXPositions[0]+4, radio.FloorWidth/2)
+		u.OfferedDLbps = load * 1e6
+		u.OfferedULbps = load * 1e6 / 10
+		tb.Settle()
+		before := dep.DU.Stats()
+		tb.Measure(400 * time.Millisecond)
+		after := dep.DU.Stats()
+		truthDL := ratio(after.DLPRBSymSched-before.DLPRBSymSched, after.DLPRBSymTotal-before.DLPRBSymTotal)
+		truthUL := ratio(after.ULPRBSymSched-before.ULPRBSymSched, after.ULPRBSymTotal-before.ULPRBSymTotal)
+		estDL := lastSample(rec, "prb.utilization.dl")
+		estUL := lastSample(rec, "prb.utilization.ul")
+		t.AddRow(fmt.Sprintf("%.0f", load), pctCell(truthDL), pctCell(estDL), pctCell(truthUL), pctCell(estUL))
+	}
+	t.Note("paper: estimates closely match the ground truth at every load level")
+	return t
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+func lastSample(rec *telemetry.Recorder, name string) float64 {
+	s := rec.Series(name)
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)-1].Value
+}

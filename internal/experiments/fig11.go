@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ranbooster/internal/air"
+	"ranbooster/internal/apps/das"
+	"ranbooster/internal/core"
+	"ranbooster/internal/du"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+	"ranbooster/internal/testbed"
+)
+
+func init() {
+	register("fig11", Fig11)
+	register("fig12", Fig12)
+	register("fig13", Fig13)
+}
+
+// walkXs are the measurement positions of the floor walk.
+var walkXs = []float64{4, 10, 16, 22, 28, 34, 40, 47}
+
+// walkThroughput walks the mobile UE across the floor measuring downlink
+// goodput at each position.
+func walkThroughput(tb *testbed.TB, mobile *air.UE) []float64 {
+	var out []float64
+	for _, x := range walkXs {
+		mobile.Pos = radio.UEAt(0, x, radio.FloorWidth/2)
+		tb.Run(150 * time.Millisecond) // settle: handover, link adaptation
+		tb.Measure(150 * time.Millisecond)
+		out = append(out, mobile.ThroughputDLbps(tb.Sched.Now()))
+	}
+	return out
+}
+
+// Fig11 regenerates Fig. 11: covering one floor with four RUs as (O1)
+// four 25 MHz cells on separate frequencies, (O2) four 100 MHz cells with
+// full frequency reuse, and (O3) one 100 MHz cell distributed by the DAS
+// middlebox. A static UE near RU 1 pulls 100 Mbps; the mobile UE walks
+// the floor running a 700 Mbps test.
+func Fig11() *Table {
+	t := &Table{
+		ID:      "fig11",
+		Title:   "Floor deployment options: mobile-UE DL Mbps at each walk position",
+		Columns: append([]string{"option"}, walkLabels()...),
+	}
+
+	multiCell := func(label string, bwMHz int, reuse bool) {
+		tb := testbed.New(110)
+		var centers []int64
+		for i := 0; i < 4; i++ {
+			if reuse {
+				centers = append(centers, 3_460_000_000)
+			} else {
+				// Non-overlapping 25 MHz blocks inside the 100 MHz.
+				centers = append(centers, 3_410_000_000+int64(i)*26_000_000)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			carrier := phy.NewCarrier(bwMHz, centers[i])
+			cell := testbed.CellConfig(fmt.Sprintf("cell%d", i), i+1, carrier, phy.StackSRSRAN, 4)
+			tb.DirectCell(fmt.Sprintf("c%d", i), cell, testbed.RUPosition(0, i), 4, false)
+		}
+		static := tb.AddUE(0, testbed.RUXPositions[0]+1, radio.FloorWidth/2)
+		static.AllowedCell = "cell0"
+		static.OfferedDLbps = 100e6
+		mobile := tb.AddUE(0, 4, radio.FloorWidth/2)
+		mobile.OfferedDLbps = 700e6
+		tb.Settle()
+		row := []string{label}
+		for _, v := range walkThroughput(tb, mobile) {
+			row = append(row, mbpsCell(v))
+		}
+		t.AddRow(row...)
+	}
+	multiCell("O1: four 25 MHz cells", 25, false)
+	multiCell("O2: four 100 MHz cells (reuse-1)", 100, true)
+
+	// O3: RANBooster DAS.
+	{
+		tb := testbed.New(111)
+		cell := testbed.CellConfig("das", 1, testbed.Carrier100(), phy.StackSRSRAN, 4)
+		positions := []radio.Point{
+			testbed.RUPosition(0, 0), testbed.RUPosition(0, 1),
+			testbed.RUPosition(0, 2), testbed.RUPosition(0, 3),
+		}
+		if _, err := tb.DASCell("das", cell, positions, testbed.DASOpts{Mode: core.ModeDPDK, Cores: 2}); err != nil {
+			panic(err)
+		}
+		static := tb.AddUE(0, testbed.RUXPositions[0]+1, radio.FloorWidth/2)
+		static.OfferedDLbps = 100e6
+		mobile := tb.AddUE(0, 4, radio.FloorWidth/2)
+		mobile.OfferedDLbps = 700e6
+		tb.Settle()
+		row := []string{"O3: RANBooster DAS (one 100 MHz cell)"}
+		for _, v := range walkThroughput(tb, mobile) {
+			row = append(row, mbpsCell(v))
+		}
+		t.AddRow(row...)
+	}
+	t.Note("paper: O1 caps at ~200 Mbps; O2 dips at cell boundaries from inter-cell interference; O3 sustains ~700 Mbps everywhere")
+	return t
+}
+
+func walkLabels() []string {
+	out := make([]string, len(walkXs))
+	for i, x := range walkXs {
+		out[i] = fmt.Sprintf("x=%.0fm", x)
+	}
+	return out
+}
+
+// Fig12 regenerates Fig. 12 / §6.3.2: RU-sharing chained with DAS to host
+// two MNOs over four shared 100 MHz RUs, 40 MHz each.
+func Fig12() *Table {
+	t := &Table{
+		ID:      "fig12",
+		Title:   "Chained RU sharing + DAS: two MNOs over the same four RUs",
+		Columns: []string{"tenant", "DL Mbps across floor", "paper"},
+	}
+	tb, _, ues := buildFig12(700e6)
+	tb.Settle()
+	tb.Measure(300 * time.Millisecond)
+	now := tb.Sched.Now()
+	t.AddRow("MNO 1 (40 MHz)", mbpsCell(ues[0].ThroughputDLbps(now)), "~350")
+	t.AddRow("MNO 2 (40 MHz)", mbpsCell(ues[1].ThroughputDLbps(now)), "~350")
+	t.Note("RU sharing and DAS middleboxes are chained; no infrastructure change, software only")
+	return t
+}
+
+// buildFig12 assembles the chained deployment: two 40 MHz DUs → RU-sharing
+// middlebox → DAS middlebox → four 100 MHz RUs.
+func buildFig12(offered float64) (*testbed.TB, []*du.DU, []*air.UE) {
+	tb := testbed.New(112)
+	ruCarrier := testbed.Carrier100()
+	duPRBs := phy.PRBsFor(40)
+
+	dasMAC := tb.NewMAC()
+	// The DAS distributes the shared-RU downstream across the floor.
+	var ruMACs []eth.MAC
+	for i := 0; i < 4; i++ {
+		_, mac := tb.AddRU(fmt.Sprintf("f12-ru%d", i), testbed.RUPosition(0, i), testbed.RUOpts{
+			Carrier: ruCarrier, Ports: 4, Peer: dasMAC,
+		})
+		ruMACs = append(ruMACs, mac)
+	}
+
+	// RU-sharing tenants, aligned per Appendix A.1.1.
+	shareMAC := tb.NewMAC()
+	cells := []air.CellConfig{
+		testbed.CellConfig("mno1", 21, phy.Carrier{BandwidthMHz: 40, CenterHz: phy.AlignedDUCenterHz(ruCarrier, 0, duPRBs), NumPRB: duPRBs}, phy.StackSRSRAN, 4),
+		testbed.CellConfig("mno2", 22, phy.Carrier{BandwidthMHz: 40, CenterHz: phy.AlignedDUCenterHz(ruCarrier, ruCarrier.NumPRB-duPRBs, duPRBs), NumPRB: duPRBs}, phy.StackSRSRAN, 4),
+	}
+	var dus []*du.DU
+	var infos []rushareInfo
+	for i, cell := range cells {
+		d, duMAC := tb.AddDU(fmt.Sprintf("f12-du%d", i), testbed.DUOpts{Cell: cell, Peer: shareMAC, DUPortID: uint8(i + 1)})
+		dus = append(dus, d)
+		infos = append(infos, rushareInfo{mac: duMAC, carrier: cell.Carrier, port: uint8(i + 1)})
+	}
+	// Sharing middlebox: its "RU" is the DAS middlebox.
+	shareEng := buildRushareEngine(tb, "f12-rushare", shareMAC, dasMAC, ruCarrier, infos)
+	tb.AddEngine(shareEng, shareMAC)
+
+	// DAS middlebox: its "DU" is the sharing middlebox.
+	dasApp := das.New(das.Config{
+		Name: "f12-das", MAC: dasMAC, DU: shareMAC, RUs: ruMACs,
+		CarrierPRBs: ruCarrier.NumPRB,
+	})
+	dasEng, err := core.NewEngine(tb.Sched, core.Config{
+		Name: dasApp.Name(), Mode: core.ModeDPDK, Cores: 2, App: dasApp,
+		CarrierPRBs: ruCarrier.NumPRB,
+	})
+	if err != nil {
+		panic(err)
+	}
+	tb.AddEngine(dasEng, dasMAC)
+
+	u1 := tb.AddUE(0, testbed.RUXPositions[1]+3, radio.FloorWidth/2)
+	u1.AllowedCell = "mno1"
+	u1.OfferedDLbps = offered
+	u2 := tb.AddUE(0, testbed.RUXPositions[2]-3, radio.FloorWidth/2)
+	u2.AllowedCell = "mno2"
+	u2.OfferedDLbps = offered
+	return tb, dus, []*air.UE{u1, u2}
+}
+
+// Fig13 regenerates Fig. 13 / §6.3.2: a floor of four cheap 1-antenna RUs
+// run first as a SISO DAS, then swapped (software only) to a 4-layer
+// dMIMO middlebox.
+func Fig13() *Table {
+	t := &Table{
+		ID:      "fig13",
+		Title:   "DAS (SISO) vs dMIMO middlebox on the same four 1-antenna RUs",
+		Columns: append([]string{"middlebox"}, walkLabels()...),
+	}
+	positions := []radio.Point{
+		testbed.RUPosition(0, 0), testbed.RUPosition(0, 1),
+		testbed.RUPosition(0, 2), testbed.RUPosition(0, 3),
+	}
+	// DAS with a SISO cell.
+	{
+		tb := testbed.New(113)
+		cell := testbed.CellConfig("siso", 1, testbed.Carrier100(), phy.StackSRSRAN, 1)
+		if _, err := tb.DASCell("f13das", cell, positions, testbed.DASOpts{
+			Mode: core.ModeDPDK, Ports: 1, Cheap: true,
+		}); err != nil {
+			panic(err)
+		}
+		mobile := tb.AddUE(0, 4, radio.FloorWidth/2)
+		mobile.OfferedDLbps = 900e6
+		tb.Settle()
+		row := []string{"vendor A: DAS middlebox (SISO)"}
+		for _, v := range walkThroughput(tb, mobile) {
+			row = append(row, mbpsCell(v))
+		}
+		t.AddRow(row...)
+	}
+	// dMIMO on the same RUs.
+	{
+		tb := testbed.New(114)
+		cell := testbed.CellConfig("dmimo", 1, testbed.Carrier100(), phy.StackSRSRAN, 4)
+		if _, err := tb.DMIMOCell("f13dm", cell, positions, testbed.DMIMOOpts{
+			Mode: core.ModeDPDK, PortsPerRU: 1, Cheap: true,
+		}); err != nil {
+			panic(err)
+		}
+		mobile := tb.AddUE(0, 4, radio.FloorWidth/2)
+		mobile.OfferedDLbps = 900e6
+		tb.Settle()
+		row := []string{"vendor B: dMIMO middlebox (4 layers)"}
+		for _, v := range walkThroughput(tb, mobile) {
+			row = append(row, mbpsCell(v))
+		}
+		t.AddRow(row...)
+	}
+	t.Note("paper: DAS ~250 Mbps; dMIMO 2-3x higher depending on location; no infrastructure change")
+	return t
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ranbooster/internal/air"
+	"ranbooster/internal/apps/das"
+	"ranbooster/internal/apps/dmimo"
+	"ranbooster/internal/core"
+	"ranbooster/internal/cpu"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+	"ranbooster/internal/testbed"
+)
+
+func init() {
+	register("fig14", Fig14)
+}
+
+// Core budget of the Fig. 14 deployments (documented mapping: a 100 MHz
+// DU pipeline occupies five cores, each middlebox one).
+const (
+	coresPerDU = 5
+	coresPerMB = 1
+)
+
+// Fig14 regenerates Fig. 14: five floors covered either by one dMIMO
+// cell per floor (two servers, full power) or by a single cell whose DAS
+// is chained into per-floor dMIMO middleboxes (one server, half the
+// cores parked at low frequency).
+func Fig14() *Table {
+	t := &Table{
+		ID:      "fig14",
+		Title:   "Energy savings: per-floor throughput and server power",
+		Columns: []string{"configuration", "avg DL Mbps/floor", "total power W", "paper"},
+	}
+
+	// (a) One dMIMO cell per floor.
+	{
+		tb := testbed.New(140)
+		var ues []*air.UE
+		for f := 0; f < testbed.Floors; f++ {
+			cell := testbed.CellConfig(fmt.Sprintf("floor%d", f), f+1, testbed.Carrier100(), phy.StackSRSRAN, 4)
+			positions := floorPositions(f)
+			if _, err := tb.DMIMOCell(fmt.Sprintf("f14a-%d", f), cell, positions, testbed.DMIMOOpts{
+				Mode: core.ModeDPDK, PortsPerRU: 1, Cheap: true,
+			}); err != nil {
+				panic(err)
+			}
+			for i := 0; i < 4; i++ {
+				u := tb.AddUE(f, testbed.RUXPositions[i]+2, 8)
+				u.AllowedCell = cell.Name
+				u.OfferedDLbps = 250e6
+				ues = append(ues, u)
+			}
+		}
+		tb.Settle()
+		tb.Measure(300 * time.Millisecond)
+		now := tb.Sched.Now()
+		var dl float64
+		for _, u := range ues {
+			dl += u.ThroughputDLbps(now)
+		}
+		perFloor := dl / testbed.Floors
+
+		a, b := cpu.NewServer("srv1"), cpu.NewServer("srv2")
+		total := testbed.Floors * (coresPerDU + coresPerMB) // 30 cores
+		a.SetOperatingPoint(16, 0)
+		b.SetOperatingPoint(total-16, 0)
+		t.AddRow("(a) one dMIMO cell per floor, two servers",
+			mbpsCell(perFloor), fmt.Sprintf("%.0f", cpu.TotalPowerW(a, b)), "~650 Mbps, ~400 W")
+	}
+
+	// (b) Single cell: DAS chained into per-floor dMIMO middleboxes.
+	{
+		tb := testbed.New(141)
+		cell := testbed.CellConfig("building", 1, testbed.Carrier100(), phy.StackSRSRAN, 4)
+		dasMAC := tb.NewMAC()
+
+		// Per-floor dMIMO middleboxes, each fronting four cheap RUs.
+		var floorMBs []eth.MAC
+		for f := 0; f < testbed.Floors; f++ {
+			mbMAC := tb.NewMAC()
+			var slots []dmimo.RUSlot
+			for i := 0; i < 4; i++ {
+				_, mac := tb.AddRU(fmt.Sprintf("f14b-%d-%d", f, i), testbed.RUPosition(f, i), testbed.RUOpts{
+					Carrier: cell.Carrier, Ports: 1, Cheap: true, Peer: mbMAC,
+				})
+				slots = append(slots, dmimo.RUSlot{MAC: mac, Ports: 1})
+			}
+			app := dmimo.New(dmimo.Config{
+				Name: fmt.Sprintf("f14b-dmimo%d", f), MAC: mbMAC, DU: dasMAC, RUs: slots,
+				SSB: cell.SSB, ReplicateSSB: true, CarrierPRBs: cell.Carrier.NumPRB,
+			})
+			eng, err := core.NewEngine(tb.Sched, core.Config{
+				Name: app.Name(), Mode: core.ModeDPDK, App: app, CarrierPRBs: cell.Carrier.NumPRB,
+			})
+			if err != nil {
+				panic(err)
+			}
+			tb.AddEngine(eng, mbMAC)
+			floorMBs = append(floorMBs, mbMAC)
+		}
+		d, duMAC := tb.AddDU("f14b-du", testbed.DUOpts{Cell: cell, Peer: dasMAC})
+		_ = d
+		dasApp := das.New(das.Config{
+			Name: "f14b-das", MAC: dasMAC, DU: duMAC, RUs: floorMBs,
+			CarrierPRBs: cell.Carrier.NumPRB,
+		})
+		dasEng, err := core.NewEngine(tb.Sched, core.Config{
+			Name: dasApp.Name(), Mode: core.ModeDPDK, Cores: 2, App: dasApp,
+			CarrierPRBs: cell.Carrier.NumPRB,
+		})
+		if err != nil {
+			panic(err)
+		}
+		tb.AddEngine(dasEng, dasMAC)
+
+		var ues []*air.UE
+		for f := 0; f < testbed.Floors; f++ {
+			for i := 0; i < 4; i++ {
+				u := tb.AddUE(f, testbed.RUXPositions[i]+2, 8)
+				u.OfferedDLbps = 250e6
+				ues = append(ues, u)
+			}
+		}
+		tb.Settle()
+		tb.Measure(300 * time.Millisecond)
+		now := tb.Sched.Now()
+		var dl float64
+		for _, u := range ues {
+			dl += u.ThroughputDLbps(now)
+		}
+		perFloor := dl / testbed.Floors
+
+		a, b := cpu.NewServer("srv1"), cpu.NewServer("srv2")
+		b.PoweredOn = false
+		// One DU + six middleboxes = 11 active cores; 5 parked low.
+		a.SetOperatingPoint(coresPerDU+6*coresPerMB, 5)
+		t.AddRow("(b) single cell, DAS + per-floor dMIMO chain, one server",
+			mbpsCell(perFloor), fmt.Sprintf("%.0f", cpu.TotalPowerW(a, b)), "~150 Mbps, ~180 W")
+	}
+	t.Note("in (b) a floor can still burst to the full cell rate when other floors are idle")
+	return t
+}
+
+// floorPositions returns the four standard RU positions of a floor.
+func floorPositions(f int) []radio.Point {
+	return []radio.Point{
+		testbed.RUPosition(f, 0), testbed.RUPosition(f, 1),
+		testbed.RUPosition(f, 2), testbed.RUPosition(f, 3),
+	}
+}

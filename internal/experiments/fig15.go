@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ranbooster/internal/core"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+	"ranbooster/internal/testbed"
+)
+
+func init() {
+	register("fig15a", Fig15a)
+	register("fig15b", Fig15b)
+}
+
+// runDASScale deploys a DPDK DAS over n 100 MHz 4x4 RUs with full DL+UL
+// load and measures loss and middlebox port traffic over window.
+type dasScaleResult struct {
+	lossFraction float64
+	egressBps    float64
+	ingressBps   float64
+	dep          *testbed.DASDeployment
+}
+
+func runDASScale(n, cores int, window time.Duration) dasScaleResult {
+	tb := testbed.New(uint64(150 + n))
+	cell := testbed.CellConfig("scale", 1, testbed.Carrier100(), phy.StackSRSRAN, 4)
+	var positions []radio.Point
+	for i := 0; i < n; i++ {
+		positions = append(positions, testbed.RUPosition(i%testbed.Floors, i%4))
+	}
+	dep, err := tb.DASCell("scale", cell, positions, testbed.DASOpts{Mode: core.ModeDPDK, Cores: cores})
+	if err != nil {
+		panic(err)
+	}
+	u := tb.AddUE(0, testbed.RUXPositions[0]+3, radio.FloorWidth/2)
+	u.OfferedDLbps, u.OfferedULbps = 1200e6, 120e6
+	tb.Settle()
+
+	stBefore := dep.Port.Stats()
+	duBefore := dep.DU.Stats()
+	var ruLateBefore, ruRxBefore uint64
+	for _, r := range dep.RUs {
+		ruLateBefore += r.Stats().LateDL
+		ruRxBefore += r.Stats().RxUPlane
+	}
+	dep.Engine.ResetMeasurement()
+	tb.Measure(window)
+	stAfter := dep.Port.Stats()
+	duAfter := dep.DU.Stats()
+	var ruLateAfter, ruRxAfter uint64
+	for _, r := range dep.RUs {
+		ruLateAfter += r.Stats().LateDL
+		ruRxAfter += r.Stats().RxUPlane
+	}
+
+	ulRx := duAfter.ULRx - duBefore.ULRx
+	ulLate := duAfter.ULLate - duBefore.ULLate
+	dlRx := ruRxAfter - ruRxBefore
+	dlLate := ruLateAfter - ruLateBefore
+	loss := 0.0
+	if ulRx+dlRx > 0 {
+		loss = float64(ulLate+dlLate) / float64(ulRx+dlRx)
+	}
+	sec := window.Seconds()
+	return dasScaleResult{
+		lossFraction: loss,
+		egressBps:    float64(stAfter.TxBytes-stBefore.TxBytes) * 8 / sec,
+		ingressBps:   float64(stAfter.RxBytes-stBefore.RxBytes) * 8 / sec,
+		dep:          dep,
+	}
+}
+
+// Fig15a regenerates Fig. 15a: CPU cores and fronthaul traffic needed by
+// the DAS middlebox as RUs are added. One core carries up to four RUs
+// without loss; beyond that a second core is required.
+func Fig15a() *Table {
+	t := &Table{
+		ID:      "fig15a",
+		Title:   "DAS scalability: cores and middlebox traffic vs number of RUs (100 MHz 4x4, DPDK)",
+		Columns: []string{"RUs", "cores needed", "loss @1 core", "egress Gbps", "ingress Gbps"},
+	}
+	const window = 200 * time.Millisecond
+	for n := 2; n <= 6; n++ {
+		one := runDASScale(n, 1, window)
+		cores := 1
+		res := one
+		if one.lossFraction > 0.001 {
+			cores = 2
+			res = runDASScale(n, 2, window)
+			if res.lossFraction > 0.001 {
+				cores = 3
+				res = runDASScale(n, 3, window)
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", cores),
+			pctCell(one.lossFraction), gbpsCell(res.egressBps), gbpsCell(res.ingressBps))
+	}
+	t.Note("paper: a single core supports up to four RUs without loss; traffic grows linearly, well below NIC capacity")
+	return t
+}
+
+// Fig15b regenerates Fig. 15b: per-packet middlebox processing latency by
+// traffic type as RUs are added. Downlink stays under 300 ns; uplink is
+// bimodal — cache-only packets are cheap, the per-antenna merges cost
+// 4–6 µs and grow with the RU count.
+func Fig15b() *Table {
+	t := &Table{
+		ID:      "fig15b",
+		Title:   "DAS per-packet latency by traffic type (p50 / p99)",
+		Columns: []string{"RUs", "DL C-Plane", "DL U-Plane", "UL U-Plane p50", "UL U-Plane p99"},
+	}
+	for n := 2; n <= 4; n++ {
+		res := runDASScale(n, 1, 150*time.Millisecond)
+		e := res.dep.Engine
+		dlc, _ := e.LatencyPercentile(core.ClassDLC, 0.99)
+		dlu, _ := e.LatencyPercentile(core.ClassDLU, 0.99)
+		ulu50, _ := e.LatencyPercentile(core.ClassULU, 0.50)
+		ulu99, _ := e.LatencyPercentile(core.ClassULU, 0.99)
+		t.AddRow(fmt.Sprintf("%d", n), dlc.String(), dlu.String(), ulu50.String(), ulu99.String())
+	}
+	t.Note("paper: DL under 300 ns; ~75%% of UL packets under 300 ns, merges at 4-6 µs growing with RUs")
+	return t
+}

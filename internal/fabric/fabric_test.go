@@ -1,0 +1,265 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"ranbooster/internal/eth"
+	"ranbooster/internal/sim"
+)
+
+var (
+	macA = eth.MAC{2, 0, 0, 0, 0, 0xA}
+	macB = eth.MAC{2, 0, 0, 0, 0, 0xB}
+	macC = eth.MAC{2, 0, 0, 0, 0, 0xC}
+)
+
+func frame(src, dst eth.MAC, vlan int, payload byte) []byte {
+	h := eth.Header{Dst: dst, Src: src, EtherType: eth.TypeECPRI}
+	if vlan >= 0 {
+		h.HasVLAN = true
+		h.VLANID = uint16(vlan)
+	}
+	b := h.AppendTo(nil)
+	return append(b, payload)
+}
+
+func TestLearningAndUnicast(t *testing.T) {
+	s := sim.NewScheduler()
+	sw := NewSwitch(s, "tor", time.Microsecond, 100)
+	var gotB, gotC [][]byte
+	pa := sw.AddPort("a", nil)
+	pb := sw.AddPort("b", func(f []byte) { gotB = append(gotB, f) })
+	pc := sw.AddPort("c", func(f []byte) { gotC = append(gotC, f) })
+	_ = pc
+
+	// First frame A->B floods (B unknown), and teaches the switch where A is.
+	pa.Send(frame(macA, macB, -1, 1))
+	s.Run()
+	if len(gotB) != 1 || len(gotC) != 1 {
+		t.Fatalf("flood: B=%d C=%d", len(gotB), len(gotC))
+	}
+	if sw.Flooded() != 1 {
+		t.Fatalf("flooded = %d", sw.Flooded())
+	}
+	// B replies: unicast straight to A's port, and teaches B's location.
+	pb.Send(frame(macB, macA, -1, 2))
+	s.Run()
+	// Now A->B is unicast: C must not see it.
+	pa.Send(frame(macA, macB, -1, 3))
+	s.Run()
+	if len(gotC) != 1 {
+		t.Fatalf("unicast leaked to C: %d", len(gotC))
+	}
+	if len(gotB) != 2 {
+		t.Fatalf("B frames = %d", len(gotB))
+	}
+}
+
+func TestVLANSeparation(t *testing.T) {
+	s := sim.NewScheduler()
+	sw := NewSwitch(s, "tor", 0, 0)
+	pa := sw.AddPort("a", nil)
+	nB := 0
+	pb := sw.AddPort("b", func([]byte) { nB++ })
+	// Teach macB on VLAN 6 via port b.
+	pb.Send(frame(macB, macC, 6, 0))
+	s.Run()
+	nB = 0
+	// A unicast to macB on VLAN 7 must flood (separate FDB space), on
+	// VLAN 6 it must unicast.
+	pa.Send(frame(macA, macB, 7, 1))
+	pa.Send(frame(macA, macB, 6, 2))
+	s.Run()
+	if nB != 2 {
+		t.Fatalf("B received %d", nB)
+	}
+	if sw.Flooded() < 2 { // first teach-frame also flooded
+		t.Fatalf("flooded = %d", sw.Flooded())
+	}
+}
+
+func TestBroadcastFloods(t *testing.T) {
+	s := sim.NewScheduler()
+	sw := NewSwitch(s, "tor", 0, 0)
+	pa := sw.AddPort("a", nil)
+	n := 0
+	sw.AddPort("b", func([]byte) { n++ })
+	sw.AddPort("c", func([]byte) { n++ })
+	pa.Send(frame(macA, eth.Broadcast, -1, 1))
+	s.Run()
+	if n != 2 {
+		t.Fatalf("broadcast reached %d ports", n)
+	}
+}
+
+func TestFloodCopiesAreIndependent(t *testing.T) {
+	s := sim.NewScheduler()
+	sw := NewSwitch(s, "tor", 0, 0)
+	pa := sw.AddPort("a", nil)
+	var bufs [][]byte
+	sw.AddPort("b", func(f []byte) { bufs = append(bufs, f) })
+	sw.AddPort("c", func(f []byte) { bufs = append(bufs, f) })
+	pa.Send(frame(macA, eth.Broadcast, -1, 9))
+	s.Run()
+	if len(bufs) != 2 {
+		t.Fatalf("copies = %d", len(bufs))
+	}
+	bufs[0][0] ^= 0xff
+	if bufs[1][0] == bufs[0][0] {
+		t.Fatal("receivers share a buffer")
+	}
+}
+
+func TestForwardingLatencyAndSerialization(t *testing.T) {
+	s := sim.NewScheduler()
+	// 1 Gbit/s, 10 µs latency: a 1250-byte frame serializes in 10 µs.
+	sw := NewSwitch(s, "tor", 10*time.Microsecond, 1)
+	pa := sw.AddPort("a", nil)
+	var at []sim.Time
+	pb := sw.AddPort("b", func([]byte) { at = append(at, s.Now()) })
+	// Teach B's MAC.
+	pb.Send(frame(macB, macA, -1, 0))
+	s.Run()
+	base := s.Now()
+	f1 := frame(macA, macB, -1, 1)
+	f1 = append(f1, make([]byte, 1250-len(f1))...)
+	f2 := frame(macA, macB, -1, 2)
+	f2 = append(f2, make([]byte, 1250-len(f2))...)
+	pa.Send(f1)
+	pa.Send(f2) // queues behind f1 on B's egress
+	s.Run()
+	if len(at) != 2 {
+		t.Fatalf("deliveries = %d", len(at))
+	}
+	d1, d2 := at[0].Sub(base), at[1].Sub(base)
+	if d1 != 20*time.Microsecond {
+		t.Fatalf("first delivery after %v, want 20µs", d1)
+	}
+	if d2 != 30*time.Microsecond {
+		t.Fatalf("second delivery after %v, want 30µs (queued)", d2)
+	}
+}
+
+func TestPortStats(t *testing.T) {
+	s := sim.NewScheduler()
+	sw := NewSwitch(s, "tor", 0, 0)
+	pa := sw.AddPort("a", nil)
+	pb := sw.AddPort("b", nil)
+	f := frame(macA, eth.Broadcast, -1, 1)
+	n := len(f)
+	pa.Send(f)
+	s.Run()
+	if st := pa.Stats(); st.TxFrames != 1 || st.TxBytes != uint64(n) {
+		t.Fatalf("a stats = %+v", st)
+	}
+	if st := pb.Stats(); st.RxFrames != 1 || st.RxBytes != uint64(n) {
+		t.Fatalf("b stats = %+v", st)
+	}
+}
+
+func TestMalformedFrameDropped(t *testing.T) {
+	s := sim.NewScheduler()
+	sw := NewSwitch(s, "tor", 0, 0)
+	pa := sw.AddPort("a", nil)
+	pa.Send([]byte{1, 2, 3})
+	s.Run()
+	if sw.Dropped() != 1 {
+		t.Fatalf("dropped = %d", sw.Dropped())
+	}
+}
+
+func TestHairpinDropped(t *testing.T) {
+	s := sim.NewScheduler()
+	sw := NewSwitch(s, "tor", 0, 0)
+	pa := sw.AddPort("a", nil)
+	sw.AddPort("b", nil)
+	// Teach macB on port a, then send a->macB: destination is the ingress
+	// port, which must not loop back.
+	pa.Send(frame(macB, macC, -1, 0))
+	s.Run()
+	drops := sw.Dropped()
+	pa.Send(frame(macA, macB, -1, 1))
+	s.Run()
+	if sw.Dropped() != drops+1 {
+		t.Fatalf("hairpin not dropped: %d", sw.Dropped())
+	}
+}
+
+func TestNICVFChaining(t *testing.T) {
+	s := sim.NewScheduler()
+	ext := NewSwitch(s, "tor", time.Microsecond, 100)
+	n := NewNIC(s, ext, "nic0", 200)
+
+	// External host on the TOR switch.
+	var hostGot [][]byte
+	host := ext.AddPort("host", func(f []byte) { hostGot = append(hostGot, f) })
+
+	// Two chained middlebox VFs: vf1 receives external traffic for macB,
+	// rewrites nothing and hands to vf2's MAC; vf2 sends out to macC.
+	var vf1, vf2 *Port
+	vf1 = n.AddVF("vf1", func(f []byte) {
+		if err := eth.Rewrite(f, macC, macB, -1); err != nil {
+			t.Errorf("rewrite: %v", err)
+		}
+		n.SendFromVF(vf1, f)
+	})
+	_ = vf2
+
+	// Teach locations: host is macA (on ext), vf1 is macB (on embedded),
+	// and macC lives back out on the host side.
+	n.SendFromVF(vf1, frame(macB, macA, -1, 0)) // vf1 -> uplink -> ext, teaches both switches
+	host.Send(frame(macC, macB, -1, 0))         // teaches ext+embedded that macC is outside
+	s.Run()
+	hostGot = nil
+
+	host.Send(frame(macA, macB, -1, 7))
+	s.Run()
+	if len(hostGot) != 1 {
+		t.Fatalf("chained frame did not return to host: %d", len(hostGot))
+	}
+	var h eth.Header
+	if _, err := h.DecodeFromBytes(hostGot[0]); err != nil {
+		t.Fatal(err)
+	}
+	if h.Dst != macC || h.Src != macB {
+		t.Fatalf("rewritten frame = %+v", h)
+	}
+	if n.PCIeBytes() == 0 {
+		t.Fatal("PCIe accounting missed the VF crossings")
+	}
+}
+
+func TestNICPCIeBudget(t *testing.T) {
+	s := sim.NewScheduler()
+	ext := NewSwitch(s, "tor", 0, 0)
+	n := NewNIC(s, ext, "nic0", 1) // 1 Gbit/s budget
+	vf := n.AddVF("vf", nil)
+	payload := make([]byte, 1500)
+	copy(payload, frame(macA, macB, -1, 0))
+	for i := 0; i < 100; i++ {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		n.SendFromVF(vf, cp)
+	}
+	s.Run()
+	// 150 KB over 1 ms ≈ 1.2 Gbit/s > budget.
+	if !n.ExceedsPCIe(time.Millisecond) {
+		t.Fatalf("PCIe budget not exceeded: %.2f Gbps", n.PCIeGbpsOver(time.Millisecond))
+	}
+	if n.ExceedsPCIe(time.Second) {
+		t.Fatal("long window should be under budget")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	s := sim.NewScheduler()
+	ext := NewSwitch(s, "tor", 0, 0)
+	n := NewNIC(s, ext, "nic0", 100)
+	if ext.String() == "" || n.String() == "" || n.Uplink().Name() == "" {
+		t.Fatal("empty strings")
+	}
+	if n.Embedded() == nil {
+		t.Fatal("embedded switch")
+	}
+}

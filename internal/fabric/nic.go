@@ -1,0 +1,95 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"ranbooster/internal/sim"
+)
+
+// NIC models an SR-IOV capable adapter (the testbed's ConnectX-6 class):
+// one uplink port on the external switch, an embedded switch, and virtual
+// functions that middleboxes attach to. Frames moving between VFs (or
+// between a VF and the uplink) cross the PCIe bus; the NIC accounts those
+// bytes so experiments can observe the chaining bottleneck of §5.
+type NIC struct {
+	name     string
+	sched    *sim.Scheduler
+	embedded *Switch
+	uplink   *Port // port on the external switch
+	upIn     *Port // uplink's representor on the embedded switch
+
+	pcieBytes  uint64
+	pcieGbps   float64
+	pcieDrops  uint64
+	windowFrom sim.Time
+}
+
+// NewNIC attaches a NIC to an external switch. pcieGbps bounds the PCIe
+// budget used by ExceedsPCIe checks (a typical x16 Gen4 slot carries
+// ~250 Gbit/s of raw bandwidth; real deliverable is lower).
+func NewNIC(sched *sim.Scheduler, ext *Switch, name string, pcieGbps float64) *NIC {
+	n := &NIC{
+		name:     name,
+		sched:    sched,
+		embedded: NewSwitch(sched, name+"/eswitch", 500*time.Nanosecond, 0),
+		pcieGbps: pcieGbps,
+	}
+	// External frames enter the embedded switch through the uplink
+	// representor; embedded egress to the representor leaves on the wire.
+	n.uplink = ext.AddPort(name+"/uplink", func(frame []byte) {
+		n.upIn.Send(frame)
+	})
+	n.upIn = n.embedded.AddPort(name+"/uplink-rep", func(frame []byte) {
+		n.uplink.Send(frame)
+	})
+	return n
+}
+
+// AddVF creates a virtual function: the attachment point of one middlebox
+// (Fig. 8). Bytes received or sent by a VF cross the PCIe bus.
+func (n *NIC) AddVF(name string, handler func(frame []byte)) *Port {
+	var vf *Port
+	vf = n.embedded.AddPort(name, func(frame []byte) {
+		n.pcieBytes += uint64(len(frame))
+		if handler != nil {
+			handler(frame)
+		}
+	})
+	return vf
+}
+
+// SendFromVF transmits a frame from a VF into the embedded switch,
+// accounting its PCIe crossing.
+func (n *NIC) SendFromVF(vf *Port, frame []byte) {
+	n.pcieBytes += uint64(len(frame))
+	vf.Send(frame)
+}
+
+// PCIeBytes reports total bytes moved across the PCIe bus.
+func (n *NIC) PCIeBytes() uint64 { return n.pcieBytes }
+
+// PCIeGbpsOver reports the average PCIe throughput in Gbit/s over a
+// window of simulated time ending now.
+func (n *NIC) PCIeGbpsOver(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(n.pcieBytes) * 8 / float64(window.Nanoseconds())
+}
+
+// ExceedsPCIe reports whether the average PCIe throughput over the window
+// exceeds the configured budget — the condition under which §5 says SR-IOV
+// chaining stops scaling.
+func (n *NIC) ExceedsPCIe(window time.Duration) bool {
+	return n.PCIeGbpsOver(window) > n.pcieGbps
+}
+
+// Embedded exposes the embedded switch for inspection in tests.
+func (n *NIC) Embedded() *Switch { return n.embedded }
+
+// Uplink returns the NIC's port on the external switch.
+func (n *NIC) Uplink() *Port { return n.uplink }
+
+// String identifies the NIC.
+func (n *NIC) String() string { return fmt.Sprintf("nic(%s)", n.name) }

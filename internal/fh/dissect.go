@@ -1,0 +1,105 @@
+package fh
+
+import (
+	"fmt"
+	"strings"
+
+	"ranbooster/internal/bfp"
+	"ranbooster/internal/iq"
+	"ranbooster/internal/oran"
+)
+
+// Dissect renders a fronthaul frame the way the Wireshark capture of
+// Fig. 2 presents it: Ethernet, eCPRI, the O-RAN CUS header, sections,
+// and (for U-plane packets) the compression header, per-PRB exponents and
+// the first decoded IQ samples.
+func Dissect(frame []byte, carrierPRBs int) string {
+	var b strings.Builder
+	var p Packet
+	if err := p.Decode(frame); err != nil {
+		fmt.Fprintf(&b, "undecodable frame (%d bytes): %v\n", len(frame), err)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "Frame: %d bytes on wire\n", len(frame))
+	fmt.Fprintf(&b, "Ethernet II, Src: %s, Dst: %s\n", p.Eth.Src, p.Eth.Dst)
+	if p.Eth.HasVLAN {
+		fmt.Fprintf(&b, "802.1Q Virtual LAN, PRI: %d, ID: %d\n", p.Eth.Priority, p.Eth.VLANID)
+	}
+	fmt.Fprintf(&b, "evolved Common Public Radio Interface\n")
+	fmt.Fprintf(&b, "    ecpriMessage: %s, PayloadSize: %d\n", p.Ecpri.Type, p.Ecpri.PayloadSize)
+	fmt.Fprintf(&b, "    ecpriPcid %s\n", p.Ecpri.PcID)
+	fmt.Fprintf(&b, "    ecpriSeqid, SeqId: %d, SubSeqId: %d, E: %t\n", p.Ecpri.SeqID, p.Ecpri.SubSeqID, p.Ecpri.EBit)
+
+	t, err := p.Timing()
+	if err != nil {
+		fmt.Fprintf(&b, "O-RAN header undecodable: %v\n", err)
+		return b.String()
+	}
+	switch p.Plane() {
+	case PlaneU:
+		fmt.Fprintf(&b, "O-RAN Fronthaul CUS-U\n")
+		fmt.Fprintf(&b, "    Timing header %s\n", t)
+		var msg oran.UPlaneMsg
+		if err := p.UPlane(&msg, carrierPRBs); err != nil {
+			fmt.Fprintf(&b, "    sections undecodable: %v\n", err)
+			return b.String()
+		}
+		for i := range msg.Sections {
+			dissectUSection(&b, &msg.Sections[i])
+		}
+	case PlaneC:
+		fmt.Fprintf(&b, "O-RAN Fronthaul CUS-C\n")
+		fmt.Fprintf(&b, "    Timing header %s (startSymbol)\n", t)
+		var msg oran.CPlaneMsg
+		if err := p.CPlane(&msg, carrierPRBs); err != nil {
+			fmt.Fprintf(&b, "    sections undecodable: %v\n", err)
+			return b.String()
+		}
+		fmt.Fprintf(&b, "    sectionType: %d, udCompHdr (IqWidth=%d, udCompMeth=%s)\n",
+			msg.SectionType, msg.Comp.EffectiveWidth(), msg.Comp.Method)
+		if msg.SectionType == oran.SectionType3 {
+			fmt.Fprintf(&b, "    timeOffset: %d, frameStructure: 0x%02x, cpLength: %d\n",
+				msg.TimeOffset, msg.FrameStructure, msg.CPLength)
+		}
+		for i := range msg.Sections {
+			s := &msg.Sections[i]
+			fmt.Fprintf(&b, "    Section, Id: %d (PRB: %d-%d), reMask: 0x%03x, numSymbol: %d, beamId: %d\n",
+				s.SectionID, s.StartPRB, s.StartPRB+s.NumPRB-1, s.ReMask, s.NumSymbol, s.BeamID)
+			if msg.SectionType == oran.SectionType3 {
+				fmt.Fprintf(&b, "        frequencyOffset: %d (half-subcarriers)\n", s.FreqOffset)
+			}
+		}
+	default:
+		fmt.Fprintf(&b, "unknown eCPRI payload\n")
+	}
+	return b.String()
+}
+
+func dissectUSection(b *strings.Builder, s *oran.USection) {
+	fmt.Fprintf(b, "    Section, Id: %d (PRB: %d-%d)\n", s.SectionID, s.StartPRB, s.StartPRB+s.NumPRB-1)
+	fmt.Fprintf(b, "        udCompHdr (IqWidth=%d, udCompMeth=%s)\n", s.Comp.EffectiveWidth(), s.Comp.Method)
+	if s.Comp.Method != bfp.MethodBlockFloatingPoint {
+		return
+	}
+	size := s.Comp.PRBSize()
+	shown := 0
+	for off := 0; off+size <= len(s.Payload) && shown < 2; off += size {
+		exp, err := bfp.PeekExponent(s.Payload[off:])
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(b, "        PRB %d (12 samples)\n", s.StartPRB+shown)
+		fmt.Fprintf(b, "            udCompParam (Exponent=%d)\n", exp)
+		var prb iq.PRB
+		if _, _, err := bfp.DecompressPRB(s.Payload[off:], &prb, s.Comp); err == nil {
+			for j := 0; j < 2; j++ {
+				fmt.Fprintf(b, "            iSample: %+.12f  qSample: %+.12f (sample-%d)\n",
+					float64(prb[j].I)/32768, float64(prb[j].Q)/32768, j)
+			}
+		}
+		shown++
+	}
+	if total := len(s.Payload) / size; total > shown {
+		fmt.Fprintf(b, "        ... %d more PRBs\n", total-shown)
+	}
+}

@@ -1,0 +1,61 @@
+package fh
+
+import (
+	"strings"
+	"testing"
+
+	"ranbooster/internal/bfp"
+	"ranbooster/internal/ecpri"
+	"ranbooster/internal/iq"
+	"ranbooster/internal/oran"
+)
+
+func TestDissectUPlane(t *testing.T) {
+	b := NewBuilder(duMAC, ruMAC, 6)
+	g := iq.NewGrid(3)
+	g[0][0] = iq.Sample{I: -1536, Q: 512}
+	payload, err := bfp.CompressGrid(nil, g, bfp9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := &oran.UPlaneMsg{
+		Timing: oran.Timing{Direction: oran.Uplink, FrameID: 46, SubframeID: 9, SlotID: 1, SymbolID: 13},
+		Sections: []oran.USection{{
+			SectionID: 0, StartPRB: 0, NumPRB: 3, Comp: bfp9(), Payload: payload,
+		}},
+	}
+	out := Dissect(b.UPlane(ecpri.PcID{RUPort: 3}, msg), 106)
+	for _, want := range []string{
+		"Ethernet II",
+		"802.1Q Virtual LAN",
+		"RU_Port_ID: 3",
+		"Uplink, Frame: 46, Subframe: 9, Slot: 1, Symbol: 13",
+		"udCompHdr (IqWidth=9, udCompMeth=Block floating point compression)",
+		"udCompParam (Exponent=",
+		"iSample:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dissection missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDissectCPlaneType3(t *testing.T) {
+	b := NewBuilder(duMAC, ruMAC, -1)
+	msg := &oran.CPlaneMsg{
+		Timing:      oran.Timing{Direction: oran.Uplink, FilterIndex: 1},
+		SectionType: oran.SectionType3,
+		Comp:        bfp9(),
+		Sections:    []oran.CSection{{SectionID: 2, StartPRB: 2, NumPRB: 12, FreqOffset: -321}},
+	}
+	out := Dissect(b.CPlane(ecpri.PcID{}, msg), 106)
+	if !strings.Contains(out, "sectionType: 3") || !strings.Contains(out, "frequencyOffset: -321") {
+		t.Fatalf("type-3 fields missing:\n%s", out)
+	}
+}
+
+func TestDissectGarbage(t *testing.T) {
+	if out := Dissect([]byte{1, 2, 3}, 106); !strings.Contains(out, "undecodable") {
+		t.Fatalf("garbage not flagged: %s", out)
+	}
+}

@@ -1,0 +1,153 @@
+// Package iq defines the fixed-point IQ sample representation carried in
+// fronthaul U-plane payloads, and the arithmetic RANBooster middleboxes
+// perform on it (most importantly the element-wise, per-subcarrier summing
+// that merges the uplink signals of a DAS).
+//
+// Each IQ sample is a complex number whose real (I) and imaginary (Q) parts
+// are signed 16-bit fixed-point values, matching the 32-bit-per-sample
+// uncompressed format described in §2.2 of the paper. Twelve consecutive
+// samples — one per subcarrier — form a physical resource block (PRB).
+package iq
+
+import "fmt"
+
+// SubcarriersPerPRB is the number of orthogonal subcarriers (and therefore
+// IQ samples per antenna stream) in one physical resource block.
+const SubcarriersPerPRB = 12
+
+// Sample is one fixed-point IQ sample: I is the real part, Q the imaginary.
+// Full scale is ±32767, i.e. Q15 fixed point.
+type Sample struct {
+	I int16
+	Q int16
+}
+
+// String renders the sample in the normalized float form Wireshark uses
+// (Fig. 2 of the paper).
+func (s Sample) String() string {
+	return fmt.Sprintf("(%+.6f%+.6fj)", float64(s.I)/32768, float64(s.Q)/32768)
+}
+
+// Energy returns I²+Q² as a widening integer, proportional to the power of
+// the subcarrier.
+func (s Sample) Energy() int64 {
+	return int64(s.I)*int64(s.I) + int64(s.Q)*int64(s.Q)
+}
+
+// AddSat returns the saturating sum of two samples. Saturation (rather than
+// wraparound) mirrors fixed-point DSP hardware and keeps a merged DAS signal
+// monotone in its inputs.
+func AddSat(a, b Sample) Sample {
+	return Sample{I: satAdd16(a.I, b.I), Q: satAdd16(a.Q, b.Q)}
+}
+
+func satAdd16(a, b int16) int16 {
+	s := int32(a) + int32(b)
+	if s > 32767 {
+		return 32767
+	}
+	if s < -32768 {
+		return -32768
+	}
+	return int16(s)
+}
+
+// PRB is the payload of one physical resource block for one antenna stream:
+// 12 IQ samples, one per subcarrier.
+type PRB [SubcarriersPerPRB]Sample
+
+// AddSat accumulates other into p element-wise with saturation. This is the
+// A4 merge operation of the DAS middlebox: summing the uplink IQ samples of
+// several RUs on a per-subcarrier basis.
+func (p *PRB) AddSat(other *PRB) {
+	for i := range p {
+		p[i] = AddSat(p[i], other[i])
+	}
+}
+
+// Energy returns the total sample energy of the PRB.
+func (p *PRB) Energy() int64 {
+	var e int64
+	for i := range p {
+		e += p[i].Energy()
+	}
+	return e
+}
+
+// IsZero reports whether every sample in the PRB is zero.
+func (p *PRB) IsZero() bool {
+	for i := range p {
+		if p[i] != (Sample{}) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxMagnitude returns the largest absolute I or Q value in the PRB, the
+// quantity that determines the BFP exponent.
+func (p *PRB) MaxMagnitude() int32 {
+	var m int32
+	for i := range p {
+		if v := abs32(int32(p[i].I)); v > m {
+			m = v
+		}
+		if v := abs32(int32(p[i].Q)); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Scale multiplies every sample by num/den with rounding toward zero and
+// saturation. Used to model power scaling when replicating a signal.
+func (p *PRB) Scale(num, den int32) {
+	if den == 0 {
+		panic("iq: Scale by zero denominator")
+	}
+	for i := range p {
+		p[i].I = satI32(int32(p[i].I) * num / den)
+		p[i].Q = satI32(int32(p[i].Q) * num / den)
+	}
+}
+
+func satI32(v int32) int16 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return int16(v)
+}
+
+// Grid is a contiguous run of PRBs for one symbol and antenna stream, the
+// natural payload unit of a U-plane section.
+type Grid []PRB
+
+// NewGrid allocates a zeroed grid of n PRBs.
+func NewGrid(n int) Grid { return make(Grid, n) }
+
+// AddSat accumulates other into g element-wise. Grids must be equal length.
+func (g Grid) AddSat(other Grid) {
+	if len(g) != len(other) {
+		panic(fmt.Sprintf("iq: grid length mismatch %d != %d", len(g), len(other)))
+	}
+	for i := range g {
+		g[i].AddSat(&other[i])
+	}
+}
+
+// CopyRange copies n PRBs from src starting at srcOff into g at dstOff.
+// This is the RU-sharing PRB relocation primitive (Fig. 6): moving a DU's
+// PRBs to their position in the shared RU's wider spectrum.
+func (g Grid) CopyRange(dstOff int, src Grid, srcOff, n int) {
+	copy(g[dstOff:dstOff+n], src[srcOff:srcOff+n])
+}

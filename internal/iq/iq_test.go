@@ -1,0 +1,150 @@
+package iq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSatBasic(t *testing.T) {
+	got := AddSat(Sample{I: 100, Q: -50}, Sample{I: 23, Q: 7})
+	if got != (Sample{I: 123, Q: -43}) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestAddSatSaturates(t *testing.T) {
+	hi := AddSat(Sample{I: 32000, Q: 0}, Sample{I: 32000, Q: 0})
+	if hi.I != 32767 {
+		t.Fatalf("positive saturation: %d", hi.I)
+	}
+	lo := AddSat(Sample{I: -32000, Q: -32768}, Sample{I: -32000, Q: -1})
+	if lo.I != -32768 || lo.Q != -32768 {
+		t.Fatalf("negative saturation: %+v", lo)
+	}
+}
+
+func TestAddSatCommutative(t *testing.T) {
+	f := func(a, b Sample) bool { return AddSat(a, b) == AddSat(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSatMonotone(t *testing.T) {
+	// Adding a non-negative I component never decreases the result I.
+	f := func(a Sample, delta uint8) bool {
+		b := Sample{I: int16(delta), Q: 0}
+		return AddSat(a, b).I >= a.I
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPRBEnergy(t *testing.T) {
+	var p PRB
+	if p.Energy() != 0 || !p.IsZero() {
+		t.Fatal("zero PRB should have zero energy")
+	}
+	p[0] = Sample{I: 3, Q: 4}
+	if p.Energy() != 25 {
+		t.Fatalf("energy = %d, want 25", p.Energy())
+	}
+	if p.IsZero() {
+		t.Fatal("non-zero PRB reported zero")
+	}
+}
+
+func TestMaxMagnitude(t *testing.T) {
+	var p PRB
+	p[3] = Sample{I: -30000, Q: 100}
+	p[7] = Sample{I: 5, Q: 29999}
+	if got := p.MaxMagnitude(); got != 30000 {
+		t.Fatalf("MaxMagnitude = %d, want 30000", got)
+	}
+	p[8] = Sample{I: -32768, Q: 0}
+	if got := p.MaxMagnitude(); got != 32768 {
+		t.Fatalf("MaxMagnitude = %d, want 32768", got)
+	}
+}
+
+func TestPRBAddSat(t *testing.T) {
+	var a, b PRB
+	for i := range a {
+		a[i] = Sample{I: int16(i), Q: int16(-i)}
+		b[i] = Sample{I: 10, Q: 10}
+	}
+	a.AddSat(&b)
+	for i := range a {
+		if a[i].I != int16(i+10) || a[i].Q != int16(10-i) {
+			t.Fatalf("sample %d = %+v", i, a[i])
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	var p PRB
+	p[0] = Sample{I: 100, Q: -100}
+	p.Scale(1, 2)
+	if p[0].I != 50 || p[0].Q != -50 {
+		t.Fatalf("half scale: %+v", p[0])
+	}
+	p[1] = Sample{I: 20000, Q: 0}
+	p.Scale(3, 1)
+	if p[1].I != 32767 {
+		t.Fatalf("scale should saturate: %d", p[1].I)
+	}
+}
+
+func TestScalePanicsOnZeroDen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	var p PRB
+	p.Scale(1, 0)
+}
+
+func TestGridAddSat(t *testing.T) {
+	a, b := NewGrid(4), NewGrid(4)
+	a[2][5] = Sample{I: 1, Q: 2}
+	b[2][5] = Sample{I: 10, Q: 20}
+	a.AddSat(b)
+	if a[2][5] != (Sample{I: 11, Q: 22}) {
+		t.Fatalf("grid add: %+v", a[2][5])
+	}
+}
+
+func TestGridAddSatLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewGrid(3).AddSat(NewGrid(4))
+}
+
+func TestGridCopyRange(t *testing.T) {
+	src := NewGrid(10)
+	for i := range src {
+		src[i][0] = Sample{I: int16(i + 1)}
+	}
+	dst := NewGrid(20)
+	dst.CopyRange(5, src, 2, 3)
+	for i := 0; i < 3; i++ {
+		if dst[5+i][0].I != int16(3+i) {
+			t.Fatalf("dst[%d] = %+v", 5+i, dst[5+i][0])
+		}
+	}
+	if dst[4][0].I != 0 || dst[8][0].I != 0 {
+		t.Fatal("copy touched PRBs outside range")
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	s := Sample{I: -16384, Q: 8192}
+	if got := s.String(); got != "(-0.500000+0.250000j)" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,87 @@
+// Package iqsynth generates compressed U-plane payloads cheaply. DU and
+// RU simulators synthesize millions of PRBs per simulated second; encoding
+// each through the BFP codec would dominate runtime, so payloads are
+// assembled from a small cache of pre-compressed PRB templates keyed by
+// sample amplitude. The templates are produced by the real codec, so every
+// byte on the wire remains bit-faithful BFP that middleboxes can
+// decompress, merge and re-compress.
+package iqsynth
+
+import (
+	"fmt"
+
+	"ranbooster/internal/bfp"
+	"ranbooster/internal/iq"
+)
+
+// Variants is the number of distinct sample patterns cached per amplitude,
+// so adjacent noise PRBs don't look byte-identical.
+const Variants = 4
+
+// Cache holds pre-compressed PRB templates for one compression config.
+type Cache struct {
+	comp bfp.Params
+	m    map[int16][][]byte
+}
+
+// New builds a template cache for the compression parameters.
+func New(comp bfp.Params) *Cache {
+	return &Cache{comp: comp, m: make(map[int16][][]byte)}
+}
+
+// Comp returns the cache's compression parameters.
+func (c *Cache) Comp() bfp.Params { return c.comp }
+
+// PRB returns the encoded bytes of a PRB whose samples have the given
+// amplitude. The returned slice is shared — callers must copy, which
+// Append does.
+func (c *Cache) PRB(amp int16, variant int) []byte {
+	vs := c.m[amp]
+	if vs == nil {
+		vs = make([][]byte, Variants)
+		for v := range vs {
+			var prb iq.PRB
+			for i := range prb {
+				// A deterministic, variant-dependent pattern at the target
+				// amplitude: full-scale I with alternating sign, quadrature
+				// at half amplitude.
+				sign := int16(1)
+				if (i+v)%2 == 1 {
+					sign = -1
+				}
+				prb[i] = iq.Sample{I: sign * amp, Q: -amp / 2}
+			}
+			buf, err := bfp.CompressPRB(nil, &prb, c.comp)
+			if err != nil {
+				panic(fmt.Sprintf("iqsynth: template compression failed: %v", err))
+			}
+			vs[v] = buf
+		}
+		c.m[amp] = vs
+	}
+	return vs[variant%Variants]
+}
+
+// Append appends nPRB encoded PRBs to dst, with per-PRB amplitude chosen
+// by ampFor(i) and the variant rotated by i+seed.
+func (c *Cache) Append(dst []byte, nPRB int, seed int, ampFor func(i int) int16) []byte {
+	for i := 0; i < nPRB; i++ {
+		dst = append(dst, c.PRB(ampFor(i), i+seed)...)
+	}
+	return dst
+}
+
+// Uniform appends nPRB PRBs of a single amplitude.
+func (c *Cache) Uniform(dst []byte, nPRB, seed int, amp int16) []byte {
+	return c.Append(dst, nPRB, seed, func(int) int16 { return amp })
+}
+
+// Standard synthesis amplitudes. DataAmplitude compresses with a large
+// BFP exponent (utilized); ZeroAmplitude and noise-level payloads stay at
+// or below Algorithm 1's thresholds.
+const (
+	DataAmplitude     = 16000
+	SSBAmplitude      = 20000
+	PreambleAmplitude = 12000
+	ZeroAmplitude     = 0
+)

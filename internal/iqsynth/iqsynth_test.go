@@ -1,0 +1,84 @@
+package iqsynth
+
+import (
+	"bytes"
+	"testing"
+
+	"ranbooster/internal/bfp"
+	"ranbooster/internal/iq"
+)
+
+func bfp9() bfp.Params { return bfp.Params{IQWidth: 9, Method: bfp.MethodBlockFloatingPoint} }
+
+func TestPRBDecodesAtRequestedAmplitude(t *testing.T) {
+	c := New(bfp9())
+	buf := c.PRB(DataAmplitude, 0)
+	if len(buf) != bfp9().PRBSize() {
+		t.Fatalf("template size %d", len(buf))
+	}
+	var prb iq.PRB
+	if _, _, err := bfp.DecompressPRB(buf, &prb, bfp9()); err != nil {
+		t.Fatal(err)
+	}
+	if m := prb.MaxMagnitude(); m < DataAmplitude*9/10 || m > DataAmplitude*11/10 {
+		t.Fatalf("decoded magnitude %d, want ~%d", m, DataAmplitude)
+	}
+}
+
+func TestVariantsDiffer(t *testing.T) {
+	c := New(bfp9())
+	if bytes.Equal(c.PRB(300, 0), c.PRB(300, 1)) {
+		t.Fatal("adjacent variants identical")
+	}
+	if !bytes.Equal(c.PRB(300, 0), c.PRB(300, Variants)) {
+		t.Fatal("variant index should wrap")
+	}
+}
+
+func TestTemplatesCached(t *testing.T) {
+	c := New(bfp9())
+	a := c.PRB(1234, 2)
+	b := c.PRB(1234, 2)
+	if &a[0] != &b[0] {
+		t.Fatal("template re-encoded instead of cached")
+	}
+}
+
+func TestAppendAndUniform(t *testing.T) {
+	c := New(bfp9())
+	buf := c.Uniform(nil, 5, 0, DataAmplitude)
+	if len(buf) != 5*bfp9().PRBSize() {
+		t.Fatalf("uniform size %d", len(buf))
+	}
+	mixed := c.Append(nil, 4, 0, func(i int) int16 {
+		if i%2 == 0 {
+			return DataAmplitude
+		}
+		return 300
+	})
+	g := iq.NewGrid(4)
+	if _, err := bfp.DecompressGrid(mixed, g, bfp9()); err != nil {
+		t.Fatal(err)
+	}
+	if g[0].MaxMagnitude() < 10000 || g[1].MaxMagnitude() > 1000 {
+		t.Fatalf("amplitude pattern lost: %d %d", g[0].MaxMagnitude(), g[1].MaxMagnitude())
+	}
+}
+
+func TestExponentClassesMatchAlgorithm1Thresholds(t *testing.T) {
+	// The synthesis amplitudes must land on the right side of Algorithm
+	// 1's thresholds: noise <= 2 < data.
+	c := New(bfp9())
+	noise, _ := bfp.PeekExponent(c.PRB(300, 0))
+	data, _ := bfp.PeekExponent(c.PRB(DataAmplitude, 0))
+	zero, _ := bfp.PeekExponent(c.PRB(ZeroAmplitude, 0))
+	if noise > 2 {
+		t.Fatalf("noise exponent %d > uplink threshold 2", noise)
+	}
+	if data <= 2 {
+		t.Fatalf("data exponent %d not above threshold", data)
+	}
+	if zero != 0 {
+		t.Fatalf("zero exponent %d", zero)
+	}
+}

@@ -1,0 +1,159 @@
+package oran
+
+import (
+	"encoding/binary"
+
+	"ranbooster/internal/bfp"
+)
+
+// CSection is one section of a C-plane message: a scheduling instruction
+// covering a PRB range over one or more symbols for the message's eAxC.
+type CSection struct {
+	SectionID uint16 // 12 bits
+	RB        bool
+	SymInc    bool
+	StartPRB  int    // startPrbc
+	NumPRB    int    // numPrbc (wire 0 = all carrier PRBs)
+	ReMask    uint16 // 12 bits, resource-element mask; 0xfff = all REs
+	NumSymbol uint8  // 4 bits, symbols this section applies to
+	EF        bool   // extension flag (no extensions implemented)
+	BeamID    uint16 // 15 bits
+	// FreqOffset is present only in section type 3 (PRACH): the offset of
+	// the first RE of the scheduled channel from the carrier center, in
+	// half-subcarrier units, as a 24-bit signed value. This is the field
+	// the RU-sharing middlebox translates between DU and RU spectra
+	// (Appendix A.1.2, equations 5-11).
+	FreqOffset int32
+}
+
+// Encoded section sizes per section type.
+const (
+	cSectionLen1 = 8  // type 1
+	cSectionLen3 = 12 // type 3: + freqOffset(3) + reserved(1)
+)
+
+// CPlaneMsg is a C-plane real-time control message (eCPRI type 2 payload):
+// the timing header, a section-type-specific common header, and sections.
+type CPlaneMsg struct {
+	Timing      Timing
+	SectionType uint8 // SectionType1 or SectionType3
+
+	// Type 3 common fields (PRACH).
+	TimeOffset     uint16
+	FrameStructure uint8
+	CPLength       uint16
+
+	Comp     bfp.Params // udCompHdr governing the matching U-plane data
+	Sections []CSection
+}
+
+// EncodedLen returns the on-wire size of the message.
+func (m *CPlaneMsg) EncodedLen() int {
+	n := TimingLen + 2 // + numberOfSections + sectionType
+	switch m.SectionType {
+	case SectionType1:
+		n += 2 // udCompHdr + reserved
+		n += len(m.Sections) * cSectionLen1
+	case SectionType3:
+		n += 6 // timeOffset(2) frameStructure(1) cpLength(2) udCompHdr(1)
+		n += len(m.Sections) * cSectionLen3
+	}
+	return n
+}
+
+// AppendTo serializes the message.
+func (m *CPlaneMsg) AppendTo(b []byte) []byte {
+	b = m.Timing.AppendTo(b)
+	b = append(b, byte(len(m.Sections)), m.SectionType)
+	switch m.SectionType {
+	case SectionType1:
+		b = append(b, m.Comp.Byte(), 0 /* reserved */)
+	case SectionType3:
+		b = binary.BigEndian.AppendUint16(b, m.TimeOffset)
+		b = append(b, m.FrameStructure)
+		b = binary.BigEndian.AppendUint16(b, m.CPLength)
+		b = append(b, m.Comp.Byte())
+	}
+	for i := range m.Sections {
+		s := &m.Sections[i]
+		b = appendSectionHdr(b, s.SectionID, s.RB, s.SymInc, uint16(s.StartPRB))
+		b = append(b, encodeNumPRB(s.NumPRB))
+		b = binary.BigEndian.AppendUint16(b, (s.ReMask&0xfff)<<4|uint16(s.NumSymbol&0xf))
+		beam := s.BeamID & 0x7fff
+		if s.EF {
+			beam |= 0x8000
+		}
+		b = binary.BigEndian.AppendUint16(b, beam)
+		if m.SectionType == SectionType3 {
+			fo := uint32(s.FreqOffset) & 0xffffff
+			b = append(b, byte(fo>>16), byte(fo>>8), byte(fo), 0 /* reserved */)
+		}
+	}
+	return b
+}
+
+// DecodeFromBytes parses a C-plane message. carrierPRBs resolves the
+// "all PRBs" numPrbc encoding. The Sections slice is reused when capacity
+// allows; nothing aliases b after return.
+func (m *CPlaneMsg) DecodeFromBytes(b []byte, carrierPRBs int) error {
+	rest, err := m.Timing.DecodeFromBytes(b)
+	if err != nil {
+		return err
+	}
+	if len(rest) < 2 {
+		return ErrTruncated
+	}
+	nSections := int(rest[0])
+	m.SectionType = rest[1]
+	rest = rest[2:]
+	var secLen int
+	switch m.SectionType {
+	case SectionType1:
+		if len(rest) < 2 {
+			return ErrTruncated
+		}
+		m.Comp = bfp.ParamsFromByte(rest[0])
+		m.TimeOffset, m.FrameStructure, m.CPLength = 0, 0, 0
+		rest = rest[2:]
+		secLen = cSectionLen1
+	case SectionType3:
+		if len(rest) < 6 {
+			return ErrTruncated
+		}
+		m.TimeOffset = binary.BigEndian.Uint16(rest[0:2])
+		m.FrameStructure = rest[2]
+		m.CPLength = binary.BigEndian.Uint16(rest[3:5])
+		m.Comp = bfp.ParamsFromByte(rest[5])
+		rest = rest[6:]
+		secLen = cSectionLen3
+	default:
+		return ErrSectionType
+	}
+	if len(rest) < nSections*secLen {
+		return ErrTruncated
+	}
+	m.Sections = m.Sections[:0]
+	for i := 0; i < nSections; i++ {
+		sb := rest[i*secLen : (i+1)*secLen]
+		var s CSection
+		var start uint16
+		s.SectionID, s.RB, s.SymInc, start = decodeSectionHdr(sb)
+		s.StartPRB = int(start)
+		s.NumPRB = decodeNumPRB(sb[3], carrierPRBs)
+		mk := binary.BigEndian.Uint16(sb[4:6])
+		s.ReMask = mk >> 4
+		s.NumSymbol = uint8(mk) & 0xf
+		beam := binary.BigEndian.Uint16(sb[6:8])
+		s.EF = beam&0x8000 != 0
+		s.BeamID = beam & 0x7fff
+		if m.SectionType == SectionType3 {
+			fo := uint32(sb[8])<<16 | uint32(sb[9])<<8 | uint32(sb[10])
+			s.FreqOffset = int32(fo<<8) >> 8 // sign-extend 24 bits
+		}
+		m.Sections = append(m.Sections, s)
+	}
+	if len(m.Sections) == 0 {
+		return ErrBadSection
+	}
+	return nil
+}

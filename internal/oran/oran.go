@@ -1,0 +1,155 @@
+// Package oran implements the O-RAN WG4 CUS-plane application protocol:
+// the C-plane (control) and U-plane (IQ data) message formats exchanged
+// between a DU and an RU inside eCPRI PDUs.
+//
+// The subset implemented is the one the paper's middleboxes manipulate:
+// the common radio-application (timing) header, U-plane data sections with
+// per-section compression headers, C-plane section type 1 (DL/UL channel
+// data) and section type 3 (PRACH and mixed-numerology channels, carrying
+// the frequency offset that RU sharing must translate — Appendix A.1.2).
+//
+// Codecs follow the gopacket idiom: DecodeFromBytes fills reusable structs
+// and aliases the input for payloads; AppendTo serializes onto a caller
+// buffer. Hot paths do not allocate.
+package oran
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Direction is the dataDirection bit of the radio application header.
+type Direction uint8
+
+// Data directions. The fronthaul is RU-centric: uplink flows from the RU
+// toward the DU.
+const (
+	Uplink   Direction = 0
+	Downlink Direction = 1
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Downlink {
+		return "Downlink"
+	}
+	return "Uplink"
+}
+
+// Section types of the C-plane used here.
+const (
+	// SectionType1 schedules DL/UL channel data for regular symbols.
+	SectionType1 uint8 = 1
+	// SectionType3 schedules PRACH and mixed-numerology channels; its
+	// sections carry a frequency offset.
+	SectionType3 uint8 = 3
+)
+
+// TimingLen is the encoded size of the radio application (timing) header.
+const TimingLen = 4
+
+// Timing is the radio application header present in every C/U-plane
+// message, locating the message on the air-interface time grid.
+type Timing struct {
+	Direction      Direction
+	PayloadVersion uint8 // 3 bits; always 1 on the wire today
+	FilterIndex    uint8 // 4 bits; 0 for standard channels, 1 for PRACH
+	FrameID        uint8 // 0..255, 10 ms radio frames
+	SubframeID     uint8 // 4 bits, 1 ms subframes
+	SlotID         uint8 // 6 bits, slot within subframe (numerology-dependent)
+	SymbolID       uint8 // 6 bits; startSymbolId on the C-plane
+}
+
+// String renders the timing in the capture format of Fig. 2.
+func (t Timing) String() string {
+	return fmt.Sprintf("%s, Frame: %d, Subframe: %d, Slot: %d, Symbol: %d",
+		t.Direction, t.FrameID, t.SubframeID, t.SlotID, t.SymbolID)
+}
+
+// AppendTo serializes the timing header.
+func (t Timing) AppendTo(b []byte) []byte {
+	b0 := byte(t.Direction&1)<<7 | (t.PayloadVersion&0x7)<<4 | t.FilterIndex&0xf
+	hi := uint16(t.SubframeID&0xf)<<12 | uint16(t.SlotID&0x3f)<<6 | uint16(t.SymbolID&0x3f)
+	b = append(b, b0, t.FrameID)
+	return binary.BigEndian.AppendUint16(b, hi)
+}
+
+// DecodeFromBytes parses the timing header and returns the remainder.
+func (t *Timing) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < TimingLen {
+		return nil, ErrTruncated
+	}
+	t.Direction = Direction(b[0] >> 7)
+	t.PayloadVersion = b[0] >> 4 & 0x7
+	t.FilterIndex = b[0] & 0xf
+	t.FrameID = b[1]
+	hi := binary.BigEndian.Uint16(b[2:4])
+	t.SubframeID = uint8(hi >> 12)
+	t.SlotID = uint8(hi>>6) & 0x3f
+	t.SymbolID = uint8(hi) & 0x3f
+	return b[4:], nil
+}
+
+// Slot identifies an absolute slot on the timing grid, usable as a map key.
+type Slot struct {
+	Frame    uint8
+	Subframe uint8
+	Slot     uint8
+}
+
+// SlotOf extracts the slot coordinates of a timing header.
+func SlotOf(t Timing) Slot { return Slot{Frame: t.FrameID, Subframe: t.SubframeID, Slot: t.SlotID} }
+
+// SymbolRef identifies one symbol within one slot, the unit RANBooster's
+// packet caches are keyed on (together with the eAxC).
+type SymbolRef struct {
+	Slot   Slot
+	Symbol uint8
+}
+
+// SymbolOf extracts the symbol coordinates of a timing header.
+func SymbolOf(t Timing) SymbolRef { return SymbolRef{Slot: SlotOf(t), Symbol: t.SymbolID} }
+
+// Errors shared by the codecs.
+var (
+	ErrTruncated   = errors.New("oran: truncated message")
+	ErrSectionType = errors.New("oran: unsupported section type")
+	ErrBadSection  = errors.New("oran: malformed section")
+)
+
+// maxNumPRBWire is the largest PRB count the 8-bit numPrb field can carry
+// explicitly; larger allocations (e.g. all 273 PRBs of a 100 MHz carrier)
+// use the wire value 0, meaning "all PRBs of the carrier".
+const maxNumPRBWire = 255
+
+func encodeNumPRB(n int) byte {
+	if n > maxNumPRBWire {
+		return 0
+	}
+	return byte(n)
+}
+
+func decodeNumPRB(b byte, carrierPRBs int) int {
+	if b == 0 {
+		return carrierPRBs
+	}
+	return int(b)
+}
+
+// sectionHdr packs sectionId(12) | rb(1) | symInc(1) | startPrb(10).
+func appendSectionHdr(b []byte, id uint16, rb, symInc bool, startPRB uint16) []byte {
+	v := uint32(id&0xfff)<<12 | uint32(startPRB&0x3ff)
+	if rb {
+		v |= 1 << 11
+	}
+	if symInc {
+		v |= 1 << 10
+	}
+	return append(b, byte(v>>16), byte(v>>8), byte(v))
+}
+
+func decodeSectionHdr(b []byte) (id uint16, rb, symInc bool, startPRB uint16) {
+	v := uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2])
+	return uint16(v>>12) & 0xfff, v&(1<<11) != 0, v&(1<<10) != 0, uint16(v) & 0x3ff
+}

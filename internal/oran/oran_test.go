@@ -1,0 +1,330 @@
+package oran
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ranbooster/internal/bfp"
+	"ranbooster/internal/iq"
+)
+
+func bfp9() bfp.Params { return bfp.Params{IQWidth: 9, Method: bfp.MethodBlockFloatingPoint} }
+
+func TestTimingRoundTrip(t *testing.T) {
+	// The Fig. 2 capture: Uplink, Frame: 46, Subframe: 9, Slot: 1, Symbol: 13.
+	tm := Timing{
+		Direction: Uplink, PayloadVersion: 1, FilterIndex: 0,
+		FrameID: 46, SubframeID: 9, SlotID: 1, SymbolID: 13,
+	}
+	buf := tm.AppendTo(nil)
+	if len(buf) != TimingLen {
+		t.Fatalf("len = %d", len(buf))
+	}
+	var got Timing
+	rest, err := got.DecodeFromBytes(append(buf, 0xff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tm {
+		t.Fatalf("round trip: %+v != %+v", got, tm)
+	}
+	if len(rest) != 1 {
+		t.Fatalf("rest = %d", len(rest))
+	}
+	want := "Uplink, Frame: 46, Subframe: 9, Slot: 1, Symbol: 13"
+	if got.String() != want {
+		t.Fatalf("String = %q", got.String())
+	}
+}
+
+func TestTimingRoundTripProperty(t *testing.T) {
+	f := func(dir bool, pv, fi, frame, sf, slot, sym uint8) bool {
+		tm := Timing{
+			PayloadVersion: pv & 0x7, FilterIndex: fi & 0xf,
+			FrameID: frame, SubframeID: sf & 0xf, SlotID: slot & 0x3f, SymbolID: sym & 0x3f,
+		}
+		if dir {
+			tm.Direction = Downlink
+		}
+		var got Timing
+		_, err := got.DecodeFromBytes(tm.AppendTo(nil))
+		return err == nil && got == tm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimingTruncated(t *testing.T) {
+	var tm Timing
+	if _, err := tm.DecodeFromBytes(make([]byte, 3)); err != ErrTruncated {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSlotAndSymbolKeys(t *testing.T) {
+	tm := Timing{FrameID: 5, SubframeID: 2, SlotID: 1, SymbolID: 9}
+	if SlotOf(tm) != (Slot{Frame: 5, Subframe: 2, Slot: 1}) {
+		t.Fatal("SlotOf")
+	}
+	if SymbolOf(tm) != (SymbolRef{Slot: Slot{Frame: 5, Subframe: 2, Slot: 1}, Symbol: 9}) {
+		t.Fatal("SymbolOf")
+	}
+}
+
+func makeUPayload(t *testing.T, nPRB int) []byte {
+	t.Helper()
+	g := iq.NewGrid(nPRB)
+	for i := range g {
+		g[i][0] = iq.Sample{I: int16(i), Q: int16(-i)}
+	}
+	buf, err := bfp.CompressGrid(nil, g, bfp9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestUPlaneRoundTrip(t *testing.T) {
+	payload := makeUPayload(t, 106)
+	m := UPlaneMsg{
+		Timing: Timing{Direction: Downlink, PayloadVersion: 1, FrameID: 1, SubframeID: 2, SlotID: 0, SymbolID: 3},
+		Sections: []USection{{
+			SectionID: 7, StartPRB: 0, NumPRB: 106, Comp: bfp9(), Payload: payload,
+		}},
+	}
+	buf := m.AppendTo(nil)
+	if len(buf) != m.EncodedLen() {
+		t.Fatalf("EncodedLen = %d, wire = %d", m.EncodedLen(), len(buf))
+	}
+	var got UPlaneMsg
+	if err := got.DecodeFromBytes(buf, 106); err != nil {
+		t.Fatal(err)
+	}
+	if got.Timing != m.Timing || len(got.Sections) != 1 {
+		t.Fatalf("got %+v", got)
+	}
+	s := got.Sections[0]
+	if s.SectionID != 7 || s.StartPRB != 0 || s.NumPRB != 106 || s.Comp != bfp9() {
+		t.Fatalf("section %+v", s)
+	}
+	if !bytes.Equal(s.Payload, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestUPlaneAllPRBsEncoding(t *testing.T) {
+	// 273 PRBs (100 MHz) exceeds the 8-bit numPrbu: wire value must be 0
+	// ("all") and decode must resolve it against the carrier size.
+	payload := makeUPayload(t, 273)
+	m := UPlaneMsg{
+		Timing:   Timing{Direction: Uplink, SymbolID: 4},
+		Sections: []USection{{NumPRB: 273, Comp: bfp9(), Payload: payload}},
+	}
+	buf := m.AppendTo(nil)
+	if buf[TimingLen+3] != 0 {
+		t.Fatalf("numPrbu wire byte = %d, want 0", buf[TimingLen+3])
+	}
+	var got UPlaneMsg
+	if err := got.DecodeFromBytes(buf, 273); err != nil {
+		t.Fatal(err)
+	}
+	if got.Sections[0].NumPRB != 273 {
+		t.Fatalf("NumPRB = %d", got.Sections[0].NumPRB)
+	}
+	// A 100 MHz U-plane frame is a jumbo frame (paper: >7KB).
+	if len(buf) < 7000 {
+		t.Fatalf("273-PRB message only %d bytes; expected jumbo", len(buf))
+	}
+}
+
+func TestUPlaneMultiSection(t *testing.T) {
+	p1 := makeUPayload(t, 10)
+	p2 := makeUPayload(t, 20)
+	m := UPlaneMsg{
+		Timing: Timing{Direction: Uplink},
+		Sections: []USection{
+			{SectionID: 1, StartPRB: 0, NumPRB: 10, Comp: bfp9(), Payload: p1},
+			{SectionID: 2, StartPRB: 50, NumPRB: 20, Comp: bfp9(), Payload: p2},
+		},
+	}
+	buf := m.AppendTo(nil)
+	var got UPlaneMsg
+	if err := got.DecodeFromBytes(buf, 106); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sections) != 2 {
+		t.Fatalf("sections = %d", len(got.Sections))
+	}
+	if got.Sections[1].StartPRB != 50 || got.Sections[1].NumPRB != 20 {
+		t.Fatalf("section 2: %+v", got.Sections[1])
+	}
+	if !bytes.Equal(got.Sections[1].Payload, p2) {
+		t.Fatal("payload 2 mismatch")
+	}
+}
+
+func TestUPlaneDecodeErrors(t *testing.T) {
+	var m UPlaneMsg
+	if err := m.DecodeFromBytes(make([]byte, 2), 106); err != ErrTruncated {
+		t.Fatalf("short timing: %v", err)
+	}
+	tm := Timing{}
+	onlyTiming := tm.AppendTo(nil)
+	if err := m.DecodeFromBytes(onlyTiming, 106); err != ErrBadSection {
+		t.Fatalf("no sections: %v", err)
+	}
+	// Section header claiming more payload than present.
+	msg := UPlaneMsg{Sections: []USection{{NumPRB: 50, Comp: bfp9(), Payload: makeUPayload(t, 50)}}}
+	buf := msg.AppendTo(nil)
+	if err := m.DecodeFromBytes(buf[:len(buf)-10], 106); err != ErrTruncated {
+		t.Fatalf("truncated payload: %v", err)
+	}
+}
+
+func TestCPlaneType1RoundTrip(t *testing.T) {
+	m := CPlaneMsg{
+		Timing:      Timing{Direction: Downlink, PayloadVersion: 1, FrameID: 9, SubframeID: 3, SlotID: 1, SymbolID: 0},
+		SectionType: SectionType1,
+		Comp:        bfp9(),
+		Sections: []CSection{
+			{SectionID: 1, StartPRB: 0, NumPRB: 106, ReMask: 0xfff, NumSymbol: 14, BeamID: 0},
+			{SectionID: 2, StartPRB: 106, NumPRB: 100, ReMask: 0xabc, NumSymbol: 2, EF: false, BeamID: 77},
+		},
+	}
+	buf := m.AppendTo(nil)
+	if len(buf) != m.EncodedLen() {
+		t.Fatalf("EncodedLen = %d, wire = %d", m.EncodedLen(), len(buf))
+	}
+	var got CPlaneMsg
+	if err := got.DecodeFromBytes(buf, 273); err != nil {
+		t.Fatal(err)
+	}
+	if got.Timing != m.Timing || got.SectionType != SectionType1 || got.Comp != m.Comp {
+		t.Fatalf("header: %+v", got)
+	}
+	for i := range m.Sections {
+		if got.Sections[i] != m.Sections[i] {
+			t.Fatalf("section %d: got %+v want %+v", i, got.Sections[i], m.Sections[i])
+		}
+	}
+}
+
+func TestCPlaneType3RoundTrip(t *testing.T) {
+	m := CPlaneMsg{
+		Timing:         Timing{Direction: Uplink, FilterIndex: 1, FrameID: 4, SymbolID: 0},
+		SectionType:    SectionType3,
+		TimeOffset:     1234,
+		FrameStructure: 0x41,
+		CPLength:       567,
+		Comp:           bfp9(),
+		Sections: []CSection{
+			{SectionID: 3, StartPRB: 0, NumPRB: 12, ReMask: 0xfff, NumSymbol: 1, BeamID: 0, FreqOffset: -3456},
+		},
+	}
+	buf := m.AppendTo(nil)
+	if len(buf) != m.EncodedLen() {
+		t.Fatalf("EncodedLen = %d, wire = %d", m.EncodedLen(), len(buf))
+	}
+	var got CPlaneMsg
+	if err := got.DecodeFromBytes(buf, 273); err != nil {
+		t.Fatal(err)
+	}
+	if got.TimeOffset != 1234 || got.FrameStructure != 0x41 || got.CPLength != 567 {
+		t.Fatalf("type3 common: %+v", got)
+	}
+	if got.Sections[0].FreqOffset != -3456 {
+		t.Fatalf("freqOffset = %d", got.Sections[0].FreqOffset)
+	}
+}
+
+func TestCPlaneFreqOffsetSignProperty(t *testing.T) {
+	f := func(fo int32) bool {
+		fo = fo << 8 >> 8 // clamp to 24-bit signed range
+		m := CPlaneMsg{
+			SectionType: SectionType3,
+			Sections:    []CSection{{NumPRB: 1, FreqOffset: fo}},
+		}
+		var got CPlaneMsg
+		if err := got.DecodeFromBytes(m.AppendTo(nil), 273); err != nil {
+			return false
+		}
+		return got.Sections[0].FreqOffset == fo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPlaneAllPRBs(t *testing.T) {
+	m := CPlaneMsg{
+		SectionType: SectionType1,
+		Sections:    []CSection{{NumPRB: 273, ReMask: 0xfff, NumSymbol: 14}},
+	}
+	var got CPlaneMsg
+	if err := got.DecodeFromBytes(m.AppendTo(nil), 273); err != nil {
+		t.Fatal(err)
+	}
+	if got.Sections[0].NumPRB != 273 {
+		t.Fatalf("NumPRB = %d", got.Sections[0].NumPRB)
+	}
+}
+
+func TestCPlaneDecodeErrors(t *testing.T) {
+	var got CPlaneMsg
+	if err := got.DecodeFromBytes(make([]byte, 3), 106); err != ErrTruncated {
+		t.Fatalf("short: %v", err)
+	}
+	valid := CPlaneMsg{SectionType: SectionType1, Sections: []CSection{{NumPRB: 1}}}
+	buf := valid.AppendTo(nil)
+	buf[TimingLen+1] = 9 // patch sectionType to an unsupported value
+	if err := got.DecodeFromBytes(buf, 106); err != ErrSectionType {
+		t.Fatalf("unsupported type: %v", err)
+	}
+	ok := CPlaneMsg{SectionType: SectionType1, Sections: []CSection{{NumPRB: 1}, {NumPRB: 2}}}
+	full := ok.AppendTo(nil)
+	if err := got.DecodeFromBytes(full[:len(full)-4], 106); err != ErrTruncated {
+		t.Fatalf("truncated sections: %v", err)
+	}
+}
+
+func TestCPlaneZeroSections(t *testing.T) {
+	m := CPlaneMsg{SectionType: SectionType1}
+	var got CPlaneMsg
+	if err := got.DecodeFromBytes(m.AppendTo(nil), 106); err != ErrBadSection {
+		t.Fatalf("zero sections: %v", err)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Uplink.String() != "Uplink" || Downlink.String() != "Downlink" {
+		t.Fatal("direction names")
+	}
+}
+
+func BenchmarkUPlaneDecode(b *testing.B) {
+	payload := make([]byte, 273*28)
+	m := UPlaneMsg{Sections: []USection{{NumPRB: 273, Comp: bfp9(), Payload: payload}}}
+	buf := m.AppendTo(nil)
+	b.ReportAllocs()
+	var got UPlaneMsg
+	for i := 0; i < b.N; i++ {
+		if err := got.DecodeFromBytes(buf, 273); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCPlaneEncode(b *testing.B) {
+	m := CPlaneMsg{
+		SectionType: SectionType1,
+		Comp:        bfp9(),
+		Sections:    []CSection{{NumPRB: 273, ReMask: 0xfff, NumSymbol: 14}},
+	}
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = m.AppendTo(buf[:0])
+	}
+}

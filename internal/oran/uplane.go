@@ -1,0 +1,91 @@
+package oran
+
+import "ranbooster/internal/bfp"
+
+// USection is one data section of a U-plane message: a run of PRBs for the
+// message's symbol and eAxC, preceded by its compression header.
+type USection struct {
+	SectionID uint16 // 12 bits; correlates with the C-plane section
+	RB        bool   // rb: every other PRB used
+	SymInc    bool   // symInc: increment symbol number
+	StartPRB  int    // startPrbu: first PRB of the section (10 bits)
+	NumPRB    int    // number of PRBs carried (wire 0 = all carrier PRBs)
+	Comp      bfp.Params
+	// Payload is the compressed PRB data: NumPRB blocks of Comp.PRBSize()
+	// bytes. On decode it aliases the input buffer.
+	Payload []byte
+}
+
+// uSectionFixedLen is the encoded size of a U-plane section header:
+// 3 bytes section fields + 1 byte numPrbu + udCompHdr + reserved.
+const uSectionFixedLen = 6
+
+// EncodedLen returns the on-wire size of the section.
+func (s *USection) EncodedLen() int { return uSectionFixedLen + len(s.Payload) }
+
+// AppendTo serializes the section.
+func (s *USection) AppendTo(b []byte) []byte {
+	b = appendSectionHdr(b, s.SectionID, s.RB, s.SymInc, uint16(s.StartPRB))
+	b = append(b, encodeNumPRB(s.NumPRB), s.Comp.Byte(), 0 /* reserved */)
+	return append(b, s.Payload...)
+}
+
+// UPlaneMsg is a U-plane (IQ data) message: timing header plus one or more
+// data sections. It is the application payload of an eCPRI type-0 PDU.
+type UPlaneMsg struct {
+	Timing   Timing
+	Sections []USection
+}
+
+// AppendTo serializes the message.
+func (m *UPlaneMsg) AppendTo(b []byte) []byte {
+	b = m.Timing.AppendTo(b)
+	for i := range m.Sections {
+		b = m.Sections[i].AppendTo(b)
+	}
+	return b
+}
+
+// EncodedLen returns the on-wire size of the message.
+func (m *UPlaneMsg) EncodedLen() int {
+	n := TimingLen
+	for i := range m.Sections {
+		n += m.Sections[i].EncodedLen()
+	}
+	return n
+}
+
+// DecodeFromBytes parses a U-plane message. Section payload sizes are
+// implied by numPrbu and the compression header; carrierPRBs resolves the
+// "all PRBs" wire encoding (numPrbu == 0). Section slices and payloads
+// alias b. The Sections slice is reused across calls when capacity allows.
+func (m *UPlaneMsg) DecodeFromBytes(b []byte, carrierPRBs int) error {
+	rest, err := m.Timing.DecodeFromBytes(b)
+	if err != nil {
+		return err
+	}
+	m.Sections = m.Sections[:0]
+	for len(rest) > 0 {
+		if len(rest) < uSectionFixedLen {
+			return ErrTruncated
+		}
+		var s USection
+		var start uint16
+		s.SectionID, s.RB, s.SymInc, start = decodeSectionHdr(rest)
+		s.StartPRB = int(start)
+		s.NumPRB = decodeNumPRB(rest[3], carrierPRBs)
+		s.Comp = bfp.ParamsFromByte(rest[4])
+		rest = rest[uSectionFixedLen:]
+		plen := s.NumPRB * s.Comp.PRBSize()
+		if plen < 0 || plen > len(rest) {
+			return ErrTruncated
+		}
+		s.Payload = rest[:plen:plen]
+		rest = rest[plen:]
+		m.Sections = append(m.Sections, s)
+	}
+	if len(m.Sections) == 0 {
+		return ErrBadSection
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+// Package pcap reads and writes classic libpcap capture files
+// (LINKTYPE_ETHERNET), so fronthaul traffic from the simulated testbed
+// can be captured, replayed and inspected — with this repo's dissector or
+// with Wireshark, which decodes eCPRI/O-RAN natively (Fig. 2).
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+const (
+	magicMicros  = 0xa1b2c3d4
+	versionMajor = 2
+	versionMinor = 4
+	linkEthernet = 1
+	// MaxSnapLen accommodates fronthaul jumbo frames.
+	MaxSnapLen = 16384
+)
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w      io.Writer
+	wroteH bool
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+func (w *Writer) header() error {
+	var h [24]byte
+	binary.LittleEndian.PutUint32(h[0:], magicMicros)
+	binary.LittleEndian.PutUint16(h[4:], versionMajor)
+	binary.LittleEndian.PutUint16(h[6:], versionMinor)
+	binary.LittleEndian.PutUint32(h[16:], MaxSnapLen)
+	binary.LittleEndian.PutUint32(h[20:], linkEthernet)
+	_, err := w.w.Write(h[:])
+	return err
+}
+
+// WritePacket appends one frame with the given capture timestamp.
+func (w *Writer) WritePacket(ts time.Duration, frame []byte) error {
+	if !w.wroteH {
+		if err := w.header(); err != nil {
+			return err
+		}
+		w.wroteH = true
+	}
+	if len(frame) > MaxSnapLen {
+		return fmt.Errorf("pcap: frame of %d bytes exceeds snap length", len(frame))
+	}
+	var h [16]byte
+	binary.LittleEndian.PutUint32(h[0:], uint32(ts/time.Second))
+	binary.LittleEndian.PutUint32(h[4:], uint32(ts%time.Second/time.Microsecond))
+	binary.LittleEndian.PutUint32(h[8:], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(h[12:], uint32(len(frame)))
+	if _, err := w.w.Write(h[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(frame)
+	return err
+}
+
+// Packet is one captured frame.
+type Packet struct {
+	TS    time.Duration
+	Frame []byte
+}
+
+// ErrBadMagic reports a stream that is not little-endian classic pcap.
+var ErrBadMagic = errors.New("pcap: bad magic (only little-endian classic pcap supported)")
+
+// Reader consumes a pcap stream.
+type Reader struct {
+	r     io.Reader
+	readH bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next returns the next packet, or io.EOF at end of stream.
+func (r *Reader) Next() (Packet, error) {
+	if !r.readH {
+		var h [24]byte
+		if _, err := io.ReadFull(r.r, h[:]); err != nil {
+			return Packet{}, err
+		}
+		if binary.LittleEndian.Uint32(h[0:]) != magicMicros {
+			return Packet{}, ErrBadMagic
+		}
+		r.readH = true
+	}
+	var h [16]byte
+	if _, err := io.ReadFull(r.r, h[:]); err != nil {
+		return Packet{}, err
+	}
+	n := binary.LittleEndian.Uint32(h[8:])
+	if n > MaxSnapLen {
+		return Packet{}, fmt.Errorf("pcap: captured length %d exceeds snap length", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r.r, frame); err != nil {
+		return Packet{}, err
+	}
+	ts := time.Duration(binary.LittleEndian.Uint32(h[0:]))*time.Second +
+		time.Duration(binary.LittleEndian.Uint32(h[4:]))*time.Microsecond
+	return Packet{TS: ts, Frame: frame}, nil
+}

@@ -1,0 +1,80 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	frames := [][]byte{
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 0xae, 0xfe},
+		bytes.Repeat([]byte{0xab}, 7700), // jumbo
+	}
+	for i, f := range frames {
+		if err := w.WritePacket(time.Duration(i)*1500*time.Microsecond, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, want := range frames {
+		p, err := r.Next()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !bytes.Equal(p.Frame, want) {
+			t.Fatalf("packet %d bytes mismatch", i)
+		}
+		if p.TS != time.Duration(i)*1500*time.Microsecond {
+			t.Fatalf("packet %d ts = %v", i, p.TS)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader(make([]byte, 64)))
+	if _, err := r.Next(); err != ErrBadMagic {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePacket(0, make([]byte, MaxSnapLen+1)); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePacket(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	r := NewReader(bytes.NewReader(data[:len(data)-2]))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated packet read successfully")
+	}
+}
+
+func TestHeaderOnlyStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.WritePacket(0, []byte{1})
+	// Drop everything after the global header + one record, then read two.
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("second read: %v", err)
+	}
+}

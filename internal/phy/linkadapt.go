@@ -1,0 +1,129 @@
+package phy
+
+import (
+	"math"
+	"time"
+)
+
+// Link adaptation: SINR → CQI → spectral efficiency, as a scheduler would
+// run it. The constants below were calibrated once against the paper's
+// measured throughputs (srsRAN, 100 MHz n78 cell; see EXPERIMENTS.md) and
+// then frozen; all experiments share them.
+
+// cqiEfficiency is the spectral efficiency (bits per resource element) of
+// each 4-bit CQI index from the 256QAM table (3GPP TS 38.214 Table
+// 5.2.2.1-3). Index 0 means out of range.
+var cqiEfficiency = [16]float64{
+	0, 0.1523, 0.3770, 0.8770, 1.4766, 1.9141, 2.4063, 2.7305,
+	3.3223, 3.9023, 4.5234, 5.1152, 5.5547, 6.2266, 6.9141, 7.4063,
+}
+
+// cqiThresholdDB is the minimum SINR (dB) at which each CQI index is
+// selected for a 10% BLER target (standard link-level curves).
+var cqiThresholdDB = [16]float64{
+	math.Inf(-1), -6.7, -4.7, -2.3, 0.2, 2.4, 4.3, 5.9,
+	8.1, 10.3, 11.7, 14.1, 16.3, 18.7, 21.0, 22.7,
+}
+
+// Implementation limits of the testbed radios and stacks.
+const (
+	// SINRCapDL is the downlink SINR ceiling (dB) set by transmitter EVM:
+	// no matter how close the UE stands, effective SINR saturates here.
+	SINRCapDL = 22.0
+	// SINRCapUL is the uplink equivalent; UE transmitters are worse.
+	SINRCapUL = 13.0
+	// PHYOverhead is the fraction of resource elements spent on DMRS,
+	// control channels and other overhead.
+	PHYOverhead = 0.14
+)
+
+// rankPenaltyDB is the effective per-layer SINR loss from inter-layer
+// interference at each transmission rank (beyond the ideal power split,
+// which Layers accounts for separately). Calibrated so that the Table 2
+// throughputs reproduce.
+var rankPenaltyDB = [5]float64{0, 0, 0, 5, 9}
+
+// CQIFromSINR returns the highest CQI whose threshold the SINR meets.
+func CQIFromSINR(sinrDB float64) int {
+	cqi := 0
+	for i := 1; i < len(cqiThresholdDB); i++ {
+		if sinrDB >= cqiThresholdDB[i] {
+			cqi = i
+		}
+	}
+	return cqi
+}
+
+// EfficiencyForCQI returns bits per resource element at a CQI index.
+func EfficiencyForCQI(cqi int) float64 {
+	if cqi < 0 || cqi >= len(cqiEfficiency) {
+		return 0
+	}
+	return cqiEfficiency[cqi]
+}
+
+// LayerSINRdB computes the per-layer SINR of a rank-layers transmission
+// over antenna elements whose individual signal-to-(interference+noise)
+// ratios are given in linear scale. Joint precoding pools the element
+// powers and splits them across layers; the result is capped at capDB and
+// reduced by the rank penalty. This one formula covers co-located MIMO,
+// DAS (same signal everywhere) and distributed MIMO (unequal elements).
+func LayerSINRdB(elementsLinear []float64, layers int, capDB float64) float64 {
+	if layers <= 0 || len(elementsLinear) == 0 {
+		return math.Inf(-1)
+	}
+	var sum float64
+	for _, p := range elementsLinear {
+		sum += p
+	}
+	perLayer := 10 * math.Log10(sum/float64(layers))
+	if perLayer > capDB {
+		perLayer = capDB
+	}
+	pen := rankPenaltyDB[4]
+	if layers < len(rankPenaltyDB) {
+		pen = rankPenaltyDB[layers]
+	}
+	return perLayer - pen
+}
+
+// StackProfile captures the per-vendor implementation differences the
+// paper observed: "only differences in terms of the obtained throughput,
+// caused by the variations in the implementation quality and cell
+// configurations provided by each vendor" (§6.2).
+type StackProfile struct {
+	Name string
+	// Efficiency scales the information rate below the PHY bound.
+	Efficiency float64
+	// TDDPattern is the stack's slot pattern.
+	TDDPattern string
+	// MaxDLLayers bounds downlink MIMO (all three stacks support 4).
+	MaxDLLayers int
+}
+
+// The three RAN stacks of the paper's testbed.
+var (
+	StackSRSRAN    = StackProfile{Name: "srsRAN", Efficiency: 0.80, TDDPattern: "DDDSU", MaxDLLayers: 4}
+	StackCapGemini = StackProfile{Name: "CapGemini", Efficiency: 0.86, TDDPattern: "DDDSUUDDDD", MaxDLLayers: 4}
+	StackRadisys   = StackProfile{Name: "Radisys", Efficiency: 0.83, TDDPattern: "DDDSU", MaxDLLayers: 4}
+)
+
+// Stacks lists all vendor profiles for interoperability sweeps.
+var Stacks = []StackProfile{StackSRSRAN, StackCapGemini, StackRadisys}
+
+// REPerSecond returns the total resource elements per second of a carrier
+// (both directions, before TDD split).
+func REPerSecond(numPRB int) float64 {
+	slotsPerSec := float64(SlotsPerFrame) * float64(time.Second/FrameDuration)
+	return float64(numPRB) * SubcarriersPerPRB * SymbolsPerSlot * slotsPerSec
+}
+
+// ThroughputBps computes the achievable information rate in bits/second
+// for a transmission with the given per-layer SINR, rank, carrier size,
+// TDD direction fraction and stack efficiency. Each layer is adapted
+// independently through the CQI table.
+func ThroughputBps(numPRB int, dirFraction float64, layerSINRdB float64, layers int, stack StackProfile) float64 {
+	se := EfficiencyForCQI(CQIFromSINR(layerSINRdB))
+	re := REPerSecond(numPRB) * dirFraction * (1 - PHYOverhead)
+	return re * se * float64(layers) * stack.Efficiency
+}

@@ -1,0 +1,140 @@
+// Package phy captures the 5G NR physical-layer structure the fronthaul
+// schedules against: the µ=1 numerology used by band n78 testbeds (30 kHz
+// subcarriers, 0.5 ms slots of 14 symbols), channel-bandwidth to PRB-count
+// tables, TDD patterns, the PRB↔frequency arithmetic (including the RU
+// sharing alignment formulas of Appendix A.1), and a calibrated link
+// adaptation model mapping SINR and MIMO rank to achievable throughput.
+package phy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Numerology µ=1 (30 kHz SCS), the configuration of the paper's testbed.
+const (
+	// SCS is the subcarrier spacing in Hz.
+	SCS = 30_000
+	// SubcarriersPerPRB matches iq.SubcarriersPerPRB (12).
+	SubcarriersPerPRB = 12
+	// PRBBandwidthHz is the width of one PRB.
+	PRBBandwidthHz = SCS * SubcarriersPerPRB // 360 kHz
+	// SymbolsPerSlot is the number of OFDM symbols per slot (normal CP).
+	SymbolsPerSlot = 14
+	// SlotsPerSubframe for µ=1.
+	SlotsPerSubframe = 2
+	// SubframesPerFrame is fixed by NR (1 ms subframes, 10 ms frames).
+	SubframesPerFrame = 10
+	// SlotsPerFrame for µ=1.
+	SlotsPerFrame = SlotsPerSubframe * SubframesPerFrame
+	// SlotDuration is 0.5 ms for µ=1.
+	SlotDuration = 500 * time.Microsecond
+	// SymbolDuration is the per-symbol scheduling increment the fronthaul
+	// operates on ("a few tens of microseconds", §2.2).
+	SymbolDuration = SlotDuration / SymbolsPerSlot
+	// FrameDuration is 10 ms.
+	FrameDuration = 10 * time.Millisecond
+)
+
+// prbTable maps channel bandwidth (MHz) to the maximum transmission
+// bandwidth configuration N_RB for 30 kHz SCS (3GPP TS 38.101-1 Table
+// 5.3.2-1). The 40 MHz entry (106) matches the Fig. 2 capture and the
+// 100 MHz entry (273) the paper's headline cell.
+var prbTable = map[int]int{
+	10: 24, 15: 38, 20: 51, 25: 65, 30: 78, 40: 106,
+	50: 133, 60: 162, 70: 189, 80: 217, 90: 245, 100: 273,
+}
+
+// PRBsFor returns the PRB count of a channel bandwidth in MHz. It panics on
+// bandwidths outside the standard table: carrier configs are static inputs
+// and a bad one is a programming error.
+func PRBsFor(bwMHz int) int {
+	n, ok := prbTable[bwMHz]
+	if !ok {
+		panic(fmt.Sprintf("phy: no PRB configuration for %d MHz at 30 kHz SCS", bwMHz))
+	}
+	return n
+}
+
+// Carrier describes one configured carrier: an RU's full spectrum or a
+// DU cell's slice of it.
+type Carrier struct {
+	BandwidthMHz int
+	CenterHz     int64
+	NumPRB       int
+}
+
+// NewCarrier builds a Carrier from bandwidth and center frequency.
+func NewCarrier(bwMHz int, centerHz int64) Carrier {
+	return Carrier{BandwidthMHz: bwMHz, CenterHz: centerHz, NumPRB: PRBsFor(bwMHz)}
+}
+
+// PRB0Hz returns the frequency of the first resource element of PRB 0
+// (Appendix A.1.1, eqs. 1–2):
+//
+//	PRB_0_frequency = center_of_frequency − 12·SCS·num_prb/2
+func (c Carrier) PRB0Hz() int64 {
+	return c.CenterHz - int64(SubcarriersPerPRB)*SCS*int64(c.NumPRB)/2
+}
+
+// PRBStartHz returns the frequency of the first resource element of PRB i.
+func (c Carrier) PRBStartHz(i int) int64 {
+	return c.PRB0Hz() + int64(i)*PRBBandwidthHz
+}
+
+// String describes the carrier.
+func (c Carrier) String() string {
+	return fmt.Sprintf("%dMHz@%.2fGHz (%d PRBs)", c.BandwidthMHz, float64(c.CenterHz)/1e9, c.NumPRB)
+}
+
+// AlignedDUCenterHz derives the DU center frequency that places the DU's
+// PRB grid exactly prbOffset PRBs into the RU's grid (Appendix A.1.1,
+// eqs. 3–4):
+//
+//	DU_center = PRB_0_frequency(RU) + 12·SCS·(prb_offset + du_num_prb/2)
+//
+// Choosing DU centers this way lets the RU-sharing middlebox relocate PRBs
+// with a plain copy instead of decompress/recompress (Fig. 6, left).
+func AlignedDUCenterHz(ru Carrier, prbOffset, duNumPRB int) int64 {
+	return ru.PRB0Hz() + int64(SubcarriersPerPRB)*SCS*(int64(prbOffset)+int64(duNumPRB)/2)
+}
+
+// PRBOffset returns the position of the DU's PRB 0 within the RU's PRB
+// grid, and whether the grids align exactly on a PRB boundary. A DU that
+// is not aligned forces the slow (de)compression path of the RU-sharing
+// middlebox (Fig. 6, right).
+func PRBOffset(ru, du Carrier) (offset int, aligned bool) {
+	deltaHz := du.PRB0Hz() - ru.PRB0Hz()
+	offset = int(deltaHz / PRBBandwidthHz)
+	aligned = deltaHz%PRBBandwidthHz == 0
+	if deltaHz < 0 && !aligned {
+		offset-- // floor division for negative offsets
+	}
+	return offset, aligned
+}
+
+// TranslateFreqOffset converts a PRACH C-plane freqOffset expressed against
+// the DU's carrier into the equivalent offset against the RU's carrier
+// (Appendix A.1.2, eq. 11):
+//
+//	freqOffset_RU = freqOffset_DU + (RU_center − DU_center) / (0.5·SCS)
+//
+// freqOffset is in half-subcarrier units, per the CUS-plane spec.
+func TranslateFreqOffset(freqOffsetDU int32, du, ru Carrier) int32 {
+	return freqOffsetDU + int32((ru.CenterHz-du.CenterHz)/(SCS/2))
+}
+
+// FreqOffsetForPRB returns the C-plane freqOffset (half-subcarrier units)
+// locating the first RE of PRB prb of the carrier, measured from the
+// carrier center. Positive offsets are below center in the CUS convention
+// used by Appendix A.1.2 (frequency_re0rb0 = center − offset·0.5·SCS).
+func FreqOffsetForPRB(c Carrier, prb int) int32 {
+	offHz := c.CenterHz - c.PRBStartHz(prb)
+	return int32(offHz / (SCS / 2))
+}
+
+// PRBForFreqOffset inverts FreqOffsetForPRB.
+func PRBForFreqOffset(c Carrier, freqOffset int32) int {
+	re0Hz := c.CenterHz - int64(freqOffset)*(SCS/2)
+	return int((re0Hz - c.PRB0Hz()) / PRBBandwidthHz)
+}

@@ -1,0 +1,276 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPRBTable(t *testing.T) {
+	cases := map[int]int{40: 106, 100: 273, 25: 65, 20: 51}
+	for bw, want := range cases {
+		if got := PRBsFor(bw); got != want {
+			t.Errorf("PRBsFor(%d) = %d, want %d", bw, got, want)
+		}
+	}
+}
+
+func TestPRBsForPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	PRBsFor(37)
+}
+
+func TestCarrierFrequencyMath(t *testing.T) {
+	ru := NewCarrier(100, 3_460_000_000)
+	// PRB0 = center - 12*30k*273/2 = 3.46e9 - 49.14e6
+	if got := ru.PRB0Hz(); got != 3_460_000_000-49_140_000 {
+		t.Fatalf("PRB0Hz = %d", got)
+	}
+	if ru.PRBStartHz(1)-ru.PRBStartHz(0) != PRBBandwidthHz {
+		t.Fatal("PRB spacing")
+	}
+}
+
+func TestAlignedDUCenterRoundTrip(t *testing.T) {
+	// Paper scenario (Fig. 6): 100 MHz RU shared by two 40 MHz DUs.
+	ru := NewCarrier(100, 3_460_000_000)
+	duPRBs := PRBsFor(40)
+	for _, off := range []int{0, 10, 105, 273 - 106} {
+		center := AlignedDUCenterHz(ru, off, duPRBs)
+		du := NewCarrier(40, center)
+		gotOff, aligned := PRBOffset(ru, du)
+		if !aligned {
+			t.Fatalf("offset %d: not aligned", off)
+		}
+		if gotOff != off {
+			t.Fatalf("offset %d: recovered %d", off, gotOff)
+		}
+	}
+}
+
+func TestPRBOffsetMisaligned(t *testing.T) {
+	ru := NewCarrier(100, 3_460_000_000)
+	du := NewCarrier(40, AlignedDUCenterHz(ru, 10, PRBsFor(40))+15_000) // half-subcarrier shift
+	if _, aligned := PRBOffset(ru, du); aligned {
+		t.Fatal("misaligned carriers reported aligned")
+	}
+}
+
+func TestAlignedOffsetProperty(t *testing.T) {
+	ru := NewCarrier(100, 3_460_000_000)
+	f := func(rawOff uint8) bool {
+		off := int(rawOff) % (273 - 106)
+		du := NewCarrier(40, AlignedDUCenterHz(ru, off, 106))
+		got, aligned := PRBOffset(ru, du)
+		return aligned && got == off
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranslateFreqOffsetInverse(t *testing.T) {
+	// Translating DU->RU then RU->DU must round-trip (eq. 11 is linear).
+	ru := NewCarrier(100, 3_460_000_000)
+	du := NewCarrier(40, 3_430_020_000)
+	fo := int32(1234)
+	there := TranslateFreqOffset(fo, du, ru)
+	back := TranslateFreqOffset(there, ru, du)
+	if back != fo {
+		t.Fatalf("round trip: %d -> %d -> %d", fo, there, back)
+	}
+	if there == fo {
+		t.Fatal("different centers must change the offset")
+	}
+}
+
+func TestFreqOffsetPRBRoundTrip(t *testing.T) {
+	c := NewCarrier(40, 3_430_020_000)
+	for _, prb := range []int{0, 2, 50, 105} {
+		fo := FreqOffsetForPRB(c, prb)
+		if got := PRBForFreqOffset(c, fo); got != prb {
+			t.Fatalf("prb %d -> fo %d -> prb %d", prb, fo, got)
+		}
+	}
+}
+
+func TestFreqOffsetTranslationLocatesSamePhysicalFrequency(t *testing.T) {
+	// The physical frequency a DU freqOffset points at must equal the one
+	// the translated RU freqOffset points at — the correctness condition
+	// of PRACH handling in RU sharing.
+	ru := NewCarrier(100, 3_460_000_000)
+	du := NewCarrier(40, AlignedDUCenterHz(ru, 20, 106))
+	foDU := FreqOffsetForPRB(du, 2)
+	foRU := TranslateFreqOffset(foDU, du, ru)
+	freqViaDU := du.CenterHz - int64(foDU)*(SCS/2)
+	freqViaRU := ru.CenterHz - int64(foRU)*(SCS/2)
+	if freqViaDU != freqViaRU {
+		t.Fatalf("physical freq mismatch: %d vs %d", freqViaDU, freqViaRU)
+	}
+	// And it should land on RU PRB = offset + DU PRB.
+	if got := PRBForFreqOffset(ru, foRU); got != 22 {
+		t.Fatalf("RU PRB = %d, want 22", got)
+	}
+}
+
+func TestTDDParse(t *testing.T) {
+	p := MustTDD("DDDSU")
+	if p.Period() != 5 {
+		t.Fatal("period")
+	}
+	if p.Kind(0) != SlotDL || p.Kind(3) != SlotSpecial || p.Kind(4) != SlotUL || p.Kind(5) != SlotDL {
+		t.Fatal("kinds")
+	}
+	if p.String() != "DDDSU" {
+		t.Fatalf("String = %q", p.String())
+	}
+	if _, err := ParseTDD(""); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := ParseTDD("DDX"); err == nil {
+		t.Fatal("bad char accepted")
+	}
+}
+
+func TestTDDFractions(t *testing.T) {
+	p := MustTDD("DDDSU")
+	// DL: 3*14+10 = 52 of 70; UL: 14+2 = 16 of 70.
+	if got := p.DLSymbolFraction(); math.Abs(got-52.0/70) > 1e-9 {
+		t.Fatalf("DL fraction = %v", got)
+	}
+	if got := p.ULSymbolFraction(); math.Abs(got-16.0/70) > 1e-9 {
+		t.Fatalf("UL fraction = %v", got)
+	}
+}
+
+func TestTDDSymbolDir(t *testing.T) {
+	p := MustTDD("DDDSU")
+	if dl, ok := p.SymbolDir(0, 5); !ok || !dl {
+		t.Fatal("DL slot")
+	}
+	if dl, ok := p.SymbolDir(4, 5); !ok || dl {
+		t.Fatal("UL slot")
+	}
+	if dl, ok := p.SymbolDir(3, 0); !ok || !dl {
+		t.Fatal("special DL part")
+	}
+	if _, ok := p.SymbolDir(3, 11); ok {
+		t.Fatal("guard should not be ok")
+	}
+	if dl, ok := p.SymbolDir(3, 13); !ok || dl {
+		t.Fatal("special UL part")
+	}
+}
+
+func TestCQIMonotone(t *testing.T) {
+	prev := 0
+	for s := -10.0; s < 30; s += 0.25 {
+		c := CQIFromSINR(s)
+		if c < prev {
+			t.Fatalf("CQI not monotone at %v", s)
+		}
+		prev = c
+	}
+	if CQIFromSINR(-20) != 0 {
+		t.Fatal("deep fade should give CQI 0")
+	}
+	if CQIFromSINR(30) != 15 {
+		t.Fatal("high SINR should give CQI 15")
+	}
+}
+
+func TestEfficiencyForCQIBounds(t *testing.T) {
+	if EfficiencyForCQI(-1) != 0 || EfficiencyForCQI(16) != 0 {
+		t.Fatal("out of range CQI")
+	}
+	if EfficiencyForCQI(15) != 7.4063 {
+		t.Fatal("cqi 15")
+	}
+}
+
+func TestLayerSINR(t *testing.T) {
+	// Four equal elements, rank 4: pooling/split cancel, only the penalty
+	// and cap remain.
+	el := []float64{100, 100, 100, 100} // 20 dB each
+	got := LayerSINRdB(el, 4, SINRCapDL)
+	if math.Abs(got-(20-rankPenaltyDB[4])) > 1e-9 {
+		t.Fatalf("rank4 layer SINR = %v", got)
+	}
+	// Cap binds when elements are very strong.
+	hot := []float64{1e6}
+	if got := LayerSINRdB(hot, 1, SINRCapDL); got != SINRCapDL {
+		t.Fatalf("cap: %v", got)
+	}
+	if !math.IsInf(LayerSINRdB(nil, 1, SINRCapDL), -1) {
+		t.Fatal("empty elements")
+	}
+	if !math.IsInf(LayerSINRdB(el, 0, SINRCapDL), -1) {
+		t.Fatal("zero layers")
+	}
+}
+
+func TestCalibratedThroughputBands(t *testing.T) {
+	// The frozen calibration must keep the paper's headline numbers in
+	// band (±10%): Table 2 and the 40 MHz / uplink baselines.
+	tdd := MustTDD(StackSRSRAN.TDDPattern)
+	elements := func(n int) []float64 {
+		e := make([]float64, n)
+		for i := range e {
+			e[i] = math.Pow(10, 30/10.0) // strong, cap-limited
+		}
+		return e
+	}
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("%s = %.1f Mbps, want %.1f ±10%%", name, got/1e6, want/1e6)
+		}
+	}
+	dl := tdd.DLSymbolFraction()
+	ul := tdd.ULSymbolFraction()
+	// Table 2 row 1: 2 layers, 100 MHz: 653.4 Mbps.
+	s2 := LayerSINRdB(elements(2), 2, SINRCapDL)
+	check("rank2 100MHz", ThroughputBps(273, dl, s2, 2, StackSRSRAN), 653.4e6)
+	// Table 2 row 3: 4 layers, 100 MHz: 898.2 Mbps.
+	s4 := LayerSINRdB(elements(4), 4, SINRCapDL)
+	check("rank4 100MHz", ThroughputBps(273, dl, s4, 4, StackSRSRAN), 898.2e6)
+	// Fig 10b baseline: 40 MHz cell ~330 Mbps DL, ~25 Mbps UL.
+	check("rank4 40MHz", ThroughputBps(106, dl, LayerSINRdB(elements(4), 4, SINRCapDL), 4, StackSRSRAN), 330e6)
+	sul := LayerSINRdB(elements(1), 1, SINRCapUL)
+	check("UL SISO 40MHz", ThroughputBps(106, ul, sul, 1, StackSRSRAN), 25e6)
+	// §6.2.2: UL SISO 100 MHz: 70 Mbps.
+	check("UL SISO 100MHz", ThroughputBps(273, ul, sul, 1, StackSRSRAN), 70e6)
+}
+
+func TestSSBOccupies(t *testing.T) {
+	c := DefaultSSB()
+	if !c.Occupies(0, 0, 2) || !c.Occupies(0, 0, 5) {
+		t.Fatal("SSB symbols")
+	}
+	if c.Occupies(0, 0, 6) || c.Occupies(0, 1, 2) || c.Occupies(1, 0, 2) {
+		t.Fatal("outside SSB")
+	}
+	if !c.Occupies(2, 0, 2) {
+		t.Fatal("periodicity")
+	}
+}
+
+func TestPRACHOccupies(t *testing.T) {
+	c := DefaultPRACH()
+	if !c.Occupies(0, 19, 0) || !c.Occupies(0, 19, 1) {
+		t.Fatal("PRACH symbols")
+	}
+	if c.Occupies(0, 19, 2) || c.Occupies(1, 19, 0) {
+		t.Fatal("outside PRACH")
+	}
+}
+
+func TestSlotKindString(t *testing.T) {
+	if SlotDL.String() != "D" || SlotUL.String() != "U" || SlotSpecial.String() != "S" {
+		t.Fatal("slot kind strings")
+	}
+}

@@ -1,0 +1,29 @@
+package phy
+
+// AdaptRank picks the transmission rank that maximizes throughput for the
+// given antenna-element SINRs, the way the DU's outer-loop link adaptation
+// would: each candidate rank pools the element powers, splits them across
+// layers, and the rank with the highest layers×efficiency product wins.
+// It returns the chosen rank and its per-layer SINR.
+//
+// This is where distributed deployments differentiate themselves: a UE at
+// a cell-edge under interference collapses to rank 1–2 (the dips of
+// Fig. 11b), while a UE inside a dMIMO cluster sustains rank 4 (Table 2).
+func AdaptRank(elementsLinear []float64, maxLayers int, capDB float64) (layers int, layerSINRdB float64) {
+	if len(elementsLinear) == 0 {
+		return 0, 0
+	}
+	if maxLayers > len(elementsLinear) {
+		maxLayers = len(elementsLinear)
+	}
+	bestL, bestTput := 1, -1.0
+	bestSINR := LayerSINRdB(elementsLinear, 1, capDB)
+	for l := 1; l <= maxLayers; l++ {
+		s := LayerSINRdB(elementsLinear, l, capDB)
+		tput := float64(l) * EfficiencyForCQI(CQIFromSINR(s))
+		if tput > bestTput {
+			bestL, bestTput, bestSINR = l, tput, s
+		}
+	}
+	return bestL, bestSINR
+}

@@ -1,0 +1,66 @@
+package phy
+
+// SSB and PRACH placement. Both are fixed, well-known positions on the
+// resource grid — the property the dMIMO middlebox exploits to copy the
+// SSB payload between antenna streams (§4.2), and the RU-sharing middlebox
+// to recognize PRACH C-plane messages (§4.3, Appendix A.1.2).
+
+// SSBConfig locates the synchronization signal block on the grid.
+type SSBConfig struct {
+	// PeriodFrames is the SSB period in 10 ms frames (default 2 = 20 ms).
+	PeriodFrames int
+	// Slot within frame carrying the (first) SSB.
+	Slot int
+	// StartSymbol is the first of the four SSB symbols in the slot.
+	StartSymbol int
+	// StartPRB is the first of the 20 PRBs the SSB occupies.
+	StartPRB int
+}
+
+// SSB constants fixed by the NR specification.
+const (
+	SSBSymbols = 4
+	SSBPRBs    = 20
+)
+
+// DefaultSSB is the placement used by all three stacks in the testbed.
+func DefaultSSB() SSBConfig {
+	return SSBConfig{PeriodFrames: 2, Slot: 0, StartSymbol: 2, StartPRB: 0}
+}
+
+// Occupies reports whether the SSB occupies the given frame/slot/symbol.
+func (c SSBConfig) Occupies(frame, slot, symbol int) bool {
+	if c.PeriodFrames > 1 && frame%c.PeriodFrames != 0 {
+		return false
+	}
+	return slot == c.Slot && symbol >= c.StartSymbol && symbol < c.StartSymbol+SSBSymbols
+}
+
+// PRACHConfig locates random-access occasions.
+type PRACHConfig struct {
+	// PeriodFrames between PRACH occasions (default 2 = 20 ms).
+	PeriodFrames int
+	// Slot within frame of the occasion (must be UL in the TDD pattern).
+	Slot int
+	// StartSymbol of the occasion.
+	StartSymbol int
+	// NumSymbols of the occasion (short formats: 1..6).
+	NumSymbols int
+	// StartPRB within the DU carrier.
+	StartPRB int
+	// NumPRB of the occasion (format B4/short: 12).
+	NumPRB int
+}
+
+// DefaultPRACH is the short-format placement used by the testbed cells.
+func DefaultPRACH() PRACHConfig {
+	return PRACHConfig{PeriodFrames: 2, Slot: 19, StartSymbol: 0, NumSymbols: 2, StartPRB: 2, NumPRB: 12}
+}
+
+// Occupies reports whether a PRACH occasion covers frame/slot/symbol.
+func (c PRACHConfig) Occupies(frame, slot, symbol int) bool {
+	if c.PeriodFrames > 1 && frame%c.PeriodFrames != 0 {
+		return false
+	}
+	return slot == c.Slot && symbol >= c.StartSymbol && symbol < c.StartSymbol+c.NumSymbols
+}

@@ -1,0 +1,134 @@
+package phy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SlotKind classifies a slot in a TDD pattern.
+type SlotKind uint8
+
+// Slot kinds.
+const (
+	SlotDL SlotKind = iota
+	SlotUL
+	SlotSpecial
+)
+
+// String renders the kind as the usual single letter.
+func (k SlotKind) String() string {
+	switch k {
+	case SlotDL:
+		return "D"
+	case SlotUL:
+		return "U"
+	default:
+		return "S"
+	}
+}
+
+// TDD describes a repeating time-division duplex pattern, plus the symbol
+// split inside special slots. The paper notes the TDD pattern was one of
+// the few per-stack configuration differences.
+type TDD struct {
+	pattern []SlotKind
+	// Special-slot symbol split: DL symbols, guard symbols, UL symbols.
+	SpecialDL, SpecialGuard, SpecialUL int
+}
+
+// ParseTDD parses a pattern string such as "DDDSU" or "DDDDDDDSUU".
+// The special split defaults to 10 DL / 2 guard / 2 UL symbols.
+func ParseTDD(s string) (TDD, error) {
+	if s == "" {
+		return TDD{}, fmt.Errorf("phy: empty TDD pattern")
+	}
+	t := TDD{SpecialDL: 10, SpecialGuard: 2, SpecialUL: 2}
+	for _, c := range strings.ToUpper(s) {
+		switch c {
+		case 'D':
+			t.pattern = append(t.pattern, SlotDL)
+		case 'U':
+			t.pattern = append(t.pattern, SlotUL)
+		case 'S':
+			t.pattern = append(t.pattern, SlotSpecial)
+		default:
+			return TDD{}, fmt.Errorf("phy: bad TDD slot %q in %q", c, s)
+		}
+	}
+	return t, nil
+}
+
+// MustTDD is ParseTDD for static configuration.
+func MustTDD(s string) TDD {
+	t, err := ParseTDD(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Period returns the pattern length in slots.
+func (t TDD) Period() int { return len(t.pattern) }
+
+// Kind returns the kind of slot absSlot (absolute slot counter).
+func (t TDD) Kind(absSlot int) SlotKind { return t.pattern[absSlot%len(t.pattern)] }
+
+// String reconstitutes the pattern string.
+func (t TDD) String() string {
+	var b strings.Builder
+	for _, k := range t.pattern {
+		b.WriteString(k.String())
+	}
+	return b.String()
+}
+
+// SymbolDir reports whether symbol sym of absolute slot absSlot is a
+// downlink or uplink symbol (guard symbols count as neither and report
+// ok=false).
+func (t TDD) SymbolDir(absSlot, sym int) (dl bool, ok bool) {
+	switch t.Kind(absSlot) {
+	case SlotDL:
+		return true, true
+	case SlotUL:
+		return false, true
+	default:
+		if sym < t.SpecialDL {
+			return true, true
+		}
+		if sym >= SymbolsPerSlot-t.SpecialUL {
+			return false, true
+		}
+		return false, false
+	}
+}
+
+// DLSymbolFraction returns the fraction of symbols in one pattern period
+// that carry downlink.
+func (t TDD) DLSymbolFraction() float64 {
+	dl, total := 0, 0
+	for _, k := range t.pattern {
+		total += SymbolsPerSlot
+		switch k {
+		case SlotDL:
+			dl += SymbolsPerSlot
+		case SlotSpecial:
+			dl += t.SpecialDL
+		}
+	}
+	return float64(dl) / float64(total)
+}
+
+// ULSymbolFraction returns the uplink symbol fraction of one period.
+func (t TDD) ULSymbolFraction() float64 {
+	ul, total := 0, 0
+	for _, k := range t.pattern {
+		total += SymbolsPerSlot
+		switch k {
+		case SlotUL:
+			ul += SymbolsPerSlot
+		case SlotSpecial:
+			ul += t.SpecialUL
+		}
+	}
+	return float64(ul) / float64(total)
+}

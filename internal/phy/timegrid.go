@@ -1,0 +1,47 @@
+package phy
+
+import (
+	"time"
+
+	"ranbooster/internal/sim"
+)
+
+// The simulation's absolute time grid: virtual time zero is the start of
+// frame 0, slot 0, symbol 0. Every actor derives frame/slot/symbol
+// coordinates from the shared clock, standing in for the PTP/SyncE
+// synchronization of the real testbed.
+
+// SlotStart returns the virtual time at which absSlot begins.
+func SlotStart(absSlot int) sim.Time {
+	return sim.Time(int64(absSlot) * int64(SlotDuration))
+}
+
+// SymbolStart returns the virtual time at which a symbol of absSlot begins.
+func SymbolStart(absSlot, symbol int) sim.Time {
+	return SlotStart(absSlot).Add(time.Duration(symbol) * SymbolDuration)
+}
+
+// SymbolEnd returns the virtual time at which a symbol of absSlot ends.
+func SymbolEnd(absSlot, symbol int) sim.Time {
+	return SymbolStart(absSlot, symbol).Add(SymbolDuration)
+}
+
+// SlotAt returns the absolute slot index containing time t.
+func SlotAt(t sim.Time) int {
+	return int(int64(t) / int64(SlotDuration))
+}
+
+// SlotCoords splits an absolute slot index into the (frame, subframe,
+// slot) coordinates carried by fronthaul timing headers. FrameID wraps at
+// 256 as on the wire.
+func SlotCoords(absSlot int) (frame uint8, subframe uint8, slot uint8) {
+	f := absSlot / SlotsPerFrame
+	rem := absSlot % SlotsPerFrame
+	return uint8(f % 256), uint8(rem / SlotsPerSubframe), uint8(rem % SlotsPerSubframe)
+}
+
+// FrameOf returns the frame number (not wrapped) of an absolute slot.
+func FrameOf(absSlot int) int { return absSlot / SlotsPerFrame }
+
+// SlotInFrame returns the slot index within its frame.
+func SlotInFrame(absSlot int) int { return absSlot % SlotsPerFrame }

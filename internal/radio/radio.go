@@ -1,0 +1,218 @@
+// Package radio models over-the-air propagation inside the paper's
+// enterprise testbed: five 50.9 m × 20.9 m office floors with ceiling-
+// mounted RUs (Fig. 9a). It provides an indoor-hotspot path-loss model
+// (3GPP TR 38.901 InH-Office shape plus internal-wall clutter and heavy
+// inter-floor penetration), noise and interference bookkeeping, and
+// per-antenna-element SINR computation that feeds phy's link adaptation.
+//
+// Everything is deterministic: shadow fading, when enabled, is a pure
+// function of the endpoint coordinates and the model seed, so experiments
+// reproduce bit-for-bit.
+package radio
+
+import (
+	"math"
+)
+
+// Testbed geometry (meters), from §6.1.
+const (
+	FloorLength   = 50.9
+	FloorWidth    = 20.9
+	FloorHeight   = 3.5 // slab-to-slab
+	CeilingHeight = 3.0 // RU mounting height above the floor's ground
+	UEHeight      = 1.5
+)
+
+// Point is a 3-D position in meters. Z encodes the absolute height, so
+// floor separation falls out of the geometry.
+type Point struct{ X, Y, Z float64 }
+
+// RUAt places a ceiling-mounted RU at (x, y) on the given floor (0-based).
+func RUAt(floor int, x, y float64) Point {
+	return Point{X: x, Y: y, Z: float64(floor)*FloorHeight + CeilingHeight}
+}
+
+// UEAt places a UE at hand height at (x, y) on the given floor.
+func UEAt(floor int, x, y float64) Point {
+	return Point{X: x, Y: y, Z: float64(floor)*FloorHeight + UEHeight}
+}
+
+// FloorOf recovers the floor index of a point.
+func FloorOf(p Point) int { return int(math.Floor(p.Z / FloorHeight)) }
+
+// Dist3D returns the 3-D distance between two points.
+func Dist3D(a, b Point) float64 {
+	dx, dy, dz := a.X-b.X, a.Y-b.Y, a.Z-b.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// Dist2D returns the horizontal distance between two points.
+func Dist2D(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Model holds the propagation parameters.
+type Model struct {
+	FreqGHz       float64 // carrier frequency (band n78: 3.3–3.8 GHz)
+	NoiseFigureDB float64 // receiver noise figure
+	LOSRangeM     float64 // horizontal range within which links are line-of-sight
+	WallSpacingM  float64 // mean spacing of internal walls beyond LOS range
+	WallLossDB    float64 // penetration loss per internal wall
+	FloorLossDB   float64 // penetration loss per concrete floor slab
+	ShadowSigmaDB float64 // log-normal shadowing σ (0 disables)
+	Seed          uint64  // shadowing stream seed
+}
+
+// DefaultModel returns the calibrated testbed propagation model.
+func DefaultModel() Model {
+	return Model{
+		FreqGHz:       3.46,
+		NoiseFigureDB: 7,
+		LOSRangeM:     10,
+		// Wall clutter calibrated so one RU covers ~35 m of the floor but
+		// not all of it — §6.3.1 measured that four RUs are needed to
+		// avoid dead spots.
+		WallSpacingM: 8,
+		WallLossDB:   12,
+		// FloorLossDB combines slab penetration with the ceiling antennas'
+		// missing upward gain; calibrated so no UE attaches across floors
+		// (§6.2.1) and inter-floor interference is negligible (§6.3.2).
+		FloorLossDB:   85,
+		ShadowSigmaDB: 0,
+	}
+}
+
+// PathLossDB returns the path loss between two points.
+func (m Model) PathLossDB(a, b Point) float64 {
+	d3 := math.Max(Dist3D(a, b), 1.0)
+	d2 := Dist2D(a, b)
+	logF := math.Log10(m.FreqGHz)
+	var pl float64
+	if d2 <= m.LOSRangeM && FloorOf(a) == FloorOf(b) {
+		// InH-Office LOS.
+		pl = 32.4 + 17.3*math.Log10(d3) + 20*logF
+	} else {
+		// InH-Office NLOS plus internal-wall clutter.
+		pl = 17.3 + 38.3*math.Log10(d3) + 24.9*logF
+		if walls := math.Floor(math.Max(0, d2-m.LOSRangeM) / m.WallSpacingM); walls > 0 {
+			pl += walls * m.WallLossDB
+		}
+	}
+	if df := FloorOf(a) - FloorOf(b); df != 0 {
+		pl += math.Abs(float64(df)) * m.FloorLossDB
+	}
+	if m.ShadowSigmaDB > 0 {
+		pl += m.ShadowSigmaDB * m.shadow(a, b)
+	}
+	return pl
+}
+
+// shadow returns a deterministic standard-normal-ish variate for the link,
+// symmetric in its endpoints.
+func (m Model) shadow(a, b Point) float64 {
+	h := m.Seed
+	mix := func(v float64) {
+		bits := math.Float64bits(v)
+		h ^= bits
+		h *= 0x100000001b3
+		h ^= h >> 29
+	}
+	// Symmetry: fold endpoint coordinates through a commutative combine.
+	mix(a.X + b.X)
+	mix(a.Y + b.Y)
+	mix(a.Z + b.Z)
+	mix(a.X*b.X + a.Y*b.Y + a.Z*b.Z)
+	// Map two 32-bit halves to a normal via the sum of uniforms.
+	u1 := float64(uint32(h)) / (1 << 32)
+	u2 := float64(uint32(h>>32)) / (1 << 32)
+	return (u1 + u2 - 1) * math.Sqrt(6) // variance ≈ 1
+}
+
+// RxPowerDBm returns received power for a transmit power txDBm.
+func (m Model) RxPowerDBm(txDBm float64, tx, rx Point) float64 {
+	return txDBm - m.PathLossDB(tx, rx)
+}
+
+// NoiseDBm returns thermal noise power over a bandwidth, including the
+// model's noise figure.
+func (m Model) NoiseDBm(bwHz float64) float64 {
+	return -174 + 10*math.Log10(bwHz) + m.NoiseFigureDB
+}
+
+// LinearMW converts dBm to milliwatts.
+func LinearMW(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// ToDBm converts milliwatts to dBm.
+func ToDBm(mw float64) float64 {
+	if mw <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(mw)
+}
+
+// Element is one transmitting antenna element: a position, per-element
+// transmit power, and the transmitter's EVM quality ceiling — commodity
+// 4T4R RUs sustain ~22 dB effective SINR, cheap single-antenna radios
+// less (the Fig. 13 scenario).
+type Element struct {
+	Pos      Point
+	TxDBm    float64
+	EVMCapDB float64
+}
+
+// DefaultRUElement returns a Foxconn-class element at a position.
+func DefaultRUElement(pos Point) Element {
+	return Element{Pos: pos, TxDBm: 24, EVMCapDB: 22}
+}
+
+// CheapRUElement returns a budget single-antenna element (lower transmit
+// quality), used in the Fig. 13 upgrade scenario.
+func CheapRUElement(pos Point) Element {
+	return Element{Pos: pos, TxDBm: 24, EVMCapDB: 17.5}
+}
+
+// ElementSINRLinear computes the effective per-element SINR (linear) at rx.
+// noiseMW and interfMW are the noise and aggregate interference powers in
+// milliwatts at the receiver. The transmitter EVM floor combines inversely:
+// 1/SINR_eff = 1/SINR_air + 1/cap.
+func (m Model) ElementSINRLinear(e Element, rx Point, noiseMW, interfMW float64) float64 {
+	s := LinearMW(m.RxPowerDBm(e.TxDBm, e.Pos, rx))
+	air := s / (noiseMW + interfMW)
+	capLin := LinearMW(e.EVMCapDB)
+	return 1 / (1/air + 1/capLin)
+}
+
+// ElementSINRs computes the SINR of every element of a transmission set at
+// rx, for handing to phy.AdaptRank / phy.LayerSINRdB.
+func (m Model) ElementSINRs(elements []Element, rx Point, noiseMW, interfMW float64) []float64 {
+	out := make([]float64, len(elements))
+	for i, e := range elements {
+		out[i] = m.ElementSINRLinear(e, rx, noiseMW, interfMW)
+	}
+	return out
+}
+
+// InterferenceMW aggregates the received power of interfering elements,
+// weighted by the interfering cell's transmission activity in [0, 1].
+// Activity at or above DominantActivity is treated as full-power
+// interference: outer-loop link adaptation backs off to the MCS that
+// survives collisions once a non-trivial fraction of PRBs is hit.
+func (m Model) InterferenceMW(interferers []Element, rx Point, activity float64) float64 {
+	if activity <= 0 {
+		return 0
+	}
+	w := activity / DominantActivity
+	if w > 1 {
+		w = 1
+	}
+	var sum float64
+	for _, e := range interferers {
+		sum += LinearMW(m.RxPowerDBm(e.TxDBm, e.Pos, rx))
+	}
+	return sum * w
+}
+
+// DominantActivity is the interferer activity fraction beyond which
+// interference is effectively always-on from the victim's point of view.
+const DominantActivity = 0.10

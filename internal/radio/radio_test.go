@@ -1,0 +1,240 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"ranbooster/internal/phy"
+)
+
+func TestGeometryHelpers(t *testing.T) {
+	ru := RUAt(0, 10, 10)
+	if ru.Z != CeilingHeight {
+		t.Fatalf("RU z = %v", ru.Z)
+	}
+	ue := UEAt(2, 10, 10)
+	if ue.Z != 2*FloorHeight+UEHeight {
+		t.Fatalf("UE z = %v", ue.Z)
+	}
+	if FloorOf(ru) != 0 || FloorOf(ue) != 2 {
+		t.Fatal("FloorOf")
+	}
+	if d := Dist2D(ru, ue); d != 0 {
+		t.Fatalf("Dist2D = %v", d)
+	}
+	if d := Dist3D(Point{0, 0, 0}, Point{3, 4, 0}); d != 5 {
+		t.Fatalf("Dist3D = %v", d)
+	}
+}
+
+func TestPathLossMonotoneInDistance(t *testing.T) {
+	m := DefaultModel()
+	ru := RUAt(0, 5, 10)
+	prev := 0.0
+	for d := 1.0; d < 45; d += 1.0 {
+		pl := m.PathLossDB(ru, UEAt(0, 5+d, 10))
+		if pl < prev {
+			t.Fatalf("path loss decreased at %vm: %v < %v", d, pl, prev)
+		}
+		prev = pl
+	}
+}
+
+func TestPathLossFloorPenetration(t *testing.T) {
+	m := DefaultModel()
+	ru := RUAt(0, 10, 10)
+	same := m.PathLossDB(ru, UEAt(0, 12, 10))
+	up1 := m.PathLossDB(ru, UEAt(1, 12, 10))
+	up2 := m.PathLossDB(ru, UEAt(2, 12, 10))
+	if up1 < same+m.FloorLossDB-5 {
+		t.Fatalf("one floor should add ~%v dB: %v vs %v", m.FloorLossDB, up1, same)
+	}
+	if up2 <= up1 {
+		t.Fatal("two floors should lose more than one")
+	}
+}
+
+func TestPathLossSymmetric(t *testing.T) {
+	m := DefaultModel()
+	m.ShadowSigmaDB = 4
+	a, b := RUAt(0, 3, 7), UEAt(0, 40, 12)
+	if pa, pb := m.PathLossDB(a, b), m.PathLossDB(b, a); math.Abs(pa-pb) > 1e-9 {
+		t.Fatalf("asymmetric: %v vs %v", pa, pb)
+	}
+}
+
+func TestShadowDeterministic(t *testing.T) {
+	m := DefaultModel()
+	m.ShadowSigmaDB = 4
+	a, b := RUAt(0, 3, 7), UEAt(0, 40, 12)
+	if m.PathLossDB(a, b) != m.PathLossDB(a, b) {
+		t.Fatal("shadowing not deterministic")
+	}
+	m2 := m
+	m2.Seed = 99
+	if m.PathLossDB(a, b) == m2.PathLossDB(a, b) {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestAttachFeasibility(t *testing.T) {
+	// §6.2.1: UEs near a ground-floor RU attach; UEs on upper floors see
+	// too weak a signal. SSB detection needs roughly SNR >= 0 dB over the
+	// SSB bandwidth (20 PRBs).
+	m := DefaultModel()
+	ru := DefaultRUElement(RUAt(0, 10, 10.45))
+	ssbBW := float64(phy.SSBPRBs * phy.PRBBandwidthHz)
+	noise := LinearMW(m.NoiseDBm(ssbBW))
+
+	near := UEAt(0, 15, 10.45)
+	if snr := ToDBm(LinearMW(m.RxPowerDBm(ru.TxDBm, ru.Pos, near))) - ToDBm(noise); snr < 10 {
+		t.Fatalf("near UE SSB SNR = %.1f dB, expected strong", snr)
+	}
+	mid := UEAt(0, 35, 14) // 25 m out: attachable through one wall
+	if snr := ToDBm(LinearMW(m.RxPowerDBm(ru.TxDBm, ru.Pos, mid))) - ToDBm(noise); snr < 0 {
+		t.Fatalf("same-floor mid UE SSB SNR = %.1f dB, expected attachable", snr)
+	}
+	// §6.3.1: a single RU leaves dead spots at the far end of the floor.
+	dead := UEAt(0, 48, 18)
+	if snr := ToDBm(LinearMW(m.RxPowerDBm(ru.TxDBm, ru.Pos, dead))) - ToDBm(noise); snr >= 0 {
+		t.Fatalf("far-corner UE SSB SNR = %.1f dB, expected a dead spot", snr)
+	}
+	upper := UEAt(1, 15, 10.45)
+	if snr := ToDBm(LinearMW(m.RxPowerDBm(ru.TxDBm, ru.Pos, upper))) - ToDBm(noise); snr >= 0 {
+		t.Fatalf("upper-floor UE SSB SNR = %.1f dB, expected unattachable", snr)
+	}
+}
+
+func TestElementSINREVMCap(t *testing.T) {
+	m := DefaultModel()
+	e := DefaultRUElement(RUAt(0, 10, 10))
+	noise := LinearMW(m.NoiseDBm(100e6))
+	// Right under the RU: air SNR is huge, EVM cap must bind.
+	s := m.ElementSINRLinear(e, UEAt(0, 11, 10), noise, 0)
+	if db := 10 * math.Log10(s); db < e.EVMCapDB-1.5 || db > e.EVMCapDB {
+		t.Fatalf("close-range SINR = %.1f dB, want ≈ cap %v", db, e.EVMCapDB)
+	}
+	// Cheap element caps lower.
+	c := CheapRUElement(RUAt(0, 10, 10))
+	sc := m.ElementSINRLinear(c, UEAt(0, 11, 10), noise, 0)
+	if 10*math.Log10(sc) >= db(s)-3 {
+		t.Fatalf("cheap element should cap well below: %.1f vs %.1f", 10*math.Log10(sc), db(s))
+	}
+}
+
+func db(lin float64) float64 { return 10 * math.Log10(lin) }
+
+func TestInterferenceActivityScaling(t *testing.T) {
+	m := DefaultModel()
+	interferer := []Element{DefaultRUElement(RUAt(0, 30, 10))}
+	rx := UEAt(0, 25, 10)
+	full := m.InterferenceMW(interferer, rx, 1.0)
+	dominant := m.InterferenceMW(interferer, rx, DominantActivity)
+	if math.Abs(full-dominant) > 1e-12 {
+		t.Fatalf("activity at threshold should already be full power: %v vs %v", full, dominant)
+	}
+	half := m.InterferenceMW(interferer, rx, DominantActivity/2)
+	if math.Abs(half-full/2) > full*1e-9 {
+		t.Fatalf("sub-threshold activity should scale linearly: %v vs %v", half, full/2)
+	}
+	if m.InterferenceMW(interferer, rx, 0) != 0 {
+		t.Fatal("zero activity must mean zero interference")
+	}
+}
+
+func TestCellEdgeInterferenceCollapsesRank(t *testing.T) {
+	// The Fig. 11 O2 story: a UE midway between two co-channel RUs with an
+	// active neighbour collapses to low rank / low SINR, while a UE close
+	// to its serving RU keeps rank 4.
+	m := DefaultModel()
+	serving := make([]Element, 4)
+	interfering := make([]Element, 4)
+	for i := range serving {
+		serving[i] = DefaultRUElement(RUAt(0, 19.1, 10.45))
+		interfering[i] = DefaultRUElement(RUAt(0, 6.4, 10.45))
+	}
+	noise := LinearMW(m.NoiseDBm(100e6))
+
+	mid := UEAt(0, 12.75, 10.45)
+	imw := m.InterferenceMW(interfering, mid, 0.15)
+	elMid := m.ElementSINRs(serving, mid, noise, imw)
+	rankMid, sinrMid := phy.AdaptRank(elMid, 4, 22)
+
+	near := UEAt(0, 20.5, 10.45)
+	imwNear := m.InterferenceMW(interfering, near, 0.15)
+	elNear := m.ElementSINRs(serving, near, noise, imwNear)
+	rankNear, _ := phy.AdaptRank(elNear, 4, 22)
+
+	if rankNear < 3 {
+		t.Fatalf("near UE rank = %d, want >= 3", rankNear)
+	}
+	if rankMid >= rankNear {
+		t.Fatalf("midpoint rank = %d, want below %d", rankMid, rankNear)
+	}
+	if sinrMid > 10 {
+		t.Fatalf("midpoint layer SINR = %.1f dB, want interference-limited", sinrMid)
+	}
+}
+
+func TestDMIMOPoolingBeatsSISO(t *testing.T) {
+	// Fig. 13: four distributed cheap single-antenna RUs as a rank-4 dMIMO
+	// cell deliver 2–3x the throughput of the same RUs used as a SISO DAS.
+	m := DefaultModel()
+	positions := []Point{
+		RUAt(0, 6.4, 10.45), RUAt(0, 19.1, 10.45), RUAt(0, 31.8, 10.45), RUAt(0, 44.5, 10.45),
+	}
+	elements := make([]Element, len(positions))
+	for i, p := range positions {
+		elements[i] = CheapRUElement(p)
+	}
+	noise := LinearMW(m.NoiseDBm(100e6))
+	tdd := phy.MustTDD("DDDSU")
+	dl := tdd.DLSymbolFraction()
+
+	var sisoSum, dmimoSum float64
+	n := 0
+	for x := 3.0; x < FloorLength; x += 4 {
+		ue := UEAt(0, x, 10.45)
+		sinrs := m.ElementSINRs(elements, ue, noise, 0)
+		// SISO DAS: the UE is served by the strongest RU alone.
+		best := sinrs[0]
+		for _, s := range sinrs {
+			if s > best {
+				best = s
+			}
+		}
+		sisoSum += phy.ThroughputBps(273, dl, phy.LayerSINRdB([]float64{best}, 1, 17.5), 1, phy.StackSRSRAN)
+		rank, layerSINR := phy.AdaptRank(sinrs, 4, 17.5)
+		dmimoSum += phy.ThroughputBps(273, dl, layerSINR, rank, phy.StackSRSRAN)
+		n++
+	}
+	siso, dmimo := sisoSum/float64(n), dmimoSum/float64(n)
+	if siso < 200e6 || siso > 320e6 {
+		t.Fatalf("DAS SISO floor average = %.0f Mbps, want ~250", siso/1e6)
+	}
+	ratio := dmimo / siso
+	if ratio < 1.8 || ratio > 3.2 {
+		t.Fatalf("dMIMO/SISO ratio = %.2f, want 2-3x (dmimo %.0f Mbps)", ratio, dmimo/1e6)
+	}
+}
+
+func TestNoiseDBm(t *testing.T) {
+	m := DefaultModel()
+	got := m.NoiseDBm(100e6)
+	want := -174 + 80 + 7.0
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("NoiseDBm = %v, want %v", got, want)
+	}
+}
+
+func TestLinearConversions(t *testing.T) {
+	if math.Abs(LinearMW(0)-1) > 1e-12 {
+		t.Fatal("0 dBm = 1 mW")
+	}
+	if math.Abs(ToDBm(100)-20) > 1e-12 {
+		t.Fatal("100 mW = 20 dBm")
+	}
+	if !math.IsInf(ToDBm(0), -1) {
+		t.Fatal("0 mW")
+	}
+}

@@ -1,0 +1,301 @@
+// Package ru simulates a Cat-A O-RAN radio unit (the testbed's Foxconn
+// RPQN-7800 class): it terminates the fronthaul — interpreting C-plane
+// scheduling, radiating downlink U-plane IQ (reported to the air oracle),
+// synthesizing uplink U-plane IQ from what its antennas capture, and
+// answering PRACH requests — while staying completely ignorant of cells,
+// UEs and middleboxes, exactly like the real hardware.
+package ru
+
+import (
+	"fmt"
+	"time"
+
+	"ranbooster/internal/air"
+	"ranbooster/internal/bfp"
+	"ranbooster/internal/ecpri"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/iqsynth"
+	"ranbooster/internal/oran"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+	"ranbooster/internal/sim"
+)
+
+// Config describes one RU.
+type Config struct {
+	Name string
+	MAC  eth.MAC
+	// PeerMAC is where uplink traffic goes: the DU, or the middlebox
+	// standing in for it.
+	PeerMAC eth.MAC
+	VLAN    int
+	Carrier phy.Carrier
+	// Ports is the number of antenna ports (eAxC RU ports) exposed.
+	Ports int
+	Comp  bfp.Params
+	// Elements are the physical antennas (len == Ports).
+	Elements []radio.Element
+	// ProcDelay is the RU's internal processing latency before an uplink
+	// packet leaves.
+	ProcDelay time.Duration
+}
+
+// Stats counts RU datapath events.
+type Stats struct {
+	RxCPlane uint64
+	RxUPlane uint64
+	TxUPlane uint64
+	// LateDL counts downlink U-plane packets that missed their symbol's
+	// air time and were discarded — the deadline violations of §6.4.1.
+	LateDL     uint64
+	BadPackets uint64
+}
+
+// RU is the simulator actor.
+type RU struct {
+	cfg    Config
+	sched  *sim.Scheduler
+	oracle *air.Air
+	out    func(frame []byte)
+
+	builder *fh.Builder
+	synth   *iqsynth.Cache
+	stats   Stats
+	seed    int
+}
+
+// New creates an RU and registers its antennas with the air oracle.
+func New(sched *sim.Scheduler, oracle *air.Air, cfg Config) *RU {
+	if cfg.Ports <= 0 || cfg.Ports != len(cfg.Elements) {
+		panic(fmt.Sprintf("ru %s: Ports (%d) must match Elements (%d)", cfg.Name, cfg.Ports, len(cfg.Elements)))
+	}
+	if cfg.ProcDelay == 0 {
+		cfg.ProcDelay = 10 * time.Microsecond
+	}
+	oracle.RegisterRU(cfg.Name, cfg.Elements)
+	r := &RU{
+		cfg:     cfg,
+		sched:   sched,
+		oracle:  oracle,
+		builder: fh.NewBuilder(cfg.MAC, cfg.PeerMAC, cfg.VLAN),
+		synth:   iqsynth.New(cfg.Comp),
+		seed:    int(cfg.MAC[5]),
+	}
+	return r
+}
+
+// Name returns the RU name.
+func (r *RU) Name() string { return r.cfg.Name }
+
+// MAC returns the RU's fronthaul address.
+func (r *RU) MAC() eth.MAC { return r.cfg.MAC }
+
+// SetPeer points the RU's uplink at a new DU-side address (re-homing an
+// RU onto a middlebox is an M-plane reconfiguration in practice).
+func (r *RU) SetPeer(mac eth.MAC) {
+	r.cfg.PeerMAC = mac
+	r.builder.Dst = mac
+}
+
+// Stats returns a snapshot of the counters.
+func (r *RU) Stats() Stats { return r.stats }
+
+// SetOutput wires the RU's transmit side (a fabric port's Send).
+func (r *RU) SetOutput(fn func(frame []byte)) { r.out = fn }
+
+// Ingress is the RU's receive entry point.
+func (r *RU) Ingress(frame []byte) {
+	var pkt fh.Packet
+	if err := pkt.Decode(frame); err != nil {
+		r.stats.BadPackets++
+		return
+	}
+	if pkt.Eth.Dst != r.cfg.MAC && !pkt.Eth.Dst.IsBroadcast() {
+		return // not ours (flooded frame on the segment)
+	}
+	switch pkt.Plane() {
+	case fh.PlaneC:
+		r.stats.RxCPlane++
+		r.handleCPlane(&pkt)
+	case fh.PlaneU:
+		r.stats.RxUPlane++
+		r.handleDLUPlane(&pkt)
+	default:
+		r.stats.BadPackets++
+	}
+}
+
+// handleDLUPlane radiates a downlink symbol: each section's PRB span is
+// reported to the air oracle with its energy state (scanned from the BFP
+// exponents, never decompressed).
+func (r *RU) handleDLUPlane(pkt *fh.Packet) {
+	var msg oran.UPlaneMsg
+	if err := pkt.UPlane(&msg, r.cfg.Carrier.NumPRB); err != nil {
+		r.stats.BadPackets++
+		return
+	}
+	if msg.Timing.Direction != oran.Downlink {
+		r.stats.BadPackets++
+		return
+	}
+	absSlot := air.AbsSlotNear(r.sched.Now(), msg.Timing)
+	// Deadline: IQ for a symbol must be at the RU before its air time.
+	if r.sched.Now() > phy.SymbolStart(absSlot, int(msg.Timing.SymbolID)) {
+		r.stats.LateDL++
+		return
+	}
+	port := pkt.EAxC().RUPort
+	sector := pkt.EAxC().BandSector
+	for i := range msg.Sections {
+		s := &msg.Sections[i]
+		lo := r.cfg.Carrier.PRBStartHz(s.StartPRB)
+		hi := r.cfg.Carrier.PRBStartHz(s.StartPRB + s.NumPRB)
+		r.oracle.ReportDL(r.cfg.Name, port, sector, msg.Timing, lo, hi, sectionHasEnergy(s))
+	}
+}
+
+// sectionHasEnergy scans BFP exponents for any utilized PRB.
+func sectionHasEnergy(s *oran.USection) bool {
+	if s.Comp.Method != bfp.MethodBlockFloatingPoint {
+		return len(s.Payload) > 0
+	}
+	size := s.Comp.PRBSize()
+	for off := 0; off+size <= len(s.Payload); off += size {
+		if exp, err := bfp.PeekExponent(s.Payload[off:]); err == nil && exp > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// handleCPlane interprets scheduling instructions.
+func (r *RU) handleCPlane(pkt *fh.Packet) {
+	var msg oran.CPlaneMsg
+	if err := pkt.CPlane(&msg, r.cfg.Carrier.NumPRB); err != nil {
+		r.stats.BadPackets++
+		return
+	}
+	switch {
+	case msg.SectionType == oran.SectionType3 && msg.Timing.Direction == oran.Uplink:
+		r.schedulePRACH(pkt, &msg)
+	case msg.Timing.Direction == oran.Uplink:
+		r.scheduleUplink(pkt, &msg)
+	default:
+		// Downlink C-plane: scheduling metadata only; the DL U-plane that
+		// follows carries everything the model needs.
+	}
+}
+
+// scheduleUplink arranges transmission of uplink U-plane for every
+// (symbol, PRB range) the C-plane requests.
+func (r *RU) scheduleUplink(pkt *fh.Packet, msg *oran.CPlaneMsg) {
+	absSlot := air.AbsSlotNear(r.sched.Now(), msg.Timing)
+	port := pkt.EAxC().RUPort
+	if int(port) >= r.cfg.Ports {
+		return // no such antenna
+	}
+	pc := pkt.EAxC()
+	for i := range msg.Sections {
+		s := msg.Sections[i] // copy: the decode buffer is reused
+		first := int(msg.Timing.SymbolID)
+		n := int(s.NumSymbol)
+		if n == 0 {
+			n = 1
+		}
+		for sym := first; sym < first+n && sym < phy.SymbolsPerSlot; sym++ {
+			sym := sym
+			at := phy.SymbolEnd(absSlot, sym).Add(r.cfg.ProcDelay)
+			r.sched.At(at, func() {
+				r.emitUplink(pc, absSlot, sym, s.StartPRB, s.NumPRB)
+			})
+		}
+	}
+}
+
+// emitUplink synthesizes and sends one uplink U-plane message: scheduled
+// transmissions that reach this RU become data-amplitude PRBs, everything
+// else is the noise floor.
+func (r *RU) emitUplink(pc ecpri.PcID, absSlot, sym, startPRB, nPRB int) {
+	lo := r.cfg.Carrier.PRBStartHz(startPRB)
+	hi := r.cfg.Carrier.PRBStartHz(startPRB + nPRB)
+	signals := r.oracle.SampleUL(r.cfg.Name, absSlot, lo, hi)
+
+	payload := make([]byte, 0, nPRB*r.cfg.Comp.PRBSize())
+	payload = r.synth.Append(payload, nPRB, r.seed+absSlot+sym, func(i int) int16 {
+		f := r.cfg.Carrier.PRBStartHz(startPRB + i)
+		amp := int16(air.NoiseAmplitude)
+		for _, sig := range signals {
+			if f >= sig.FreqLo && f < sig.FreqHi && sig.Amplitude > amp {
+				amp = sig.Amplitude
+			}
+		}
+		return amp
+	})
+
+	frame, subframe, slot := phy.SlotCoords(absSlot)
+	msg := &oran.UPlaneMsg{
+		Timing: oran.Timing{
+			Direction: oran.Uplink, PayloadVersion: 1,
+			FrameID: frame, SubframeID: subframe, SlotID: slot, SymbolID: uint8(sym),
+		},
+		Sections: []oran.USection{{
+			StartPRB: startPRB, NumPRB: nPRB, Comp: r.cfg.Comp, Payload: payload,
+		}},
+	}
+	r.send(r.builder.UPlane(pc, msg))
+}
+
+// schedulePRACH answers a section type 3 request: at the occasion, sample
+// the physical frequencies the (possibly translated) freqOffset denotes.
+func (r *RU) schedulePRACH(pkt *fh.Packet, msg *oran.CPlaneMsg) {
+	absSlot := air.AbsSlotNear(r.sched.Now(), msg.Timing)
+	pc := pkt.EAxC()
+	type prachSection struct {
+		id     uint16
+		numPRB int
+		lo, hi int64
+	}
+	secs := make([]prachSection, 0, len(msg.Sections))
+	for i := range msg.Sections {
+		s := &msg.Sections[i]
+		// Appendix A.1.2: freqOffset locates the first RE of the PRACH
+		// span relative to the carrier center, in half-subcarrier units.
+		reLo := r.cfg.Carrier.CenterHz - int64(s.FreqOffset)*(phy.SCS/2)
+		secs = append(secs, prachSection{
+			id:     s.SectionID,
+			numPRB: s.NumPRB,
+			lo:     reLo,
+			hi:     reLo + int64(s.NumPRB)*phy.PRBBandwidthHz,
+		})
+	}
+	sym := int(msg.Timing.SymbolID)
+	at := phy.SymbolEnd(absSlot, sym).Add(r.cfg.ProcDelay)
+	r.sched.At(at, func() {
+		frame, subframe, slot := phy.SlotCoords(absSlot)
+		out := &oran.UPlaneMsg{
+			Timing: oran.Timing{
+				Direction: oran.Uplink, PayloadVersion: 1, FilterIndex: 1,
+				FrameID: frame, SubframeID: subframe, SlotID: slot, SymbolID: uint8(sym),
+			},
+		}
+		for _, sec := range secs {
+			amp := int16(air.NoiseAmplitude)
+			if ues := r.oracle.SamplePRACH(r.cfg.Name, absSlot, sec.lo, sec.hi); len(ues) > 0 {
+				amp = iqsynth.PreambleAmplitude
+			}
+			payload := r.synth.Uniform(nil, sec.numPRB, r.seed+absSlot, amp)
+			out.Sections = append(out.Sections, oran.USection{
+				SectionID: sec.id, NumPRB: sec.numPRB, Comp: r.cfg.Comp, Payload: payload,
+			})
+		}
+		r.send(r.builder.UPlane(pc, out))
+	})
+}
+
+func (r *RU) send(frame []byte) {
+	r.stats.TxUPlane++
+	if r.out != nil {
+		r.out(frame)
+	}
+}

@@ -1,0 +1,240 @@
+package ru
+
+import (
+	"testing"
+	"time"
+
+	"ranbooster/internal/air"
+	"ranbooster/internal/bfp"
+	"ranbooster/internal/ecpri"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/oran"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+	"ranbooster/internal/sim"
+)
+
+var (
+	duMAC = eth.MAC{2, 0, 0, 0, 0, 0x50}
+	ruMAC = eth.MAC{2, 0, 0, 0, 0, 0x51}
+)
+
+func bfp9() bfp.Params { return bfp.Params{IQWidth: 9, Method: bfp.MethodBlockFloatingPoint} }
+
+func newRU(t *testing.T) (*sim.Scheduler, *air.Air, *RU, *[][]byte) {
+	t.Helper()
+	s := sim.NewScheduler()
+	a := air.New(s, radio.DefaultModel())
+	els := []radio.Element{
+		radio.DefaultRUElement(radio.RUAt(0, 10, 10)),
+		radio.DefaultRUElement(radio.RUAt(0, 10, 10)),
+	}
+	r := New(s, a, Config{
+		Name: "ru0", MAC: ruMAC, PeerMAC: duMAC, VLAN: -1,
+		Carrier: phy.NewCarrier(40, 3_460_000_000), Ports: 2,
+		Comp: bfp9(), Elements: els,
+	})
+	var out [][]byte
+	r.SetOutput(func(f []byte) { out = append(out, f) })
+	return s, a, r, &out
+}
+
+func TestRegistersWithOracle(t *testing.T) {
+	_, a, r, _ := newRU(t)
+	if a.RU(r.Name()) == nil {
+		t.Fatal("RU not registered")
+	}
+	if r.MAC() != ruMAC {
+		t.Fatal("MAC")
+	}
+}
+
+func TestULCPlaneGeneratesUPlanePerSymbol(t *testing.T) {
+	s, _, r, out := newRU(t)
+	b := fh.NewBuilder(duMAC, ruMAC, -1)
+	msg := &oran.CPlaneMsg{
+		Timing:      oran.Timing{Direction: oran.Uplink, FrameID: 0, SubframeID: 2, SlotID: 0, SymbolID: 0},
+		SectionType: oran.SectionType1,
+		Comp:        bfp9(),
+		Sections:    []oran.CSection{{StartPRB: 0, NumPRB: 106, ReMask: 0xfff, NumSymbol: 3}},
+	}
+	r.Ingress(b.CPlane(ecpri.PcID{RUPort: 1}, msg))
+	s.RunFor(10 * time.Millisecond)
+	if len(*out) != 3 {
+		t.Fatalf("UL U-plane messages = %d, want 3 (one per symbol)", len(*out))
+	}
+	var p fh.Packet
+	if err := p.Decode((*out)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if p.Eth.Dst != duMAC || p.EAxC().RUPort != 1 {
+		t.Fatalf("reply dst=%v port=%d", p.Eth.Dst, p.EAxC().RUPort)
+	}
+	var u oran.UPlaneMsg
+	if err := p.UPlane(&u, 106); err != nil {
+		t.Fatal(err)
+	}
+	if u.Timing.Direction != oran.Uplink || u.Sections[0].NumPRB != 106 {
+		t.Fatalf("uplane %+v", u.Sections[0])
+	}
+	// With no UE transmissions registered, the payload is noise: every
+	// exponent at or below Algorithm 1's uplink threshold.
+	size := u.Sections[0].Comp.PRBSize()
+	for off := 0; off+size <= len(u.Sections[0].Payload); off += size {
+		if exp, _ := bfp.PeekExponent(u.Sections[0].Payload[off:]); exp > 2 {
+			t.Fatalf("noise PRB exponent %d", exp)
+		}
+	}
+}
+
+func TestULContainsRegisteredSignal(t *testing.T) {
+	s, a, r, out := newRU(t)
+	cell := a.RegisterCell(air.CellConfig{
+		Name: "c", PCI: 1, Carrier: phy.NewCarrier(40, 3_460_000_000),
+		TDD: phy.MustTDD("DDDSU"), Stack: phy.StackSRSRAN,
+		SSB: phy.DefaultSSB(), PRACH: phy.DefaultPRACH(), MaxLayers: 2,
+	})
+	u := air.NewUE(1, radio.UEAt(0, 12, 10))
+	a.AddUE(u)
+	timing := oran.Timing{Direction: oran.Uplink, FrameID: 0, SubframeID: 2, SlotID: 0, SymbolID: 0}
+	a.RegisterUL(cell, air.AbsSlot(timing), u, 10, 20)
+
+	b := fh.NewBuilder(duMAC, ruMAC, -1)
+	msg := &oran.CPlaneMsg{
+		Timing:      timing,
+		SectionType: oran.SectionType1,
+		Comp:        bfp9(),
+		Sections:    []oran.CSection{{StartPRB: 0, NumPRB: 106, ReMask: 0xfff, NumSymbol: 1}},
+	}
+	r.Ingress(b.CPlane(ecpri.PcID{RUPort: 0}, msg))
+	s.RunFor(10 * time.Millisecond)
+	if len(*out) != 1 {
+		t.Fatalf("out = %d", len(*out))
+	}
+	var p fh.Packet
+	if err := p.Decode((*out)[0]); err != nil {
+		t.Fatal(err)
+	}
+	var up oran.UPlaneMsg
+	if err := p.UPlane(&up, 106); err != nil {
+		t.Fatal(err)
+	}
+	size := up.Sections[0].Comp.PRBSize()
+	expOf := func(prb int) uint8 {
+		e, _ := bfp.PeekExponent(up.Sections[0].Payload[prb*size:])
+		return e
+	}
+	if expOf(5) > 2 {
+		t.Fatalf("unscheduled PRB 5 exponent %d", expOf(5))
+	}
+	if expOf(15) <= 2 {
+		t.Fatalf("scheduled PRB 15 exponent %d, want data-level", expOf(15))
+	}
+}
+
+func TestDLReportedToOracle(t *testing.T) {
+	s, a, r, _ := newRU(t)
+	cell := a.RegisterCell(air.CellConfig{
+		Name: "c", PCI: 1, Carrier: phy.NewCarrier(40, 3_460_000_000),
+		TDD: phy.MustTDD("DDDSU"), Stack: phy.StackSRSRAN,
+		SSB: phy.DefaultSSB(), PRACH: phy.DefaultPRACH(), MaxLayers: 2,
+	})
+	b := fh.NewBuilder(duMAC, ruMAC, -1)
+	// SSB-window DL U-plane with energy: RU must report, oracle must mark
+	// the RU active for the cell.
+	payload := make([]byte, 20*28)
+	payload[0] = 5 // exponent 5: energy
+	msg := &oran.UPlaneMsg{
+		Timing:   oran.Timing{Direction: oran.Downlink, FrameID: 0, SubframeID: 0, SlotID: 0, SymbolID: 2},
+		Sections: []oran.USection{{StartPRB: 0, NumPRB: 20, Comp: bfp9(), Payload: payload}},
+	}
+	r.Ingress(b.UPlane(ecpri.PcID{BandSector: 1, RUPort: 0}, msg))
+	s.RunFor(time.Millisecond)
+	if len(a.ActiveRUs(cell)) != 1 {
+		t.Fatal("SSB transmission not reported")
+	}
+	if r.Stats().RxUPlane != 1 {
+		t.Fatalf("stats %+v", r.Stats())
+	}
+}
+
+func TestLateDLDropped(t *testing.T) {
+	s, _, r, _ := newRU(t)
+	b := fh.NewBuilder(duMAC, ruMAC, -1)
+	// Frame for symbol 0 of slot 0 arriving after its air time.
+	s.RunFor(phy.SlotDuration) // now past slot 0
+	msg := &oran.UPlaneMsg{
+		Timing:   oran.Timing{Direction: oran.Downlink, FrameID: 0, SubframeID: 0, SlotID: 0, SymbolID: 0},
+		Sections: []oran.USection{{StartPRB: 0, NumPRB: 4, Comp: bfp9(), Payload: make([]byte, 4*28)}},
+	}
+	r.Ingress(b.UPlane(ecpri.PcID{}, msg))
+	if r.Stats().LateDL != 1 {
+		t.Fatalf("late = %d", r.Stats().LateDL)
+	}
+}
+
+func TestIgnoresForeignDestination(t *testing.T) {
+	_, _, r, _ := newRU(t)
+	b := fh.NewBuilder(duMAC, eth.MAC{9, 9, 9, 9, 9, 9}, -1)
+	msg := &oran.UPlaneMsg{
+		Timing:   oran.Timing{Direction: oran.Downlink},
+		Sections: []oran.USection{{NumPRB: 1, Comp: bfp9(), Payload: make([]byte, 28)}},
+	}
+	r.Ingress(b.UPlane(ecpri.PcID{}, msg))
+	if r.Stats().RxUPlane != 0 {
+		t.Fatal("foreign frame processed")
+	}
+}
+
+func TestPRACHResponseCarriesPreamble(t *testing.T) {
+	s, a, r, out := newRU(t)
+	cell := a.RegisterCell(air.CellConfig{
+		Name: "c", PCI: 1, Carrier: phy.NewCarrier(40, 3_460_000_000),
+		TDD: phy.MustTDD("DDDSU"), Stack: phy.StackSRSRAN,
+		SSB: phy.DefaultSSB(), PRACH: phy.DefaultPRACH(), MaxLayers: 2,
+	})
+	u := air.NewUE(1, radio.UEAt(0, 12, 10))
+	a.AddUE(u)
+	timing := oran.Timing{Direction: oran.Uplink, FilterIndex: 1, FrameID: 0, SubframeID: 9, SlotID: 1, SymbolID: 0}
+	abs := air.AbsSlot(timing)
+	a.SendPRACH(u, cell, abs)
+
+	b := fh.NewBuilder(duMAC, ruMAC, -1)
+	msg := &oran.CPlaneMsg{
+		Timing:      timing,
+		SectionType: oran.SectionType3,
+		Comp:        bfp9(),
+		Sections: []oran.CSection{{
+			SectionID: 4, StartPRB: 2, NumPRB: 12, ReMask: 0xfff, NumSymbol: 2,
+			FreqOffset: phy.FreqOffsetForPRB(cell.Carrier, 2),
+		}},
+	}
+	r.Ingress(b.CPlane(ecpri.PcID{RUPort: 0}, msg))
+	s.RunFor(20 * time.Millisecond)
+	if len(*out) != 1 {
+		t.Fatalf("out = %d", len(*out))
+	}
+	var p fh.Packet
+	if err := p.Decode((*out)[0]); err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := p.Timing()
+	if tm.FilterIndex != 1 {
+		t.Fatal("PRACH response must keep filterIndex 1")
+	}
+	var up oran.UPlaneMsg
+	if err := p.UPlane(&up, 106); err != nil {
+		t.Fatal(err)
+	}
+	if up.Sections[0].SectionID != 4 {
+		t.Fatalf("section id %d", up.Sections[0].SectionID)
+	}
+	exp, _ := bfp.PeekExponent(up.Sections[0].Payload)
+	if exp <= 2 {
+		t.Fatalf("preamble exponent %d, want energy", exp)
+	}
+	if got := a.CapturedPreambles("c", abs); len(got) != 1 {
+		t.Fatalf("captured = %d", len(got))
+	}
+}

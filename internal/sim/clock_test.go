@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameTime(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-timestamp events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSchedulerPastEventClamped(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	s.At(100, func() {
+		s.At(50, func() { // in the past: must run "now", not rewind the clock
+			if s.Now() != 100 {
+				t.Errorf("past event ran at %v, want 100", s.Now())
+			}
+			ran = true
+		})
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("past event never ran")
+	}
+}
+
+func TestRunUntilLeavesFutureEvents(t *testing.T) {
+	s := NewScheduler()
+	ran := 0
+	s.At(10, func() { ran++ })
+	s.At(200, func() { ran++ })
+	s.RunUntil(100)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", s.Pending())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	var stop func()
+	stop = s.Ticker(10*time.Nanosecond, func() {
+		n++
+		if n == 5 {
+			stop()
+		}
+	})
+	s.RunUntil(1000)
+	if n != 5 {
+		t.Fatalf("ticks = %d, want 5", n)
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	s := NewScheduler()
+	var at Time
+	s.At(40, func() {
+		s.After(5*time.Nanosecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 45 {
+		t.Fatalf("After fired at %v, want 45", at)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide too often: %d/1000", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if mean < -0.05 || mean > 0.05 {
+		t.Fatalf("mean = %v, want ~0", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Fatalf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	x := Time(1000)
+	if x.Add(500*time.Nanosecond) != 1500 {
+		t.Fatal("Add")
+	}
+	if Time(2500).Sub(x) != 1500*time.Nanosecond {
+		t.Fatal("Sub")
+	}
+	if x.String() == "" {
+		t.Fatal("String empty")
+	}
+}

@@ -1,0 +1,112 @@
+// Package telemetry implements the monitoring and management side of a
+// RANBooster middlebox (§3.2): a publish/subscribe bus for KPI samples
+// (how the PRB-monitoring middlebox exposes sub-millisecond utilization to
+// applications) and a recorder that retains series for experiments.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+
+	"ranbooster/internal/sim"
+)
+
+// Sample is one KPI observation.
+type Sample struct {
+	Name  string
+	At    sim.Time
+	Value float64
+}
+
+// Bus fans samples out to subscribers. It is safe for concurrent use,
+// although the simulation publishes from a single goroutine.
+type Bus struct {
+	mu   sync.Mutex
+	subs map[string][]func(Sample)
+	any  []func(Sample)
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[string][]func(Sample))}
+}
+
+// Subscribe registers fn for samples with the given name. An empty name
+// subscribes to everything.
+func (b *Bus) Subscribe(name string, fn func(Sample)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if name == "" {
+		b.any = append(b.any, fn)
+		return
+	}
+	b.subs[name] = append(b.subs[name], fn)
+}
+
+// Publish delivers a sample synchronously to all matching subscribers.
+func (b *Bus) Publish(s Sample) {
+	b.mu.Lock()
+	fns := make([]func(Sample), 0, len(b.subs[s.Name])+len(b.any))
+	fns = append(fns, b.subs[s.Name]...)
+	fns = append(fns, b.any...)
+	b.mu.Unlock()
+	for _, fn := range fns {
+		fn(s)
+	}
+}
+
+// Recorder retains every sample of the KPIs it subscribes to.
+type Recorder struct {
+	mu      sync.Mutex
+	samples map[string][]Sample
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{samples: make(map[string][]Sample)}
+}
+
+// Attach subscribes the recorder to a KPI on a bus ("" records everything).
+func (r *Recorder) Attach(b *Bus, name string) {
+	b.Subscribe(name, r.record)
+}
+
+func (r *Recorder) record(s Sample) {
+	r.mu.Lock()
+	r.samples[s.Name] = append(r.samples[s.Name], s)
+	r.mu.Unlock()
+}
+
+// Series returns the recorded samples of a KPI in publish order.
+func (r *Recorder) Series(name string) []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Sample(nil), r.samples[name]...)
+}
+
+// Names returns the recorded KPI names, sorted.
+func (r *Recorder) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.samples))
+	for k := range r.samples {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mean returns the average value of a KPI series (0 if empty).
+func (r *Recorder) Mean(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.samples[name]
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v.Value
+	}
+	return sum / float64(len(s))
+}

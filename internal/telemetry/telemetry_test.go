@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	var got []Sample
+	b.Subscribe("prb.util", func(s Sample) { got = append(got, s) })
+	b.Publish(Sample{Name: "prb.util", At: 10, Value: 0.5})
+	b.Publish(Sample{Name: "other", At: 11, Value: 1})
+	if len(got) != 1 || got[0].Value != 0.5 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestWildcardSubscription(t *testing.T) {
+	b := NewBus()
+	n := 0
+	b.Subscribe("", func(Sample) { n++ })
+	b.Publish(Sample{Name: "a"})
+	b.Publish(Sample{Name: "b"})
+	if n != 2 {
+		t.Fatalf("wildcard received %d", n)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	b := NewBus()
+	r := NewRecorder()
+	r.Attach(b, "kpi")
+	for i := 1; i <= 4; i++ {
+		b.Publish(Sample{Name: "kpi", At: 0, Value: float64(i)})
+	}
+	s := r.Series("kpi")
+	if len(s) != 4 || s[3].Value != 4 {
+		t.Fatalf("series = %+v", s)
+	}
+	if m := r.Mean("kpi"); m != 2.5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if m := r.Mean("missing"); m != 0 {
+		t.Fatalf("missing mean = %v", m)
+	}
+}
+
+func TestRecorderNames(t *testing.T) {
+	b := NewBus()
+	r := NewRecorder()
+	r.Attach(b, "")
+	b.Publish(Sample{Name: "z"})
+	b.Publish(Sample{Name: "a"})
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "z" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSeriesIsCopy(t *testing.T) {
+	b := NewBus()
+	r := NewRecorder()
+	r.Attach(b, "k")
+	b.Publish(Sample{Name: "k", Value: 1})
+	s := r.Series("k")
+	s[0].Value = 99
+	if r.Series("k")[0].Value != 1 {
+		t.Fatal("Series aliases internal storage")
+	}
+}
+
+func TestConcurrentPublish(t *testing.T) {
+	b := NewBus()
+	r := NewRecorder()
+	r.Attach(b, "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Publish(Sample{Name: "k", Value: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Series("k")); got != 800 {
+		t.Fatalf("recorded %d", got)
+	}
+}

@@ -1,0 +1,84 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+)
+
+// TestBaselineCellAttachAndThroughput is the end-to-end smoke test of the
+// whole substrate with no middlebox: a 100 MHz 4x4 cell, one RU, one UE
+// at close range — the Table 2 row 3 baseline (~898 Mbps DL) and the
+// §6.2.2 uplink (~70 Mbps).
+func TestBaselineCellAttachAndThroughput(t *testing.T) {
+	tb := New(1)
+	cell := CellConfig("cell0", 1, Carrier100(), phy.StackSRSRAN, 4)
+	d, _ := tb.DirectCell("c0", cell, RUPosition(0, 0), 4, false)
+
+	ue := tb.AddUE(0, RUXPositions[0]+4, radio.FloorWidth/2)
+	ue.OfferedDLbps = 1200e6
+	ue.OfferedULbps = 100e6
+
+	tb.Settle()
+	if !ue.Attached() {
+		t.Fatalf("UE did not attach: %v", ue)
+	}
+	if ue.Cell.Name != "cell0" {
+		t.Fatalf("attached to %s", ue.Cell.Name)
+	}
+
+	elapsed := tb.Measure(500 * time.Millisecond)
+	dl := ue.ThroughputDLbps(tb.Sched.Now())
+	ul := ue.ThroughputULbps(tb.Sched.Now())
+	t.Logf("elapsed %v: DL %.1f Mbps, UL %.1f Mbps, rank %d", elapsed, Mbps(dl), Mbps(ul), d.RankIndicator(ue))
+
+	if dl < 800e6 || dl > 1000e6 {
+		t.Errorf("DL throughput = %.1f Mbps, want ~898 (±10%%)", Mbps(dl))
+	}
+	if ul < 60e6 || ul > 82e6 {
+		t.Errorf("UL throughput = %.1f Mbps, want ~70 (±15%%)", Mbps(ul))
+	}
+	if rank := d.RankIndicator(ue); rank != 4 {
+		t.Errorf("rank indicator = %d, want 4", rank)
+	}
+	st := d.Stats()
+	if st.ULLate > st.ULRx/100 {
+		t.Errorf("late uplink packets: %d of %d", st.ULLate, st.ULRx)
+	}
+}
+
+// TestUpperFloorUnattachable verifies the §6.2.1 negative result: a UE on
+// the floor above a single ground-floor cell cannot attach.
+func TestUpperFloorUnattachable(t *testing.T) {
+	tb := New(2)
+	cell := CellConfig("cell0", 1, Carrier100(), phy.StackSRSRAN, 4)
+	tb.DirectCell("c0", cell, RUPosition(0, 0), 4, false)
+	up := tb.AddUE(1, RUXPositions[0], radio.FloorWidth/2)
+	tb.Run(200 * time.Millisecond)
+	if up.Attached() {
+		t.Fatalf("upper-floor UE attached: %v", up)
+	}
+}
+
+// TestTwoUEsShareCell verifies aggregate capacity splits across UEs
+// without loss (the Fig. 10a setup with two UEs near the RU).
+func TestTwoUEsShareCell(t *testing.T) {
+	tb := New(3)
+	cell := CellConfig("cell0", 1, Carrier100(), phy.StackSRSRAN, 4)
+	tb.DirectCell("c0", cell, RUPosition(0, 1), 4, false)
+	a := tb.AddUE(0, RUXPositions[1]-3, radio.FloorWidth/2)
+	b := tb.AddUE(0, RUXPositions[1]+3, radio.FloorWidth/2)
+	a.OfferedDLbps = 600e6
+	b.OfferedDLbps = 600e6
+	tb.Settle()
+	if !a.Attached() || !b.Attached() {
+		t.Fatalf("attach failed: %v %v", a, b)
+	}
+	tb.Measure(300 * time.Millisecond)
+	sum := a.ThroughputDLbps(tb.Sched.Now()) + b.ThroughputDLbps(tb.Sched.Now())
+	if sum < 800e6 || sum > 1000e6 {
+		t.Errorf("aggregate DL = %.1f Mbps, want ~898", Mbps(sum))
+	}
+}

@@ -1,0 +1,80 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"ranbooster/internal/air"
+	"ranbooster/internal/core"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+)
+
+// TestDASFiveFloors reproduces §6.2.1 / Fig. 10a: one 100 MHz 4x4 cell
+// replicated over one RU per floor. UEs on every floor attach (coverage
+// extension), and aggregate throughput matches the single-RU baseline.
+func TestDASFiveFloors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long system test")
+	}
+	tb := New(10)
+	cell := CellConfig("das-cell", 1, Carrier100(), phy.StackSRSRAN, 4)
+	var positions []radio.Point
+	for f := 0; f < Floors; f++ {
+		positions = append(positions, RUPosition(f, 1))
+	}
+	dep, err := tb.DASCell("das", cell, positions, DASOpts{Mode: core.ModeDPDK, Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ues := make([]*ueHandle, Floors)
+	for f := 0; f < Floors; f++ {
+		u := tb.AddUE(f, RUXPositions[1]+4, radio.FloorWidth/2)
+		ues[f] = &ueHandle{u}
+	}
+	tb.Settle()
+	for f, h := range ues {
+		if !h.Attached() {
+			t.Fatalf("floor %d UE did not attach through the DAS: %v", f, h.UE)
+		}
+	}
+
+	// Simultaneous iperf on all floors: aggregate == baseline capacity.
+	for _, h := range ues {
+		h.OfferedDLbps = 300e6
+		h.OfferedULbps = 30e6
+	}
+	tb.Measure(300 * time.Millisecond)
+	now := tb.Sched.Now()
+	var dl, ul float64
+	for _, h := range ues {
+		dl += h.ThroughputDLbps(now)
+		ul += h.ThroughputULbps(now)
+	}
+	t.Logf("simultaneous: aggregate DL %.1f Mbps, UL %.1f Mbps (merges %d)", Mbps(dl), Mbps(ul), dep.App.Merges)
+	if dl < 790e6 || dl > 1000e6 {
+		t.Errorf("aggregate DL = %.1f Mbps, want ~898 (single-cell baseline)", Mbps(dl))
+	}
+	if ul < 55e6 || ul > 85e6 {
+		t.Errorf("aggregate UL = %.1f Mbps, want ~70", Mbps(ul))
+	}
+	if dep.App.Merges == 0 {
+		t.Error("no uplink merges happened — DAS was not combining")
+	}
+
+	// Individual iperf (others idle): each floor alone sees ~baseline.
+	for _, h := range ues {
+		h.OfferedDLbps, h.OfferedULbps = 0, 0
+	}
+	u0 := ues[2] // middle floor
+	u0.OfferedDLbps = 1000e6
+	tb.Measure(200 * time.Millisecond)
+	solo := u0.ThroughputDLbps(tb.Sched.Now())
+	t.Logf("individual floor 2: DL %.1f Mbps", Mbps(solo))
+	if solo < 790e6 || solo > 1000e6 {
+		t.Errorf("individual DL = %.1f Mbps, want ~898", Mbps(solo))
+	}
+}
+
+type ueHandle struct{ *air.UE }

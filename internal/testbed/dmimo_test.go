@@ -1,0 +1,134 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"ranbooster/internal/core"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+)
+
+// TestDMIMOTable2 reproduces Table 2: distributed MIMO over two RUs
+// placed ~5 m apart matches the co-located single-RU baseline at both 2
+// and 4 layers, including the UE rank indicator.
+func TestDMIMOTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long system test")
+	}
+	type row struct {
+		name       string
+		layers     int
+		portsPerRU int
+		wantMbps   float64
+	}
+	rows := []row{
+		{"2-layer dMIMO (two 1-antenna RUs)", 2, 1, 653.4},
+		{"4-layer dMIMO (two 2-antenna RUs)", 4, 2, 898.2},
+	}
+	for _, r := range rows {
+		r := r
+		t.Run(r.name, func(t *testing.T) {
+			tb := New(20)
+			cell := CellConfig("dmimo-cell", 1, Carrier100(), phy.StackSRSRAN, r.layers)
+			positions := []radio.Point{
+				radio.RUAt(0, 20, radio.FloorWidth/2),
+				radio.RUAt(0, 25, radio.FloorWidth/2),
+			}
+			dep, err := tb.DMIMOCell("dm", cell, positions, DMIMOOpts{
+				Mode: core.ModeDPDK, PortsPerRU: r.portsPerRU,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ue := tb.AddUE(0, 22.5, radio.FloorWidth/2+3) // ~5 m from both RUs
+			ue.OfferedDLbps = 1200e6
+			ue.OfferedULbps = 100e6
+			tb.Settle()
+			if !ue.Attached() {
+				t.Fatalf("UE did not attach: %v", ue)
+			}
+			tb.Measure(400 * time.Millisecond)
+			dl := ue.ThroughputDLbps(tb.Sched.Now())
+			ul := ue.ThroughputULbps(tb.Sched.Now())
+			rank := dep.DU.RankIndicator(ue)
+			t.Logf("DL %.1f Mbps (paper %.1f), UL %.1f Mbps, rank %d", Mbps(dl), r.wantMbps, Mbps(ul), rank)
+			if rank != r.layers {
+				t.Errorf("rank indicator = %d, want %d", rank, r.layers)
+			}
+			if dl < r.wantMbps*1e6*0.88 || dl > r.wantMbps*1e6*1.12 {
+				t.Errorf("DL = %.1f Mbps, want %.1f ±12%%", Mbps(dl), r.wantMbps)
+			}
+			if ul < 55e6 || ul > 85e6 {
+				t.Errorf("UL = %.1f Mbps, want ~70", Mbps(ul))
+			}
+		})
+	}
+}
+
+// TestDMIMOSSBReplication reproduces the §4.2 SSB discussion: a UE far
+// from the primary RU stays attached only when the middlebox copies the
+// SSB to secondary antennas.
+func TestDMIMOSSBReplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long system test")
+	}
+	run := func(replicate bool) bool {
+		tb := New(21)
+		cell := CellConfig("dmimo-cell", 1, Carrier100(), phy.StackSRSRAN, 4)
+		positions := []radio.Point{RUPosition(0, 0), RUPosition(0, 3)} // 38 m apart
+		if _, err := tb.DMIMOCell("dm", cell, positions, DMIMOOpts{
+			Mode: core.ModeDPDK, PortsPerRU: 2, DisableSSBReplication: !replicate,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// UE next to the *secondary* RU, far outside the primary's range.
+		ue := tb.AddUE(0, RUXPositions[3]+2, radio.FloorWidth/2)
+		tb.Run(300 * time.Millisecond)
+		return ue.Attached()
+	}
+	if !run(true) {
+		t.Error("with SSB replication the distant UE should attach")
+	}
+	if run(false) {
+		t.Error("without SSB replication the distant UE should not attach (it never hears the SSB)")
+	}
+}
+
+// TestDMIMOKernelXDP runs the 4-layer Table 2 row through the verified
+// XDP kernel program instead of the userspace handler (Table 1: dMIMO is
+// a kernel-space middlebox) and expects identical results.
+func TestDMIMOKernelXDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long system test")
+	}
+	tb := New(22)
+	cell := CellConfig("dmimo-cell", 1, Carrier100(), phy.StackSRSRAN, 4)
+	positions := []radio.Point{
+		radio.RUAt(0, 20, radio.FloorWidth/2),
+		radio.RUAt(0, 25, radio.FloorWidth/2),
+	}
+	dep, err := tb.DMIMOCell("dm", cell, positions, DMIMOOpts{Mode: core.ModeXDP, PortsPerRU: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ue := tb.AddUE(0, 22.5, radio.FloorWidth/2+3)
+	ue.OfferedDLbps = 1200e6
+	tb.Settle()
+	if !ue.Attached() {
+		t.Fatalf("UE did not attach via XDP dMIMO")
+	}
+	tb.Measure(300 * time.Millisecond)
+	dl := ue.ThroughputDLbps(tb.Sched.Now())
+	st := dep.Engine.Stats()
+	t.Logf("XDP: DL %.1f Mbps, kernelTx %d, punts %d", Mbps(dl), st.KernelTx, st.Punts)
+	if dl < 790e6 {
+		t.Errorf("XDP dMIMO DL = %.1f Mbps, want ~898", Mbps(dl))
+	}
+	if st.KernelTx == 0 {
+		t.Error("no kernel Tx: the program never matched")
+	}
+	if st.Punts > st.RxFrames/10 {
+		t.Errorf("too many punts for a kernel-space middlebox: %d of %d", st.Punts, st.RxFrames)
+	}
+}

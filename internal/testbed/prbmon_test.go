@@ -1,0 +1,117 @@
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"ranbooster/internal/core"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+	"ranbooster/internal/telemetry"
+)
+
+// TestPRBMonitoringFig10c reproduces §6.2.4 / Fig. 10c: Algorithm 1's
+// utilization estimate tracks the MAC scheduling log across offered
+// loads.
+func TestPRBMonitoringFig10c(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long system test")
+	}
+	for _, loadMbps := range []float64{100, 400, 700} {
+		loadMbps := loadMbps
+		t.Run(fmtMbps(loadMbps), func(t *testing.T) {
+			tb := New(40)
+			cell := CellConfig("mon-cell", 1, Carrier100(), phy.StackSRSRAN, 4)
+			dep, err := tb.MonitoredCell("mon", cell, RUPosition(0, 0), MonitorOpts{Mode: core.ModeDPDK})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := telemetry.NewRecorder()
+			rec.Attach(dep.Engine.Bus(), "")
+
+			ue := tb.AddUE(0, RUXPositions[0]+4, radio.FloorWidth/2)
+			ue.OfferedDLbps = loadMbps * 1e6
+			ue.OfferedULbps = loadMbps * 1e6 / 10
+			tb.Settle()
+			if !ue.Attached() {
+				t.Fatal("UE did not attach through the monitor")
+			}
+
+			before := dep.DU.Stats()
+			tb.Measure(500 * time.Millisecond)
+			after := dep.DU.Stats()
+
+			truthDL := float64(after.DLPRBSymSched-before.DLPRBSymSched) /
+				float64(after.DLPRBSymTotal-before.DLPRBSymTotal)
+			truthUL := float64(after.ULPRBSymSched-before.ULPRBSymSched) /
+				float64(after.ULPRBSymTotal-before.ULPRBSymTotal)
+
+			estDL := lastValue(rec, "prb.utilization.dl")
+			estUL := lastValue(rec, "prb.utilization.ul")
+			t.Logf("load %.0f Mbps: DL truth %.3f est %.3f | UL truth %.3f est %.3f",
+				loadMbps, truthDL, estDL, truthUL, estUL)
+			if math.IsNaN(estDL) || math.IsNaN(estUL) {
+				t.Fatal("no telemetry published")
+			}
+			if math.Abs(estDL-truthDL) > 0.05 {
+				t.Errorf("DL estimate %.3f vs ground truth %.3f (>|0.05|)", estDL, truthDL)
+			}
+			if math.Abs(estUL-truthUL) > 0.05 {
+				t.Errorf("UL estimate %.3f vs ground truth %.3f (>|0.05|)", estUL, truthUL)
+			}
+		})
+	}
+}
+
+func fmtMbps(v float64) string {
+	return fmt.Sprintf("%.0fMbps", v)
+}
+
+func lastValue(rec *telemetry.Recorder, name string) float64 {
+	s := rec.Series(name)
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	return s[len(s)-1].Value
+}
+
+// TestPRBMonitoringXDPKernel verifies the pure-kernel variant: the XDP
+// exponent counters agree with the DU's scheduling log.
+func TestPRBMonitoringXDPKernel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long system test")
+	}
+	tb := New(41)
+	cell := CellConfig("mon-cell", 1, Carrier100(), phy.StackSRSRAN, 4)
+	dep, err := tb.MonitoredCell("mon", cell, RUPosition(0, 0), MonitorOpts{Mode: core.ModeXDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ue := tb.AddUE(0, RUXPositions[0]+4, radio.FloorWidth/2)
+	ue.OfferedDLbps = 400e6
+	tb.Settle()
+	if !ue.Attached() {
+		t.Fatal("UE did not attach through the XDP monitor")
+	}
+	beforeUtil := *dep.Engine.Counter("prb.utilized.dl")
+	before := dep.DU.Stats()
+	tb.Measure(300 * time.Millisecond)
+	after := dep.DU.Stats()
+	utilized := *dep.Engine.Counter("prb.utilized.dl") - beforeUtil
+
+	truth := float64(after.DLPRBSymSched - before.DLPRBSymSched)
+	est := float64(utilized)
+	t.Logf("kernel counters: utilized %d vs MAC log %.0f PRB-symbols", utilized, truth)
+	if truth == 0 {
+		t.Fatal("no scheduling happened")
+	}
+	// The kernel path counts SSB PRBs too; allow a one-sided 10% margin.
+	if est < truth*0.95 || est > truth*1.12 {
+		t.Errorf("kernel estimate %.0f vs truth %.0f out of band", est, truth)
+	}
+	if dep.Engine.Stats().Punts != 0 {
+		t.Errorf("pure-kernel monitor punted %d packets", dep.Engine.Stats().Punts)
+	}
+}

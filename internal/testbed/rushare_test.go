@@ -1,0 +1,132 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"ranbooster/internal/air"
+	"ranbooster/internal/core"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+)
+
+// sharedCells builds two 40 MHz cells inside a 100 MHz RU carrier. When
+// aligned is true, DU centers follow Appendix A.1.1 so their PRB grids
+// land exactly on RU PRB boundaries.
+func sharedCells(ruCarrier phy.Carrier, aligned bool) []air.CellConfig {
+	duPRBs := phy.PRBsFor(40)
+	c1 := phy.AlignedDUCenterHz(ruCarrier, 0, duPRBs)
+	c2 := phy.AlignedDUCenterHz(ruCarrier, ruCarrier.NumPRB-duPRBs, duPRBs)
+	if !aligned {
+		c1 += phy.SCS / 2 // half-subcarrier shift: misaligned grids
+		c2 += phy.SCS / 2
+	}
+	cellA := CellConfig("mnoA", 11, phy.Carrier{BandwidthMHz: 40, CenterHz: c1, NumPRB: duPRBs}, phy.StackSRSRAN, 4)
+	cellB := CellConfig("mnoB", 12, phy.Carrier{BandwidthMHz: 40, CenterHz: c2, NumPRB: duPRBs}, phy.StackSRSRAN, 4)
+	return []air.CellConfig{cellA, cellB}
+}
+
+// TestRUSharingFig10b reproduces §6.2.3 / Fig. 10b: two 40 MHz cells on a
+// shared 100 MHz RU deliver the same per-cell throughput as a dedicated
+// 40 MHz RU (~330 Mbps DL / ~25 Mbps UL).
+func TestRUSharingFig10b(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long system test")
+	}
+	// Baseline: dedicated 40 MHz cell.
+	base := New(30)
+	baseCell := CellConfig("dedicated", 1, phy.NewCarrier(40, 3_460_000_000), phy.StackSRSRAN, 4)
+	base.DirectCell("base", baseCell, RUPosition(0, 0), 4, false)
+	bu := base.AddUE(0, RUXPositions[0]+4, radio.FloorWidth/2)
+	bu.OfferedDLbps, bu.OfferedULbps = 500e6, 50e6
+	base.Settle()
+	if !bu.Attached() {
+		t.Fatal("baseline UE did not attach")
+	}
+	base.Measure(400 * time.Millisecond)
+	baseDL := bu.ThroughputDLbps(base.Sched.Now())
+	baseUL := bu.ThroughputULbps(base.Sched.Now())
+	t.Logf("dedicated 40 MHz: DL %.1f Mbps, UL %.1f Mbps", Mbps(baseDL), Mbps(baseUL))
+	if baseDL < 290e6 || baseDL > 380e6 {
+		t.Errorf("baseline DL = %.1f Mbps, want ~330", Mbps(baseDL))
+	}
+
+	// Shared RU with two tenants, aligned grids.
+	tb := New(31)
+	ruCarrier := Carrier100()
+	dep, err := tb.SharedRU("shared", ruCarrier, RUPosition(0, 0), sharedCells(ruCarrier, true), core.ModeDPDK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dep.App.Aligned(0) || !dep.App.Aligned(1) {
+		t.Fatal("Appendix A.1.1 centers should be aligned")
+	}
+	ua := tb.AddUE(0, RUXPositions[0]+4, radio.FloorWidth/2)
+	ua.AllowedCell = "mnoA"
+	ub := tb.AddUE(0, RUXPositions[0]-4, radio.FloorWidth/2)
+	ub.AllowedCell = "mnoB"
+	ua.OfferedDLbps, ua.OfferedULbps = 500e6, 50e6
+	ub.OfferedDLbps, ub.OfferedULbps = 500e6, 50e6
+	tb.Settle()
+	if !ua.Attached() || ua.Cell.Name != "mnoA" {
+		t.Fatalf("UE A attach: %v", ua)
+	}
+	if !ub.Attached() || ub.Cell.Name != "mnoB" {
+		t.Fatalf("UE B attach: %v", ub)
+	}
+	tb.Measure(400 * time.Millisecond)
+	now := tb.Sched.Now()
+	for name, u := range map[string]*air.UE{"A": ua, "B": ub} {
+		dl, ul := u.ThroughputDLbps(now), u.ThroughputULbps(now)
+		t.Logf("shared tenant %s: DL %.1f Mbps, UL %.1f Mbps", name, Mbps(dl), Mbps(ul))
+		if dl < baseDL*0.9 || dl > baseDL*1.1 {
+			t.Errorf("tenant %s DL = %.1f Mbps, want ≈ dedicated %.1f", name, Mbps(dl), Mbps(baseDL))
+		}
+		if ul < baseUL*0.85 || ul > baseUL*1.15 {
+			t.Errorf("tenant %s UL = %.1f Mbps, want ≈ dedicated %.1f", name, Mbps(ul), Mbps(baseUL))
+		}
+	}
+	if dep.App.Muxed == 0 || dep.App.Demuxed == 0 || dep.App.PRACHMuxed == 0 {
+		t.Errorf("sharing paths unused: %+v", map[string]uint64{
+			"mux": dep.App.Muxed, "demux": dep.App.Demuxed, "prach": dep.App.PRACHMuxed})
+	}
+	if dep.App.Recompress != 0 {
+		t.Errorf("aligned deployment used the recompress path %d times", dep.App.Recompress)
+	}
+}
+
+// TestRUSharingMisaligned verifies the Fig. 6 slow path: misaligned DU
+// grids still work but must transcode every relocated PRB.
+func TestRUSharingMisaligned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long system test")
+	}
+	tb := New(32)
+	ruCarrier := Carrier100()
+	dep, err := tb.SharedRU("shared", ruCarrier, RUPosition(0, 0), sharedCells(ruCarrier, false), core.ModeDPDK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.App.Aligned(0) || dep.App.Aligned(1) {
+		t.Fatal("shifted centers should be misaligned")
+	}
+	ua := tb.AddUE(0, RUXPositions[0]+4, radio.FloorWidth/2)
+	ua.AllowedCell = "mnoA"
+	ua.OfferedDLbps = 500e6
+	tb.Settle()
+	if !ua.Attached() {
+		t.Fatal("UE did not attach on misaligned sharing")
+	}
+	tb.Measure(200 * time.Millisecond)
+	dl := ua.ThroughputDLbps(tb.Sched.Now())
+	t.Logf("misaligned tenant: DL %.1f Mbps, recompress %d", Mbps(dl), dep.App.Recompress)
+	if dl < 290e6 {
+		t.Errorf("misaligned DL = %.1f Mbps, want ~330 (correct, just slower)", Mbps(dl))
+	}
+	if dep.App.Recompress == 0 {
+		t.Error("misaligned deployment never used the recompress path")
+	}
+	if dep.App.AlignedCopies != 0 {
+		t.Error("misaligned deployment used the aligned fast path")
+	}
+}

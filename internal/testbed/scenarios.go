@@ -1,0 +1,229 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"ranbooster/internal/air"
+	"ranbooster/internal/apps/das"
+	"ranbooster/internal/apps/dmimo"
+	"ranbooster/internal/apps/prbmon"
+	"ranbooster/internal/apps/rushare"
+	"ranbooster/internal/core"
+	"ranbooster/internal/du"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/fabric"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+	"ranbooster/internal/ru"
+)
+
+// Scenario constructors: the deployments of §4 and §6, assembled from
+// testbed primitives. Each returns the live components so tests and
+// experiment runners can probe them.
+
+// DASDeployment is an assembled §4.1 scenario.
+type DASDeployment struct {
+	DU     *du.DU
+	RUs    []*ru.RU
+	App    *das.App
+	Engine *core.Engine
+	Port   *fabric.Port
+}
+
+// DASOpts tunes a DAS deployment.
+type DASOpts struct {
+	Mode  core.Mode
+	Cores int
+	// Cheap selects budget RU elements; Ports antennas per RU.
+	Cheap bool
+	Ports int
+}
+
+// DASCell deploys one cell whose signal a DAS middlebox replicates over
+// RUs at the given positions.
+func (tb *TB) DASCell(name string, cell air.CellConfig, positions []radio.Point, opts DASOpts) (*DASDeployment, error) {
+	if opts.Ports <= 0 {
+		opts.Ports = 4
+	}
+	if opts.Cores <= 0 {
+		opts.Cores = 1
+	}
+	mbMAC := tb.NewMAC()
+
+	var rus []*ru.RU
+	var ruMACs []eth.MAC
+	for i, pos := range positions {
+		r, mac := tb.AddRU(fmt.Sprintf("%s-ru%d", name, i), pos, RUOpts{
+			Carrier: cell.Carrier, Ports: opts.Ports, Cheap: opts.Cheap, Peer: mbMAC,
+		})
+		rus = append(rus, r)
+		ruMACs = append(ruMACs, mac)
+	}
+	d, duMAC := tb.AddDU(name+"-du", DUOpts{Cell: cell, Peer: mbMAC})
+
+	app := das.New(das.Config{
+		Name: name + "-das", MAC: mbMAC, DU: duMAC, RUs: ruMACs,
+		CarrierPRBs: cell.Carrier.NumPRB,
+	})
+	eng, err := core.NewEngine(tb.Sched, core.Config{
+		Name: app.Name(), Mode: opts.Mode, Cores: opts.Cores, App: app,
+		CarrierPRBs: cell.Carrier.NumPRB,
+		Kernel:      dasKernel(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	port := tb.AddEngine(eng, mbMAC)
+	return &DASDeployment{DU: d, RUs: rus, App: app, Engine: eng, Port: port}, nil
+}
+
+// dasKernel is the DAS middlebox's XDP program: everything punts to
+// userspace (Table 1: DAS processes in userspace — caching and IQ merging
+// are beyond the kernel restrictions).
+func dasKernel() *core.KernelProgram {
+	return &core.KernelProgram{Rules: []core.Rule{{Verdict: core.VerdictPass}}}
+}
+
+// DMIMODeployment is an assembled §4.2 scenario.
+type DMIMODeployment struct {
+	DU     *du.DU
+	RUs    []*ru.RU
+	App    *dmimo.App
+	Engine *core.Engine
+}
+
+// DMIMOOpts tunes a dMIMO deployment.
+type DMIMOOpts struct {
+	Mode core.Mode
+	// PortsPerRU antennas contributed by each RU.
+	PortsPerRU int
+	Cheap      bool
+	// DisableSSBReplication reproduces the §4.2 failure mode.
+	DisableSSBReplication bool
+}
+
+// DMIMOCell combines RUs at the given positions into one virtual RU of
+// Σports layers driven by a single cell.
+func (tb *TB) DMIMOCell(name string, cell air.CellConfig, positions []radio.Point, opts DMIMOOpts) (*DMIMODeployment, error) {
+	if opts.PortsPerRU <= 0 {
+		opts.PortsPerRU = 1
+	}
+	mbMAC := tb.NewMAC()
+	var rus []*ru.RU
+	var slots []dmimo.RUSlot
+	for i, pos := range positions {
+		r, mac := tb.AddRU(fmt.Sprintf("%s-ru%d", name, i), pos, RUOpts{
+			Carrier: cell.Carrier, Ports: opts.PortsPerRU, Cheap: opts.Cheap, Peer: mbMAC,
+		})
+		rus = append(rus, r)
+		slots = append(slots, dmimo.RUSlot{MAC: mac, Ports: opts.PortsPerRU})
+	}
+	d, duMAC := tb.AddDU(name+"-du", DUOpts{Cell: cell, Peer: mbMAC})
+
+	app := dmimo.New(dmimo.Config{
+		Name: name + "-dmimo", MAC: mbMAC, DU: duMAC, RUs: slots,
+		SSB: cell.SSB, ReplicateSSB: !opts.DisableSSBReplication,
+		CarrierPRBs: cell.Carrier.NumPRB,
+	})
+	eng, err := core.NewEngine(tb.Sched, core.Config{
+		Name: app.Name(), Mode: opts.Mode, App: app,
+		Kernel:      app.KernelProgram(),
+		CarrierPRBs: cell.Carrier.NumPRB,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.AddEngine(eng, mbMAC)
+	return &DMIMODeployment{DU: d, RUs: rus, App: app, Engine: eng}, nil
+}
+
+// SharedRUDeployment is an assembled §4.3 scenario.
+type SharedRUDeployment struct {
+	DUs    []*du.DU
+	RU     *ru.RU
+	App    *rushare.App
+	Engine *core.Engine
+}
+
+// SharedRU deploys one RU whose spectrum the given cells share. Cell
+// carriers must fit inside ruCarrier; alignment is whatever their center
+// frequencies imply (Appendix A.1.1).
+func (tb *TB) SharedRU(name string, ruCarrier phy.Carrier, pos radio.Point, cells []air.CellConfig, mode core.Mode) (*SharedRUDeployment, error) {
+	mbMAC := tb.NewMAC()
+	r, ruMAC := tb.AddRU(name+"-ru", pos, RUOpts{Carrier: ruCarrier, Ports: 4, Peer: mbMAC})
+
+	var dus []*du.DU
+	var infos []rushare.DUInfo
+	for i, cell := range cells {
+		d, duMAC := tb.AddDU(fmt.Sprintf("%s-du%d", name, i), DUOpts{
+			Cell: cell, Peer: mbMAC, DUPortID: uint8(i + 1),
+		})
+		dus = append(dus, d)
+		infos = append(infos, rushare.DUInfo{MAC: duMAC, Carrier: cell.Carrier, PortID: uint8(i + 1)})
+	}
+	app, err := rushare.New(rushare.Config{
+		Name: name + "-rushare", MAC: mbMAC, RU: ruMAC,
+		RUCarrier: ruCarrier, Comp: BFP9(), DUs: infos,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Name: app.Name(), Mode: mode, App: app,
+		CarrierPRBs: ruCarrier.NumPRB,
+	}
+	if mode == core.ModeXDP {
+		// Caching and PRB relocation exceed the kernel restrictions: the
+		// whole datapath punts to userspace over AF_XDP (Table 1).
+		cfg.Kernel = &core.KernelProgram{Rules: []core.Rule{{Verdict: core.VerdictPass}}}
+	}
+	eng, err := core.NewEngine(tb.Sched, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tb.AddEngine(eng, mbMAC)
+	return &SharedRUDeployment{DUs: dus, RU: r, App: app, Engine: eng}, nil
+}
+
+// MonitoredDeployment is an assembled §4.4 scenario: a direct cell with a
+// PRB monitor bumped into the wire.
+type MonitoredDeployment struct {
+	DU     *du.DU
+	RU     *ru.RU
+	App    *prbmon.App
+	Engine *core.Engine
+}
+
+// MonitorOpts tunes a MonitoredCell.
+type MonitorOpts struct {
+	Mode core.Mode
+	// Estimator selects Algorithm 1's exponent shortcut or the
+	// energy-threshold alternative (the §4.4 ablation).
+	Estimator prbmon.Estimator
+}
+
+// MonitoredCell wires DU→monitor→RU.
+func (tb *TB) MonitoredCell(name string, cell air.CellConfig, pos radio.Point, opts MonitorOpts) (*MonitoredDeployment, error) {
+	mbMAC := tb.NewMAC()
+	r, ruMAC := tb.AddRU(name+"-ru", pos, RUOpts{Carrier: cell.Carrier, Ports: 4, Peer: mbMAC})
+	d, duMAC := tb.AddDU(name+"-du", DUOpts{Cell: cell, Peer: mbMAC})
+
+	app := prbmon.New(prbmon.Config{
+		Name: name + "-prbmon", MAC: mbMAC, DU: duMAC, RU: ruMAC,
+		Carrier: cell.Carrier, TDD: cell.TDD,
+		ThrDL: prbmon.DefaultThrDL, ThrUL: prbmon.DefaultThrUL,
+		Method:   opts.Estimator,
+		Interval: 100 * time.Millisecond,
+	})
+	eng, err := core.NewEngine(tb.Sched, core.Config{
+		Name: app.Name(), Mode: opts.Mode, App: app,
+		Kernel:      app.KernelProgram(),
+		CarrierPRBs: cell.Carrier.NumPRB,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.AddEngine(eng, mbMAC)
+	return &MonitoredDeployment{DU: d, RU: r, App: app, Engine: eng}, nil
+}

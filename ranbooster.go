@@ -1,0 +1,212 @@
+// Package ranbooster is the public API of the RANBooster reproduction: a
+// software middlebox framework for the O-RAN fronthaul (SIGCOMM 2025),
+// together with the simulated enterprise testbed it is evaluated on.
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - the middlebox framework (App, Context, Engine, kernel programs) —
+//     the paper's §3 contribution;
+//   - the four reference applications of §4 (DAS, dMIMO, RU sharing,
+//     real-time PRB monitoring);
+//   - the testbed (five floors, RUs, DUs, UEs, switch fabric) and the
+//     scenario builders used by the examples and experiments;
+//   - the experiment runners regenerating every table and figure of §6.
+//
+// A minimal middlebox:
+//
+//	type myApp struct{}
+//
+//	func (myApp) Name() string { return "my-middlebox" }
+//	func (myApp) Handle(ctx *ranbooster.Context, pkt *ranbooster.Packet) error {
+//		ctx.Forward(pkt) // A1; see also Replicate (A2), Cache (A3), ModifyUPlane (A4)
+//		return nil
+//	}
+//
+// wired into a testbed:
+//
+//	tb := ranbooster.NewTestbed(1)
+//	eng, _ := ranbooster.NewEngine(tb.Sched, ranbooster.EngineConfig{
+//		Name: "my-middlebox", Mode: ranbooster.ModeDPDK, App: myApp{}, CarrierPRBs: 273,
+//	})
+//	tb.AddEngine(eng, tb.NewMAC())
+//
+// See examples/ for complete scenarios.
+package ranbooster
+
+import (
+	"ranbooster/internal/air"
+	"ranbooster/internal/apps/das"
+	"ranbooster/internal/apps/dmimo"
+	"ranbooster/internal/apps/fhguard"
+	"ranbooster/internal/apps/prbmon"
+	"ranbooster/internal/apps/resilience"
+	"ranbooster/internal/apps/rushare"
+	"ranbooster/internal/bfp"
+	"ranbooster/internal/core"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/experiments"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+	"ranbooster/internal/testbed"
+)
+
+// Middlebox framework (§3).
+type (
+	// App is the middlebox template: user code handling each C/U-plane
+	// packet through the Context's A1-A4 actions.
+	App = core.App
+	// Context exposes the four RANBooster actions plus telemetry.
+	Context = core.Context
+	// Packet is one fronthaul frame with decoded protocol views.
+	Packet = fh.Packet
+	// Engine runs an App over a fronthaul attachment point.
+	Engine = core.Engine
+	// EngineConfig configures an Engine.
+	EngineConfig = core.Config
+	// Mode selects the datapath (DPDK-like poll mode or XDP-like).
+	Mode = core.Mode
+	// KernelProgram is the verified in-kernel rule program of an XDP
+	// middlebox.
+	KernelProgram = core.KernelProgram
+	// KernelRule is one rule of a KernelProgram.
+	KernelRule = core.Rule
+	// MAC is an Ethernet address.
+	MAC = eth.MAC
+)
+
+// Datapath modes.
+const (
+	ModeDPDK = core.ModeDPDK
+	ModeXDP  = core.ModeXDP
+)
+
+// NewEngine builds and verifies a middlebox engine.
+var NewEngine = core.NewEngine
+
+// Reference applications (§4).
+type (
+	// DAS is the distributed antenna system middlebox (§4.1).
+	DAS = das.App
+	// DASConfig configures a DAS middlebox.
+	DASConfig = das.Config
+	// DMIMO is the distributed MIMO middlebox (§4.2).
+	DMIMO = dmimo.App
+	// DMIMOConfig configures a dMIMO middlebox.
+	DMIMOConfig = dmimo.Config
+	// RUShare is the RU sharing middlebox (§4.3, Algorithms 2-3).
+	RUShare = rushare.App
+	// RUShareConfig configures an RU sharing middlebox.
+	RUShareConfig = rushare.Config
+	// RUShareDU describes one RU-sharing tenant.
+	RUShareDU = rushare.DUInfo
+	// PRBMonitor is the real-time PRB monitoring middlebox (§4.4,
+	// Algorithm 1).
+	PRBMonitor = prbmon.App
+	// PRBMonitorConfig configures a PRB monitor.
+	PRBMonitorConfig = prbmon.Config
+	// Resilience is the §8.1 DU-failover middlebox.
+	Resilience = resilience.App
+	// ResilienceConfig configures a resilience middlebox.
+	ResilienceConfig = resilience.Config
+	// FHGuard is the §8.1 fronthaul security middlebox.
+	FHGuard = fhguard.App
+	// FHGuardConfig configures a fronthaul guard.
+	FHGuardConfig = fhguard.Config
+)
+
+// Application constructors.
+var (
+	NewDAS        = das.New
+	NewDMIMO      = dmimo.New
+	NewRUShare    = rushare.New
+	NewPRBMonitor = prbmon.New
+	NewResilience = resilience.New
+	NewFHGuard    = fhguard.New
+)
+
+// Testbed (§6.1).
+type (
+	// Testbed is the assembled five-floor deployment.
+	Testbed = testbed.TB
+	// UE is a user device.
+	UE = air.UE
+	// CellConfig describes a cell.
+	CellConfig = air.CellConfig
+	// Carrier describes a carrier's spectrum position.
+	Carrier = phy.Carrier
+	// StackProfile models one RAN vendor's implementation.
+	StackProfile = phy.StackProfile
+	// Point is a 3-D testbed position.
+	Point = radio.Point
+)
+
+// Scenario builders (methods on Testbed) and their options.
+type (
+	// DASOpts tunes Testbed.DASCell.
+	DASOpts = testbed.DASOpts
+	// DMIMOOpts tunes Testbed.DMIMOCell.
+	DMIMOOpts = testbed.DMIMOOpts
+	// MonitorOpts tunes Testbed.MonitoredCell.
+	MonitorOpts = testbed.MonitorOpts
+	// RUOpts tunes Testbed.AddRU.
+	RUOpts = testbed.RUOpts
+	// DUOpts tunes Testbed.AddDU.
+	DUOpts = testbed.DUOpts
+	// DASDeployment is an assembled §4.1 scenario.
+	DASDeployment = testbed.DASDeployment
+	// DMIMODeployment is an assembled §4.2 scenario.
+	DMIMODeployment = testbed.DMIMODeployment
+	// SharedRUDeployment is an assembled §4.3 scenario.
+	SharedRUDeployment = testbed.SharedRUDeployment
+	// MonitoredDeployment is an assembled §4.4 scenario.
+	MonitoredDeployment = testbed.MonitoredDeployment
+)
+
+// Testbed constructors and helpers.
+var (
+	// NewTestbed builds an empty testbed for a deterministic seed.
+	NewTestbed = testbed.New
+	// NewCarrier positions a carrier (bandwidth MHz, center Hz).
+	NewCarrier = phy.NewCarrier
+	// NewCell builds a standard cell configuration.
+	NewCell = testbed.CellConfig
+	// Carrier100 is the default 100 MHz band-78 carrier.
+	Carrier100 = testbed.Carrier100
+	// RUPosition places a standard ceiling RU (floor, index 0-3).
+	RUPosition = testbed.RUPosition
+	// Mbps converts bits/s for reporting.
+	Mbps = testbed.Mbps
+	// BFP9 is the 9-bit block-floating-point compression of the testbed.
+	BFP9 = testbed.BFP9
+)
+
+// Compression describes U-plane payload compression parameters.
+type Compression = bfp.Params
+
+// Vendor stacks of the paper's interoperability matrix.
+var (
+	StackSRSRAN    = phy.StackSRSRAN
+	StackCapGemini = phy.StackCapGemini
+	StackRadisys   = phy.StackRadisys
+)
+
+// Frequency planning helpers (Appendix A.1).
+var (
+	// AlignedDUCenterHz derives a DU center frequency whose PRB grid
+	// aligns with the shared RU's (Appendix A.1.1).
+	AlignedDUCenterHz = phy.AlignedDUCenterHz
+	// TranslateFreqOffset converts PRACH frequency offsets between DU and
+	// RU spectra (Appendix A.1.2).
+	TranslateFreqOffset = phy.TranslateFreqOffset
+)
+
+// Experiments: regenerate the paper's tables and figures.
+type ExperimentTable = experiments.Table
+
+// Experiments maps experiment ids (table2, fig10a … fig16, costs,
+// ablate-*) to their runners.
+var Experiments = experiments.Registry
+
+// ExperimentIDs lists the available experiment ids.
+var ExperimentIDs = experiments.IDs
