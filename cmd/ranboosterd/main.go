@@ -114,7 +114,7 @@ func main() {
 		dl += u.ThroughputDLbps(now)
 		ul += u.ThroughputULbps(now)
 	}
-	st := engine.Stats()
+	st := engine.Snapshot()
 	fmt.Printf("aggregate goodput: DL %.1f Mbps, UL %.1f Mbps\n", dl/1e6, ul/1e6)
 	fmt.Printf("middlebox: rx %d tx %d frames, kernelTx %d, punts %d, utilization %.1f%%\n",
 		st.RxFrames, st.TxFrames, st.KernelTx, st.Punts, engine.Utilization()*100)

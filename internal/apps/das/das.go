@@ -10,6 +10,8 @@
 package das
 
 import (
+	"sync/atomic"
+
 	"fmt"
 
 	"ranbooster/internal/bfp"
@@ -40,6 +42,8 @@ type App struct {
 	rus map[eth.MAC]bool
 
 	// Merges counts completed uplink combinations (for tests/telemetry).
+	// Incremented atomically; read with atomic.LoadUint64 while parallel
+	// engine workers run.
 	Merges uint64
 }
 
@@ -124,7 +128,7 @@ func (a *App) handleUpstream(ctx *core.Context, pkt *fh.Packet) error {
 	if err != nil {
 		return err
 	}
-	a.Merges++
+	atomic.AddUint64(&a.Merges, 1)
 	return ctx.Redirect(merged, a.cfg.DU, a.cfg.MAC, -1)
 }
 

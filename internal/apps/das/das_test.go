@@ -147,8 +147,8 @@ func TestUnknownSourceDropped(t *testing.T) {
 	if len(*out) != 0 {
 		t.Fatal("stranger traffic forwarded")
 	}
-	if eng.Stats().AppDrops != 1 {
-		t.Fatalf("drops = %d", eng.Stats().AppDrops)
+	if eng.Snapshot().AppDrops != 1 {
+		t.Fatalf("drops = %d", eng.Snapshot().AppDrops)
 	}
 }
 

@@ -11,6 +11,8 @@
 package dmimo
 
 import (
+	"sync/atomic"
+
 	"fmt"
 
 	"ranbooster/internal/core"
@@ -51,6 +53,8 @@ type App struct {
 	byMAC map[eth.MAC]int
 
 	// SSBReplicas counts SSB copies fanned out (observability for tests).
+	// Incremented atomically; read with atomic.LoadUint64 while parallel
+	// engine workers run.
 	SSBReplicas uint64
 }
 
@@ -120,7 +124,7 @@ func (a *App) handleDownlink(ctx *core.Context, pkt *fh.Packet) error {
 			if err := ctx.Redirect(cp, sec.MAC, a.cfg.MAC, -1); err != nil {
 				return err
 			}
-			a.SSBReplicas++
+			atomic.AddUint64(&a.SSBReplicas, 1)
 		}
 	}
 	if local != pc.RUPort {

@@ -170,8 +170,8 @@ func TestPortBeyondVirtualRUErrors(t *testing.T) {
 	if len(*out) != 0 {
 		t.Fatal("out-of-range port forwarded")
 	}
-	if eng.Stats().AppErrors != 1 {
-		t.Fatalf("errors = %d", eng.Stats().AppErrors)
+	if eng.Snapshot().AppErrors != 1 {
+		t.Fatalf("errors = %d", eng.Snapshot().AppErrors)
 	}
 }
 

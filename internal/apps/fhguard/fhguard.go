@@ -68,6 +68,11 @@ func New(cfg Config) *App {
 // Name implements core.App.
 func (a *App) Name() string { return a.cfg.Name }
 
+// Serial implements core.SerialApp: the replay-window map and the
+// enforcement counters are plain cross-stream state, so Handle must stay
+// on a single shard.
+func (a *App) Serial() {}
+
 // Stats returns a snapshot of the enforcement counters.
 func (a *App) Stats() Stats { return a.stats }
 

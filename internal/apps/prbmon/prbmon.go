@@ -13,6 +13,7 @@ package prbmon
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 
 	"ranbooster/internal/bfp"
 	"ranbooster/internal/core"
@@ -72,14 +73,18 @@ type Config struct {
 	Interval sim.Duration
 }
 
-// App is the monitoring middlebox.
+// App is the monitoring middlebox. Its cross-stream state (the interval
+// accumulators and window start) is kept with atomics, so Handle is
+// shard-safe and the monitor may run over parallel engine workers.
 type App struct {
 	cfg Config
 
-	utilDL, utilUL uint64 // utilized PRBs this interval
-	windowStart    sim.Time
-	started        bool
+	utilDL, utilUL atomic.Uint64 // utilized PRBs this interval
+	windowStart    atomic.Int64  // sim.Time; notStarted until first packet
 }
+
+// notStarted marks a monitoring window that has not opened yet.
+const notStarted = int64(-1)
 
 // New builds the middlebox with defaulted thresholds.
 func New(cfg Config) *App {
@@ -92,7 +97,9 @@ func New(cfg Config) *App {
 	if cfg.Interval == 0 {
 		cfg.Interval = 1e9 // 1 s
 	}
-	return &App{cfg: cfg}
+	a := &App{cfg: cfg}
+	a.windowStart.Store(notStarted)
+	return a
 }
 
 // Name implements core.App.
@@ -124,10 +131,7 @@ func (a *App) Control(cmd string, args map[string]string) error {
 // Handle implements core.App: Algorithm 1 over each U-plane packet, then
 // transparent forwarding to the opposite endpoint.
 func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
-	if !a.started {
-		a.started = true
-		a.windowStart = ctx.Now()
-	}
+	a.windowStart.CompareAndSwap(notStarted, int64(ctx.Now()))
 	// Only the first antenna port is scanned: Algorithm 1's PRB_Utilized
 	// is a per-grid bitvector, and every MIMO layer shares the same
 	// time-frequency grid.
@@ -193,29 +197,37 @@ func (a *App) scan(ctx *core.Context, pkt *fh.Packet, t oran.Timing) {
 		ctx.ChargeExponentScan(seen)
 	}
 	if t.Direction == oran.Uplink {
-		a.utilUL += uint64(util)
+		a.utilUL.Add(uint64(util))
 	} else {
-		a.utilDL += uint64(util)
+		a.utilDL.Add(uint64(util))
 	}
 }
 
-// maybePublish closes the reporting interval when it has elapsed.
+// maybePublish closes the reporting interval when it has elapsed. The
+// compare-and-swap on the window start elects exactly one closer when
+// several shards cross the boundary together.
 func (a *App) maybePublish(ctx *core.Context) {
-	now := ctx.Now()
-	if now.Sub(a.windowStart) < a.cfg.Interval {
+	ws := a.windowStart.Load()
+	if ws == notStarted {
 		return
 	}
-	elapsed := now.Sub(a.windowStart)
+	now := ctx.Now()
+	elapsed := now.Sub(sim.Time(ws))
+	if elapsed < a.cfg.Interval {
+		return
+	}
+	if !a.windowStart.CompareAndSwap(ws, int64(now)) {
+		return // another shard closed this window
+	}
 	dlDen := a.gridPRBs(elapsed, a.cfg.TDD.DLSymbolFraction())
 	ulDen := a.gridPRBs(elapsed, a.cfg.TDD.ULSymbolFraction())
+	dl, ul := a.utilDL.Swap(0), a.utilUL.Swap(0)
 	if dlDen > 0 {
-		ctx.Publish(KPIUtilizationDL, float64(a.utilDL)/dlDen)
+		ctx.Publish(KPIUtilizationDL, float64(dl)/dlDen)
 	}
 	if ulDen > 0 {
-		ctx.Publish(KPIUtilizationUL, float64(a.utilUL)/ulDen)
+		ctx.Publish(KPIUtilizationUL, float64(ul)/ulDen)
 	}
-	a.utilDL, a.utilUL = 0, 0
-	a.windowStart = now
 }
 
 // gridPRBs is the total PRB count of the cell's grid over a duration for

@@ -72,11 +72,11 @@ func TestAlgorithm1Counting(t *testing.T) {
 		eng.Ingress(frame(t, bRU, oran.Uplink, 0, 10, 300))   // noise: idle
 		eng.Ingress(frame(t, bRU, oran.Uplink, 0, 10, 12000)) // data: utilized
 		s.Run()
-		if app.utilDL != 10 {
-			t.Fatalf("method %d: utilDL = %d, want 10", method, app.utilDL)
+		if app.utilDL.Load() != 10 {
+			t.Fatalf("method %d: utilDL = %d, want 10", method, app.utilDL.Load())
 		}
-		if app.utilUL != 10 {
-			t.Fatalf("method %d: utilUL = %d, want 10", method, app.utilUL)
+		if app.utilUL.Load() != 10 {
+			t.Fatalf("method %d: utilUL = %d, want 10", method, app.utilUL.Load())
 		}
 	}
 }
@@ -86,8 +86,8 @@ func TestOnlyPortZeroCounted(t *testing.T) {
 	b := fh.NewBuilder(duMAC, mbMAC, -1)
 	eng.Ingress(frame(t, b, oran.Downlink, 1, 10, 16000)) // layer 2: same grid
 	s.Run()
-	if app.utilDL != 0 {
-		t.Fatalf("utilDL = %d; MIMO layers must not double count", app.utilDL)
+	if app.utilDL.Load() != 0 {
+		t.Fatalf("utilDL = %d; MIMO layers must not double count", app.utilDL.Load())
 	}
 }
 

@@ -72,6 +72,11 @@ func New(cfg Config) *App {
 // Name implements core.App.
 func (a *App) Name() string { return a.cfg.Name }
 
+// Serial implements core.SerialApp: failover tracks the active DU and
+// recent downlink liveness across every stream, so Handle must stay on a
+// single shard.
+func (a *App) Serial() {}
+
 // Active returns the index of the DU currently serving the RU.
 func (a *App) Active() int { return a.active }
 

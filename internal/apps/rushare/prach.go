@@ -1,6 +1,8 @@
 package rushare
 
 import (
+	"sync/atomic"
+
 	"ranbooster/internal/core"
 	"ranbooster/internal/fh"
 	"ranbooster/internal/oran"
@@ -47,7 +49,7 @@ func (a *App) prachCPlane(ctx *core.Context, pkt *fh.Packet, t oran.Timing) erro
 		}
 	}
 	merged := fh.Rebuild(pkts[0], out.AppendTo)
-	a.PRACHMuxed++
+	atomic.AddUint64(&a.PRACHMuxed, 1)
 	return ctx.Redirect(merged, a.cfg.RU, a.cfg.MAC, -1)
 }
 

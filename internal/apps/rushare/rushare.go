@@ -22,6 +22,8 @@
 package rushare
 
 import (
+	"sync/atomic"
+
 	"fmt"
 
 	"ranbooster/internal/bfp"
@@ -59,7 +61,8 @@ type App struct {
 	offset []int  // PRB offset of each DU's grid within the RU's
 	align  []bool // aligned fast path available?
 
-	// Observability.
+	// Observability. Incremented atomically; read with atomic.LoadUint64
+	// while parallel engine workers run.
 	Muxed, Demuxed, PRACHMuxed uint64
 	AlignedCopies, Recompress  uint64
 }
@@ -171,7 +174,7 @@ func (a *App) dlUPlane(ctx *core.Context, pkt *fh.Packet, t oran.Timing, idx int
 	if err != nil {
 		return err
 	}
-	a.Muxed++
+	atomic.AddUint64(&a.Muxed, 1)
 	return ctx.Redirect(merged, a.cfg.RU, a.cfg.MAC, -1)
 }
 
@@ -240,7 +243,7 @@ func (a *App) relocate(ctx *core.Context, s *oran.USection, idx int, toRU bool) 
 	}
 	if a.align[idx] {
 		ctx.ChargeCopyAligned(s.NumPRB)
-		a.AlignedCopies++
+		atomic.AddUint64(&a.AlignedCopies, 1)
 		sec.Payload = append([]byte(nil), s.Payload...)
 		return sec, nil
 	}
@@ -254,7 +257,7 @@ func (a *App) relocate(ctx *core.Context, s *oran.USection, idx int, toRU bool) 
 		return sec, err
 	}
 	ctx.ChargeRecompress(s.NumPRB)
-	a.Recompress++
+	atomic.AddUint64(&a.Recompress, 1)
 	sec.Payload = payload
 	return sec, nil
 }
@@ -316,7 +319,7 @@ func (a *App) ulDemux(ctx *core.Context, pkt *fh.Packet, t oran.Timing) error {
 		if err := ctx.Redirect(rebuilt, du.MAC, a.cfg.MAC, -1); err != nil {
 			return err
 		}
-		a.Demuxed++
+		atomic.AddUint64(&a.Demuxed, 1)
 	}
 	ctx.Drop(pkt)
 	return nil
@@ -349,7 +352,7 @@ func (a *App) carve(ctx *core.Context, s *oran.USection, idx int) (oran.USection
 	start := (sLo - s.StartPRB) * size
 	if a.align[idx] {
 		ctx.ChargeCopyAligned(n)
-		a.AlignedCopies++
+		atomic.AddUint64(&a.AlignedCopies, 1)
 		sec.Payload = append([]byte(nil), s.Payload[start:start+n*size]...)
 		return sec, true, nil
 	}
@@ -362,7 +365,7 @@ func (a *App) carve(ctx *core.Context, s *oran.USection, idx int) (oran.USection
 		return sec, false, err
 	}
 	ctx.ChargeRecompress(n)
-	a.Recompress++
+	atomic.AddUint64(&a.Recompress, 1)
 	sec.Payload = payload
 	return sec, true, nil
 }

@@ -32,6 +32,22 @@ import (
 // App is the middlebox template (§3.2.2): RANBooster initializes the
 // datapath and calls Handle for every C- and U-plane packet; the handler
 // realizes its logic through the Context's action methods.
+//
+// # Concurrency contract
+//
+// The engine shards its datapath by eAxC RU port: on an engine with
+// Cores > 1, Handle may be invoked concurrently from multiple worker
+// goroutines — but never concurrently for packets of the same RU port,
+// and all Context action methods (including the A3 cache, whose keys are
+// RU-port-scoped) touch only shard-local state. Therefore:
+//
+//   - Per-stream state keyed by eAxC / RU port needs no synchronization;
+//     the sharding serializes it.
+//   - Cross-stream state (global counters, maps indexed by something
+//     other than the stream) must be shard-safe: use atomics, or declare
+//     the App serial via SerialApp and forgo parallel workers.
+//   - Control is a management-plane call from outside the workers; an App
+//     that mutates Handle-visible state there must synchronize it.
 type App interface {
 	// Name identifies the middlebox in telemetry and logs.
 	Name() string
@@ -39,6 +55,16 @@ type App interface {
 	// may be forwarded, cached, mutated, replicated or dropped. Returning
 	// an error drops the packet and counts a processing failure.
 	Handle(ctx *Context, pkt *fh.Packet) error
+}
+
+// SerialApp marks an App whose Handle keeps cross-stream mutable state
+// that is not shard-safe. The engine still shards such an App's traffic
+// deterministically (inline processing is single-threaded regardless),
+// but Start refuses to launch parallel workers over more than one shard.
+type SerialApp interface {
+	App
+	// Serial is a marker; it has no behavior.
+	Serial()
 }
 
 // Controllable is the optional management interface of a middlebox
@@ -49,9 +75,11 @@ type Controllable interface {
 }
 
 // Context carries one packet's processing state: the action API, cost
-// accounting, and access to the engine's cache, counters and telemetry.
+// accounting, and access to the owning shard's cache, counters and the
+// engine telemetry. A Context is valid only for the duration of the
+// Handle call it was passed to.
 type Context struct {
-	eng   *Engine
+	sh    *shard
 	now   sim.Time
 	cost  time.Duration
 	emits []*fh.Packet
@@ -83,7 +111,7 @@ func (c *Context) Redirect(pkt *fh.Packet, dst, src eth.MAC, vlan int) error {
 // Drop discards the packet (A1).
 func (c *Context) Drop(pkt *fh.Packet) {
 	c.cost += cpu.CostDrop
-	c.eng.stats.AppDrops++
+	c.sh.stats.appDrops.Add(1)
 }
 
 // Replicate clones the packet (A2). The clone is independent: it can be
@@ -93,24 +121,27 @@ func (c *Context) Replicate(pkt *fh.Packet) *fh.Packet {
 	return pkt.Clone()
 }
 
-// Cache stores the packet under key for later combination (A3).
+// Cache stores the packet under key for later combination (A3). The
+// store is shard-local: a key is only ever visible to the shard owning
+// its eAxC RU port, which is exactly the shard the key's packets arrive
+// on.
 func (c *Context) Cache(key fh.Key, pkt *fh.Packet) {
 	c.cost += cpu.CostCacheInsert
-	c.eng.cache.Put(key, pkt, c.now)
+	c.sh.cache.Put(key, pkt, c.now)
 }
 
 // Cached returns the packets stored under key without removing them (A3).
 func (c *Context) Cached(key fh.Key) []*fh.Packet {
-	return c.eng.cache.Peek(key)
+	return c.sh.cache.Peek(key)
 }
 
 // CachedCount returns how many packets are stored under key.
-func (c *Context) CachedCount(key fh.Key) int { return len(c.eng.cache.Peek(key)) }
+func (c *Context) CachedCount(key fh.Key) int { return len(c.sh.cache.Peek(key)) }
 
 // TakeCached removes and returns the packets stored under key (A3).
 func (c *Context) TakeCached(key fh.Key) []*fh.Packet {
 	c.cost += cpu.CostCacheTake
-	return c.eng.cache.Take(key)
+	return c.sh.cache.Take(key)
 }
 
 // ModifyUPlane decodes the packet's U-plane message, applies fn, and
@@ -162,12 +193,19 @@ func (c *Context) ChargeExponentScan(nPRB int) { c.cost += cpu.ExponentScanCost(
 
 // Publish emits a telemetry sample on the middlebox's bus.
 func (c *Context) Publish(name string, value float64) {
-	c.eng.bus.Publish(telemetry.Sample{Name: name, At: c.now, Value: value})
+	c.sh.eng.bus.Publish(telemetry.Sample{Name: name, At: c.now, Value: value})
 }
 
-// Counter returns the named shared counter (the userspace view of the
-// kernel program's maps).
-func (c *Context) Counter(name string) *uint64 { return c.eng.Counter(name) }
+// AddCounter increments the named shared counter (the userspace view of
+// the kernel program's per-CPU maps) by delta, on this shard's stripe.
+func (c *Context) AddCounter(name string, delta uint64) {
+	c.sh.counter(name).Add(c.sh.id, delta)
+}
+
+// CounterValue returns the merged value of the named shared counter.
+func (c *Context) CounterValue(name string) uint64 {
+	return c.sh.counter(name).Value()
+}
 
 // TrafficClass buckets packets for the latency statistics of Fig. 15b.
 type TrafficClass uint8

@@ -83,7 +83,7 @@ func TestEngineForwards(t *testing.T) {
 	if app.handled != 1 || len(*out) != 1 {
 		t.Fatalf("handled=%d out=%d", app.handled, len(*out))
 	}
-	st := e.Stats()
+	st := e.Snapshot()
 	if st.RxFrames != 1 || st.TxFrames != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
@@ -217,8 +217,8 @@ func TestAppErrorCounted(t *testing.T) {
 	b := fh.NewBuilder(duMAC, ruMAC, 6)
 	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 3, 100))
 	s.Run()
-	if e.Stats().AppErrors != 1 || len(*out) != 0 {
-		t.Fatalf("stats = %+v out=%d", e.Stats(), len(*out))
+	if e.Snapshot().AppErrors != 1 || len(*out) != 0 {
+		t.Fatalf("stats = %+v out=%d", e.Snapshot(), len(*out))
 	}
 }
 
@@ -285,17 +285,37 @@ func TestReplicateIndependence(t *testing.T) {
 
 func TestEngineConfigValidation(t *testing.T) {
 	s := sim.NewScheduler()
-	if _, err := NewEngine(s, Config{Name: "x", Mode: ModeDPDK, App: &forwarder{}}); err == nil {
-		t.Fatal("missing CarrierPRBs accepted")
+	if _, err := NewEngine(s, Config{Name: "x", Mode: ModeDPDK, App: &forwarder{}}); !errors.Is(err, ErrBadCarrierPRBs) {
+		t.Fatalf("missing CarrierPRBs: got %v, want ErrBadCarrierPRBs", err)
 	}
-	if _, err := NewEngine(s, Config{Name: "x", Mode: ModeDPDK, CarrierPRBs: 106}); err == nil {
-		t.Fatal("DPDK without app accepted")
+	if _, err := NewEngine(s, Config{Name: "x", Mode: ModeDPDK, CarrierPRBs: 106}); !errors.Is(err, ErrNoApp) {
+		t.Fatalf("DPDK without app: got %v, want ErrNoApp", err)
 	}
-	if _, err := NewEngine(s, Config{Name: "x", Mode: ModeXDP, CarrierPRBs: 106}); err == nil {
-		t.Fatal("XDP without kernel accepted")
+	if _, err := NewEngine(s, Config{Name: "x", Mode: ModeXDP, CarrierPRBs: 106}); !errors.Is(err, ErrNoKernel) {
+		t.Fatalf("XDP without kernel: got %v, want ErrNoKernel", err)
 	}
-	if _, err := NewEngine(s, Config{Name: "x", Mode: Mode(9), CarrierPRBs: 106}); err == nil {
-		t.Fatal("bad mode accepted")
+	if _, err := NewEngine(s, Config{Name: "x", Mode: Mode(9), CarrierPRBs: 106}); !errors.Is(err, ErrBadMode) {
+		t.Fatalf("bad mode: got %v, want ErrBadMode", err)
+	}
+	if _, err := NewEngine(s, Config{Name: "x", Mode: ModeDPDK, App: &forwarder{}, CarrierPRBs: 106, Cores: -1}); !errors.Is(err, ErrBadCores) {
+		t.Fatalf("negative cores: got %v, want ErrBadCores", err)
+	}
+	if _, err := NewEngine(s, Config{Name: "x", Mode: ModeDPDK, App: &forwarder{}, CarrierPRBs: 106, Cores: MaxCores + 1}); !errors.Is(err, ErrBadCores) {
+		t.Fatalf("oversized cores: got %v, want ErrBadCores", err)
+	}
+	if _, err := NewEngine(s, Config{Name: "x", Mode: ModeDPDK, App: &forwarder{}, CarrierPRBs: 106, RingSize: MaxRingSize + 1}); !errors.Is(err, ErrBadRing) {
+		t.Fatalf("oversized ring: got %v, want ErrBadRing", err)
+	}
+	bad := &KernelProgram{Rules: make([]Rule, MaxKernelRules+1)}
+	if _, err := NewEngine(s, Config{Name: "x", Mode: ModeXDP, Kernel: bad, CarrierPRBs: 106}); !errors.Is(err, ErrKernelUnverified) {
+		t.Fatalf("unverifiable kernel: got %v, want ErrKernelUnverified", err)
+	}
+	e, err := NewEngine(s, Config{Name: "x", Mode: ModeDPDK, App: &forwarder{}, CarrierPRBs: 106})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Shards() != 1 {
+		t.Fatalf("Cores=0 should default to one shard, got %d", e.Shards())
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"ranbooster/internal/cpu"
@@ -33,14 +34,38 @@ func (m Mode) String() string {
 	return "DPDK"
 }
 
-// Config describes one middlebox instance.
+// Sizing bounds validated by NewEngine.
+const (
+	// MaxCores bounds Config.Cores, in the spirit of a real server's
+	// socket size.
+	MaxCores = 64
+	// MaxRingSize bounds the per-shard ingress ring.
+	MaxRingSize = 1 << 20
+	// DefaultBatch is the per-wakeup drain bound when Config.Batch is 0.
+	DefaultBatch = 32
+	// DefaultRingSize is the per-shard ring capacity when Config.RingSize
+	// is 0.
+	DefaultRingSize = 1024
+)
+
+// Config describes one middlebox instance. It is construction-time input:
+// NewEngine validates and copies it, and the engine owns the copy from
+// then on. Mutating a Config (or the structures it points to, such as the
+// kernel program's rules) after NewEngine returned is deprecated and
+// unsupported — under parallel workers it is also a data race. Use the
+// management interface (Engine.Control) to retune a running middlebox.
 type Config struct {
 	Name string
 	Mode Mode
-	// Cores is the number of datapath cores (work spreads by eAxC).
+	// Cores is the number of datapath workers (shards). Work spreads
+	// across shards by the eAxC RU port, so packets of one antenna-
+	// carrier stream stay ordered while distinct streams process in
+	// parallel. 0 defaults to 1; values outside [0, MaxCores] are
+	// rejected with ErrBadCores.
 	Cores int
 	// App is the userspace handler (may be nil for a pure-kernel XDP
-	// middlebox such as PRB monitoring).
+	// middlebox such as PRB monitoring). See the App documentation for
+	// the concurrency contract Handle must meet on multi-core engines.
 	App App
 	// Kernel is the XDP rule program (ModeXDP only); it must verify.
 	Kernel *KernelProgram
@@ -48,9 +73,16 @@ type Config struct {
 	CarrierPRBs int
 	// CacheMaxAge bounds A3 entries (default 2 slots).
 	CacheMaxAge time.Duration
+	// Batch bounds how many frames a worker drains per wakeup (batched
+	// dequeue amortizes the scheduling cost; default DefaultBatch).
+	Batch int
+	// RingSize is the per-shard ingress ring capacity, rounded up to a
+	// power of two (default DefaultRingSize).
+	RingSize int
 }
 
-// Stats are the engine's datapath counters.
+// Stats are the engine's datapath counters. Obtain them with
+// Engine.Snapshot, which merges the per-shard counters race-safely.
 type Stats struct {
 	RxFrames   uint64
 	TxFrames   uint64
@@ -62,62 +94,114 @@ type Stats struct {
 	// Userspace outcomes.
 	AppDrops  uint64
 	AppErrors uint64
+	// RingDrops counts frames dropped because a shard's ingress ring was
+	// full (parallel workers only; the deterministic path drains inline).
+	RingDrops uint64
+}
+
+// Add returns the field-wise sum of s and o — the combinator used to
+// merge per-shard or per-engine snapshots.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		RxFrames:   s.RxFrames + o.RxFrames,
+		TxFrames:   s.TxFrames + o.TxFrames,
+		ParseError: s.ParseError + o.ParseError,
+		KernelTx:   s.KernelTx + o.KernelTx,
+		KernelDrop: s.KernelDrop + o.KernelDrop,
+		Punts:      s.Punts + o.Punts,
+		AppDrops:   s.AppDrops + o.AppDrops,
+		AppErrors:  s.AppErrors + o.AppErrors,
+		RingDrops:  s.RingDrops + o.RingDrops,
+	}
 }
 
 // Engine runs one middlebox over a fronthaul attachment point (a switch
-// port or NIC VF).
+// port or NIC VF). The datapath is sharded: each configured core owns a
+// single-producer/single-consumer ingress ring, an A3 cache, a latency
+// window and a slice of the counter store, keyed by the eAxC RU port (see
+// shard.go for the execution modes).
 type Engine struct {
 	cfg   Config
 	sched *sim.Scheduler
+	clock sim.Clock
 	pool  *cpu.Pool
 	out   func(frame []byte)
 
-	cache    *Cache
 	bus      *telemetry.Bus
-	counters map[string]*uint64
+	counters *telemetry.Counters
 
-	stats Stats
-	lat   [classCount][]time.Duration
+	shards []*shard
+	serial bool
+
+	// parallel is true while Start'ed workers run. It is written only
+	// with no workers alive (before launch, after wg.Wait), so workers
+	// and the producer read a stable value.
+	parallel bool
+	stopc    chan struct{}
+	wg       sync.WaitGroup
 }
 
-// sweepEvery bounds how many ingress frames may pass between cache sweeps.
+// sweepEvery bounds how many ingress frames may pass between cache sweeps
+// on one shard.
 const sweepEvery = 1024
 
 // NewEngine builds and validates an engine. Kernel programs are verified
 // here; a program that fails verification refuses to load, like the eBPF
-// verifier would.
+// verifier would. Validation failures wrap the typed errors of errors.go
+// (ErrNoApp, ErrBadCores, ErrKernelUnverified, ...) — match with
+// errors.Is.
 func NewEngine(sched *sim.Scheduler, cfg Config) (*Engine, error) {
-	if cfg.Cores <= 0 {
+	fail := func(err error) (*Engine, error) {
+		return nil, fmt.Errorf("core: %s: %w", cfg.Name, err)
+	}
+	if cfg.Cores < 0 || cfg.Cores > MaxCores {
+		return fail(fmt.Errorf("%w: %d", ErrBadCores, cfg.Cores))
+	}
+	if cfg.Cores == 0 {
 		cfg.Cores = 1
 	}
 	if cfg.CarrierPRBs <= 0 {
-		return nil, fmt.Errorf("core: %s: CarrierPRBs must be set", cfg.Name)
+		return fail(ErrBadCarrierPRBs)
 	}
 	if cfg.CacheMaxAge <= 0 {
 		cfg.CacheMaxAge = time.Millisecond
 	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = DefaultBatch
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = DefaultRingSize
+	}
+	if cfg.RingSize > MaxRingSize {
+		return fail(fmt.Errorf("%w: %d", ErrBadRing, cfg.RingSize))
+	}
 	switch cfg.Mode {
 	case ModeDPDK:
 		if cfg.App == nil {
-			return nil, fmt.Errorf("core: %s: DPDK engine requires an App", cfg.Name)
+			return fail(ErrNoApp)
 		}
 	case ModeXDP:
 		if cfg.Kernel == nil {
-			return nil, fmt.Errorf("core: %s: XDP engine requires a kernel program", cfg.Name)
+			return fail(ErrNoKernel)
 		}
 		if err := cfg.Kernel.Verify(); err != nil {
-			return nil, fmt.Errorf("core: %s: kernel program rejected: %w", cfg.Name, err)
+			return fail(fmt.Errorf("%w: %v", ErrKernelUnverified, err))
 		}
 	default:
-		return nil, fmt.Errorf("core: %s: unknown mode %d", cfg.Name, cfg.Mode)
+		return fail(fmt.Errorf("%w: %d", ErrBadMode, cfg.Mode))
 	}
 	e := &Engine{
 		cfg:      cfg,
 		sched:    sched,
+		clock:    sched,
 		pool:     cpu.NewPool(cfg.Cores),
-		cache:    NewCache(cfg.CacheMaxAge),
 		bus:      telemetry.NewBus(),
-		counters: make(map[string]*uint64),
+		counters: telemetry.NewCounters(cfg.Cores),
+	}
+	_, e.serial = cfg.App.(SerialApp)
+	e.shards = make([]*shard, cfg.Cores)
+	for i := range e.shards {
+		e.shards[i] = newShard(e, i)
 	}
 	e.pool.ResetWindows(sched.Now())
 	return e, nil
@@ -129,29 +213,40 @@ func (e *Engine) Name() string { return e.cfg.Name }
 // Mode returns the datapath mode.
 func (e *Engine) Mode() Mode { return e.cfg.Mode }
 
+// Shards returns the number of datapath workers.
+func (e *Engine) Shards() int { return len(e.shards) }
+
 // SetOutput attaches the transmit function (e.g. a fabric port's Send).
+// While parallel workers run, the function is called from every worker
+// goroutine and must be safe for concurrent use.
 func (e *Engine) SetOutput(fn func(frame []byte)) { e.out = fn }
 
 // Bus returns the middlebox telemetry bus.
 func (e *Engine) Bus() *telemetry.Bus { return e.bus }
 
-// Stats returns a snapshot of the datapath counters.
-func (e *Engine) Stats() Stats { return e.stats }
-
-// Counter returns (creating if needed) a shared counter — the moral
-// equivalent of a pinned BPF map entry, readable from kernel rules and
-// userspace alike.
-func (e *Engine) Counter(name string) *uint64 {
-	c := e.counters[name]
-	if c == nil {
-		c = new(uint64)
-		e.counters[name] = c
+// Snapshot returns a merged, race-safe view of the datapath counters
+// across all shards. It may be called while parallel workers run; the
+// result is a consistent per-field sum (fields may trail each other by
+// in-flight packets, as with any per-CPU counter readout).
+func (e *Engine) Snapshot() Stats {
+	var s Stats
+	for _, sh := range e.shards {
+		s = s.Add(sh.stats.snapshot())
 	}
-	return c
+	return s
 }
+
+// CounterValue returns the merged value of a named shared counter — the
+// userspace readout of the kernel program's per-CPU map entries.
+func (e *Engine) CounterValue(name string) uint64 { return e.counters.Value(name) }
+
+// CounterNames lists the shared counters that exist, sorted.
+func (e *Engine) CounterNames() []string { return e.counters.Names() }
 
 // Control forwards a management command to the App (§3.2's management
 // interface). It fails if the App is absent or not controllable.
+// Control is a management-plane call: on an engine with running parallel
+// workers the App must serialize Control against its Handle path itself.
 func (e *Engine) Control(cmd string, args map[string]string) error {
 	if c, ok := e.cfg.App.(Controllable); ok {
 		return c.Control(cmd, args)
@@ -168,93 +263,132 @@ func (e *Engine) Utilization() float64 {
 // ResetMeasurement starts a fresh utilization/latency window.
 func (e *Engine) ResetMeasurement() {
 	e.pool.ResetWindows(e.sched.Now())
-	for i := range e.lat {
-		e.lat[i] = e.lat[i][:0]
+	for _, sh := range e.shards {
+		sh.resetLatency()
 	}
 }
 
 // LatencyPercentile returns the p-th percentile (0..1) of per-packet
-// processing (service) time for a traffic class, and whether samples
-// exist. Queueing delay is excluded — it shows up in emission times and
-// therefore in endpoint deadline misses, matching how the paper reports
-// Fig. 15b.
+// processing (service) time for a traffic class across all shards, and
+// whether samples exist. Queueing delay is excluded — it shows up in
+// emission times and therefore in endpoint deadline misses, matching how
+// the paper reports Fig. 15b.
 func (e *Engine) LatencyPercentile(class TrafficClass, p float64) (time.Duration, bool) {
-	s := e.lat[class]
-	if len(s) == 0 {
+	var cp []time.Duration
+	for _, sh := range e.shards {
+		cp = sh.latencySamples(cp, class)
+	}
+	if len(cp) == 0 {
 		return 0, false
 	}
-	cp := append([]time.Duration(nil), s...)
 	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
 	idx := int(p * float64(len(cp)-1))
 	return cp[idx], true
 }
 
-// Ingress is the receive entry point; wire it to a fabric port handler.
-func (e *Engine) Ingress(frame []byte) {
-	e.stats.RxFrames++
-	if e.stats.RxFrames%sweepEvery == 0 {
-		e.cache.Sweep(e.sched.Now())
+// Start launches one worker goroutine per shard: the parallel execution
+// mode, for wall-clock throughput on real cores. Virtual time freezes at
+// the current instant while workers run, which keeps every virtual-time
+// computation deterministic; outputs are emitted synchronously from the
+// workers (SetOutput's function must tolerate concurrent calls). Do not
+// Start an engine that is attached to a live simulated testbed — the
+// fabric expects the deterministic inline mode.
+//
+// Start fails with ErrSerialApp when a multi-shard engine hosts an App
+// that declared itself serial, and with ErrRunning when workers are
+// already running.
+func (e *Engine) Start() error {
+	if e.parallel {
+		return fmt.Errorf("core: %s: %w", e.cfg.Name, ErrRunning)
 	}
-	pkt := &fh.Packet{}
-	if err := pkt.Decode(frame); err != nil {
-		e.stats.ParseError++
-		return
+	if e.serial && len(e.shards) > 1 {
+		return fmt.Errorf("core: %s: %w", e.cfg.Name, ErrSerialApp)
 	}
-	arrival := e.sched.Now()
-	core := e.pool.ForKey(pkt.EAxC().Uint16())
-	start := core.Acquire(arrival)
-	cost := cpu.CostParse
-	if e.cfg.Mode == ModeXDP {
-		cost += cpu.CostKernelDriver
-		if start == arrival && core.BusyUntil < arrival {
-			// Interrupt-driven wakeup from idle.
-			cost += cpu.CostInterruptWake
-		}
+	e.clock = sim.Frozen(e.sched.Now())
+	e.parallel = true
+	e.stopc = make(chan struct{})
+	for _, sh := range e.shards {
+		e.wg.Add(1)
+		go func(sh *shard) {
+			defer e.wg.Done()
+			sh.run(e.stopc)
+		}(sh)
 	}
-
-	class := Classify(pkt)
-	if e.cfg.Mode == ModeXDP {
-		verdict, kCost, emits := e.runKernel(pkt)
-		cost += kCost
-		switch verdict {
-		case VerdictTx:
-			e.stats.KernelTx++
-			fin := core.Charge(start, cost)
-			e.recordLatency(class, cost)
-			e.emitAll(emits, fin)
-			return
-		case VerdictDrop:
-			e.stats.KernelDrop++
-			core.Charge(start, cost)
-			return
-		default:
-			e.stats.Punts++
-			cost += cpu.CostAFXDPHandoff
-		}
-	}
-	if e.cfg.App == nil {
-		// Pure-kernel middlebox with no userspace half: passed packets
-		// continue unmodified (the XDP program returned PASS).
-		fin := core.Charge(start, cost+cpu.CostForward)
-		e.recordLatency(class, cost+cpu.CostForward)
-		e.emitAll([]*fh.Packet{pkt}, fin)
-		return
-	}
-
-	ctx := &Context{eng: e, now: e.sched.Now(), cost: cost}
-	if err := e.cfg.App.Handle(ctx, pkt); err != nil {
-		e.stats.AppErrors++
-		core.Charge(start, ctx.cost)
-		return
-	}
-	fin := core.Charge(start, ctx.cost)
-	e.recordLatency(class, ctx.cost)
-	e.emitAll(ctx.emits, fin)
+	return nil
 }
 
-// runKernel evaluates the rule program. It returns the verdict, the CPU
-// cost of the evaluation, and the packets to transmit on VerdictTx.
-func (e *Engine) runKernel(pkt *fh.Packet) (KernelVerdict, time.Duration, []*fh.Packet) {
+// Stop halts the parallel workers, draining every accepted frame first,
+// and returns the engine to the deterministic inline mode. It is a no-op
+// on an engine that was never started.
+func (e *Engine) Stop() {
+	if !e.parallel {
+		return
+	}
+	close(e.stopc)
+	e.wg.Wait()
+	e.parallel = false
+	e.clock = e.sched
+}
+
+// shardFor steers a frame: packets sharing an eAxC RU port always land on
+// the same shard (per-antenna spreading, §6.4.1), so per-stream FIFO
+// order and per-shard cache affinity hold by construction. Frames with no
+// readable eAxC go to shard 0, whose full decode will count the parse
+// error.
+func (e *Engine) shardFor(frame []byte) *shard {
+	if len(e.shards) == 1 {
+		return e.shards[0]
+	}
+	eaxc, ok := fh.PeekEAxC(frame)
+	if !ok {
+		return e.shards[0]
+	}
+	// The RU port is the low nibble of the eAxC wire form. Keying on it —
+	// rather than the full id — keeps every packet that can share an A3
+	// cache entry (RU-sharing tenants address the same RU port from
+	// different DU ports) on one shard.
+	return e.shards[int(eaxc&0xf)%len(e.shards)]
+}
+
+// Ingress is the receive entry point; wire it to a fabric port handler.
+// Like a NIC RX queue it has a single-producer contract: calls must not
+// overlap (the simulated fabric delivers from the scheduler goroutine,
+// which guarantees this). In deterministic mode the frame is processed
+// inline; under parallel workers it is enqueued on its shard's ring and
+// dropped — counted in Stats.RingDrops — when the ring is full, as a
+// saturated NIC queue would.
+func (e *Engine) Ingress(frame []byte) {
+	sh := e.shardFor(frame)
+	if !sh.in.push(frame) {
+		sh.stats.ringDrops.Add(1)
+		return
+	}
+	if e.parallel {
+		sh.wakeUp()
+	} else {
+		sh.drain(e.cfg.Batch)
+	}
+}
+
+// TryIngress is the backpressure variant of Ingress for producers that
+// prefer retry over drop: it reports whether the frame was accepted and
+// never counts a drop.
+func (e *Engine) TryIngress(frame []byte) bool {
+	sh := e.shardFor(frame)
+	if !sh.in.push(frame) {
+		return false
+	}
+	if e.parallel {
+		sh.wakeUp()
+	} else {
+		sh.drain(e.cfg.Batch)
+	}
+	return true
+}
+
+// runKernel evaluates the rule program on sh. It returns the verdict, the
+// CPU cost of the evaluation, and the packets to transmit on VerdictTx.
+func (e *Engine) runKernel(sh *shard, pkt *fh.Packet) (KernelVerdict, time.Duration, []*fh.Packet) {
 	t, err := pkt.Timing()
 	if err != nil {
 		return VerdictDrop, cpu.CostKernelRule, nil
@@ -273,8 +407,8 @@ func (e *Engine) runKernel(pkt *fh.Packet) (KernelVerdict, time.Duration, []*fh.
 			if t.Direction == 0 {
 				dir = "ul"
 			}
-			*e.Counter("prb.seen." + dir) += uint64(seen)
-			*e.Counter("prb.utilized." + dir) += uint64(used)
+			sh.counter("prb.seen."+dir).Add(sh.id, uint64(seen))
+			sh.counter("prb.utilized."+dir).Add(sh.id, uint64(used))
 		}
 		switch r.Verdict {
 		case VerdictDrop:
@@ -299,22 +433,4 @@ func (e *Engine) runKernel(pkt *fh.Packet) (KernelVerdict, time.Duration, []*fh.
 		}
 	}
 	return VerdictPass, cost, nil
-}
-
-func (e *Engine) emitAll(pkts []*fh.Packet, at sim.Time) {
-	for _, p := range pkts {
-		frame := p.Frame
-		e.stats.TxFrames++
-		e.sched.At(at, func() {
-			if e.out != nil {
-				e.out(frame)
-			}
-		})
-	}
-}
-
-func (e *Engine) recordLatency(class TrafficClass, d time.Duration) {
-	if len(e.lat[class]) < 1<<16 { // bound memory on long runs
-		e.lat[class] = append(e.lat[class], d)
-	}
 }

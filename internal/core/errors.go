@@ -1,0 +1,31 @@
+package core
+
+import "errors"
+
+// Typed construction and lifecycle errors. NewEngine and Start wrap these
+// with the middlebox name; match them with errors.Is.
+var (
+	// ErrNoApp rejects a DPDK engine with no userspace handler (the
+	// poll-mode datapath has nowhere else to send packets).
+	ErrNoApp = errors.New("engine requires an App")
+	// ErrNoKernel rejects an XDP engine with no rule program to load.
+	ErrNoKernel = errors.New("XDP engine requires a kernel program")
+	// ErrKernelUnverified rejects a rule program that failed verification,
+	// the way the eBPF verifier refuses to load an unbounded program.
+	ErrKernelUnverified = errors.New("kernel program failed verification")
+	// ErrBadCores rejects a core count outside [0, MaxCores] (0 defaults
+	// to one core).
+	ErrBadCores = errors.New("core count out of range")
+	// ErrBadCarrierPRBs rejects a missing carrier width; payload access
+	// cannot resolve "all PRBs" encodings without it.
+	ErrBadCarrierPRBs = errors.New("CarrierPRBs must be positive")
+	// ErrBadMode rejects an unknown datapath mode.
+	ErrBadMode = errors.New("unknown datapath mode")
+	// ErrBadRing rejects a ring capacity above MaxRingSize.
+	ErrBadRing = errors.New("ring size out of range")
+	// ErrSerialApp refuses to start parallel workers for an App that
+	// declared itself serial (see SerialApp) on a multi-shard engine.
+	ErrSerialApp = errors.New("serial app cannot run parallel workers over multiple shards")
+	// ErrRunning rejects Start on an engine whose workers already run.
+	ErrRunning = errors.New("engine workers already running")
+)

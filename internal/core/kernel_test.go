@@ -101,8 +101,8 @@ func TestKernelTxPortRemap(t *testing.T) {
 	if p.EAxC().RUPort != 1 {
 		t.Fatalf("port = %d, want 1", p.EAxC().RUPort)
 	}
-	if e.Stats().KernelTx != 1 || e.Stats().Punts != 0 {
-		t.Fatalf("stats = %+v", e.Stats())
+	if e.Snapshot().KernelTx != 1 || e.Snapshot().Punts != 0 {
+		t.Fatalf("stats = %+v", e.Snapshot())
 	}
 }
 
@@ -120,8 +120,8 @@ func TestKernelNoMatchPunts(t *testing.T) {
 	if app.handled != 1 {
 		t.Fatal("packet did not reach userspace")
 	}
-	if e.Stats().Punts != 1 {
-		t.Fatalf("stats = %+v", e.Stats())
+	if e.Snapshot().Punts != 1 {
+		t.Fatalf("stats = %+v", e.Snapshot())
 	}
 	if len(*out) != 1 {
 		t.Fatalf("out = %d", len(*out))
@@ -137,8 +137,8 @@ func TestKernelDrop(t *testing.T) {
 	b := fh.NewBuilder(duMAC, ruMAC, 6)
 	e.Ingress(cplaneFrame(t, b, oran.Downlink, 0))
 	s.Run()
-	if len(*out) != 0 || e.Stats().KernelDrop != 1 {
-		t.Fatalf("out=%d stats=%+v", len(*out), e.Stats())
+	if len(*out) != 0 || e.Snapshot().KernelDrop != 1 {
+		t.Fatalf("out=%d stats=%+v", len(*out), e.Snapshot())
 	}
 }
 
@@ -185,10 +185,10 @@ func TestKernelExponentStats(t *testing.T) {
 	// Zero-ish samples — idle.
 	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 3, 1))
 	s.Run()
-	if got := *e.Counter("prb.seen.dl"); got != 8 {
+	if got := e.CounterValue("prb.seen.dl"); got != 8 {
 		t.Fatalf("seen = %d", got)
 	}
-	if got := *e.Counter("prb.utilized.dl"); got != 4 {
+	if got := e.CounterValue("prb.utilized.dl"); got != 4 {
 		t.Fatalf("utilized = %d", got)
 	}
 }
@@ -208,8 +208,8 @@ func TestKernelTimeWindowMatch(t *testing.T) {
 	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 3, 50)) // symbol 3: in window
 	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 7, 50)) // symbol 7: out
 	s.Run()
-	if e.Stats().KernelDrop != 1 {
-		t.Fatalf("drops = %d", e.Stats().KernelDrop)
+	if e.Snapshot().KernelDrop != 1 {
+		t.Fatalf("drops = %d", e.Snapshot().KernelDrop)
 	}
 	if len(*out) != 1 {
 		t.Fatalf("out = %d", len(*out))
@@ -251,7 +251,7 @@ func TestFilterIndexMatch(t *testing.T) {
 	e.Ingress(b.CPlane(ecpri.PcID{}, prach))
 	e.Ingress(cplaneFrame(t, b, oran.Downlink, 0)) // filterIndex 0: passes
 	s.Run()
-	if e.Stats().KernelDrop != 1 || len(*out) != 1 {
-		t.Fatalf("drops=%d out=%d", e.Stats().KernelDrop, len(*out))
+	if e.Snapshot().KernelDrop != 1 || len(*out) != 1 {
+		t.Fatalf("drops=%d out=%d", e.Snapshot().KernelDrop, len(*out))
 	}
 }

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ranbooster/internal/cpu"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/sim"
+	"ranbooster/internal/telemetry"
+)
+
+// The sharded datapath (§5, §6.4.1: "each CPU core handles only a subset
+// of the RU antennas"): the engine owns one shard per configured core,
+// and every frame is steered to the shard owning its eAxC RU port. A
+// shard has its own ingress ring, CPU core, A3 cache, latency window and
+// counters, so distinct antenna-carrier streams process in parallel with
+// no shared mutable state while packets of one stream stay in FIFO order.
+//
+// Two execution modes share the shard code path:
+//
+//   - deterministic (the default): Ingress drains the shard's ring inline
+//     on the caller's goroutine. Under the discrete-event scheduler this
+//     reproduces the seed semantics exactly — virtual-time parallelism
+//     across cores, bit-identical runs.
+//   - parallel (Start/Stop): one worker goroutine per shard drains its
+//     ring in batches of up to Config.Batch frames per wakeup, for real
+//     wall-clock parallelism. Virtual time is frozen while workers run.
+
+// ring is a bounded single-producer/single-consumer frame queue — the
+// software equivalent of a per-core NIC RX descriptor ring. push is safe
+// only from one producer goroutine, pop only from one consumer; the two
+// may run concurrently.
+type ring struct {
+	buf  [][]byte
+	mask uint64
+
+	head atomic.Uint64 // consumer cursor: next slot to pop
+	_    [56]byte      // keep the cursors on separate cache lines
+	tail atomic.Uint64 // producer cursor: next slot to fill
+	_    [56]byte
+}
+
+// newRing allocates a ring with capacity rounded up to a power of two.
+func newRing(size int) *ring {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &ring{buf: make([][]byte, n), mask: uint64(n - 1)}
+}
+
+// push enqueues a frame, reporting false when the ring is full.
+func (r *ring) push(frame []byte) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = frame
+	r.tail.Store(t + 1)
+	return true
+}
+
+// pop dequeues the oldest frame, reporting false when the ring is empty.
+func (r *ring) pop() ([]byte, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return nil, false
+	}
+	f := r.buf[h&r.mask]
+	r.buf[h&r.mask] = nil
+	r.head.Store(h + 1)
+	return f, true
+}
+
+// queued reports how many frames are waiting (approximate under
+// concurrent access).
+func (r *ring) queued() int { return int(r.tail.Load() - r.head.Load()) }
+
+// shardStats is the atomic mirror of Stats one shard accumulates. The
+// owning worker is the only writer; Snapshot merges all shards.
+type shardStats struct {
+	rxFrames, txFrames, parseError atomic.Uint64
+	kernelTx, kernelDrop, punts    atomic.Uint64
+	appDrops, appErrors, ringDrops atomic.Uint64
+}
+
+func (s *shardStats) snapshot() Stats {
+	return Stats{
+		RxFrames:   s.rxFrames.Load(),
+		TxFrames:   s.txFrames.Load(),
+		ParseError: s.parseError.Load(),
+		KernelTx:   s.kernelTx.Load(),
+		KernelDrop: s.kernelDrop.Load(),
+		Punts:      s.punts.Load(),
+		AppDrops:   s.appDrops.Load(),
+		AppErrors:  s.appErrors.Load(),
+		RingDrops:  s.ringDrops.Load(),
+	}
+}
+
+// shard is one worker's slice of the datapath.
+type shard struct {
+	id   int
+	eng  *Engine
+	core *cpu.Core
+	// cache is the shard's private A3 store. Keys embed the eAxC RU port
+	// the shard is selected by, so every packet touching a key is
+	// processed by the key's owning shard — cache access never locks.
+	cache *Cache
+	in    *ring
+	// counters caches resolved handles into the engine's striped store;
+	// the map is shard-owned, so the hot path pays no lock after the
+	// first use of a name.
+	counters map[string]*telemetry.Counter
+
+	stats shardStats
+	latMu sync.Mutex
+	lat   [classCount][]time.Duration
+
+	wake chan struct{}
+}
+
+func newShard(e *Engine, id int) *shard {
+	return &shard{
+		id:       id,
+		eng:      e,
+		core:     e.pool.Core(id),
+		cache:    NewCache(e.cfg.CacheMaxAge),
+		in:       newRing(e.cfg.RingSize),
+		counters: make(map[string]*telemetry.Counter),
+		wake:     make(chan struct{}, 1),
+	}
+}
+
+// now reads the shard's time source: the scheduler clock in deterministic
+// mode, a frozen instant while parallel workers run.
+func (sh *shard) now() sim.Time { return sh.eng.clock.Now() }
+
+func (sh *shard) counter(name string) *telemetry.Counter {
+	c := sh.counters[name]
+	if c == nil {
+		c = sh.eng.counters.Get(name)
+		sh.counters[name] = c
+	}
+	return c
+}
+
+// wakeUp nudges the shard's worker; a single buffered token makes the
+// notification lossless without blocking the producer.
+func (sh *shard) wakeUp() {
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drain processes up to max queued frames and reports how many ran.
+func (sh *shard) drain(max int) int {
+	n := 0
+	for n < max {
+		frame, ok := sh.in.pop()
+		if !ok {
+			break
+		}
+		sh.process(frame)
+		n++
+	}
+	return n
+}
+
+// run is the parallel-mode worker loop: batched dequeue to amortize the
+// wakeup, block when idle, final-drain on stop so no accepted frame is
+// lost.
+func (sh *shard) run(stop <-chan struct{}) {
+	batch := sh.eng.cfg.Batch
+	for {
+		if sh.drain(batch) > 0 {
+			continue
+		}
+		select {
+		case <-sh.wake:
+		case <-stop:
+			for sh.drain(batch) > 0 {
+			}
+			return
+		}
+	}
+}
+
+// process runs one frame through the shard's datapath: decode, optional
+// kernel program, userspace App.
+func (sh *shard) process(frame []byte) {
+	e := sh.eng
+	if sh.stats.rxFrames.Add(1)%sweepEvery == 0 {
+		sh.cache.Sweep(sh.now())
+	}
+	pkt := &fh.Packet{}
+	if err := pkt.Decode(frame); err != nil {
+		sh.stats.parseError.Add(1)
+		return
+	}
+	arrival := sh.now()
+	start := sh.core.Acquire(arrival)
+	cost := cpu.CostParse
+	if e.cfg.Mode == ModeXDP {
+		cost += cpu.CostKernelDriver
+		if start == arrival && sh.core.BusyUntil() < arrival {
+			// Interrupt-driven wakeup from idle.
+			cost += cpu.CostInterruptWake
+		}
+	}
+
+	class := Classify(pkt)
+	if e.cfg.Mode == ModeXDP {
+		verdict, kCost, emits := e.runKernel(sh, pkt)
+		cost += kCost
+		switch verdict {
+		case VerdictTx:
+			sh.stats.kernelTx.Add(1)
+			fin := sh.core.Charge(start, cost)
+			sh.recordLatency(class, cost)
+			sh.emitAll(emits, fin)
+			return
+		case VerdictDrop:
+			sh.stats.kernelDrop.Add(1)
+			sh.core.Charge(start, cost)
+			return
+		default:
+			sh.stats.punts.Add(1)
+			cost += cpu.CostAFXDPHandoff
+		}
+	}
+	if e.cfg.App == nil {
+		// Pure-kernel middlebox with no userspace half: passed packets
+		// continue unmodified (the XDP program returned PASS).
+		fin := sh.core.Charge(start, cost+cpu.CostForward)
+		sh.recordLatency(class, cost+cpu.CostForward)
+		sh.emitAll([]*fh.Packet{pkt}, fin)
+		return
+	}
+
+	ctx := &Context{sh: sh, now: sh.now(), cost: cost}
+	if err := e.cfg.App.Handle(ctx, pkt); err != nil {
+		sh.stats.appErrors.Add(1)
+		sh.core.Charge(start, ctx.cost)
+		return
+	}
+	fin := sh.core.Charge(start, ctx.cost)
+	sh.recordLatency(class, ctx.cost)
+	sh.emitAll(ctx.emits, fin)
+}
+
+// emitAll hands processed packets to the egress. Deterministically they
+// are scheduled at their virtual finish time; under parallel workers the
+// output function is invoked directly (and must be safe for concurrent
+// use).
+func (sh *shard) emitAll(pkts []*fh.Packet, at sim.Time) {
+	e := sh.eng
+	for _, p := range pkts {
+		frame := p.Frame
+		sh.stats.txFrames.Add(1)
+		if e.parallel {
+			if e.out != nil {
+				e.out(frame)
+			}
+			continue
+		}
+		e.sched.At(at, func() {
+			if e.out != nil {
+				e.out(frame)
+			}
+		})
+	}
+}
+
+func (sh *shard) recordLatency(class TrafficClass, d time.Duration) {
+	sh.latMu.Lock()
+	if len(sh.lat[class]) < 1<<16 { // bound memory on long runs
+		sh.lat[class] = append(sh.lat[class], d)
+	}
+	sh.latMu.Unlock()
+}
+
+// latencySamples appends the shard's samples for a class to dst.
+func (sh *shard) latencySamples(dst []time.Duration, class TrafficClass) []time.Duration {
+	sh.latMu.Lock()
+	dst = append(dst, sh.lat[class]...)
+	sh.latMu.Unlock()
+	return dst
+}
+
+func (sh *shard) resetLatency() {
+	sh.latMu.Lock()
+	for i := range sh.lat {
+		sh.lat[i] = sh.lat[i][:0]
+	}
+	sh.latMu.Unlock()
+}

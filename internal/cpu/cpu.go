@@ -6,6 +6,7 @@
 package cpu
 
 import (
+	"sync/atomic"
 	"time"
 
 	"ranbooster/internal/sim"
@@ -97,29 +98,35 @@ func DecompressCost(nPRB int) time.Duration {
 	return psToDuration(nPRB * psIQPerPRBPerStream)
 }
 
-// Core tracks one CPU core's occupancy on the simulation clock.
+// Core tracks one CPU core's occupancy on the simulation clock. Each
+// datapath worker (shard) owns exactly one Core and is the only writer;
+// the mutable state is atomic so utilization can be read from outside the
+// worker (telemetry, Pool.MaxUtilization) without racing it.
 type Core struct {
 	ID int
-	// BusyUntil is when the core next becomes free.
-	BusyUntil sim.Time
 
-	busyAccum   time.Duration
-	windowStart sim.Time
+	busyUntil   atomic.Int64 // sim.Time when the core next becomes free
+	busyAccum   atomic.Int64 // time.Duration busy since the window start
+	windowStart atomic.Int64 // sim.Time
 }
+
+// BusyUntil is when the core next becomes free.
+func (c *Core) BusyUntil() sim.Time { return sim.Time(c.busyUntil.Load()) }
 
 // Acquire returns the time at which work arriving now can start.
 func (c *Core) Acquire(now sim.Time) sim.Time {
-	if c.BusyUntil > now {
-		return c.BusyUntil
+	if bu := sim.Time(c.busyUntil.Load()); bu > now {
+		return bu
 	}
 	return now
 }
 
 // Charge occupies the core from start for d and returns the finish time.
+// Only the owning worker may call Charge.
 func (c *Core) Charge(start sim.Time, d time.Duration) sim.Time {
 	fin := start.Add(d)
-	c.BusyUntil = fin
-	c.busyAccum += d
+	c.busyUntil.Store(int64(fin))
+	c.busyAccum.Add(int64(d))
 	return fin
 }
 
@@ -129,11 +136,11 @@ func (c *Core) Utilization(now sim.Time, poll bool) float64 {
 	if poll {
 		return 1
 	}
-	w := now.Sub(c.windowStart)
+	w := now.Sub(sim.Time(c.windowStart.Load()))
 	if w <= 0 {
 		return 0
 	}
-	u := float64(c.busyAccum) / float64(w)
+	u := float64(c.busyAccum.Load()) / float64(w)
 	if u > 1 {
 		u = 1
 	}
@@ -142,8 +149,8 @@ func (c *Core) Utilization(now sim.Time, poll bool) float64 {
 
 // ResetWindow starts a fresh utilization measurement window.
 func (c *Core) ResetWindow(now sim.Time) {
-	c.windowStart = now
-	c.busyAccum = 0
+	c.windowStart.Store(int64(now))
+	c.busyAccum.Store(0)
 }
 
 // Pool is a set of cores a datapath spreads work over (hashing by eAxC,
@@ -165,6 +172,13 @@ func NewPool(n int) *Pool {
 func (p *Pool) ForKey(key uint16) *Core {
 	return p.Cores[int(key)%len(p.Cores)]
 }
+
+// Core returns core i — the per-worker accounting handle a datapath shard
+// owns for its lifetime.
+func (p *Pool) Core(i int) *Core { return p.Cores[i] }
+
+// Len reports the number of cores in the pool.
+func (p *Pool) Len() int { return len(p.Cores) }
 
 // MaxUtilization returns the highest per-core utilization in the pool.
 func (p *Pool) MaxUtilization(now sim.Time, poll bool) float64 {

@@ -184,7 +184,7 @@ func AblationXDPPlacement() *Table {
 		tb.Settle()
 		dep.Engine.ResetMeasurement()
 		tb.Run(200 * time.Millisecond)
-		st := dep.Engine.Stats()
+		st := dep.Engine.Snapshot()
 		t.AddRow(label, pctCell(dep.Engine.Utilization()), pctCell(ratio(st.Punts, st.RxFrames)))
 	}
 	run(true, "kernel rules (Table 1 placement)")
@@ -199,7 +199,7 @@ func AblationXDPPlacement() *Table {
 		tb.Settle()
 		dep.ResetMeasurement()
 		tb.Run(200 * time.Millisecond)
-		st := dep.Stats()
+		st := dep.Snapshot()
 		t.AddRow("all-userspace (AF_XDP punt)", pctCell(dep.Utilization()), pctCell(ratio(st.Punts, st.RxFrames)))
 	}
 	t.Note("same packets, same logic: the in-kernel placement avoids the per-packet AF_XDP handoff")

@@ -118,14 +118,14 @@ func Table1() *Table {
 			d.addUE(true)
 			d.tb.Settle()
 			d.tb.Run(100 * time.Millisecond)
-			return d.engine.Stats()
+			return d.engine.Snapshot()
 		}},
 		{"dMIMO", "kernel", func() core.Stats {
 			d := deployDMIMO40(core.ModeXDP, 162)
 			d.addUE(true)
 			d.tb.Settle()
 			d.tb.Run(100 * time.Millisecond)
-			return d.engine.Stats()
+			return d.engine.Snapshot()
 		}},
 		{"RU sharing", "userspace", func() core.Stats {
 			tb := testbed.New(163)
@@ -144,7 +144,7 @@ func Table1() *Table {
 			u.OfferedDLbps = 300e6
 			tb.Settle()
 			tb.Run(100 * time.Millisecond)
-			return dep.Engine.Stats()
+			return dep.Engine.Snapshot()
 		}},
 		{"PRB monitoring", "kernel", func() core.Stats {
 			tb := testbed.New(164)
@@ -157,7 +157,7 @@ func Table1() *Table {
 			u.OfferedDLbps = 300e6
 			tb.Settle()
 			tb.Run(100 * time.Millisecond)
-			return dep.Engine.Stats()
+			return dep.Engine.Snapshot()
 		}},
 	}
 	for _, p := range probes {

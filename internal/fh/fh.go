@@ -11,6 +11,7 @@
 package fh
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -117,6 +118,32 @@ func (p *Packet) CPlane(msg *oran.CPlaneMsg, carrierPRBs int) error {
 
 // EAxC returns the extended antenna-carrier identifier of the packet.
 func (p *Packet) EAxC() ecpri.PcID { return p.Ecpri.PcID }
+
+// PeekEAxC extracts the eCPRI eAxC identifier from a raw frame without a
+// full decode — the RSS-style peek a NIC performs to spread flows across
+// receive queues. It reads only the fixed-offset Ethernet type (skipping
+// one optional 802.1Q tag) and the PC_ID field of the eCPRI common
+// header. ok is false when the frame is too short or not eCPRI; such
+// frames carry no flow identity and may be steered anywhere.
+func PeekEAxC(frame []byte) (uint16, bool) {
+	if len(frame) < eth.HeaderLen {
+		return 0, false
+	}
+	off := eth.HeaderLen
+	et := binary.BigEndian.Uint16(frame[12:14])
+	if et == eth.TypeVLAN {
+		if len(frame) < eth.VLANHeaderLen {
+			return 0, false
+		}
+		off = eth.VLANHeaderLen
+		et = binary.BigEndian.Uint16(frame[16:18])
+	}
+	// PC_ID occupies bytes 4-5 of the 8-byte eCPRI common header.
+	if et != eth.TypeECPRI || len(frame) < off+ecpri.HeaderLen {
+		return 0, false
+	}
+	return binary.BigEndian.Uint16(frame[off+4 : off+6]), true
+}
 
 // Key identifies the (symbol, eAxC, direction) a packet belongs to — the
 // cache key of RANBooster's A3 action: the DAS middlebox collects all RU

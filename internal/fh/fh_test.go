@@ -245,3 +245,37 @@ func BenchmarkDecodePacket(b *testing.B) {
 		}
 	}
 }
+
+func TestPeekEAxC(t *testing.T) {
+	pc := ecpri.PcID{DUPort: 2, BandSector: 1, CC: 3, RUPort: 5}
+	tagged := NewBuilder(duMAC, ruMAC, 6).UPlane(pc, sampleUPlane())
+	untagged := NewBuilder(duMAC, ruMAC, -1).UPlane(pc, sampleUPlane())
+	for name, frame := range map[string][]byte{"vlan": tagged, "untagged": untagged} {
+		got, ok := PeekEAxC(frame)
+		if !ok {
+			t.Fatalf("%s: PeekEAxC failed", name)
+		}
+		if got != pc.Uint16() {
+			t.Fatalf("%s: PeekEAxC = %#04x, want %#04x", name, got, pc.Uint16())
+		}
+		// The peek must agree with the full decode.
+		var p Packet
+		if err := p.Decode(frame); err != nil {
+			t.Fatal(err)
+		}
+		if p.EAxC().Uint16() != got {
+			t.Fatalf("%s: peek %#04x disagrees with decode %#04x", name, got, p.EAxC().Uint16())
+		}
+	}
+	if _, ok := PeekEAxC([]byte{1, 2, 3}); ok {
+		t.Fatal("short frame peeked")
+	}
+	notEcpri := append([]byte{}, untagged...)
+	notEcpri[12], notEcpri[13] = 0x08, 0x00 // IPv4 ethertype
+	if _, ok := PeekEAxC(notEcpri); ok {
+		t.Fatal("non-eCPRI frame peeked")
+	}
+	if _, ok := PeekEAxC(tagged[:16]); ok {
+		t.Fatal("truncated VLAN frame peeked")
+	}
+}

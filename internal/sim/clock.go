@@ -135,6 +135,26 @@ func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
 // Pending reports the number of queued events.
 func (s *Scheduler) Pending() int { return s.events.Len() }
 
+// Clock is a read-only view of virtual time. *Scheduler implements it for
+// code running on the scheduler goroutine. Code running OFF the scheduler
+// goroutine (real worker threads, as in the parallel datapath engine) must
+// not read the advancing scheduler clock — that would race with event
+// execution and make runs irreproducible. Such code receives a Frozen
+// clock instead: virtual time stands still while wall-clock workers run,
+// which keeps every virtual-time computation deterministic.
+type Clock interface {
+	// Now returns the current virtual time.
+	Now() Time
+}
+
+// Frozen returns a Clock pinned at t — the deterministic time source for
+// worker goroutines detached from the scheduler.
+func Frozen(t Time) Clock { return frozenClock(t) }
+
+type frozenClock Time
+
+func (c frozenClock) Now() Time { return Time(c) }
+
 // Ticker invokes fn every period until the returned stop function is called.
 // The first invocation happens one period from now.
 func (s *Scheduler) Ticker(period Duration, fn func()) (stop func()) {

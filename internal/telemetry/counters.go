@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counters is a store of named, shard-striped counters — the reproduction
+// of the per-CPU BPF maps a RANBooster kernel program shares with
+// userspace. Each counter holds one cache-line-padded cell per stripe
+// (datapath shard); writers touch only their own stripe, so concurrent
+// workers never contend or false-share, and readers merge the stripes
+// into a consistent total. All methods are safe for concurrent use.
+type Counters struct {
+	stripes int
+
+	mu sync.RWMutex
+	m  map[string]*Counter
+}
+
+// NewCounters returns an empty store with the given stripe count (one per
+// datapath shard; values below 1 are raised to 1).
+func NewCounters(stripes int) *Counters {
+	if stripes < 1 {
+		stripes = 1
+	}
+	return &Counters{stripes: stripes, m: make(map[string]*Counter)}
+}
+
+// Stripes reports the per-counter stripe count.
+func (cs *Counters) Stripes() int { return cs.stripes }
+
+// Get returns the named counter, creating it if needed. The returned
+// handle can be cached by a shard to avoid the map lookup on the hot path.
+func (cs *Counters) Get(name string) *Counter {
+	cs.mu.RLock()
+	c := cs.m[name]
+	cs.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if c = cs.m[name]; c == nil {
+		c = &Counter{name: name, cells: make([]counterCell, cs.stripes)}
+		cs.m[name] = c
+	}
+	return c
+}
+
+// Value returns the merged total of the named counter, 0 if it was never
+// written.
+func (cs *Counters) Value(name string) uint64 {
+	cs.mu.RLock()
+	c := cs.m[name]
+	cs.mu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	return c.Value()
+}
+
+// Names returns the existing counter names, sorted.
+func (cs *Counters) Names() []string {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	out := make([]string, 0, len(cs.m))
+	for k := range cs.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// counterCell pads each stripe to its own cache line.
+type counterCell struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is one named striped counter.
+type Counter struct {
+	name  string
+	cells []counterCell
+}
+
+// Name returns the counter's name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the given stripe by d. The stripe index must be the
+// caller's own shard id (out-of-range indexes fold onto stripe 0 rather
+// than corrupting a neighbour).
+func (c *Counter) Add(stripe int, d uint64) {
+	if stripe < 0 || stripe >= len(c.cells) {
+		stripe = 0
+	}
+	c.cells[stripe].v.Add(d)
+}
+
+// Value returns the merged total across all stripes.
+func (c *Counter) Value() uint64 {
+	var sum uint64
+	for i := range c.cells {
+		sum += c.cells[i].v.Load()
+	}
+	return sum
+}

@@ -89,3 +89,56 @@ func TestConcurrentPublish(t *testing.T) {
 		t.Fatalf("recorded %d", got)
 	}
 }
+
+func TestCountersStriped(t *testing.T) {
+	cs := NewCounters(4)
+	if cs.Stripes() != 4 {
+		t.Fatalf("stripes = %d, want 4", cs.Stripes())
+	}
+	c := cs.Get("rx")
+	if c != cs.Get("rx") {
+		t.Fatal("Get returned distinct handles for one name")
+	}
+	for stripe := 0; stripe < 4; stripe++ {
+		c.Add(stripe, uint64(stripe+1))
+	}
+	if got := c.Value(); got != 1+2+3+4 {
+		t.Fatalf("merged value = %d, want 10", got)
+	}
+	if got := cs.Value("rx"); got != 10 {
+		t.Fatalf("store value = %d, want 10", got)
+	}
+	if got := cs.Value("missing"); got != 0 {
+		t.Fatalf("missing counter = %d, want 0", got)
+	}
+	c.Add(99, 5) // out of range folds to stripe 0, never panics
+	if got := c.Value(); got != 15 {
+		t.Fatalf("after fold = %d, want 15", got)
+	}
+	cs.Get("a")
+	names := cs.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "rx" {
+		t.Fatalf("names = %v, want [a rx]", names)
+	}
+	if c.Name() != "rx" {
+		t.Fatalf("name = %q", c.Name())
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	cs := NewCounters(8)
+	var wg sync.WaitGroup
+	for stripe := 0; stripe < 8; stripe++ {
+		wg.Add(1)
+		go func(stripe int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				cs.Get("shared").Add(stripe, 1)
+			}
+		}(stripe)
+	}
+	wg.Wait()
+	if got := cs.Value("shared"); got != 8000 {
+		t.Fatalf("value = %d, want 8000", got)
+	}
+}

@@ -120,7 +120,7 @@ func TestDMIMOKernelXDP(t *testing.T) {
 	}
 	tb.Measure(300 * time.Millisecond)
 	dl := ue.ThroughputDLbps(tb.Sched.Now())
-	st := dep.Engine.Stats()
+	st := dep.Engine.Snapshot()
 	t.Logf("XDP: DL %.1f Mbps, kernelTx %d, punts %d", Mbps(dl), st.KernelTx, st.Punts)
 	if dl < 790e6 {
 		t.Errorf("XDP dMIMO DL = %.1f Mbps, want ~898", Mbps(dl))

@@ -95,11 +95,11 @@ func TestPRBMonitoringXDPKernel(t *testing.T) {
 	if !ue.Attached() {
 		t.Fatal("UE did not attach through the XDP monitor")
 	}
-	beforeUtil := *dep.Engine.Counter("prb.utilized.dl")
+	beforeUtil := dep.Engine.CounterValue("prb.utilized.dl")
 	before := dep.DU.Stats()
 	tb.Measure(300 * time.Millisecond)
 	after := dep.DU.Stats()
-	utilized := *dep.Engine.Counter("prb.utilized.dl") - beforeUtil
+	utilized := dep.Engine.CounterValue("prb.utilized.dl") - beforeUtil
 
 	truth := float64(after.DLPRBSymSched - before.DLPRBSymSched)
 	est := float64(utilized)
@@ -111,7 +111,7 @@ func TestPRBMonitoringXDPKernel(t *testing.T) {
 	if est < truth*0.95 || est > truth*1.12 {
 		t.Errorf("kernel estimate %.0f vs truth %.0f out of band", est, truth)
 	}
-	if dep.Engine.Stats().Punts != 0 {
-		t.Errorf("pure-kernel monitor punted %d packets", dep.Engine.Stats().Punts)
+	if dep.Engine.Snapshot().Punts != 0 {
+		t.Errorf("pure-kernel monitor punted %d packets", dep.Engine.Snapshot().Punts)
 	}
 }

@@ -178,6 +178,12 @@ func (tb *TB) AddDU(name string, opts DUOpts) (*du.DU, eth.MAC) {
 // of Fig. 3, where endpoints address the middlebox as their peer). The
 // returned port carries the middlebox's ingress/egress byte counters
 // (Fig. 15a's network-load measurement).
+//
+// Testbed engines run in the engine's deterministic mode: the fabric
+// delivers frames from the scheduler goroutine and each is processed
+// inline at its virtual arrival time, so runs are bit-identical across
+// any Cores setting. Do not Start parallel workers on an attached
+// engine — that mode is for wall-clock throughput outside a simulation.
 func (tb *TB) AddEngine(e *core.Engine, mac eth.MAC) *fabric.Port {
 	port := tb.Switch.AddPort(e.Name(), func(frame []byte) {
 		if len(frame) >= 6 {

@@ -30,6 +30,11 @@
 //	})
 //	tb.AddEngine(eng, tb.NewMAC())
 //
+// After a run, read the engine's merged datapath counters with
+// eng.Snapshot(); set EngineConfig.Cores > 1 to shard the datapath by
+// antenna-carrier stream, and eng.Start()/eng.Stop() to process on real
+// parallel worker goroutines outside a simulated fabric.
+//
 // See examples/ for complete scenarios.
 package ranbooster
 
@@ -54,16 +59,25 @@ import (
 // Middlebox framework (§3).
 type (
 	// App is the middlebox template: user code handling each C/U-plane
-	// packet through the Context's A1-A4 actions.
+	// packet through the Context's A1-A4 actions. See core.App for the
+	// concurrency contract Handle must meet on multi-core engines.
 	App = core.App
+	// SerialApp marks an App whose cross-stream state is not shard-safe;
+	// such an App refuses parallel workers over more than one shard.
+	SerialApp = core.SerialApp
 	// Context exposes the four RANBooster actions plus telemetry.
 	Context = core.Context
 	// Packet is one fronthaul frame with decoded protocol views.
 	Packet = fh.Packet
-	// Engine runs an App over a fronthaul attachment point.
+	// Engine runs an App over a fronthaul attachment point; its datapath
+	// is sharded across EngineConfig.Cores workers by eAxC RU port.
 	Engine = core.Engine
-	// EngineConfig configures an Engine.
+	// EngineConfig configures an Engine. It is consumed by NewEngine;
+	// mutating it afterwards is deprecated and unsupported.
 	EngineConfig = core.Config
+	// EngineStats is the merged datapath counter snapshot returned by
+	// Engine.Snapshot; combine snapshots with its Add method.
+	EngineStats = core.Stats
 	// Mode selects the datapath (DPDK-like poll mode or XDP-like).
 	Mode = core.Mode
 	// KernelProgram is the verified in-kernel rule program of an XDP
@@ -73,6 +87,24 @@ type (
 	KernelRule = core.Rule
 	// MAC is an Ethernet address.
 	MAC = eth.MAC
+)
+
+// Engine construction and lifecycle errors, re-exported for errors.Is
+// matching against NewEngine and Engine.Start failures.
+var (
+	// ErrNoApp rejects a DPDK engine with no userspace handler.
+	ErrNoApp = core.ErrNoApp
+	// ErrNoKernel rejects an XDP engine with no rule program.
+	ErrNoKernel = core.ErrNoKernel
+	// ErrKernelUnverified rejects a rule program that failed verification.
+	ErrKernelUnverified = core.ErrKernelUnverified
+	// ErrBadCores rejects a core count outside the supported range.
+	ErrBadCores = core.ErrBadCores
+	// ErrSerialApp refuses parallel workers for a SerialApp on a
+	// multi-shard engine.
+	ErrSerialApp = core.ErrSerialApp
+	// ErrRunning rejects Start on an already-started engine.
+	ErrRunning = core.ErrRunning
 )
 
 // Datapath modes.

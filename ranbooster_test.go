@@ -1,11 +1,16 @@
 package ranbooster_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"ranbooster"
+	"ranbooster/internal/bfp"
+	"ranbooster/internal/ecpri"
 	"ranbooster/internal/fh"
+	"ranbooster/internal/iq"
+	"ranbooster/internal/oran"
 )
 
 // passthrough is a minimal custom middlebox built against the public API:
@@ -99,4 +104,47 @@ func TestCheapExperimentsRun(t *testing.T) {
 			t.Errorf("experiment %s produced an empty table", id)
 		}
 	}
+}
+
+// exampleApp is the minimal middlebox of the package documentation.
+type exampleApp struct{}
+
+func (exampleApp) Name() string { return "my-middlebox" }
+func (exampleApp) Handle(ctx *ranbooster.Context, pkt *ranbooster.Packet) error {
+	ctx.Forward(pkt) // A1; see also Replicate (A2), Cache (A3), ModifyUPlane (A4)
+	return nil
+}
+
+// exampleFrame synthesizes one downlink U-plane fronthaul frame.
+func exampleFrame() []byte {
+	payload, _ := bfp.CompressGrid(nil, iq.NewGrid(4), ranbooster.BFP9())
+	msg := &oran.UPlaneMsg{
+		Timing:   oran.Timing{Direction: oran.Downlink, FrameID: 1},
+		Sections: []oran.USection{{NumPRB: 4, Comp: ranbooster.BFP9(), Payload: payload}},
+	}
+	du := ranbooster.MAC{0x02, 0, 0, 0, 0, 0x01}
+	mb := ranbooster.MAC{0x02, 0, 0, 0, 0, 0x02}
+	return fh.NewBuilder(du, mb, -1).UPlane(ecpri.PcID{}, msg)
+}
+
+// Example mirrors the package documentation: a custom middlebox on a
+// sharded engine, one frame in, merged counters out via Snapshot.
+func Example() {
+	tb := ranbooster.NewTestbed(1)
+	eng, err := ranbooster.NewEngine(tb.Sched, ranbooster.EngineConfig{
+		Name: "my-middlebox", Mode: ranbooster.ModeDPDK, App: exampleApp{},
+		CarrierPRBs: 273, Cores: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sent := 0
+	eng.SetOutput(func([]byte) { sent++ })
+
+	eng.Ingress(exampleFrame())
+	tb.Sched.Run()
+
+	st := eng.Snapshot()
+	fmt.Printf("rx=%d tx=%d sent=%d\n", st.RxFrames, st.TxFrames, sent)
+	// Output: rx=1 tx=1 sent=1
 }
