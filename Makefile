@@ -1,0 +1,32 @@
+# Stdlib-only Go repo: these targets are exactly what CI runs.
+
+GO ?= go
+
+.PHONY: all build vet test race short chaos check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick signal: unit tests only (system tests skip themselves in -short).
+short:
+	$(GO) test -short ./...
+
+# Chaos smoke: the fault-injection layer's own tests plus the seeded
+# chaos regressions that are cheap enough for a pre-commit loop.
+chaos:
+	$(GO) test ./internal/fault/ -run . -count=1
+	$(GO) test ./internal/testbed/ -run 'TestChaos' -count=1
+	$(GO) test ./internal/fabric/ -race -run TestPortStatsConcurrentRead -count=1
+
+check: vet build race

@@ -8,6 +8,7 @@
 //	ranboosterd -app dmimo -mode xdp
 //	ranboosterd -app rushare
 //	ranboosterd -app prbmon -load 400
+//	ranboosterd -app prbmon -loss 0.05   # 5% loss on every fabric link
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"ranbooster/internal/air"
 	"ranbooster/internal/core"
+	"ranbooster/internal/fault"
 	"ranbooster/internal/phy"
 	"ranbooster/internal/radio"
 	"ranbooster/internal/telemetry"
@@ -29,7 +31,12 @@ func main() {
 	modeS := flag.String("mode", "dpdk", "datapath: dpdk | xdp")
 	dur := flag.Duration("duration", 500*time.Millisecond, "simulated run time after settling")
 	load := flag.Float64("load", 500, "offered downlink load per UE, Mbps")
+	loss := flag.Float64("loss", 0, "i.i.d. frame loss probability injected on every fabric link")
 	flag.Parse()
+	if *loss < 0 || *loss >= 1 {
+		fmt.Fprintf(os.Stderr, "-loss must be in [0, 1), got %v\n", *loss)
+		os.Exit(2)
+	}
 
 	mode := core.ModeDPDK
 	if *modeS == "xdp" {
@@ -105,6 +112,19 @@ func main() {
 		}
 	}
 	fmt.Printf("%d/%d UEs attached; running %v of traffic\n", attached, len(ues), *dur)
+
+	// Fault injection goes live only after settling: attachment happens on
+	// a clean fabric, then the measured window sees the configured loss on
+	// every device link.
+	var injectors []*fault.Injector
+	if *loss > 0 {
+		for _, p := range tb.Switch.Ports() {
+			inj := fault.NewInjector(tb.Sched, tb.RNG.Fork(), fault.Profile{Drop: *loss})
+			inj.Attach(p)
+			injectors = append(injectors, inj)
+		}
+		fmt.Printf("fault injection: %.1f%% i.i.d. loss on %d links\n", *loss*100, len(injectors))
+	}
 	engine.ResetMeasurement()
 	tb.Measure(*dur)
 
@@ -120,6 +140,14 @@ func main() {
 		st.RxFrames, st.TxFrames, st.KernelTx, st.Punts, engine.Utilization()*100)
 	if lat, ok := engine.LatencyPercentile(core.ClassULU, 0.99); ok {
 		fmt.Printf("UL U-plane p99 processing: %v\n", lat)
+	}
+	if len(injectors) > 0 {
+		var fs fault.Stats
+		for _, inj := range injectors {
+			fs = fs.Add(inj.Stats())
+		}
+		fmt.Printf("faults: dropped %d of %d frames; engine saw seq gaps %d, shed %d, health %v\n",
+			fs.Dropped, fs.Injected, st.SeqGaps, st.ShedUPlane, st.Health)
 	}
 }
 

@@ -111,6 +111,12 @@ func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 		}
 		return ctx.Redirect(pkt, a.cfg.RU, a.cfg.MAC, -1)
 	}
+	// Unknown sources are dropped but still tick the liveness check: a
+	// deployment that wants detection latency bounded by something finer
+	// than the standby DU's idle cadence aims a periodic heartbeat probe
+	// at the middlebox (the chaos experiment probes at the TDD uplink
+	// inter-arrival), and those probes arrive here.
+	a.checkLiveness(ctx)
 	ctx.Drop(pkt)
 	return nil
 }
@@ -125,7 +131,17 @@ func (a *App) checkLiveness(ctx *core.Context) {
 	}
 	a.active++
 	a.Failovers++
-	a.seenDL = false
-	a.dlCount = 0
+	a.rearm()
 	ctx.Publish(KPIFailover, float64(a.active))
+}
+
+// rearm resets the liveness detector against the newly active DU: the
+// replacement must itself sustain armCount downlink packets at regular
+// cadence before it can be declared dead, so failovers cascade cleanly
+// down the standby list (DU A dies → B takes over; B dies → C takes
+// over) instead of the detector tripping on A's stale timestamps.
+func (a *App) rearm() {
+	a.seenDL = false
+	a.lastDL = 0
+	a.dlCount = 0
 }

@@ -79,6 +79,15 @@ type Config struct {
 	// RingSize is the per-shard ingress ring capacity, rounded up to a
 	// power of two (default DefaultRingSize).
 	RingSize int
+	// CPlaneHeadroom reserves ring slots for C-plane frames: once a
+	// shard's free slots fall to the headroom, Ingress sheds U-plane (and
+	// unclassifiable) frames — counted in Stats.ShedUPlane — so late
+	// control messages still get in. Losing a C-plane frame wedges a whole
+	// slot's schedule; losing a U-plane frame costs one symbol, so C-plane
+	// is dropped only when the ring is completely full. 0 defaults to
+	// RingSize/8; a negative value disables shedding; values >= RingSize
+	// are rejected with ErrBadHeadroom.
+	CPlaneHeadroom int
 }
 
 // Stats are the engine's datapath counters. Obtain them with
@@ -97,6 +106,24 @@ type Stats struct {
 	// RingDrops counts frames dropped because a shard's ingress ring was
 	// full (parallel workers only; the deterministic path drains inline).
 	RingDrops uint64
+	// ShedUPlane counts U-plane frames shed at ingress to preserve the
+	// C-plane headroom while a ring was nearly full (see
+	// Config.CPlaneHeadroom).
+	ShedUPlane uint64
+	// Fault-visibility counters: per-eAxC eCPRI sequence tracking in the
+	// shard datapath. SeqGaps accumulates missing sequence numbers,
+	// Duplicates counts re-seen ones, Reordered counts late arrivals
+	// (delivered, but behind the stream's high-water mark).
+	SeqGaps    uint64
+	Duplicates uint64
+	Reordered  uint64
+	// InvalidFrames counts frames whose eCPRI/O-RAN headers decoded but
+	// failed validity checks (bad version, unknown plane, undecodable
+	// timing) — corrupted input dropped instead of propagated to apps.
+	InvalidFrames uint64
+	// Health is the engine's degradation state: the worst per-shard state
+	// (Add merges with max, not sum).
+	Health Health
 }
 
 // Add returns the field-wise sum of s and o — the combinator used to
@@ -112,6 +139,13 @@ func (s Stats) Add(o Stats) Stats {
 		AppDrops:   s.AppDrops + o.AppDrops,
 		AppErrors:  s.AppErrors + o.AppErrors,
 		RingDrops:  s.RingDrops + o.RingDrops,
+		ShedUPlane: s.ShedUPlane + o.ShedUPlane,
+		SeqGaps:    s.SeqGaps + o.SeqGaps,
+		Duplicates: s.Duplicates + o.Duplicates,
+		Reordered:  s.Reordered + o.Reordered,
+
+		InvalidFrames: s.InvalidFrames + o.InvalidFrames,
+		Health:        maxHealth(s.Health, o.Health),
 	}
 }
 
@@ -174,6 +208,14 @@ func NewEngine(sched *sim.Scheduler, cfg Config) (*Engine, error) {
 	}
 	if cfg.RingSize > MaxRingSize {
 		return fail(fmt.Errorf("%w: %d", ErrBadRing, cfg.RingSize))
+	}
+	if cfg.CPlaneHeadroom >= cfg.RingSize {
+		return fail(fmt.Errorf("%w: headroom %d with ring size %d", ErrBadHeadroom, cfg.CPlaneHeadroom, cfg.RingSize))
+	}
+	if cfg.CPlaneHeadroom == 0 {
+		cfg.CPlaneHeadroom = cfg.RingSize / 8
+	} else if cfg.CPlaneHeadroom < 0 {
+		cfg.CPlaneHeadroom = 0 // shedding disabled
 	}
 	switch cfg.Mode {
 	case ModeDPDK:
@@ -354,13 +396,16 @@ func (e *Engine) shardFor(frame []byte) *shard {
 // Like a NIC RX queue it has a single-producer contract: calls must not
 // overlap (the simulated fabric delivers from the scheduler goroutine,
 // which guarantees this). In deterministic mode the frame is processed
-// inline; under parallel workers it is enqueued on its shard's ring and
-// dropped — counted in Stats.RingDrops — when the ring is full, as a
-// saturated NIC queue would.
+// inline; under parallel workers it is enqueued on its shard's ring.
+// When a ring nears overflow, admission degrades gracefully: inside the
+// last Config.CPlaneHeadroom free slots U-plane frames are shed (counted
+// in Stats.ShedUPlane) to keep room for C-plane, and only a completely
+// full ring drops a frame unconditionally (Stats.RingDrops) — as a
+// saturated NIC queue would. Every frame handed to Ingress is therefore
+// accounted for as processed, shed, or ring-dropped.
 func (e *Engine) Ingress(frame []byte) {
 	sh := e.shardFor(frame)
-	if !sh.in.push(frame) {
-		sh.stats.ringDrops.Add(1)
+	if !sh.admit(frame) {
 		return
 	}
 	if e.parallel {

@@ -23,6 +23,9 @@ var (
 	ErrBadMode = errors.New("unknown datapath mode")
 	// ErrBadRing rejects a ring capacity above MaxRingSize.
 	ErrBadRing = errors.New("ring size out of range")
+	// ErrBadHeadroom rejects a C-plane headroom that consumes the whole
+	// ring (no slot would ever admit U-plane traffic).
+	ErrBadHeadroom = errors.New("C-plane headroom out of range")
 	// ErrSerialApp refuses to start parallel workers for an App that
 	// declared itself serial (see SerialApp) on a multi-shard engine.
 	ErrSerialApp = errors.New("serial app cannot run parallel workers over multiple shards")

@@ -1,0 +1,81 @@
+package core
+
+import "ranbooster/internal/telemetry"
+
+// Health is the graceful-degradation state of a shard (and, max-merged
+// across shards, of the whole engine): the coarse signal an operator or a
+// control loop reads to decide whether the middlebox is keeping up with a
+// misbehaving fronthaul.
+type Health uint8
+
+// Health states, ordered by severity (Stats.Add merges them with max).
+const (
+	// Healthy: the last observation window saw no transport faults and no
+	// ring pressure.
+	Healthy Health = iota
+	// Degraded: the datapath is absorbing transport faults (sequence
+	// gaps, duplicates, reordering, corrupted frames) but keeping up.
+	Degraded
+	// Stalled: a shard is shedding at ingress (ring overflow or U-plane
+	// shed) — the datapath is no longer keeping up with offered load.
+	Stalled
+)
+
+// String names the state.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Stalled:
+		return "stalled"
+	default:
+		return "unknown"
+	}
+}
+
+// KPIHealth is published on the engine's telemetry bus at every per-shard
+// health transition; the sample value is the new Health state.
+const KPIHealth = "engine.health"
+
+// healthWindow is the health machine's observation window: the state is
+// re-evaluated every healthWindow frames processed by a shard.
+const healthWindow = 256
+
+// maxHealth returns the worse of two states.
+func maxHealth(a, b Health) Health {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// updateHealth re-evaluates the shard's health from the counter deltas of
+// the window that just closed: any ring-pressure event escalates straight
+// to Stalled, any transport-fault event to at least Degraded, and a clean
+// window steps the state down one level (Stalled recovers through
+// Degraded, not directly to Healthy). It runs on the shard's consumer
+// goroutine only; transitions are published as KPIHealth samples.
+func (sh *shard) updateHealth() {
+	ring := sh.stats.ringDrops.Load() + sh.stats.shedUPlane.Load()
+	faults := sh.stats.seqGaps.Load() + sh.stats.duplicates.Load() +
+		sh.stats.reordered.Load() + sh.stats.invalidFrames.Load() +
+		sh.stats.parseError.Load()
+	cur := Health(sh.stats.health.Load())
+	next := cur
+	switch {
+	case ring > sh.lastRing:
+		next = Stalled
+	case faults > sh.lastFaults:
+		next = maxHealth(Degraded, cur)
+	case cur > Healthy:
+		next = cur - 1
+	}
+	sh.lastRing, sh.lastFaults = ring, faults
+	if next == cur {
+		return
+	}
+	sh.stats.health.Store(uint32(next))
+	sh.eng.bus.Publish(telemetry.Sample{Name: KPIHealth, At: sh.now(), Value: float64(next)})
+}

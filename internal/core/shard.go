@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ranbooster/internal/cpu"
+	"ranbooster/internal/eth"
 	"ranbooster/internal/fh"
 	"ranbooster/internal/sim"
 	"ranbooster/internal/telemetry"
@@ -79,11 +80,15 @@ func (r *ring) pop() ([]byte, bool) {
 func (r *ring) queued() int { return int(r.tail.Load() - r.head.Load()) }
 
 // shardStats is the atomic mirror of Stats one shard accumulates. The
-// owning worker is the only writer; Snapshot merges all shards.
+// owning worker writes the datapath counters; ringDrops and shedUPlane
+// are written by the producer (Ingress). Snapshot merges all shards.
 type shardStats struct {
-	rxFrames, txFrames, parseError atomic.Uint64
-	kernelTx, kernelDrop, punts    atomic.Uint64
-	appDrops, appErrors, ringDrops atomic.Uint64
+	rxFrames, txFrames, parseError  atomic.Uint64
+	kernelTx, kernelDrop, punts     atomic.Uint64
+	appDrops, appErrors, ringDrops  atomic.Uint64
+	shedUPlane, seqGaps, duplicates atomic.Uint64
+	reordered, invalidFrames        atomic.Uint64
+	health                          atomic.Uint32
 }
 
 func (s *shardStats) snapshot() Stats {
@@ -97,6 +102,13 @@ func (s *shardStats) snapshot() Stats {
 		AppDrops:   s.appDrops.Load(),
 		AppErrors:  s.appErrors.Load(),
 		RingDrops:  s.ringDrops.Load(),
+		ShedUPlane: s.shedUPlane.Load(),
+		SeqGaps:    s.seqGaps.Load(),
+		Duplicates: s.duplicates.Load(),
+		Reordered:  s.reordered.Load(),
+
+		InvalidFrames: s.invalidFrames.Load(),
+		Health:        Health(s.health.Load()),
 	}
 }
 
@@ -114,6 +126,14 @@ type shard struct {
 	// the map is shard-owned, so the hot path pays no lock after the
 	// first use of a name.
 	counters map[string]*telemetry.Counter
+	// seq holds the last eCPRI sequence number seen per source stream —
+	// the middlebox-side view of a Builder's per-eAxC counter. Frames of
+	// one stream always land on one shard (shardFor keys on the eAxC RU
+	// port), so the map needs no lock.
+	seq map[seqKey]uint8
+	// lastRing / lastFaults are the counter totals at the previous health
+	// window boundary (consumer goroutine only; see updateHealth).
+	lastRing, lastFaults uint64
 
 	stats shardStats
 	latMu sync.Mutex
@@ -130,8 +150,74 @@ func newShard(e *Engine, id int) *shard {
 		cache:    NewCache(e.cfg.CacheMaxAge),
 		in:       newRing(e.cfg.RingSize),
 		counters: make(map[string]*telemetry.Counter),
+		seq:      make(map[seqKey]uint8),
 		wake:     make(chan struct{}, 1),
 	}
+}
+
+// seqKey identifies one eCPRI sequence stream at a middlebox: each
+// transmitter (source MAC) increments an independent SeqID per eAxC.
+type seqKey struct {
+	src  eth.MAC
+	eaxc uint16
+}
+
+// admit applies the overload-shedding policy and enqueues the frame,
+// reporting false (with the drop accounted) when it was shed or the ring
+// was full. Within the last CPlaneHeadroom free slots only C-plane frames
+// are admitted — a U-plane loss costs one symbol of IQ, a C-plane loss
+// wedges a slot's schedule — so C-plane is only ever dropped once the
+// ring is completely full and every U-plane shed is exhausted.
+func (sh *shard) admit(frame []byte) bool {
+	if h := sh.eng.cfg.CPlaneHeadroom; h > 0 && len(sh.in.buf)-sh.in.queued() <= h {
+		if fh.PeekPlane(frame) != fh.PlaneC {
+			sh.stats.shedUPlane.Add(1)
+			return false
+		}
+	}
+	if !sh.in.push(frame) {
+		sh.stats.ringDrops.Add(1)
+		return false
+	}
+	return true
+}
+
+// trackSeq runs gap detection over the packet's eCPRI sequence number.
+// uint8 arithmetic classifies the delta from the stream's last number:
+// 0 is a duplicate, 1 in-order, 2..127 a forward jump (delta-1 frames
+// missing), >=128 a late frame overtaken by successors (reordered; the
+// high-water mark is kept).
+func (sh *shard) trackSeq(pkt *fh.Packet) {
+	key := seqKey{src: pkt.Eth.Src, eaxc: pkt.Ecpri.PcID.Uint16()}
+	seq := pkt.Ecpri.SeqID
+	last, ok := sh.seq[key]
+	if !ok {
+		sh.seq[key] = seq
+		return
+	}
+	switch delta := seq - last; {
+	case delta == 0:
+		sh.stats.duplicates.Add(1)
+	case delta == 1:
+		sh.seq[key] = seq
+	case delta < 128:
+		sh.stats.seqGaps.Add(uint64(delta) - 1)
+		sh.seq[key] = seq
+	default:
+		sh.stats.reordered.Add(1)
+	}
+}
+
+// valid guards the datapath against corrupted input: a frame whose
+// headers decoded but carry an impossible eCPRI version, an unknown
+// plane, or an undecodable radio-application header is counted in
+// InvalidFrames and dropped rather than propagated into apps.
+func (sh *shard) valid(pkt *fh.Packet) bool {
+	if pkt.Ecpri.Version != 1 || pkt.Plane() == fh.PlaneUnknown {
+		return false
+	}
+	_, err := pkt.Timing()
+	return err == nil
 }
 
 // now reads the shard's time source: the scheduler clock in deterministic
@@ -193,14 +279,26 @@ func (sh *shard) run(stop <-chan struct{}) {
 // kernel program, userspace App.
 func (sh *shard) process(frame []byte) {
 	e := sh.eng
-	if sh.stats.rxFrames.Add(1)%sweepEvery == 0 {
+	n := sh.stats.rxFrames.Add(1)
+	if n%sweepEvery == 0 {
 		sh.cache.Sweep(sh.now())
+	}
+	if n%healthWindow == 0 {
+		sh.updateHealth()
 	}
 	pkt := &fh.Packet{}
 	if err := pkt.Decode(frame); err != nil {
 		sh.stats.parseError.Add(1)
 		return
 	}
+	if !sh.valid(pkt) {
+		// Dropped wholesale, untracked: a corrupted header's SeqID is not
+		// trustworthy, and the stream's next clean frame will surface the
+		// consumed sequence number as a gap.
+		sh.stats.invalidFrames.Add(1)
+		return
+	}
+	sh.trackSeq(pkt)
 	arrival := sh.now()
 	start := sh.core.Acquire(arrival)
 	cost := cpu.CostParse

@@ -1,0 +1,65 @@
+package fabric
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ranbooster/internal/sim"
+)
+
+// TestPortStatsConcurrentRead exercises the Port.Stats contract: snapshots
+// may be taken from any goroutine while the scheduler delivers frames.
+// Meaningful under `go test -race` — with plain uint64 counters this is a
+// data race; with the atomic counters it must be clean, and every snapshot
+// must be monotonic per counter.
+func TestPortStatsConcurrentRead(t *testing.T) {
+	s := sim.NewScheduler()
+	sw := NewSwitch(s, "tor", time.Microsecond, 100)
+	pa := sw.AddPort("a", nil)
+	pb := sw.AddPort("b", func([]byte) {})
+
+	// Teach the FDB both directions so traffic is unicast.
+	pa.Send(frame(macA, macB, -1, 0))
+	pb.Send(frame(macB, macA, -1, 0))
+	s.Run()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, p := range []*Port{pa, pb} {
+		wg.Add(1)
+		go func(p *Port) {
+			defer wg.Done()
+			var prev PortStats
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				st := p.Stats()
+				if st.TxFrames < prev.TxFrames || st.RxFrames < prev.RxFrames ||
+					st.TxBytes < prev.TxBytes || st.RxBytes < prev.RxBytes {
+					t.Errorf("port %s stats went backwards: %+v after %+v", p.Name(), st, prev)
+					return
+				}
+				prev = st
+			}
+		}(p)
+	}
+
+	for i := 0; i < 5000; i++ {
+		pa.Send(frame(macA, macB, -1, byte(i)))
+		pb.Send(frame(macB, macA, -1, byte(i)))
+		s.Run()
+	}
+	close(done)
+	wg.Wait()
+
+	if st := pa.Stats(); st.TxFrames != 5001 {
+		t.Fatalf("pa TxFrames = %d, want 5001", st.TxFrames)
+	}
+	if st := pb.Stats(); st.RxFrames != 5001 {
+		t.Fatalf("pb RxFrames = %d, want 5001", st.RxFrames)
+	}
+}

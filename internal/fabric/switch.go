@@ -13,6 +13,7 @@ package fabric
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"ranbooster/internal/eth"
@@ -26,6 +27,16 @@ type PortStats struct {
 	RxFrames, RxBytes uint64
 }
 
+// portCounters is the live, atomically-updated form of PortStats. The
+// fabric path mutates them on the scheduler goroutine, but an engine in
+// parallel worker mode transmits through Port.Send from its worker
+// goroutines, and tests read Stats concurrently — so the counters must be
+// atomic rather than plain words.
+type portCounters struct {
+	txFrames, txBytes atomic.Uint64
+	rxFrames, rxBytes atomic.Uint64
+}
+
 // Port is an attachment point on a switch. Devices transmit with Send and
 // receive through the handler registered at creation.
 type Port struct {
@@ -33,7 +44,10 @@ type Port struct {
 	sw      *Switch
 	index   int
 	handler func(frame []byte)
-	stats   PortStats
+	stats   portCounters
+	// tx, when set, interposes on the device→fabric direction (fault
+	// injection); see SetTxInterceptor.
+	tx func(frame []byte, forward func(frame []byte))
 	// busyUntil models egress serialization: one frame at a time per port.
 	busyUntil sim.Time
 }
@@ -41,12 +55,38 @@ type Port struct {
 // Name returns the port name.
 func (p *Port) Name() string { return p.name }
 
-// Stats returns a snapshot of the port counters.
-func (p *Port) Stats() PortStats { return p.stats }
+// Stats returns a snapshot of the port counters. It is safe to call while
+// frames flow, including from outside the scheduler goroutine.
+func (p *Port) Stats() PortStats {
+	return PortStats{
+		TxFrames: p.stats.txFrames.Load(),
+		TxBytes:  p.stats.txBytes.Load(),
+		RxFrames: p.stats.rxFrames.Load(),
+		RxBytes:  p.stats.rxBytes.Load(),
+	}
+}
+
+// SetTxInterceptor interposes fn on the device→fabric direction: Send
+// hands each frame to fn together with the forward continuation instead
+// of forwarding into the switch directly. fn may forward the frame
+// unchanged, mutate it in place (the interceptor owns the buffer, like
+// the fabric it stands in for), forward it several times, forward it
+// later from a scheduler event, or not at all — the hook point a fault
+// injector models a lossy link through. A nil fn removes the
+// interceptor.
+func (p *Port) SetTxInterceptor(fn func(frame []byte, forward func(frame []byte))) {
+	p.tx = fn
+}
 
 // Send transmits a frame from the attached device into the switch. The
 // fabric takes ownership of the buffer.
-func (p *Port) Send(frame []byte) { p.sw.ingress(p, frame) }
+func (p *Port) Send(frame []byte) {
+	if p.tx != nil {
+		p.tx(frame, func(f []byte) { p.sw.ingress(p, f) })
+		return
+	}
+	p.sw.ingress(p, frame)
+}
 
 type fdbKey struct {
 	vlan uint16
@@ -96,6 +136,20 @@ func (s *Switch) AddPort(name string, handler func(frame []byte)) *Port {
 	return p
 }
 
+// Ports returns the switch's attachment points in creation order.
+func (s *Switch) Ports() []*Port { return s.ports }
+
+// PortByName returns the named port, or nil — the lookup experiment
+// runners use to attach fault injectors to an assembled testbed.
+func (s *Switch) PortByName(name string) *Port {
+	for _, p := range s.ports {
+		if p.name == name {
+			return p
+		}
+	}
+	return nil
+}
+
 // Flooded reports how many frames were flooded (unknown unicast, broadcast).
 func (s *Switch) Flooded() uint64 { return s.flooded }
 
@@ -110,8 +164,8 @@ func vlanOf(h *eth.Header) uint16 {
 }
 
 func (s *Switch) ingress(in *Port, frame []byte) {
-	in.stats.TxFrames++
-	in.stats.TxBytes += uint64(len(frame))
+	in.stats.txFrames.Add(1)
+	in.stats.txBytes.Add(uint64(len(frame)))
 	if s.tap != nil {
 		s.tap(frame)
 	}
@@ -169,8 +223,8 @@ func (s *Switch) deliver(out *Port, frame []byte) {
 	out.busyUntil = start.Add(ser)
 	at := out.busyUntil.Add(s.latency)
 	s.sched.At(at, func() {
-		out.stats.RxFrames++
-		out.stats.RxBytes += uint64(len(frame))
+		out.stats.rxFrames.Add(1)
+		out.stats.rxBytes.Add(uint64(len(frame)))
 		if out.handler != nil {
 			out.handler(frame)
 		}

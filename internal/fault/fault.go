@@ -1,0 +1,255 @@
+// Package fault is the deterministic fault-injection layer for the
+// simulated fronthaul. The real system's pitch (§8.1) is that middleboxes
+// survive a hostile transport — DU silence, loss bursts, reordering — yet
+// a perfect simulated fabric never exercises any of that machinery. An
+// Injector interposes on one port's device→fabric direction (via
+// fabric.Port.SetTxInterceptor) and can drop, duplicate, reorder,
+// delay/jitter and bit-corrupt frames, model bursty loss with a two-state
+// Gilbert–Elliott chain, and take the link down and up on a schedule.
+//
+// Everything is driven off internal/sim's virtual clock and SplitMix64
+// RNG: the same seed and fault profile replay bit-identically, which is
+// what makes chaos experiments regression-testable.
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"ranbooster/internal/fabric"
+	"ranbooster/internal/sim"
+)
+
+// Profile describes the fault behaviour of one link direction. The zero
+// value injects nothing and forwards every frame untouched.
+type Profile struct {
+	// Drop is the i.i.d. probability a frame is silently discarded.
+	Drop float64
+	// Duplicate is the probability a frame is forwarded twice.
+	Duplicate float64
+	// Corrupt is the probability one payload bit is flipped. The flip is
+	// confined to offsets past the Ethernet MACs (byte 14 onward) so the
+	// fabric still forwards the frame and the corruption reaches the
+	// receiver's validity checks instead of vanishing in the switch FDB.
+	Corrupt float64
+	// Delay is added to every forwarded frame; Jitter adds a further
+	// uniform random amount in [0, Jitter). Zero means forward inline.
+	Delay  time.Duration
+	Jitter time.Duration
+	// Reorder is the probability a frame is held back by ReorderDelay
+	// (default 100µs) so later frames of the same stream overtake it.
+	// Held frames are always eventually forwarded — reordering never
+	// loses a frame, keeping the accounting identity exact.
+	Reorder      float64
+	ReorderDelay time.Duration
+	// Burst, when non-nil, overlays Gilbert–Elliott burst loss on top of
+	// the i.i.d. Drop probability.
+	Burst *GilbertElliott
+}
+
+// GilbertElliott is the classic two-state burst-loss channel: a Markov
+// chain alternates between a Good and a Bad state with per-frame
+// transition probabilities, and each state has its own loss rate.
+type GilbertElliott struct {
+	// PGoodToBad and PBadToGood are per-frame transition probabilities.
+	PGoodToBad, PBadToGood float64
+	// LossGood and LossBad are the per-frame drop probabilities within
+	// each state (classically LossGood ≈ 0, LossBad ≈ 1).
+	LossGood, LossBad float64
+}
+
+// Stats counts what the injector did. Every frame handed to the injector
+// is accounted for — once the scheduler has drained any in-flight delayed
+// deliveries, Injected + Duplicated == Delivered + Dropped (duplicate
+// copies are included in Delivered). Corrupted, Reordered and Delayed
+// count frames that were delivered after the respective mangling.
+type Stats struct {
+	Injected  uint64 // frames handed to the injector by the device
+	Delivered uint64 // forwards into the fabric (original + duplicates)
+	Dropped   uint64 // frames discarded (random, burst, or link down)
+
+	Duplicated uint64 // extra copies forwarded
+	Corrupted  uint64 // frames delivered with a flipped bit
+	Reordered  uint64 // frames delivered late via the reorder path
+	Delayed    uint64 // frames delivered via a scheduled (delay/jitter) event
+	LinkDowns  uint64 // frames dropped specifically because the link was down
+}
+
+// Injector applies a Profile to one port's transmit direction. It must
+// only be touched from the scheduler goroutine (it holds no locks): the
+// deterministic testbed delivers frames and flap events there already.
+type Injector struct {
+	sched   *sim.Scheduler
+	rng     *sim.RNG
+	profile Profile
+
+	down     bool
+	badState bool // Gilbert–Elliott: currently in the Bad state
+
+	stats Stats
+}
+
+// NewInjector builds an injector with its own RNG stream. Fork the
+// scenario RNG per injector so adding one injector does not perturb the
+// random streams of the rest of the simulation.
+func NewInjector(sched *sim.Scheduler, rng *sim.RNG, p Profile) *Injector {
+	if p.ReorderDelay == 0 {
+		p.ReorderDelay = 100 * time.Microsecond
+	}
+	return &Injector{sched: sched, rng: rng, profile: p}
+}
+
+// Attach interposes the injector on the port's transmit direction.
+func (j *Injector) Attach(p *fabric.Port) {
+	p.SetTxInterceptor(j.Tx)
+}
+
+// Detach restores the port's direct path.
+func (j *Injector) Detach(p *fabric.Port) {
+	p.SetTxInterceptor(nil)
+}
+
+// Stats snapshots the injector counters.
+func (j *Injector) Stats() Stats { return j.stats }
+
+// Profile returns the active fault profile.
+func (j *Injector) Profile() Profile { return j.profile }
+
+// SetDown forces the link state: while down, every frame is dropped.
+func (j *Injector) SetDown(down bool) { j.down = down }
+
+// Down reports whether the link is currently down.
+func (j *Injector) Down() bool { return j.down }
+
+// FlapAt schedules a link flap: down at the given virtual time, back up
+// after d. Flaps may be scripted before the scenario runs; they execute
+// on the scheduler like any other event.
+func (j *Injector) FlapAt(at sim.Time, d time.Duration) {
+	j.sched.At(at, func() { j.down = true })
+	j.sched.At(at.Add(d), func() { j.down = false })
+}
+
+// Tx is the fabric.Port interceptor: it decides each frame's fate. It is
+// exported so an injector can also wrap non-fabric paths (e.g. a direct
+// engine feed) with the same accounting.
+func (j *Injector) Tx(frame []byte, forward func([]byte)) {
+	j.stats.Injected++
+
+	if j.down {
+		j.stats.Dropped++
+		j.stats.LinkDowns++
+		return
+	}
+	if j.burstDrop() || j.chance(j.profile.Drop) {
+		j.stats.Dropped++
+		return
+	}
+
+	if j.chance(j.profile.Corrupt) && j.flipBit(frame) {
+		j.stats.Corrupted++
+	}
+
+	dup := j.chance(j.profile.Duplicate)
+
+	delay := j.profile.Delay
+	if j.profile.Jitter > 0 {
+		delay += time.Duration(j.rng.Float64() * float64(j.profile.Jitter))
+	}
+	reordered := j.chance(j.profile.Reorder)
+	if reordered {
+		delay += j.profile.ReorderDelay
+	}
+
+	deliver := func(f []byte) {
+		j.stats.Delivered++
+		if reordered {
+			j.stats.Reordered++
+		}
+		forward(f)
+	}
+
+	var cp []byte
+	if dup {
+		cp = append([]byte(nil), frame...)
+	}
+	if delay > 0 {
+		j.stats.Delayed++ // counted at decision time; delivery is committed
+		j.sched.After(delay, func() { deliver(frame) })
+	} else {
+		deliver(frame)
+	}
+	if dup {
+		j.stats.Duplicated++
+		if delay > 0 {
+			j.stats.Delayed++
+			j.sched.After(delay, func() { deliver(cp) })
+		} else {
+			deliver(cp)
+		}
+	}
+}
+
+// burstDrop advances the Gilbert–Elliott chain one frame and reports
+// whether this frame is lost to the burst process.
+func (j *Injector) burstDrop() bool {
+	ge := j.profile.Burst
+	if ge == nil {
+		return false
+	}
+	if j.badState {
+		if j.rng.Float64() < ge.PBadToGood {
+			j.badState = false
+		}
+	} else {
+		if j.rng.Float64() < ge.PGoodToBad {
+			j.badState = true
+		}
+	}
+	loss := ge.LossGood
+	if j.badState {
+		loss = ge.LossBad
+	}
+	return j.chance(loss)
+}
+
+func (j *Injector) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return j.rng.Float64() < p
+}
+
+// flipBit flips one random bit at byte offset >= 14 (past dst/src MAC),
+// so the frame still reaches its destination and the corruption is seen
+// by the receiver, not eaten by the switch. Returns false for frames too
+// short to corrupt safely.
+func (j *Injector) flipBit(frame []byte) bool {
+	if len(frame) <= 14 {
+		return false
+	}
+	off := 14 + j.rng.Intn(len(frame)-14)
+	frame[off] ^= 1 << uint(j.rng.Intn(8))
+	return true
+}
+
+// String summarizes the counters for recovery tables and logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("injected=%d delivered=%d dropped=%d (dup=%d corrupt=%d reorder=%d delayed=%d linkdown=%d)",
+		s.Injected, s.Delivered, s.Dropped, s.Duplicated, s.Corrupted, s.Reordered, s.Delayed, s.LinkDowns)
+}
+
+// Add combines two snapshots (per-link stats merged for a scenario table).
+func (s Stats) Add(o Stats) Stats {
+	s.Injected += o.Injected
+	s.Delivered += o.Delivered
+	s.Dropped += o.Dropped
+	s.Duplicated += o.Duplicated
+	s.Corrupted += o.Corrupted
+	s.Reordered += o.Reordered
+	s.Delayed += o.Delayed
+	s.LinkDowns += o.LinkDowns
+	return s
+}

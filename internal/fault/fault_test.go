@@ -1,0 +1,314 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ranbooster/internal/eth"
+	"ranbooster/internal/fabric"
+	"ranbooster/internal/sim"
+)
+
+var (
+	macA = eth.MAC{2, 0, 0, 0, 0, 0xA}
+	macB = eth.MAC{2, 0, 0, 0, 0, 0xB}
+)
+
+func frame(src, dst eth.MAC, payload byte) []byte {
+	h := eth.Header{Dst: dst, Src: src, EtherType: eth.TypeECPRI}
+	b := h.AppendTo(nil)
+	return append(b, payload, payload, payload, payload)
+}
+
+// pair wires A->B through a switch with an injector on A's port and
+// returns (scheduler, A's port, received payload bytes).
+func pair(t *testing.T, seed uint64, p Profile) (*sim.Scheduler, *Injector, *fabric.Port, *[]byte) {
+	t.Helper()
+	s := sim.NewScheduler()
+	sw := fabric.NewSwitch(s, "tor", time.Microsecond, 100)
+	var got []byte
+	pa := sw.AddPort("a", nil)
+	pb := sw.AddPort("b", func(f []byte) {
+		if len(f) > 14 {
+			got = append(got, f[14])
+		}
+	})
+	// Teach the FDB so nothing floods back.
+	pa.Send(frame(macA, macB, 0xFF))
+	pb.Send(frame(macB, macA, 0xFF))
+	s.Run()
+	got = nil
+
+	inj := NewInjector(s, sim.NewRNG(seed), p)
+	inj.Attach(pa)
+	return s, inj, pa, &got
+}
+
+func checkAccounting(t *testing.T, st Stats) {
+	t.Helper()
+	if st.Injected+st.Duplicated != st.Delivered+st.Dropped {
+		t.Fatalf("accounting identity violated: %v", st)
+	}
+}
+
+func TestPassThrough(t *testing.T) {
+	s, inj, pa, got := pair(t, 1, Profile{})
+	for i := 0; i < 100; i++ {
+		pa.Send(frame(macA, macB, byte(i)))
+		s.Run()
+	}
+	st := inj.Stats()
+	if st.Injected != 100 || st.Delivered != 100 || st.Dropped != 0 {
+		t.Fatalf("pass-through stats: %v", st)
+	}
+	if len(*got) != 100 {
+		t.Fatalf("received %d frames, want 100", len(*got))
+	}
+	for i, b := range *got {
+		if b != byte(i) {
+			t.Fatalf("frame %d: payload %d (misordered?)", i, b)
+		}
+	}
+	checkAccounting(t, st)
+}
+
+func TestRandomDrop(t *testing.T) {
+	const n = 10000
+	s, inj, pa, got := pair(t, 7, Profile{Drop: 0.1})
+	for i := 0; i < n; i++ {
+		pa.Send(frame(macA, macB, byte(i)))
+	}
+	s.Run()
+	st := inj.Stats()
+	if st.Injected != n {
+		t.Fatalf("injected = %d", st.Injected)
+	}
+	if st.Dropped < n/20 || st.Dropped > n/5 {
+		t.Fatalf("dropped = %d, want ~%d", st.Dropped, n/10)
+	}
+	if uint64(len(*got)) != st.Delivered {
+		t.Fatalf("received %d, delivered %d", len(*got), st.Delivered)
+	}
+	checkAccounting(t, st)
+}
+
+func TestDuplicate(t *testing.T) {
+	const n = 2000
+	s, inj, pa, got := pair(t, 3, Profile{Duplicate: 0.2})
+	for i := 0; i < n; i++ {
+		pa.Send(frame(macA, macB, byte(i)))
+	}
+	s.Run()
+	st := inj.Stats()
+	if st.Duplicated == 0 {
+		t.Fatal("no duplicates at p=0.2")
+	}
+	if st.Delivered != st.Injected+st.Duplicated {
+		t.Fatalf("delivered = %d, want injected+dup = %d", st.Delivered, st.Injected+st.Duplicated)
+	}
+	if uint64(len(*got)) != st.Delivered {
+		t.Fatalf("received %d, delivered %d", len(*got), st.Delivered)
+	}
+	checkAccounting(t, st)
+}
+
+func TestCorruptConfinedPastMACs(t *testing.T) {
+	s := sim.NewScheduler()
+	sw := fabric.NewSwitch(s, "tor", time.Microsecond, 100)
+	var rx [][]byte
+	pa := sw.AddPort("a", nil)
+	pb := sw.AddPort("b", func(f []byte) { rx = append(rx, append([]byte(nil), f...)) })
+	pa.Send(frame(macA, macB, 0))
+	pb.Send(frame(macB, macA, 0))
+	s.Run()
+	rx = nil
+
+	inj := NewInjector(s, sim.NewRNG(11), Profile{Corrupt: 1})
+	inj.Attach(pa)
+
+	want := frame(macA, macB, 0x55)
+	for i := 0; i < 50; i++ {
+		pa.Send(append([]byte(nil), want...))
+	}
+	s.Run()
+
+	st := inj.Stats()
+	if st.Corrupted != 50 {
+		t.Fatalf("corrupted = %d, want 50", st.Corrupted)
+	}
+	// Every frame must still arrive (MACs untouched) and must differ from
+	// the original in exactly one bit past offset 14.
+	if len(rx) != 50 {
+		t.Fatalf("received %d frames, want 50", len(rx))
+	}
+	for _, f := range rx {
+		if bytes.Equal(f, want) {
+			t.Fatal("frame not corrupted")
+		}
+		if !bytes.Equal(f[:14], want[:14]) {
+			t.Fatal("corruption touched the Ethernet MACs")
+		}
+		diff := 0
+		for i := 14; i < len(f); i++ {
+			for b := f[i] ^ want[i]; b != 0; b &= b - 1 {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("%d bits flipped, want 1", diff)
+		}
+	}
+}
+
+func TestReorderDelivered(t *testing.T) {
+	const n = 500
+	s, inj, pa, got := pair(t, 5, Profile{Reorder: 0.1, ReorderDelay: 50 * time.Microsecond})
+	for i := 0; i < n; i++ {
+		pa.Send(frame(macA, macB, byte(i)))
+		s.RunFor(5 * time.Microsecond)
+	}
+	s.Run()
+	st := inj.Stats()
+	if st.Reordered == 0 {
+		t.Fatal("no reordered frames at p=0.1")
+	}
+	// Reordering must never lose a frame.
+	if st.Delivered != n || st.Dropped != 0 {
+		t.Fatalf("reorder lost frames: %v", st)
+	}
+	if len(*got) != n {
+		t.Fatalf("received %d, want %d", len(*got), n)
+	}
+	// And the receive order must actually differ from the send order.
+	inOrder := true
+	for i, b := range *got {
+		if b != byte(i) {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("reorder produced in-order delivery")
+	}
+	checkAccounting(t, st)
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	const n = 20000
+	// Bad state is rare but lossy: bursts of consecutive loss should be
+	// much longer than under i.i.d. loss of the same average rate.
+	s, inj, pa, got := pair(t, 9, Profile{Burst: &GilbertElliott{
+		PGoodToBad: 0.01, PBadToGood: 0.2, LossGood: 0, LossBad: 0.9,
+	}})
+	for i := 0; i < n; i++ {
+		pa.Send(frame(macA, macB, byte(i)))
+	}
+	s.Run()
+	st := inj.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("GE model dropped nothing")
+	}
+	checkAccounting(t, st)
+
+	// Reconstruct loss runs from the received payload sequence.
+	seen := make([]bool, n)
+	pos := 0
+	for _, b := range *got {
+		// payloads wrap at 256; recover index by scanning forward
+		for pos < n && byte(pos) != b {
+			pos++
+		}
+		if pos < n {
+			seen[pos] = true
+			pos++
+		}
+	}
+	maxRun, run := 0, 0
+	for _, ok := range seen {
+		if !ok {
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	// With ~5% avg loss i.i.d., a run of >=5 has probability ~3e-7 per
+	// position; GE with LossBad=0.9 and mean bad dwell of 5 frames
+	// produces them readily.
+	if maxRun < 5 {
+		t.Fatalf("max loss run %d — losses not bursty", maxRun)
+	}
+}
+
+func TestLinkFlap(t *testing.T) {
+	s, inj, pa, got := pair(t, 2, Profile{})
+	// Down for [1ms, 2ms).
+	inj.FlapAt(sim.Time(1*time.Millisecond), time.Millisecond)
+	for i := 0; i < 30; i++ {
+		i := i
+		s.At(sim.Time(i)*sim.Time(100*time.Microsecond), func() {
+			pa.Send(frame(macA, macB, byte(i)))
+		})
+	}
+	s.Run()
+	st := inj.Stats()
+	if st.LinkDowns != 10 {
+		t.Fatalf("link-down drops = %d, want 10", st.LinkDowns)
+	}
+	if len(*got) != 20 {
+		t.Fatalf("received %d, want 20", len(*got))
+	}
+	checkAccounting(t, st)
+}
+
+func TestDelayJitter(t *testing.T) {
+	s, inj, pa, got := pair(t, 4, Profile{Delay: 200 * time.Microsecond, Jitter: 50 * time.Microsecond})
+	start := s.Now()
+	var arrival sim.Time
+	_ = arrival
+	pa.Send(frame(macA, macB, 1))
+	s.Run()
+	if len(*got) != 1 {
+		t.Fatalf("received %d", len(*got))
+	}
+	elapsed := s.Now().Sub(start)
+	if elapsed < 200*time.Microsecond {
+		t.Fatalf("frame arrived after %v, want >= 200µs of injected delay", elapsed)
+	}
+	st := inj.Stats()
+	if st.Delayed != 1 {
+		t.Fatalf("delayed = %d", st.Delayed)
+	}
+	checkAccounting(t, st)
+}
+
+// TestDeterminism: identical seed + profile + send schedule must yield
+// identical stats and identical receive byte streams.
+func TestDeterminism(t *testing.T) {
+	run := func() (Stats, []byte) {
+		s, inj, pa, got := pair(t, 42, Profile{
+			Drop: 0.05, Duplicate: 0.05, Corrupt: 0.05,
+			Reorder: 0.05, ReorderDelay: 30 * time.Microsecond,
+			Delay: 10 * time.Microsecond, Jitter: 20 * time.Microsecond,
+			Burst: &GilbertElliott{PGoodToBad: 0.02, PBadToGood: 0.3, LossBad: 0.8},
+		})
+		for i := 0; i < 3000; i++ {
+			pa.Send(frame(macA, macB, byte(i)))
+			s.RunFor(2 * time.Microsecond)
+		}
+		s.Run()
+		return inj.Stats(), append([]byte(nil), (*got)...)
+	}
+	s1, g1 := run()
+	s2, g2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats differ across identical runs:\n%v\n%v", s1, s2)
+	}
+	if !bytes.Equal(g1, g2) {
+		t.Fatal("receive streams differ across identical runs")
+	}
+	checkAccounting(t, s1)
+}

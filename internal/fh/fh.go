@@ -145,6 +145,36 @@ func PeekEAxC(frame []byte) (uint16, bool) {
 	return binary.BigEndian.Uint16(frame[off+4 : off+6]), true
 }
 
+// PeekPlane classifies a raw frame as C-plane or U-plane without a full
+// decode — the cheap peek the engine's overload-shedding policy uses to
+// admit C-plane frames when an ingress ring nears overflow. It reads only
+// the Ethernet type (skipping one optional 802.1Q tag) and the eCPRI
+// message-type byte. Frames too short or not eCPRI are PlaneUnknown.
+func PeekPlane(frame []byte) Plane {
+	if len(frame) < eth.HeaderLen {
+		return PlaneUnknown
+	}
+	off := eth.HeaderLen
+	et := binary.BigEndian.Uint16(frame[12:14])
+	if et == eth.TypeVLAN {
+		if len(frame) < eth.VLANHeaderLen {
+			return PlaneUnknown
+		}
+		off = eth.VLANHeaderLen
+		et = binary.BigEndian.Uint16(frame[16:18])
+	}
+	if et != eth.TypeECPRI || len(frame) < off+ecpri.HeaderLen {
+		return PlaneUnknown
+	}
+	switch ecpri.MessageType(frame[off+1]) {
+	case ecpri.MsgIQData:
+		return PlaneU
+	case ecpri.MsgRTControl:
+		return PlaneC
+	}
+	return PlaneUnknown
+}
+
 // Key identifies the (symbol, eAxC, direction) a packet belongs to — the
 // cache key of RANBooster's A3 action: the DAS middlebox collects all RU
 // uplink packets for the same key before merging them.

@@ -84,6 +84,18 @@ func (r *Recorder) Series(name string) []Sample {
 	return append([]Sample(nil), r.samples[name]...)
 }
 
+// Last returns the most recent sample of a KPI and whether one exists —
+// the readout a recovery check uses ("what was the final health state?").
+func (r *Recorder) Last(name string) (Sample, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.samples[name]
+	if len(s) == 0 {
+		return Sample{}, false
+	}
+	return s[len(s)-1], true
+}
+
 // Names returns the recorded KPI names, sorted.
 func (r *Recorder) Names() []string {
 	r.mu.Lock()

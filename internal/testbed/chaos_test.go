@@ -1,0 +1,237 @@
+package testbed
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"ranbooster/internal/apps/resilience"
+	"ranbooster/internal/core"
+	"ranbooster/internal/ecpri"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/fault"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/oran"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+	"ranbooster/internal/telemetry"
+)
+
+// TestChaosRUShareLoss runs the §4.3 shared RU with 5% i.i.d. loss on the
+// RU's uplink: PRACH occasions must still reach the right DU often enough
+// for both tenants' UEs to attach, and the engine's sequence tracking
+// must see the loss the injector created.
+func TestChaosRUShareLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long system test")
+	}
+	tb := New(60)
+	ruCarrier := Carrier100()
+	dep, err := tb.SharedRU("loss", ruCarrier, RUPosition(0, 0), sharedCells(ruCarrier, true), core.ModeDPDK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewInjector(tb.Sched, tb.RNG.Fork(), fault.Profile{Drop: 0.05})
+	inj.Attach(tb.Switch.PortByName("loss-ru"))
+
+	ua := tb.AddUE(0, RUXPositions[0]+4, radio.FloorWidth/2)
+	ua.AllowedCell = "mnoA"
+	ub := tb.AddUE(0, RUXPositions[0]-4, radio.FloorWidth/2)
+	ub.AllowedCell = "mnoB"
+	tb.Settle()
+	tb.Run(300 * time.Millisecond)
+
+	if !ua.Attached() || ua.Cell.Name != "mnoA" {
+		t.Errorf("tenant A UE did not attach under 5%% uplink loss: %v", ua)
+	}
+	if !ub.Attached() || ub.Cell.Name != "mnoB" {
+		t.Errorf("tenant B UE did not attach under 5%% uplink loss: %v", ub)
+	}
+	var prach uint64
+	for _, d := range dep.DUs {
+		prach += d.Stats().PRACHDetected
+	}
+	if prach == 0 {
+		t.Error("no PRACH detected at either DU under loss")
+	}
+	if dep.App.PRACHMuxed == 0 {
+		t.Error("PRACH occasions never traversed the mux path")
+	}
+	st := inj.Stats()
+	if st.Dropped == 0 {
+		t.Error("injector dropped nothing at 5% loss")
+	}
+	// Drop-only profile: delivery is inline, so the accounting identity is
+	// exact even mid-run — no silent loss anywhere in the fabric.
+	if st.Injected+st.Duplicated != st.Delivered+st.Dropped {
+		t.Errorf("accounting broken: %v", st)
+	}
+	if eng := dep.Engine.Snapshot(); eng.SeqGaps == 0 {
+		t.Errorf("engine saw no sequence gaps despite %d injector drops", st.Dropped)
+	}
+}
+
+// TestChaosDMIMODelayedUplink delays one of two dMIMO RUs' uplink past
+// the DU's reception window (ULDeadline is 49µs): the DU must count the
+// late arrivals instead of silently mis-combining, and the cell must keep
+// serving the UE on the punctual RU's antennas.
+func TestChaosDMIMODelayedUplink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long system test")
+	}
+	run := func(delay time.Duration) (ulLate, ulRx uint64, attached bool, ul float64) {
+		tb := New(61)
+		cell := CellConfig("dmimo-cell", 1, Carrier100(), phy.StackSRSRAN, 4)
+		positions := []radio.Point{
+			radio.RUAt(0, 20, radio.FloorWidth/2),
+			radio.RUAt(0, 25, radio.FloorWidth/2),
+		}
+		dep, err := tb.DMIMOCell("dm", cell, positions, DMIMOOpts{Mode: core.ModeDPDK, PortsPerRU: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if delay > 0 {
+			inj := fault.NewInjector(tb.Sched, tb.RNG.Fork(), fault.Profile{Delay: delay})
+			inj.Attach(tb.Switch.PortByName("dm-ru1"))
+		}
+		ue := tb.AddUE(0, 22.5, radio.FloorWidth/2+3)
+		ue.OfferedDLbps = 1200e6
+		ue.OfferedULbps = 100e6
+		tb.Settle()
+		tb.Measure(300 * time.Millisecond)
+		st := dep.DU.Stats()
+		return st.ULLate, st.ULRx, ue.Attached(), ue.ThroughputULbps(tb.Sched.Now())
+	}
+
+	cleanLate, _, cleanAttached, cleanUL := run(0)
+	if !cleanAttached {
+		t.Fatal("baseline dMIMO UE did not attach")
+	}
+	if cleanLate != 0 {
+		t.Fatalf("baseline run already has %d late uplink frames", cleanLate)
+	}
+
+	late, rx, attached, ul := run(80 * time.Microsecond) // > 49µs ULDeadline
+	if late == 0 {
+		t.Fatalf("delaying RU1's uplink by 80µs produced no late frames (rx=%d)", rx)
+	}
+	if !attached {
+		t.Error("UE fell off the cell when one RU's uplink went late")
+	}
+	if ul >= cleanUL {
+		t.Errorf("UL throughput did not degrade: %.1f Mbps late vs %.1f clean", Mbps(ul), Mbps(cleanUL))
+	}
+	t.Logf("delayed RU: %d/%d uplink frames late, UL %.1f Mbps (clean %.1f)", late, rx, Mbps(ul), Mbps(cleanUL))
+}
+
+// TestChaosDeterminism replays the same fault script twice from the same
+// seed and demands bit-identical engine and injector statistics — the
+// property that makes every chaos scenario a regression test rather than
+// a flake generator.
+func TestChaosDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long system test")
+	}
+	run := func() (core.Stats, fault.Stats) {
+		tb := New(62)
+		cell := CellConfig("det", 1, Carrier100(), phy.StackSRSRAN, 4)
+		dep, err := tb.MonitoredCell("det", cell, RUPosition(0, 0), MonitorOpts{Mode: core.ModeDPDK})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj := fault.NewInjector(tb.Sched, tb.RNG.Fork(), fault.Profile{
+			Drop: 0.03, Duplicate: 0.01, Reorder: 0.05,
+			Burst: &fault.GilbertElliott{PGoodToBad: 0.002, PBadToGood: 0.2, LossBad: 0.9},
+		})
+		inj.Attach(tb.Switch.PortByName("det-du"))
+		u := tb.AddUE(0, RUXPositions[0]+4, radio.FloorWidth/2)
+		u.OfferedDLbps = 300e6
+		tb.Settle()
+		tb.Run(200 * time.Millisecond)
+		return dep.Engine.Snapshot(), inj.Stats()
+	}
+	eng1, inj1 := run()
+	eng2, inj2 := run()
+	if !reflect.DeepEqual(eng1, eng2) {
+		t.Errorf("engine stats diverged across identical runs:\n  %+v\n  %+v", eng1, eng2)
+	}
+	if inj1 != inj2 {
+		t.Errorf("injector stats diverged across identical runs:\n  %+v\n  %+v", inj1, inj2)
+	}
+	if eng1.SeqGaps == 0 || inj1.Dropped == 0 {
+		t.Errorf("fault script was a no-op: %+v / %+v", eng1, inj1)
+	}
+}
+
+// TestChaosFailoverLatencyBound pins the detection-latency guarantee the
+// chaos experiment reports: with a heartbeat probe arriving at the TDD
+// uplink inter-arrival (DDDSU: one probe per 5 slots), a DU silenced by
+// the fabric is failed over within FailoverAfter + one inter-arrival.
+func TestChaosFailoverLatencyBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long system test")
+	}
+	tb := New(63)
+	mbMAC := tb.NewMAC()
+	cellA := CellConfig("lat-a", 1, Carrier100(), phy.StackSRSRAN, 4)
+	cellB := CellConfig("lat-b", 2, Carrier100(), phy.StackSRSRAN, 4)
+	_, ruMAC := tb.AddRU("lat-ru", RUPosition(0, 0), RUOpts{Carrier: cellA.Carrier, Ports: 4, Peer: mbMAC})
+	_, macA := tb.AddDU("lat-duA", DUOpts{Cell: cellA, Peer: mbMAC})
+	_, macB := tb.AddDU("lat-duB", DUOpts{Cell: cellB, Peer: mbMAC})
+
+	const failAfter = 3 * time.Millisecond
+	app := resilience.New(resilience.Config{
+		Name: "lat", MAC: mbMAC, DUs: []eth.MAC{macA, macB}, RU: ruMAC,
+		FailoverAfter: failAfter,
+	})
+	eng, err := core.NewEngine(tb.Sched, core.Config{
+		Name: app.Name(), Mode: core.ModeDPDK, App: app, CarrierPRBs: cellA.Carrier.NumPRB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.AddEngine(eng, mbMAC)
+	rec := telemetry.NewRecorder()
+	rec.Attach(eng.Bus(), resilience.KPIFailover)
+
+	// Heartbeat probe at the uplink inter-arrival: the RU's uplink is
+	// solicited by DU C-plane, so a silenced DU silences the RU too; the
+	// probe is what keeps liveness checks flowing.
+	interArrival := phy.SlotDuration * 5 // DDDSU TDD period
+	probe := tb.Switch.AddPort("lat-probe", nil)
+	pb := fh.NewBuilder(tb.NewMAC(), mbMAC, -1)
+	tb.Sched.Ticker(interArrival, func() {
+		probe.Send(pb.CPlane(ecpri.PcID{}, &oran.CPlaneMsg{
+			Timing:      oran.Timing{Direction: oran.Downlink, FrameID: 1},
+			SectionType: oran.SectionType1,
+			Comp:        BFP9(),
+			Sections:    []oran.CSection{{NumPRB: 1, ReMask: 0xfff, NumSymbol: 1}},
+		}))
+	})
+
+	inj := fault.NewInjector(tb.Sched, tb.RNG.Fork(), fault.Profile{})
+	inj.Attach(tb.Switch.PortByName("lat-duA"))
+
+	ue := tb.AddUE(0, RUXPositions[0]+4, radio.FloorWidth/2)
+	ue.OfferedDLbps = 300e6
+	tb.Settle()
+	if !ue.Attached() {
+		t.Fatal("UE did not attach")
+	}
+	tb.Run(200 * time.Millisecond) // arm the detector under load
+
+	tFault := tb.Sched.Now()
+	inj.SetDown(true)
+	tb.Run(100 * time.Millisecond)
+
+	ev, ok := rec.Last(resilience.KPIFailover)
+	if !ok {
+		t.Fatal("no failover despite silenced DU")
+	}
+	lat := time.Duration(ev.At.Sub(tFault))
+	bound := failAfter + interArrival
+	if lat > bound {
+		t.Errorf("failover latency %v exceeds FailoverAfter + one uplink inter-arrival = %v", lat, bound)
+	}
+	t.Logf("failover in %v (bound %v, %d frames silenced)", lat, bound, inj.Stats().LinkDowns)
+}

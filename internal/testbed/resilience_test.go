@@ -89,3 +89,76 @@ func TestResilienceFailover(t *testing.T) {
 		t.Fatalf("failover timestamp %v", d)
 	}
 }
+
+// TestResilienceCascadingFailover kills the active DU twice: the detector
+// must re-arm against each replacement (resilience.App.rearm), so when
+// the first standby also dies the second one takes over in turn.
+func TestResilienceCascadingFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long system test")
+	}
+	tb := New(51)
+	mbMAC := tb.NewMAC()
+	cellA := CellConfig("casc-a", 1, Carrier100(), phy.StackSRSRAN, 4)
+	cellB := CellConfig("casc-b", 2, Carrier100(), phy.StackSRSRAN, 4)
+	cellC := CellConfig("casc-c", 3, Carrier100(), phy.StackSRSRAN, 4)
+
+	_, ruMAC := tb.AddRU("casc-ru", RUPosition(0, 0), RUOpts{Carrier: cellA.Carrier, Ports: 4, Peer: mbMAC})
+	duA, macA := tb.AddDU("casc-duA", DUOpts{Cell: cellA, Peer: mbMAC})
+	duB, macB := tb.AddDU("casc-duB", DUOpts{Cell: cellB, Peer: mbMAC})
+	_, macC := tb.AddDU("casc-duC", DUOpts{Cell: cellC, Peer: mbMAC})
+
+	app := resilience.New(resilience.Config{
+		Name: "casc", MAC: mbMAC, DUs: []eth.MAC{macA, macB, macC}, RU: ruMAC,
+		FailoverAfter: 3 * time.Millisecond,
+	})
+	eng, err := core.NewEngine(tb.Sched, core.Config{
+		Name: app.Name(), Mode: core.ModeDPDK, App: app, CarrierPRBs: cellA.Carrier.NumPRB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.AddEngine(eng, mbMAC)
+	rec := telemetry.NewRecorder()
+	rec.Attach(eng.Bus(), resilience.KPIFailover)
+
+	ue := tb.AddUE(0, RUXPositions[0]+4, radio.FloorWidth/2)
+	ue.OfferedDLbps = 300e6
+	tb.Settle()
+	if !ue.Attached() {
+		t.Fatal("UE did not attach")
+	}
+	tb.Run(200 * time.Millisecond) // loaded downlink arms the detector
+
+	// First failure: A dies, B takes over.
+	duA.Stop()
+	tb.Run(100 * time.Millisecond)
+	if app.Active() != 1 {
+		t.Fatalf("first failover did not happen: active = %d", app.Active())
+	}
+	// Let the UE recover on B and the re-armed detector see B's loaded
+	// cadence.
+	tb.Run(300 * time.Millisecond)
+	if !ue.Attached() || ue.Cell.Name != "casc-b" {
+		t.Fatalf("UE did not recover on first standby: %v", ue)
+	}
+	tb.Run(200 * time.Millisecond)
+
+	// Second failure: B dies too; the second standby must take over,
+	// which only works if the detector re-armed against B.
+	duB.Stop()
+	tb.Run(100 * time.Millisecond)
+	if app.Active() != 2 {
+		t.Fatalf("cascading failover did not happen: active = %d", app.Active())
+	}
+	tb.Run(300 * time.Millisecond)
+	if !ue.Attached() || ue.Cell.Name != "casc-c" {
+		t.Fatalf("UE did not recover on second standby: %v", ue)
+	}
+	if got := len(rec.Series(resilience.KPIFailover)); got != 2 {
+		t.Fatalf("published %d failovers, want 2", got)
+	}
+	if app.Failovers != 2 {
+		t.Fatalf("Failovers = %d, want 2", app.Failovers)
+	}
+}
