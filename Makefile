@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short chaos check
+.PHONY: all build vet test race short chaos bench fuzz check
 
 all: check
 
@@ -28,5 +28,20 @@ chaos:
 	$(GO) test ./internal/fault/ -run . -count=1
 	$(GO) test ./internal/testbed/ -run 'TestChaos' -count=1
 	$(GO) test ./internal/fabric/ -race -run TestPortStatsConcurrentRead -count=1
+
+# Bench regression snapshot: runs the engine benchmark matrix (parallel
+# and traced, 1/2/4 cores) and records it to BENCH_3.json. The <5%
+# tracing-overhead gate itself runs as a test (internal/benchreg).
+bench:
+	$(GO) run ./cmd/benchreg -o BENCH_3.json
+
+# FUZZTIME bounds each fuzz target; the wire-format dissectors must never
+# panic however mangled the frame.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDissect -fuzztime $(FUZZTIME) ./internal/fh
+	$(GO) test -run '^$$' -fuzz FuzzCPlane -fuzztime $(FUZZTIME) ./internal/oran
+	$(GO) test -run '^$$' -fuzz FuzzUPlane -fuzztime $(FUZZTIME) ./internal/oran
+	$(GO) test -run '^$$' -fuzz FuzzBFPDecode -fuzztime $(FUZZTIME) ./internal/bfp
 
 check: vet build race

@@ -8,17 +8,11 @@ package ranbooster_test
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"testing"
-	"time"
 
 	"ranbooster"
-	"ranbooster/internal/bfp"
-	"ranbooster/internal/ecpri"
-	"ranbooster/internal/fh"
-	"ranbooster/internal/iq"
-	"ranbooster/internal/oran"
+	"ranbooster/internal/benchreg"
 )
 
 var printOnce sync.Map
@@ -68,99 +62,23 @@ func BenchmarkAblateSSB(b *testing.B)       { benchExperiment(b, "ablate-ssb") }
 func BenchmarkAblateWidening(b *testing.B)  { benchExperiment(b, "ablate-widening") }
 func BenchmarkAblateXDPPlace(b *testing.B)  { benchExperiment(b, "ablate-xdp-placement") }
 
-// benchServicePause is a fixed per-frame service latency the bench app
-// blocks for, on top of its real decode work. Per-packet service time is
-// what the sharded datapath overlaps across workers, so the speedup is
-// measurable on any host — including single-CPU CI boxes, where pure
-// compute cannot scale past GOMAXPROCS.
-const benchServicePause = 20 * time.Microsecond
-
-// decodeApp does representative userspace work per frame: full packet
-// decode plus an Algorithm-1-style exponent scan over a 273-PRB U-plane
-// payload, then the fixed service pause.
-type decodeApp struct{}
-
-func (decodeApp) Name() string { return "bench-decode" }
-func (decodeApp) Handle(ctx *ranbooster.Context, pkt *ranbooster.Packet) error {
-	var msg oran.UPlaneMsg
-	if err := pkt.UPlane(&msg, 273); err != nil {
-		return err
-	}
-	util := 0
-	for i := range msg.Sections {
-		s := &msg.Sections[i]
-		size := s.Comp.PRBSize()
-		for off := 0; off+size <= len(s.Payload); off += size {
-			exp, err := bfp.PeekExponent(s.Payload[off:])
-			if err != nil {
-				break
-			}
-			if exp > 0 {
-				util++
-			}
-		}
-	}
-	ctx.ChargeExponentScan(util)
-	time.Sleep(benchServicePause)
-	ctx.Forward(pkt)
-	return nil
-}
-
-// benchFrames pre-builds full-carrier U-plane frames spread over 8 eAxC
-// streams so a sharded engine has parallelism to exploit.
-func benchFrames(b *testing.B) [][]byte {
-	b.Helper()
-	payload, err := bfp.CompressGrid(nil, iq.NewGrid(273), ranbooster.BFP9())
-	if err != nil {
-		b.Fatal(err)
-	}
-	du := ranbooster.MAC{0x02, 0, 0, 0, 0, 0x01}
-	mb := ranbooster.MAC{0x02, 0, 0, 0, 0, 0x02}
-	frames := make([][]byte, 8)
-	for port := range frames {
-		msg := &oran.UPlaneMsg{
-			Timing:   oran.Timing{Direction: oran.Downlink, FrameID: 1},
-			Sections: []oran.USection{{NumPRB: 273, Comp: ranbooster.BFP9(), Payload: payload}},
-		}
-		frames[port] = fh.NewBuilder(du, mb, -1).UPlane(ecpri.PcID{RUPort: uint8(port)}, msg)
-	}
-	return frames
-}
-
 // BenchmarkEngineParallel measures the sharded datapath's wall-clock
 // throughput: b.N frames across 8 antenna streams pushed through parallel
 // workers, at 1, 2 and 4 cores. frames/sec is reported; the 4-core run
-// should sustain well over 2x the single-core rate.
+// should sustain well over 2x the single-core rate. The workload lives in
+// internal/benchreg, shared with cmd/benchreg's BENCH_*.json snapshots.
 func BenchmarkEngineParallel(b *testing.B) {
 	for _, cores := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
-			tb := ranbooster.NewTestbed(1)
-			eng, err := ranbooster.NewEngine(tb.Sched, ranbooster.EngineConfig{
-				Name: "bench", Mode: ranbooster.ModeDPDK, App: decodeApp{},
-				CarrierPRBs: 273, Cores: cores, RingSize: 4096,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			eng.SetOutput(func([]byte) {})
-			frames := benchFrames(b)
-			if err := eng.Start(); err != nil {
-				b.Fatal(err)
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				f := frames[i&7]
-				for !eng.TryIngress(f) {
-					runtime.Gosched()
-				}
-			}
-			eng.Stop() // wait for the drain so every frame is processed
-			b.StopTimer()
-			if st := eng.Snapshot(); st.RxFrames != uint64(b.N) {
-				b.Fatalf("RxFrames = %d, want %d", st.RxFrames, b.N)
-			}
-			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/sec")
-		})
+		b.Run(fmt.Sprintf("cores=%d", cores), benchreg.EngineBench(cores, false))
+	}
+}
+
+// BenchmarkEngineTraced is the same workload with the frame-span trace
+// collector recording every packet; comparing against
+// BenchmarkEngineParallel at equal core counts isolates the observability
+// overhead (asserted < 5% by TestTracingOverhead in internal/benchreg).
+func BenchmarkEngineTraced(b *testing.B) {
+	for _, cores := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("cores=%d", cores), benchreg.EngineBench(cores, true))
 	}
 }

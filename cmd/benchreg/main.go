@@ -1,0 +1,82 @@
+// Command benchreg records the engine benchmark matrix to a JSON snapshot
+// (BENCH_3.json by default) so successive changes can be compared number
+// against number. It runs the exact workload of BenchmarkEngineParallel
+// and BenchmarkEngineTraced — via testing.Benchmark, the same harness
+// `go test -bench` uses — at 1, 2 and 4 cores, traced and untraced.
+//
+// Usage:
+//
+//	benchreg                  # writes BENCH_3.json in the current directory
+//	benchreg -o bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ranbooster/internal/benchreg"
+)
+
+// snapshot is the BENCH_*.json document.
+type snapshot struct {
+	Timestamp  string            `json:"timestamp"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Results    []benchreg.Result `json:"results"`
+	// TracingOverhead is (traced − untraced) / untraced ns/op at each core
+	// count; the CI regression gate holds the 4-core value under 5%.
+	TracingOverhead map[string]float64 `json:"tracing_overhead"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_3.json", "output file")
+	flag.Parse()
+
+	snap := snapshot{
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		TracingOverhead: make(map[string]float64),
+	}
+	plain := make(map[int]benchreg.Result)
+	for _, traced := range []bool{false, true} {
+		for _, cores := range []int{1, 2, 4} {
+			r := benchreg.Measure(cores, traced)
+			fmt.Printf("%-36s %12.0f ns/op %12.0f frames/sec %6d allocs/op\n",
+				r.Name, r.NsPerOp, r.FramesPerSec, r.AllocsPerOp)
+			snap.Results = append(snap.Results, r)
+			if !traced {
+				plain[cores] = r
+			} else if base, ok := plain[cores]; ok && base.NsPerOp > 0 {
+				key := fmt.Sprintf("cores=%d", cores)
+				snap.TracingOverhead[key] = (r.NsPerOp - base.NsPerOp) / base.NsPerOp
+			}
+		}
+	}
+	for _, cores := range []int{1, 2, 4} {
+		key := fmt.Sprintf("cores=%d", cores)
+		fmt.Printf("tracing overhead %-10s %+.2f%%\n", key, snap.TracingOverhead[key]*100)
+	}
+
+	buf, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		exit(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		exit(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func exit(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -9,17 +9,24 @@
 //	ranboosterd -app rushare
 //	ranboosterd -app prbmon -load 400
 //	ranboosterd -app prbmon -loss 0.05   # 5% loss on every fabric link
+//	ranboosterd -app das -metrics :9090 -pprof      # Prometheus /metrics + pprof
+//	ranboosterd -app das -trace -tracedump -        # slot replay of frame spans
+//	ranboosterd -app das -trace -pcap run.pcap      # spans correlate with capture
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"ranbooster/internal/air"
 	"ranbooster/internal/core"
 	"ranbooster/internal/fault"
+	"ranbooster/internal/pcap"
 	"ranbooster/internal/phy"
 	"ranbooster/internal/radio"
 	"ranbooster/internal/telemetry"
@@ -32,9 +39,21 @@ func main() {
 	dur := flag.Duration("duration", 500*time.Millisecond, "simulated run time after settling")
 	load := flag.Float64("load", 500, "offered downlink load per UE, Mbps")
 	loss := flag.Float64("loss", 0, "i.i.d. frame loss probability injected on every fabric link")
+	metrics := flag.String("metrics", "", "serve a Prometheus /metrics endpoint on this address (e.g. :9090) for the duration of the run")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics address")
+	trace := flag.Bool("trace", false, "enable the frame-span trace collector on the middlebox engine")
+	traceDump := flag.String("tracedump", "", "write a slot-replay of the recorded frame spans to this path after the run (\"-\" for stdout; implies -trace)")
+	pcapPath := flag.String("pcap", "", "capture every frame crossing the fabric to this pcap file")
 	flag.Parse()
 	if *loss < 0 || *loss >= 1 {
 		fmt.Fprintf(os.Stderr, "-loss must be in [0, 1), got %v\n", *loss)
+		os.Exit(2)
+	}
+	if *traceDump != "" {
+		*trace = true
+	}
+	if *pprofOn && *metrics == "" {
+		fmt.Fprintln(os.Stderr, "-pprof requires -metrics <addr>")
 		os.Exit(2)
 	}
 
@@ -99,6 +118,48 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *trace {
+		exitOn(engine.EnableTracing(0))
+	}
+	var pcapErr error
+	if *pcapPath != "" {
+		f, err := os.Create(*pcapPath)
+		exitOn(err)
+		defer f.Close()
+		w := pcap.NewWriter(f)
+		tb.Switch.SetTap(func(frame []byte) {
+			if pcapErr == nil {
+				pcapErr = w.WritePacket(time.Duration(tb.Sched.Now()), frame)
+			}
+		})
+	}
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		exitOn(err)
+		defer ln.Close()
+		mux := http.NewServeMux()
+		// The handler touches only race-safe readouts (engine snapshot,
+		// shared counters, trace histograms, atomic port stats), so
+		// scraping is sound even while parallel workers run.
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			p := telemetry.NewPromWriter(w)
+			engine.WriteMetrics(p)
+			tb.Switch.WriteMetrics(p)
+		})
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("serving /metrics on %v (pprof: %v)\n", ln.Addr(), *pprofOn)
+	}
+
 	for _, u := range ues {
 		u.OfferedDLbps = *load * 1e6
 		u.OfferedULbps = *load * 1e6 / 10
@@ -148,6 +209,27 @@ func main() {
 		}
 		fmt.Printf("faults: dropped %d of %d frames; engine saw seq gaps %d, shed %d, health %v\n",
 			fs.Dropped, fs.Injected, st.SeqGaps, st.ShedUPlane, st.Health)
+	}
+	if *trace && st.Trace != nil {
+		fmt.Println()
+		exitOn(telemetry.DumpTraceStats(os.Stdout, *st.Trace))
+	}
+	if *traceDump != "" {
+		out := os.Stdout
+		if *traceDump != "-" {
+			f, err := os.Create(*traceDump)
+			exitOn(err)
+			defer f.Close()
+			out = f
+		}
+		exitOn(telemetry.DumpTrace(out, engine.TraceSpans()))
+		if *traceDump != "-" {
+			fmt.Printf("wrote frame-span replay to %s\n", *traceDump)
+		}
+	}
+	if *pcapPath != "" {
+		exitOn(pcapErr)
+		fmt.Printf("wrote capture to %s\n", *pcapPath)
 	}
 }
 

@@ -165,6 +165,15 @@ func (a *App) merge(ctx *core.Context, pkts []*fh.Packet) (*fh.Packet, error) {
 		}
 		for i := range msg.Sections {
 			s := &msg.Sections[i]
+			// On a lossy fronthaul the RUs can answer *different* C-plane
+			// requests in the same symbol (a dropped request desynchronizes
+			// the replication), so the shared-layout construction argument
+			// no longer holds; a width mismatch must fail the merge, not
+			// corrupt it.
+			if s.NumPRB != baseMsg.Sections[i].NumPRB {
+				return nil, fmt.Errorf("das: section %d width mismatch (%d vs %d PRBs)",
+					i, s.NumPRB, baseMsg.Sections[i].NumPRB)
+			}
 			g := iq.NewGrid(s.NumPRB)
 			if _, err := bfp.DecompressGrid(s.Payload, g, s.Comp); err != nil {
 				return nil, err

@@ -1,0 +1,70 @@
+package benchreg
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWorkload sanity-checks the shared benchmark workload outside the
+// bench harness: frames must decode, the engine must process them all, and
+// the traced variant must actually record spans.
+func TestWorkload(t *testing.T) {
+	frames, err := Frames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 8 {
+		t.Fatalf("want 8 eAxC streams, got %d", len(frames))
+	}
+	eng, err := NewEngine(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	Drive(eng, frames, 64)
+	st := eng.Snapshot()
+	if st.RxFrames != 64 || st.TxFrames != 64 {
+		t.Fatalf("rx %d tx %d, want 64/64", st.RxFrames, st.TxFrames)
+	}
+	if st.Trace == nil || st.Trace.Spans != 64 {
+		t.Fatalf("traced run recorded no spans: %+v", st.Trace)
+	}
+}
+
+// tracingOverheadFrames is sized so the run is sleep-dominated (frames ×
+// ServicePause ≫ scheduler noise) but still finishes in tens of
+// milliseconds per attempt.
+const tracingOverheadFrames = 2000
+
+// TestTracingOverhead is the bench-regression gate of the observability
+// layer: with tracing on, the 4-core datapath may cost at most 5% more
+// wall-clock than untraced on the identical workload. Each variant gets
+// the best of three attempts so a scheduler hiccup cannot fail the build.
+func TestTracingOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison; skipped in -short")
+	}
+	best := func(traced bool) time.Duration {
+		bestD := time.Duration(1<<63 - 1)
+		for attempt := 0; attempt < 3; attempt++ {
+			d, err := TimeFrames(4, traced, tracingOverheadFrames)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	plain := best(false)
+	traced := best(true)
+	overhead := float64(traced-plain) / float64(plain)
+	t.Logf("untraced %v, traced %v, overhead %.2f%%", plain, traced, overhead*100)
+	if overhead > 0.05 {
+		t.Errorf("tracing overhead %.2f%% exceeds the 5%% budget (untraced %v, traced %v)",
+			overhead*100, plain, traced)
+	}
+}

@@ -1,0 +1,68 @@
+package bfp
+
+import (
+	"testing"
+
+	"ranbooster/internal/iq"
+)
+
+// FuzzBFPDecode feeds arbitrary payload bytes and an arbitrary udCompHdr
+// to the decompressor. Whatever the bytes claim, the codec must either
+// return an error or decode within bounds — and anything it decodes must
+// survive a re-compress / re-decompress cycle, since middlebox action A4
+// runs decoded PRBs straight back through the encoder.
+func FuzzBFPDecode(f *testing.F) {
+	ramp := func(width uint8) []byte {
+		var prb iq.PRB
+		for k := range prb {
+			prb[k].I = int16(k*117 - 700)
+			prb[k].Q = int16(500 - k*81)
+		}
+		p := Params{IQWidth: width, Method: MethodBlockFloatingPoint}
+		out, err := CompressPRB(nil, &prb, p)
+		if err != nil {
+			panic(err)
+		}
+		return out
+	}
+	f.Add(ramp(9), Params{IQWidth: 9, Method: MethodBlockFloatingPoint}.Byte())
+	f.Add(ramp(14), Params{IQWidth: 14, Method: MethodBlockFloatingPoint}.Byte())
+	f.Add(make([]byte, 48), Params{Method: MethodNone}.Byte())
+	f.Add([]byte{}, byte(0))
+	f.Fuzz(func(t *testing.T, data []byte, hdr byte) {
+		p := ParamsFromByte(hdr)
+		if _, err := PeekExponent(data); err != nil && len(data) > 0 {
+			t.Fatalf("PeekExponent failed on %d bytes: %v", len(data), err)
+		}
+		var prb iq.PRB
+		n, exp, err := DecompressPRB(data, &prb, p)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) || n != p.PRBSize() {
+			t.Fatalf("DecompressPRB consumed %d of %d bytes (PRBSize %d)", n, len(data), p.PRBSize())
+		}
+		if exp > MaxExponent {
+			t.Fatalf("exponent %d out of range", exp)
+		}
+		// The decoded block must be encodable again: A4 modify-and-reinject
+		// depends on compress never failing for params that just decoded.
+		enc, err := CompressPRB(nil, &prb, p)
+		if err != nil {
+			t.Fatalf("re-compress of decoded PRB failed: %v", err)
+		}
+		if len(enc) != p.PRBSize() {
+			t.Fatalf("re-compress produced %d bytes, PRBSize says %d", len(enc), p.PRBSize())
+		}
+		var prb2 iq.PRB
+		if _, _, err := DecompressPRB(enc, &prb2, p); err != nil {
+			t.Fatalf("decode of re-compressed PRB failed: %v", err)
+		}
+		// Grid-level decode over the same bytes must agree with the
+		// single-PRB path.
+		g := iq.NewGrid(1)
+		if gn, err := DecompressGrid(data, g, p); err != nil || gn != n || g[0] != prb {
+			t.Fatalf("DecompressGrid disagrees with DecompressPRB: n=%d vs %d, err=%v", gn, n, err)
+		}
+	})
+}

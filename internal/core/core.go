@@ -83,6 +83,21 @@ type Context struct {
 	now   sim.Time
 	cost  time.Duration
 	emits []*fh.Packet
+	// actions / actCost attribute the handler's charged cost to the four
+	// processing actions for the trace collector (bitmask of
+	// 1<<telemetry.Action; maintained only while tracing is on).
+	actions uint8
+	actCost [telemetry.NumActions]time.Duration
+}
+
+// noteAction charges d and, when the trace collector is on, attributes it
+// to action a in the packet's span.
+func (c *Context) noteAction(a telemetry.Action, d time.Duration) {
+	c.cost += d
+	if c.sh.tracer != nil {
+		c.actions |= 1 << a
+		c.actCost[a] += d
+	}
 }
 
 // Now returns the current virtual time.
@@ -94,7 +109,7 @@ func (c *Context) AddCost(d time.Duration) { c.cost += d }
 
 // Forward queues the packet for transmission as currently addressed (A1).
 func (c *Context) Forward(pkt *fh.Packet) {
-	c.cost += cpu.CostForward
+	c.noteAction(telemetry.ActionRedirect, cpu.CostForward)
 	c.emits = append(c.emits, pkt)
 }
 
@@ -110,14 +125,14 @@ func (c *Context) Redirect(pkt *fh.Packet, dst, src eth.MAC, vlan int) error {
 
 // Drop discards the packet (A1).
 func (c *Context) Drop(pkt *fh.Packet) {
-	c.cost += cpu.CostDrop
+	c.noteAction(telemetry.ActionRedirect, cpu.CostDrop)
 	c.sh.stats.appDrops.Add(1)
 }
 
 // Replicate clones the packet (A2). The clone is independent: it can be
 // re-addressed and forwarded separately.
 func (c *Context) Replicate(pkt *fh.Packet) *fh.Packet {
-	c.cost += cpu.CostReplicate
+	c.noteAction(telemetry.ActionReplicate, cpu.CostReplicate)
 	return pkt.Clone()
 }
 
@@ -126,7 +141,7 @@ func (c *Context) Replicate(pkt *fh.Packet) *fh.Packet {
 // its eAxC RU port, which is exactly the shard the key's packets arrive
 // on.
 func (c *Context) Cache(key fh.Key, pkt *fh.Packet) {
-	c.cost += cpu.CostCacheInsert
+	c.noteAction(telemetry.ActionCache, cpu.CostCacheInsert)
 	c.sh.cache.Put(key, pkt, c.now)
 }
 
@@ -140,7 +155,7 @@ func (c *Context) CachedCount(key fh.Key) int { return len(c.sh.cache.Peek(key))
 
 // TakeCached removes and returns the packets stored under key (A3).
 func (c *Context) TakeCached(key fh.Key) []*fh.Packet {
-	c.cost += cpu.CostCacheTake
+	c.noteAction(telemetry.ActionCache, cpu.CostCacheTake)
 	return c.sh.cache.Take(key)
 }
 
@@ -149,7 +164,7 @@ func (c *Context) TakeCached(key fh.Key) []*fh.Packet {
 // header-level cost is charged here; fn must charge IQ-level work through
 // ChargeMerge / ChargeCopy / ChargeRecompress as it performs it.
 func (c *Context) ModifyUPlane(pkt *fh.Packet, carrierPRBs int, fn func(msg *oran.UPlaneMsg) error) (*fh.Packet, error) {
-	c.cost += cpu.CostHeaderMod
+	c.noteAction(telemetry.ActionModify, cpu.CostHeaderMod)
 	var msg oran.UPlaneMsg
 	if err := pkt.UPlane(&msg, carrierPRBs); err != nil {
 		return nil, err
@@ -162,7 +177,7 @@ func (c *Context) ModifyUPlane(pkt *fh.Packet, carrierPRBs int, fn func(msg *ora
 
 // ModifyCPlane is ModifyUPlane for C-plane messages (A4).
 func (c *Context) ModifyCPlane(pkt *fh.Packet, carrierPRBs int, fn func(msg *oran.CPlaneMsg) error) (*fh.Packet, error) {
-	c.cost += cpu.CostHeaderMod
+	c.noteAction(telemetry.ActionModify, cpu.CostHeaderMod)
 	var msg oran.CPlaneMsg
 	if err := pkt.CPlane(&msg, carrierPRBs); err != nil {
 		return nil, err
@@ -174,22 +189,30 @@ func (c *Context) ModifyCPlane(pkt *fh.Packet, carrierPRBs int, fn func(msg *ora
 }
 
 // ChargeHeaderMod charges one in-place header-field modification (A4).
-func (c *Context) ChargeHeaderMod() { c.cost += cpu.CostHeaderMod }
+func (c *Context) ChargeHeaderMod() { c.noteAction(telemetry.ActionModify, cpu.CostHeaderMod) }
 
 // ChargeMerge charges an IQ merge of nStreams compressed streams of nPRB
 // PRBs (A4) — the DAS uplink combination.
-func (c *Context) ChargeMerge(nPRB, nStreams int) { c.cost += cpu.MergeCost(nPRB, nStreams) }
+func (c *Context) ChargeMerge(nPRB, nStreams int) {
+	c.noteAction(telemetry.ActionModify, cpu.MergeCost(nPRB, nStreams))
+}
 
 // ChargeCopyAligned charges relocation of nPRB compressed PRBs without
 // recompression (the RU-sharing aligned fast path).
-func (c *Context) ChargeCopyAligned(nPRB int) { c.cost += cpu.AlignedCopyCost(nPRB) }
+func (c *Context) ChargeCopyAligned(nPRB int) {
+	c.noteAction(telemetry.ActionModify, cpu.AlignedCopyCost(nPRB))
+}
 
 // ChargeRecompress charges relocation of nPRB PRBs through the misaligned
 // decompress/copy/recompress path.
-func (c *Context) ChargeRecompress(nPRB int) { c.cost += cpu.RecompressCopyCost(nPRB) }
+func (c *Context) ChargeRecompress(nPRB int) {
+	c.noteAction(telemetry.ActionModify, cpu.RecompressCopyCost(nPRB))
+}
 
 // ChargeExponentScan charges Algorithm 1's per-PRB exponent inspection.
-func (c *Context) ChargeExponentScan(nPRB int) { c.cost += cpu.ExponentScanCost(nPRB) }
+func (c *Context) ChargeExponentScan(nPRB int) {
+	c.noteAction(telemetry.ActionModify, cpu.ExponentScanCost(nPRB))
+}
 
 // Publish emits a telemetry sample on the middlebox's bus.
 func (c *Context) Publish(name string, value float64) {

@@ -46,6 +46,9 @@ const (
 	// DefaultRingSize is the per-shard ring capacity when Config.RingSize
 	// is 0.
 	DefaultRingSize = 1024
+	// DefaultTraceRing is the per-shard span-ring capacity when tracing is
+	// enabled with Config.TraceRing 0.
+	DefaultTraceRing = 1024
 )
 
 // Config describes one middlebox instance. It is construction-time input:
@@ -88,6 +91,15 @@ type Config struct {
 	// RingSize/8; a negative value disables shedding; values >= RingSize
 	// are rejected with ErrBadHeadroom.
 	CPlaneHeadroom int
+	// Trace enables the frame-span trace collector: every processed frame
+	// leaves a telemetry.Span in its shard's fixed-size ring and feeds the
+	// per-stage/per-action latency histograms merged into Snapshot. Off by
+	// default — the disabled datapath pays only a nil check per frame.
+	Trace bool
+	// TraceRing is the per-shard span-ring capacity when Trace is set
+	// (default DefaultTraceRing; values above MaxRingSize are rejected
+	// with ErrBadRing).
+	TraceRing int
 }
 
 // Stats are the engine's datapath counters. Obtain them with
@@ -124,6 +136,10 @@ type Stats struct {
 	// Health is the engine's degradation state: the worst per-shard state
 	// (Add merges with max, not sum).
 	Health Health
+	// Trace is the merged trace readout (span count, per-stage and
+	// per-action latency histograms) when tracing is enabled, nil
+	// otherwise. Add merges readouts histogram-wise.
+	Trace *telemetry.TraceStats
 }
 
 // Add returns the field-wise sum of s and o — the combinator used to
@@ -146,7 +162,20 @@ func (s Stats) Add(o Stats) Stats {
 
 		InvalidFrames: s.InvalidFrames + o.InvalidFrames,
 		Health:        maxHealth(s.Health, o.Health),
+		Trace:         mergeTrace(s.Trace, o.Trace),
 	}
+}
+
+// mergeTrace combines two optional trace readouts without mutating either.
+func mergeTrace(a, b *telemetry.TraceStats) *telemetry.TraceStats {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	m := a.Merge(*b)
+	return &m
 }
 
 // Engine runs one middlebox over a fronthaul attachment point (a switch
@@ -208,6 +237,12 @@ func NewEngine(sched *sim.Scheduler, cfg Config) (*Engine, error) {
 	}
 	if cfg.RingSize > MaxRingSize {
 		return fail(fmt.Errorf("%w: %d", ErrBadRing, cfg.RingSize))
+	}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = DefaultTraceRing
+	}
+	if cfg.TraceRing > MaxRingSize {
+		return fail(fmt.Errorf("%w: trace ring %d", ErrBadRing, cfg.TraceRing))
 	}
 	if cfg.CPlaneHeadroom >= cfg.RingSize {
 		return fail(fmt.Errorf("%w: headroom %d with ring size %d", ErrBadHeadroom, cfg.CPlaneHeadroom, cfg.RingSize))
@@ -273,9 +308,56 @@ func (e *Engine) Bus() *telemetry.Bus { return e.bus }
 func (e *Engine) Snapshot() Stats {
 	var s Stats
 	for _, sh := range e.shards {
-		s = s.Add(sh.stats.snapshot())
+		st := sh.stats.snapshot()
+		if sh.tracer != nil {
+			ts := sh.tracer.Stats()
+			st.Trace = &ts
+		}
+		s = s.Add(st)
 	}
 	return s
+}
+
+// TraceEnabled reports whether the frame-span trace collector is on.
+func (e *Engine) TraceEnabled() bool { return e.shards[0].tracer != nil }
+
+// EnableTracing turns the frame-span trace collector on for an engine that
+// was built without Config.Trace, giving every shard a span ring of
+// ringCap entries (0 means DefaultTraceRing). It is a management-plane
+// call: it fails with ErrRunning while parallel workers run, and is a
+// no-op on an engine already tracing.
+func (e *Engine) EnableTracing(ringCap int) error {
+	if e.parallel {
+		return fmt.Errorf("core: %s: %w", e.cfg.Name, ErrRunning)
+	}
+	if ringCap <= 0 {
+		ringCap = DefaultTraceRing
+	}
+	if ringCap > MaxRingSize {
+		return fmt.Errorf("core: %s: %w: trace ring %d", e.cfg.Name, ErrBadRing, ringCap)
+	}
+	e.cfg.Trace = true
+	e.cfg.TraceRing = ringCap
+	for _, sh := range e.shards {
+		if sh.tracer == nil {
+			sh.tracer = telemetry.NewTracer(ringCap)
+		}
+	}
+	return nil
+}
+
+// TraceSpans returns the retained frame spans of every shard (each shard's
+// run oldest-first; order across shards follows shard ids — sort by
+// Span.EnqueuedAt, as telemetry.DumpTrace does, for a global timeline).
+// It returns nil when tracing is off.
+func (e *Engine) TraceSpans() []telemetry.Span {
+	var spans []telemetry.Span
+	for _, sh := range e.shards {
+		if sh.tracer != nil {
+			spans = append(spans, sh.tracer.Spans()...)
+		}
+	}
+	return spans
 }
 
 // CounterValue returns the merged value of a named shared counter — the
@@ -420,7 +502,7 @@ func (e *Engine) Ingress(frame []byte) {
 // never counts a drop.
 func (e *Engine) TryIngress(frame []byte) bool {
 	sh := e.shardFor(frame)
-	if !sh.in.push(frame) {
+	if !sh.enqueue(frame) {
 		return false
 	}
 	if e.parallel {

@@ -34,7 +34,13 @@ import (
 // only from one producer goroutine, pop only from one consumer; the two
 // may run concurrently.
 type ring struct {
-	buf  [][]byte
+	buf [][]byte
+	// ts is the enqueue-timestamp sidecar for the trace collector: slot i
+	// carries the virtual instant buf[i] was pushed. It shares the ring's
+	// SPSC discipline (the producer stamps before publishing tail, the
+	// consumer reads before advancing head), so tracing adds one store to
+	// push and no synchronization.
+	ts   []sim.Time
 	mask uint64
 
 	head atomic.Uint64 // consumer cursor: next slot to pop
@@ -49,30 +55,34 @@ func newRing(size int) *ring {
 	for n < size {
 		n <<= 1
 	}
-	return &ring{buf: make([][]byte, n), mask: uint64(n - 1)}
+	return &ring{buf: make([][]byte, n), ts: make([]sim.Time, n), mask: uint64(n - 1)}
 }
 
-// push enqueues a frame, reporting false when the ring is full.
-func (r *ring) push(frame []byte) bool {
+// push enqueues a frame stamped with its arrival instant, reporting false
+// when the ring is full.
+func (r *ring) push(frame []byte, at sim.Time) bool {
 	t := r.tail.Load()
 	if t-r.head.Load() == uint64(len(r.buf)) {
 		return false
 	}
 	r.buf[t&r.mask] = frame
+	r.ts[t&r.mask] = at
 	r.tail.Store(t + 1)
 	return true
 }
 
-// pop dequeues the oldest frame, reporting false when the ring is empty.
-func (r *ring) pop() ([]byte, bool) {
+// pop dequeues the oldest frame and its enqueue stamp, reporting false
+// when the ring is empty.
+func (r *ring) pop() ([]byte, sim.Time, bool) {
 	h := r.head.Load()
 	if h == r.tail.Load() {
-		return nil, false
+		return nil, 0, false
 	}
 	f := r.buf[h&r.mask]
+	at := r.ts[h&r.mask]
 	r.buf[h&r.mask] = nil
 	r.head.Store(h + 1)
-	return f, true
+	return f, at, true
 }
 
 // queued reports how many frames are waiting (approximate under
@@ -134,6 +144,11 @@ type shard struct {
 	// lastRing / lastFaults are the counter totals at the previous health
 	// window boundary (consumer goroutine only; see updateHealth).
 	lastRing, lastFaults uint64
+	// tracer is the shard's trace instrument (span ring + stage/action
+	// histograms), nil when tracing is off. Set at construction or by
+	// Engine.EnableTracing (never while workers run), so both the producer
+	// (enqueue stamping) and the consumer read a stable pointer.
+	tracer *telemetry.Tracer
 
 	stats shardStats
 	latMu sync.Mutex
@@ -143,7 +158,7 @@ type shard struct {
 }
 
 func newShard(e *Engine, id int) *shard {
-	return &shard{
+	sh := &shard{
 		id:       id,
 		eng:      e,
 		core:     e.pool.Core(id),
@@ -153,6 +168,10 @@ func newShard(e *Engine, id int) *shard {
 		seq:      make(map[seqKey]uint8),
 		wake:     make(chan struct{}, 1),
 	}
+	if e.cfg.Trace {
+		sh.tracer = telemetry.NewTracer(e.cfg.TraceRing)
+	}
+	return sh
 }
 
 // seqKey identifies one eCPRI sequence stream at a middlebox: each
@@ -175,11 +194,22 @@ func (sh *shard) admit(frame []byte) bool {
 			return false
 		}
 	}
-	if !sh.in.push(frame) {
+	if !sh.enqueue(frame) {
 		sh.stats.ringDrops.Add(1)
 		return false
 	}
 	return true
+}
+
+// enqueue pushes the frame on the ingress ring, stamped with the enqueue
+// instant when the trace collector is on (untraced frames skip the clock
+// read; the stale stamp is never consumed).
+func (sh *shard) enqueue(frame []byte) bool {
+	var at sim.Time
+	if sh.tracer != nil {
+		at = sh.now()
+	}
+	return sh.in.push(frame, at)
 }
 
 // trackSeq runs gap detection over the packet's eCPRI sequence number.
@@ -246,11 +276,11 @@ func (sh *shard) wakeUp() {
 func (sh *shard) drain(max int) int {
 	n := 0
 	for n < max {
-		frame, ok := sh.in.pop()
+		frame, enq, ok := sh.in.pop()
 		if !ok {
 			break
 		}
-		sh.process(frame)
+		sh.process(frame, enq)
 		n++
 	}
 	return n
@@ -276,8 +306,9 @@ func (sh *shard) run(stop <-chan struct{}) {
 }
 
 // process runs one frame through the shard's datapath: decode, optional
-// kernel program, userspace App.
-func (sh *shard) process(frame []byte) {
+// kernel program, userspace App. enq is the frame's ingress-ring enqueue
+// stamp (meaningful only while the trace collector is on).
+func (sh *shard) process(frame []byte, enq sim.Time) {
 	e := sh.eng
 	n := sh.stats.rxFrames.Add(1)
 	if n%sweepEvery == 0 {
@@ -301,32 +332,40 @@ func (sh *shard) process(frame []byte) {
 	sh.trackSeq(pkt)
 	arrival := sh.now()
 	start := sh.core.Acquire(arrival)
-	cost := cpu.CostParse
+	decodeCost := cpu.CostParse
 	if e.cfg.Mode == ModeXDP {
-		cost += cpu.CostKernelDriver
+		decodeCost += cpu.CostKernelDriver
 		if start == arrival && sh.core.BusyUntil() < arrival {
 			// Interrupt-driven wakeup from idle.
-			cost += cpu.CostInterruptWake
+			decodeCost += cpu.CostInterruptWake
 		}
 	}
+	cost := decodeCost
 
 	class := Classify(pkt)
+	var kernelCost time.Duration
 	if e.cfg.Mode == ModeXDP {
 		verdict, kCost, emits := e.runKernel(sh, pkt)
+		kernelCost = kCost
 		cost += kCost
 		switch verdict {
 		case VerdictTx:
 			sh.stats.kernelTx.Add(1)
 			fin := sh.core.Charge(start, cost)
 			sh.recordLatency(class, cost)
+			sh.traceSpan(pkt, class, enq, start, fin, decodeCost, kernelCost, 0, nil)
 			sh.emitAll(emits, fin)
 			return
 		case VerdictDrop:
 			sh.stats.kernelDrop.Add(1)
-			sh.core.Charge(start, cost)
+			fin := sh.core.Charge(start, cost)
+			sh.traceSpan(pkt, class, enq, start, fin, decodeCost, kernelCost, 0, nil)
 			return
 		default:
 			sh.stats.punts.Add(1)
+			// The AF_XDP handoff belongs to the kernel stage: it is the
+			// cost of leaving it.
+			kernelCost += cpu.CostAFXDPHandoff
 			cost += cpu.CostAFXDPHandoff
 		}
 	}
@@ -335,6 +374,7 @@ func (sh *shard) process(frame []byte) {
 		// continue unmodified (the XDP program returned PASS).
 		fin := sh.core.Charge(start, cost+cpu.CostForward)
 		sh.recordLatency(class, cost+cpu.CostForward)
+		sh.traceSpan(pkt, class, enq, start, fin, decodeCost, kernelCost, 0, nil)
 		sh.emitAll([]*fh.Packet{pkt}, fin)
 		return
 	}
@@ -342,12 +382,49 @@ func (sh *shard) process(frame []byte) {
 	ctx := &Context{sh: sh, now: sh.now(), cost: cost}
 	if err := e.cfg.App.Handle(ctx, pkt); err != nil {
 		sh.stats.appErrors.Add(1)
-		sh.core.Charge(start, ctx.cost)
+		fin := sh.core.Charge(start, ctx.cost)
+		sh.traceSpan(pkt, class, enq, start, fin, decodeCost, kernelCost, ctx.cost-cost, ctx)
 		return
 	}
 	fin := sh.core.Charge(start, ctx.cost)
 	sh.recordLatency(class, ctx.cost)
+	sh.traceSpan(pkt, class, enq, start, fin, decodeCost, kernelCost, ctx.cost-cost, ctx)
 	sh.emitAll(ctx.emits, fin)
+}
+
+// traceSpan records one frame's span when the trace collector is on. The
+// stage durations come from the cost model (decode, kernel, app); the
+// queue stage is measured from the enqueue stamp to service start, so it
+// captures ring residency plus core contention; total spans enqueue to
+// egress TX. ctx carries the per-action attribution (nil on paths that
+// never reach the App).
+func (sh *shard) traceSpan(pkt *fh.Packet, class TrafficClass, enq, start, fin sim.Time,
+	decode, kernel, app time.Duration, ctx *Context) {
+	t := sh.tracer
+	if t == nil {
+		return
+	}
+	var s telemetry.Span
+	s.EAxC = pkt.Ecpri.PcID.Uint16()
+	if tm, err := pkt.Timing(); err == nil {
+		s.Frame, s.Subframe, s.Slot = tm.FrameID, tm.SubframeID, tm.SlotID
+	}
+	s.Class = uint8(class)
+	s.EnqueuedAt, s.StartAt, s.DoneAt = enq, start, fin
+	if start > enq {
+		s.Stages[telemetry.StageQueue] = time.Duration(start - enq)
+	}
+	s.Stages[telemetry.StageDecode] = decode
+	s.Stages[telemetry.StageKernel] = kernel
+	s.Stages[telemetry.StageApp] = app
+	if fin > enq {
+		s.Stages[telemetry.StageTotal] = time.Duration(fin - enq)
+	}
+	if ctx != nil {
+		s.Actions = ctx.actions
+		s.ActionCost = ctx.actCost
+	}
+	t.Record(s)
 }
 
 // emitAll hands processed packets to the egress. Deterministically they

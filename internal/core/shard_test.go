@@ -21,28 +21,29 @@ func TestRing(t *testing.T) {
 	if len(r.buf) != 4 {
 		t.Fatalf("capacity = %d, want 4", len(r.buf))
 	}
-	if _, ok := r.pop(); ok {
+	if _, _, ok := r.pop(); ok {
 		t.Fatal("pop from empty ring succeeded")
 	}
 	for i := 0; i < 4; i++ {
-		if !r.push([]byte{byte(i)}) {
+		if !r.push([]byte{byte(i)}, sim.Time(i)) {
 			t.Fatalf("push %d failed", i)
 		}
 	}
-	if r.push([]byte{9}) {
+	if r.push([]byte{9}, 9) {
 		t.Fatal("push into full ring succeeded")
 	}
 	if r.queued() != 4 {
 		t.Fatalf("queued = %d, want 4", r.queued())
 	}
-	// FIFO across a wraparound.
+	// FIFO across a wraparound; the enqueue stamp rides along with its
+	// frame.
 	for round := 0; round < 3; round++ {
 		for i := 0; i < 4; i++ {
-			f, ok := r.pop()
-			if !ok || f[0] != byte(i) {
-				t.Fatalf("round %d: pop = %v,%v, want [%d]", round, f, ok, i)
+			f, at, ok := r.pop()
+			if !ok || f[0] != byte(i) || at != sim.Time(i) {
+				t.Fatalf("round %d: pop = %v,%v,%v, want [%d] at %d", round, f, at, ok, i, i)
 			}
-			if !r.push([]byte{byte(i)}) {
+			if !r.push([]byte{byte(i)}, sim.Time(i)) {
 				t.Fatalf("round %d: refill %d failed", round, i)
 			}
 		}

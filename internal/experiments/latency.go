@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ranbooster/internal/air"
+	"ranbooster/internal/core"
+	"ranbooster/internal/fault"
+	"ranbooster/internal/phy"
+	"ranbooster/internal/radio"
+	"ranbooster/internal/telemetry"
+	"ranbooster/internal/testbed"
+)
+
+func init() {
+	register("latency", Latency)
+}
+
+// latencySeeds fixes one seed per application so every breakdown replays
+// bit-identically (the clean and faulted variants share the seed: the
+// fault injector draws from a forked stream).
+var latencySeeds = map[string]uint64{"das": 500, "dmimo": 501, "rushare": 502, "prbmon": 503}
+
+// latencyLoss is the chaos profile of the faulted variant: the 5% i.i.d.
+// loss point of the PR-2 chaos experiment, on every middlebox-facing link.
+const latencyLoss = 0.05
+
+// Latency regenerates the per-stage / per-action latency breakdown from
+// the frame-span trace collector: each application runs a deterministic
+// seeded window, clean and under the 5% loss chaos profile, and reports
+// p50/p99/p99.9 of every datapath stage (queue, decode, kernel, app,
+// total) and of each processing action A1-A4. The numbers come from the
+// same histograms a /metrics scrape exports.
+func Latency() *Table {
+	t := &Table{
+		ID:      "latency",
+		Title:   "Frame-latency breakdown by datapath stage and action (trace collector)",
+		Columns: []string{"scenario", "stage/action", "n", "p50", "p99", "p99.9"},
+	}
+	for _, app := range []string{"das", "dmimo", "rushare", "prbmon"} {
+		for _, lossy := range []bool{false, true} {
+			runLatencyScenario(t, app, lossy)
+		}
+	}
+	t.Note("stages: queue = ring+core contention, decode = header parse, kernel = XDP rules, app = userspace handler")
+	t.Note("faulted variant injects %.0f%% i.i.d. loss on the middlebox links after settling (seeds %d..%d)",
+		latencyLoss*100, latencySeeds["das"], latencySeeds["prbmon"])
+	return t
+}
+
+// runLatencyScenario deploys one application with tracing, drives a
+// measured window, and appends its stage/action percentile rows.
+func runLatencyScenario(t *Table, app string, lossy bool) {
+	tb := testbed.New(latencySeeds[app])
+	engine, ues := latencyDeployment(tb, app)
+	for _, u := range ues {
+		u.OfferedDLbps = 400e6
+		u.OfferedULbps = 40e6
+	}
+	tb.Settle()
+	// Tracing goes live only for the measured window, so settling traffic
+	// does not dilute the histograms; faults likewise arrive on a fabric
+	// that finished attachment cleanly.
+	if err := engine.EnableTracing(0); err != nil {
+		panic(err)
+	}
+	if lossy {
+		for _, p := range tb.Switch.Ports() {
+			fault.NewInjector(tb.Sched, tb.RNG.Fork(), fault.Profile{Drop: latencyLoss}).Attach(p)
+		}
+	}
+	engine.ResetMeasurement()
+	tb.Measure(200 * time.Millisecond)
+
+	st := engine.Snapshot()
+	scenario := app
+	if lossy {
+		scenario += fmt.Sprintf(" @ %.0f%% loss", latencyLoss*100)
+	}
+	if st.Trace == nil || st.Trace.Spans == 0 {
+		t.AddRow(scenario, "NO SPANS", "0", "-", "-", "-")
+		return
+	}
+	row := func(kind string, h telemetry.HistSnapshot) {
+		if h.Count == 0 {
+			return
+		}
+		p50, p99, p999 := telemetry.Quantiles(h)
+		t.AddRow(scenario, kind, fmt.Sprintf("%d", h.Count),
+			p50.String(), p99.String(), p999.String())
+	}
+	for st2 := telemetry.Stage(0); st2 < telemetry.NumStages; st2++ {
+		row(st2.String(), st.Trace.Stage[st2])
+	}
+	for a := telemetry.Action(0); a < telemetry.NumActions; a++ {
+		row(a.String(), st.Trace.Action[a])
+	}
+}
+
+// latencyDeployment assembles one of the four paper applications on tb and
+// returns its engine and UEs, mirroring the ranboosterd deployments. DAS
+// and dMIMO run the DPDK datapath (their userspace pipelines), PRB
+// monitoring runs XDP so the kernel stage appears in the breakdown, and
+// RU sharing runs DPDK with two tenants.
+func latencyDeployment(tb *testbed.TB, app string) (*core.Engine, []*air.UE) {
+	var ues []*air.UE
+	switch app {
+	case "das":
+		cell := testbed.CellConfig("cell0", 1, testbed.Carrier100(), phy.StackSRSRAN, 4)
+		var pos []radio.Point
+		for f := 0; f < testbed.Floors; f++ {
+			pos = append(pos, testbed.RUPosition(f, 1))
+		}
+		dep, err := tb.DASCell("das", cell, pos, testbed.DASOpts{Mode: core.ModeDPDK, Cores: 2})
+		if err != nil {
+			panic(err)
+		}
+		for f := 0; f < testbed.Floors; f++ {
+			ues = append(ues, tb.AddUE(f, testbed.RUXPositions[1]+4, radio.FloorWidth/2))
+		}
+		return dep.Engine, ues
+	case "dmimo":
+		cell := testbed.CellConfig("cell0", 1, testbed.Carrier100(), phy.StackSRSRAN, 4)
+		pos := []radio.Point{testbed.RUPosition(0, 1), testbed.RUPosition(0, 2)}
+		dep, err := tb.DMIMOCell("dmimo", cell, pos, testbed.DMIMOOpts{Mode: core.ModeDPDK, PortsPerRU: 2})
+		if err != nil {
+			panic(err)
+		}
+		ues = append(ues, tb.AddUE(0, (testbed.RUXPositions[1]+testbed.RUXPositions[2])/2, radio.FloorWidth/2))
+		return dep.Engine, ues
+	case "rushare":
+		ruCarrier := testbed.Carrier100()
+		duPRBs := phy.PRBsFor(40)
+		cells := []air.CellConfig{
+			testbed.CellConfig("mnoA", 11, phy.Carrier{BandwidthMHz: 40, CenterHz: phy.AlignedDUCenterHz(ruCarrier, 0, duPRBs), NumPRB: duPRBs}, phy.StackSRSRAN, 4),
+			testbed.CellConfig("mnoB", 12, phy.Carrier{BandwidthMHz: 40, CenterHz: phy.AlignedDUCenterHz(ruCarrier, ruCarrier.NumPRB-duPRBs, duPRBs), NumPRB: duPRBs}, phy.StackSRSRAN, 4),
+		}
+		dep, err := tb.SharedRU("share", ruCarrier, testbed.RUPosition(0, 0), cells, core.ModeDPDK)
+		if err != nil {
+			panic(err)
+		}
+		a := tb.AddUE(0, testbed.RUXPositions[0]+4, radio.FloorWidth/2)
+		a.AllowedCell = "mnoA"
+		b := tb.AddUE(0, testbed.RUXPositions[0]-4, radio.FloorWidth/2)
+		b.AllowedCell = "mnoB"
+		return dep.Engine, []*air.UE{a, b}
+	case "prbmon":
+		cell := testbed.CellConfig("cell0", 1, testbed.Carrier100(), phy.StackSRSRAN, 4)
+		dep, err := tb.MonitoredCell("mon", cell, testbed.RUPosition(0, 0), testbed.MonitorOpts{Mode: core.ModeXDP})
+		if err != nil {
+			panic(err)
+		}
+		ues = append(ues, tb.AddUE(0, testbed.RUXPositions[0]+4, radio.FloorWidth/2))
+		return dep.Engine, ues
+	}
+	panic("unknown latency app " + app)
+}

@@ -1,0 +1,19 @@
+package fabric
+
+import "ranbooster/internal/telemetry"
+
+// WriteMetrics exports the switch's per-port traffic counters in the
+// Prometheus text format. Only the atomically-maintained port counters are
+// exported, so the method is safe to call from a scrape handler while
+// frames flow; the switch-level flood/drop tallies live on the scheduler
+// goroutine and are reported by Flooded/Dropped instead.
+func (s *Switch) WriteMetrics(p *telemetry.PromWriter) {
+	for _, port := range s.ports {
+		st := port.Stats()
+		l := telemetry.Labels{"switch": s.name, "port": port.name}
+		p.Counter("ranbooster_port_tx_frames_total", "frames the attached device sent into the fabric", l, st.TxFrames)
+		p.Counter("ranbooster_port_tx_bytes_total", "bytes the attached device sent into the fabric", l, st.TxBytes)
+		p.Counter("ranbooster_port_rx_frames_total", "frames delivered to the attached device", l, st.RxFrames)
+		p.Counter("ranbooster_port_rx_bytes_total", "bytes delivered to the attached device", l, st.RxBytes)
+	}
+}

@@ -1,0 +1,223 @@
+package fh
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ranbooster/internal/bfp"
+	"ranbooster/internal/ecpri"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/iq"
+	"ranbooster/internal/oran"
+)
+
+// The golden vectors freeze the wire format: every builder output is
+// checked bit-for-bit against a hex dump in testdata/, and every dump must
+// decode and re-encode to the identical bytes. A diff here means the wire
+// format changed — bump the vectors deliberately with -update, never by
+// accident.
+var updateGolden = flag.Bool("update", false, "rewrite golden testdata files")
+
+// goldenCarrierPRBs matches the testbed's 100 MHz carrier.
+const goldenCarrierPRBs = 273
+
+type goldenVector struct {
+	name  string
+	frame []byte
+}
+
+// goldenRamp fills a grid with a fixed, quantization-friendly IQ pattern:
+// every sample is a multiple of 8, so it survives BFP at iqWidth >= 9 with
+// the exponents the vectors pin.
+func goldenRamp(nPRB int) iq.Grid {
+	g := iq.NewGrid(nPRB)
+	for p := range g {
+		for k := range g[p] {
+			g[p][k].I = int16((p*96 + k*8) - 256)
+			g[p][k].Q = int16(1024 - (p*64 + k*16))
+		}
+	}
+	return g
+}
+
+// goldenVectors builds the frames the conformance suite pins: both C-plane
+// section types and U-plane payloads at two BFP widths plus uncompressed.
+// Everything is deterministic — same addressing, same sequence numbers,
+// same IQ ramp — so the builder output is reproducible bit-for-bit.
+func goldenVectors(t testing.TB) []goldenVector {
+	src := eth.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	dst := eth.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+	pc := ecpri.PcID{DUPort: 0, BandSector: 1, CC: 0, RUPort: 2}
+	bld := NewBuilder(src, dst, 6) // VLAN 6, like the Fig. 2 capture
+	bld.Priority = 7
+
+	var vecs []goldenVector
+	vecs = append(vecs, goldenVector{"cplane_type1", bld.CPlane(pc, &oran.CPlaneMsg{
+		Timing:      oran.Timing{Direction: oran.Downlink, PayloadVersion: 1, FrameID: 63, SubframeID: 2, SlotID: 1},
+		SectionType: oran.SectionType1,
+		Comp:        bfp.Params{IQWidth: 9, Method: bfp.MethodBlockFloatingPoint},
+		Sections: []oran.CSection{
+			{SectionID: 1, NumPRB: 64, ReMask: 0xfff, NumSymbol: 14, BeamID: 7},
+			// numPrbc 0 on the wire: "all carrier PRBs".
+			{SectionID: 2, StartPRB: 0, NumPRB: goldenCarrierPRBs, ReMask: 0xfff, NumSymbol: 14},
+		},
+	})})
+	vecs = append(vecs, goldenVector{"cplane_type3", bld.CPlane(pc, &oran.CPlaneMsg{
+		Timing:      oran.Timing{Direction: oran.Uplink, PayloadVersion: 1, FilterIndex: 1, FrameID: 9, SubframeID: 7, SlotID: 0},
+		SectionType: oran.SectionType3,
+		TimeOffset:  100, FrameStructure: 0x41, CPLength: 20,
+		Comp: bfp.Params{IQWidth: 9, Method: bfp.MethodBlockFloatingPoint},
+		Sections: []oran.CSection{
+			// Negative frequency offset exercises the 24-bit sign extension.
+			{SectionID: 3, StartPRB: 10, NumPRB: 12, ReMask: 0xfff, NumSymbol: 1, BeamID: 0x4001, FreqOffset: -3276},
+		},
+	})})
+	for _, u := range []struct {
+		name string
+		comp bfp.Params
+	}{
+		{"uplane_bfp9", bfp.Params{IQWidth: 9, Method: bfp.MethodBlockFloatingPoint}},
+		{"uplane_bfp14", bfp.Params{IQWidth: 14, Method: bfp.MethodBlockFloatingPoint}},
+		{"uplane_none", bfp.Params{Method: bfp.MethodNone}},
+	} {
+		grid := goldenRamp(4)
+		payload, err := bfp.CompressGrid(nil, grid, u.comp)
+		if err != nil {
+			t.Fatalf("%s: compress: %v", u.name, err)
+		}
+		vecs = append(vecs, goldenVector{u.name, bld.UPlane(pc, &oran.UPlaneMsg{
+			Timing: oran.Timing{Direction: oran.Uplink, PayloadVersion: 1, FrameID: 5, SubframeID: 1, SlotID: 3, SymbolID: 7},
+			Sections: []oran.USection{
+				{SectionID: 1, StartPRB: 8, NumPRB: len(grid), Comp: u.comp, Payload: payload},
+			},
+		})})
+	}
+	return vecs
+}
+
+func goldenPath(name, ext string) string { return filepath.Join("testdata", name+ext) }
+
+// readGoldenHex loads a testdata hex dump, ignoring whitespace and
+// #-comment lines.
+func readGoldenHex(t *testing.T, name string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(goldenPath(name, ".hex"))
+	if err != nil {
+		t.Fatalf("missing golden vector (run with -update to generate): %v", err)
+	}
+	var sb strings.Builder
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sb.WriteString(line)
+	}
+	frame, err := hex.DecodeString(sb.String())
+	if err != nil {
+		t.Fatalf("%s: bad hex: %v", name, err)
+	}
+	return frame
+}
+
+func writeGoldenHex(t *testing.T, name string, frame []byte) {
+	t.Helper()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s: %d bytes on wire\n", name, len(frame))
+	for off := 0; off < len(frame); off += 16 {
+		end := off + 16
+		if end > len(frame) {
+			end = len(frame)
+		}
+		fmt.Fprintf(&sb, "%s\n", hex.EncodeToString(frame[off:end]))
+	}
+	if err := os.WriteFile(goldenPath(name, ".hex"), []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenBuild pins the encoder: the builder must reproduce each golden
+// frame bit-for-bit.
+func TestGoldenBuild(t *testing.T) {
+	for _, v := range goldenVectors(t) {
+		t.Run(v.name, func(t *testing.T) {
+			if *updateGolden {
+				writeGoldenHex(t, v.name, v.frame)
+				return
+			}
+			want := readGoldenHex(t, v.name)
+			if !bytes.Equal(v.frame, want) {
+				t.Errorf("builder output diverged from golden vector\n got: %x\nwant: %x", v.frame, want)
+			}
+		})
+	}
+}
+
+// TestGoldenRoundtrip pins the decoder against the encoder: every golden
+// frame must decode, and re-encoding the decoded layers must reproduce the
+// original bytes exactly. This is the property the middleboxes' A4 action
+// (decode, mutate, re-encode) relies on.
+func TestGoldenRoundtrip(t *testing.T) {
+	for _, v := range goldenVectors(t) {
+		t.Run(v.name, func(t *testing.T) {
+			frame := readGoldenHex(t, v.name)
+			var p Packet
+			if err := p.Decode(frame); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			buf := p.Eth.AppendTo(nil)
+			buf = p.Ecpri.AppendTo(buf)
+			switch p.Plane() {
+			case PlaneC:
+				var msg oran.CPlaneMsg
+				if err := p.CPlane(&msg, goldenCarrierPRBs); err != nil {
+					t.Fatalf("C-plane sections: %v", err)
+				}
+				buf = msg.AppendTo(buf)
+			case PlaneU:
+				var msg oran.UPlaneMsg
+				if err := p.UPlane(&msg, goldenCarrierPRBs); err != nil {
+					t.Fatalf("U-plane sections: %v", err)
+				}
+				buf = msg.AppendTo(buf)
+			default:
+				t.Fatalf("unknown plane %v", p.Plane())
+			}
+			if !bytes.Equal(buf, frame) {
+				t.Errorf("decode → re-encode not bit-identical\n got: %x\nwant: %x", buf, frame)
+			}
+		})
+	}
+}
+
+// TestGoldenDissect pins the human-readable render, so capture-style output
+// stays comparable across versions (and the dissector is exercised on every
+// golden frame).
+func TestGoldenDissect(t *testing.T) {
+	for _, v := range goldenVectors(t) {
+		t.Run(v.name, func(t *testing.T) {
+			frame := readGoldenHex(t, v.name)
+			got := Dissect(frame, goldenCarrierPRBs)
+			path := goldenPath(v.name, ".dissect")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden dissect (run with -update to generate): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("dissect output diverged:\n got:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}

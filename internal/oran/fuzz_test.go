@@ -1,0 +1,106 @@
+package oran
+
+import (
+	"reflect"
+	"testing"
+
+	"ranbooster/internal/bfp"
+)
+
+// fuzzCPlaneSeeds returns encoded well-formed C-plane messages of both
+// section types, so the fuzzer starts past the framing checks.
+func fuzzCPlaneSeeds() [][]byte {
+	msgs := []CPlaneMsg{
+		{
+			Timing:      Timing{Direction: Downlink, PayloadVersion: 1, FrameID: 63, SubframeID: 2, SlotID: 1},
+			SectionType: SectionType1,
+			Comp:        bfp.Params{IQWidth: 9, Method: bfp.MethodBlockFloatingPoint},
+			Sections: []CSection{
+				{SectionID: 1, NumPRB: 64, ReMask: 0xfff, NumSymbol: 14, BeamID: 7},
+				{SectionID: 2, StartPRB: 64, NumPRB: 209, ReMask: 0xfff, NumSymbol: 14, EF: true},
+			},
+		},
+		{
+			Timing:      Timing{Direction: Uplink, PayloadVersion: 1, FilterIndex: 1, FrameID: 9},
+			SectionType: SectionType3,
+			TimeOffset:  100, FrameStructure: 0x41, CPLength: 20,
+			Comp: bfp.Params{IQWidth: 14, Method: bfp.MethodBlockFloatingPoint},
+			Sections: []CSection{
+				{SectionID: 3, StartPRB: 10, NumPRB: 12, ReMask: 0xfff, NumSymbol: 1, FreqOffset: -3276},
+				{SectionID: 4, RB: true, SymInc: true, NumPRB: 273, FreqOffset: 1 << 22},
+			},
+		},
+	}
+	var out [][]byte
+	for i := range msgs {
+		out = append(out, msgs[i].AppendTo(nil))
+	}
+	return out
+}
+
+// FuzzCPlane checks that the C-plane codec never panics on arbitrary bytes
+// and that a successful decode is canonical: re-encoding the decoded
+// message and decoding again must yield the identical message, with the
+// encoded size matching EncodedLen.
+func FuzzCPlane(f *testing.F) {
+	for _, b := range fuzzCPlaneSeeds() {
+		f.Add(b, uint16(273))
+		f.Add(b[:len(b)-1], uint16(106))
+	}
+	f.Add([]byte{}, uint16(0))
+	f.Fuzz(func(t *testing.T, data []byte, carrier uint16) {
+		carrierPRBs := int(carrier)
+		var m CPlaneMsg
+		if err := m.DecodeFromBytes(data, carrierPRBs); err != nil {
+			return
+		}
+		enc := m.AppendTo(nil)
+		if len(enc) != m.EncodedLen() {
+			t.Fatalf("encoded %d bytes, EncodedLen says %d", len(enc), m.EncodedLen())
+		}
+		var m2 CPlaneMsg
+		if err := m2.DecodeFromBytes(enc, carrierPRBs); err != nil {
+			t.Fatalf("re-decode of re-encoded message failed: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("decode → encode → decode not a fixed point:\n%+v\n%+v", m, m2)
+		}
+	})
+}
+
+// FuzzUPlane applies the same canonicality property to the U-plane codec;
+// here the decoded payloads alias the input, so a fixed-point failure
+// would also indicate unsound aliasing.
+func FuzzUPlane(f *testing.F) {
+	seed := UPlaneMsg{
+		Timing: Timing{Direction: Uplink, PayloadVersion: 1, FrameID: 5, SlotID: 3, SymbolID: 7},
+		Sections: []USection{
+			{SectionID: 1, StartPRB: 8, NumPRB: 2, Comp: bfp.Params{IQWidth: 9, Method: bfp.MethodBlockFloatingPoint},
+				Payload: make([]byte, 2*28)},
+			{SectionID: 2, StartPRB: 10, NumPRB: 1, Comp: bfp.Params{Method: bfp.MethodNone},
+				Payload: make([]byte, 48)},
+		},
+	}
+	b := seed.AppendTo(nil)
+	f.Add(b, uint16(273))
+	f.Add(b[:len(b)-5], uint16(273))
+	f.Add([]byte{}, uint16(0))
+	f.Fuzz(func(t *testing.T, data []byte, carrier uint16) {
+		carrierPRBs := int(carrier)
+		var m UPlaneMsg
+		if err := m.DecodeFromBytes(data, carrierPRBs); err != nil {
+			return
+		}
+		enc := m.AppendTo(nil)
+		if len(enc) != m.EncodedLen() {
+			t.Fatalf("encoded %d bytes, EncodedLen says %d", len(enc), m.EncodedLen())
+		}
+		var m2 UPlaneMsg
+		if err := m2.DecodeFromBytes(enc, carrierPRBs); err != nil {
+			t.Fatalf("re-decode of re-encoded message failed: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("decode → encode → decode not a fixed point:\n%+v\n%+v", m, m2)
+		}
+	})
+}

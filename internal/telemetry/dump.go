@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// DumpTrace writes a slot-replay of the given spans: frames grouped by
+// their air-interface slot in arrival order, each line carrying the wire
+// timestamps of the frame's journey. The enqueue and TX timestamps are the
+// same virtual instants a pcap capture of the run records (the fabric tap
+// stamps frames with the scheduler clock), so a span line and its capture
+// packets correlate by timestamp and eAxC for offline inspection.
+func DumpTrace(w io.Writer, spans []Span) error {
+	if len(spans) == 0 {
+		_, err := fmt.Fprintln(w, "trace: no spans recorded")
+		return err
+	}
+	ordered := append([]Span(nil), spans...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].EnqueuedAt != ordered[j].EnqueuedAt {
+			return ordered[i].EnqueuedAt < ordered[j].EnqueuedAt
+		}
+		return ordered[i].DoneAt < ordered[j].DoneAt
+	})
+	var slot string
+	for _, s := range ordered {
+		if k := s.SlotKey(); k != slot {
+			slot = k
+			if _, err := fmt.Fprintf(w, "== slot %s (frame %d, subframe %d, slot %d) ==\n",
+				k, s.Frame, s.Subframe, s.Slot); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  rx %-12v eAxC 0x%04x %-10s queue %-10v decode %-8v kernel %-8v app %-10v tx %-12v actions %s\n",
+			s.EnqueuedAt, s.EAxC, ClassName(s.Class),
+			s.Stages[StageQueue], s.Stages[StageDecode], s.Stages[StageKernel],
+			s.Stages[StageApp], s.DoneAt, actionMask(s.Actions)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// actionMask renders a span's action bitmask ("A1+A3", "-" when none).
+func actionMask(m uint8) string {
+	var parts []string
+	for a := Action(0); a < NumActions; a++ {
+		if m&(1<<a) != 0 {
+			parts = append(parts, fmt.Sprintf("A%d", a+1))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, "+")
+}
+
+// DumpTraceStats writes a human-readable percentile table of a TraceStats
+// readout — the quick textual form of the latency-breakdown experiment.
+func DumpTraceStats(w io.Writer, ts TraceStats) error {
+	if _, err := fmt.Fprintf(w, "trace: %d spans\n", ts.Spans); err != nil {
+		return err
+	}
+	row := func(kind string, h HistSnapshot) error {
+		if h.Count == 0 {
+			return nil
+		}
+		p50, _ := h.Quantile(0.50)
+		p99, _ := h.Quantile(0.99)
+		p999, _ := h.Quantile(0.999)
+		_, err := fmt.Fprintf(w, "  %-14s n=%-8d p50 %-10v p99 %-10v p99.9 %-10v mean %v\n",
+			kind, h.Count, p50, p99, p999, h.Mean())
+		return err
+	}
+	for st := Stage(0); st < NumStages; st++ {
+		if err := row(st.String(), ts.Stage[st]); err != nil {
+			return err
+		}
+	}
+	for a := Action(0); a < NumActions; a++ {
+		if err := row(a.String(), ts.Action[a]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Quantiles is a convenience readout of the common percentile triple.
+func Quantiles(h HistSnapshot) (p50, p99, p999 time.Duration) {
+	p50, _ = h.Quantile(0.50)
+	p99, _ = h.Quantile(0.99)
+	p999, _ = h.Quantile(0.999)
+	return
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-scale latency histogram in the HDR style: power-of-two major buckets
+// subdivided into histSub linear sub-buckets, so relative error is bounded
+// by 1/histSub (~12.5%) at every magnitude from 1 ns to tens of seconds.
+// Observations are lock-free atomic adds, cheap enough for the per-frame
+// datapath; snapshots merge across shards by plain addition.
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits
+	// HistBuckets bounds the bucket array; the last bucket absorbs
+	// overflow (values beyond ~34 s of latency).
+	HistBuckets = 256
+)
+
+// histIndex maps a non-negative nanosecond value to its bucket.
+func histIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	k := bits.Len64(uint64(v))
+	if k <= histSubBits+1 {
+		return int(v) // exact buckets below 2*histSub
+	}
+	shift := uint(k - histSubBits - 1)
+	idx := int(shift)<<histSubBits + int(v>>shift)
+	if idx >= HistBuckets {
+		idx = HistBuckets - 1
+	}
+	return idx
+}
+
+// histBucketLow returns the smallest value that lands in bucket idx.
+func histBucketLow(idx int) int64 {
+	if idx < 2*histSub {
+		return int64(idx)
+	}
+	shift := uint(idx>>histSubBits - 1)
+	return int64(histSub+idx&(histSub-1)) << shift
+}
+
+// Hist is a concurrent latency histogram. The zero value is ready to use.
+// Observe may be called from any number of goroutines; Snapshot may run
+// concurrently with writers (fields may trail each other by in-flight
+// observations, as with any per-CPU counter readout).
+type Hist struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Hist) Observe(d time.Duration) {
+	h.buckets[histIndex(int64(d))].Add(1)
+	h.count.Add(1)
+	if d > 0 {
+		h.sum.Add(int64(d))
+	}
+}
+
+// Snapshot returns a point-in-time copy suitable for merging and quantile
+// queries.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is an immutable histogram readout; the value combinator
+// used to merge per-shard histograms into an engine-wide view.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	Buckets [HistBuckets]uint64
+}
+
+// Add returns the bucket-wise sum of s and o.
+func (s HistSnapshot) Add(o HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: s.Count + o.Count, Sum: s.Sum + o.Sum}
+	for i := range out.Buckets {
+		out.Buckets[i] = s.Buckets[i] + o.Buckets[i]
+	}
+	return out
+}
+
+// Quantile returns the q-th quantile (0..1) as the representative value of
+// the bucket holding it (mid-bucket for wide buckets, exact for the small
+// ones), and false when the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) (time.Duration, bool) {
+	if s.Count == 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= target {
+			low := histBucketLow(i)
+			width := histBucketLow(i+1) - low
+			if width <= 1 {
+				return time.Duration(low), true
+			}
+			return time.Duration(low + width/2), true
+		}
+	}
+	return time.Duration(histBucketLow(HistBuckets - 1)), true
+}
+
+// Mean returns the average observation (0 when empty).
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// CumulativeOctaves reports the cumulative count at each power-of-two
+// nanosecond boundary up to and including the first boundary covering the
+// maximum observation — the coarse view a Prometheus histogram exposes.
+// The returned slices are parallel: bounds[i] is an upper bound in
+// nanoseconds, counts[i] the observations at or below it.
+func (s HistSnapshot) CumulativeOctaves() (bounds []int64, counts []uint64) {
+	maxIdx := -1
+	for i := HistBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			maxIdx = i
+			break
+		}
+	}
+	if maxIdx < 0 {
+		return nil, nil
+	}
+	var cum uint64
+	i := 0
+	for b := int64(1); ; b <<= 1 {
+		for i < HistBuckets && histBucketLow(i+1)-1 <= b {
+			cum += s.Buckets[i]
+			i++
+		}
+		bounds = append(bounds, b)
+		counts = append(counts, cum)
+		if i > maxIdx || b >= histBucketLow(HistBuckets-1) {
+			break
+		}
+	}
+	return bounds, counts
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestHistIndexMonotone walks the full bucket range: indexes must be
+// monotone in the value, and every bucket's low bound must map back to
+// that bucket (the two functions agree).
+func TestHistIndexMonotone(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<22; v++ {
+		idx := histIndex(v)
+		if idx < prev {
+			t.Fatalf("histIndex(%d) = %d < previous %d", v, idx, prev)
+		}
+		prev = idx
+	}
+	for idx := 0; idx < HistBuckets; idx++ {
+		low := histBucketLow(idx)
+		if got := histIndex(low); got != idx {
+			t.Fatalf("histIndex(histBucketLow(%d)=%d) = %d", idx, low, got)
+		}
+		if idx > 0 {
+			if got := histIndex(low - 1); got != idx-1 {
+				t.Fatalf("histIndex(%d) = %d, want %d (bucket %d low-1)", low-1, got, idx-1, idx)
+			}
+		}
+	}
+}
+
+// TestHistRelativeError asserts the design property: the representative
+// value of any bucket is within ~1/histSub of every value in it.
+func TestHistRelativeError(t *testing.T) {
+	for _, v := range []int64{100, 999, 12_345, 1_000_000, 87_654_321, 5_000_000_000} {
+		var h Hist
+		h.Observe(time.Duration(v))
+		p, ok := h.Snapshot().Quantile(0.5)
+		if !ok {
+			t.Fatalf("Quantile on non-empty hist reported empty")
+		}
+		rel := math.Abs(float64(p)-float64(v)) / float64(v)
+		if rel > 1.0/histSub {
+			t.Fatalf("value %d: representative %v off by %.1f%% (> %.1f%%)",
+				v, p, rel*100, 100.0/histSub)
+		}
+	}
+}
+
+func TestHistQuantileAndMean(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d, want 1000", s.Count)
+	}
+	wantMean := 500500 * time.Microsecond / 1000
+	if got := s.Mean(); got != wantMean {
+		t.Fatalf("Mean = %v, want %v", got, wantMean)
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 500 * time.Microsecond}, {0.99, 990 * time.Microsecond}, {0.999, 999 * time.Microsecond}}
+	for _, c := range checks {
+		got, ok := s.Quantile(c.q)
+		if !ok {
+			t.Fatalf("Quantile(%v) reported empty", c.q)
+		}
+		rel := math.Abs(float64(got)-float64(c.want)) / float64(c.want)
+		if rel > 1.0/histSub {
+			t.Fatalf("Quantile(%v) = %v, want ~%v (off %.1f%%)", c.q, got, c.want, rel*100)
+		}
+	}
+	if _, ok := (HistSnapshot{}).Quantile(0.5); ok {
+		t.Fatal("Quantile on empty snapshot reported data")
+	}
+	if got := (HistSnapshot{}).Mean(); got != 0 {
+		t.Fatalf("empty Mean = %v", got)
+	}
+}
+
+func TestHistAddMerges(t *testing.T) {
+	var a, b Hist
+	for i := 0; i < 10; i++ {
+		a.Observe(time.Microsecond)
+		b.Observe(time.Millisecond)
+	}
+	m := a.Snapshot().Add(b.Snapshot())
+	if m.Count != 20 {
+		t.Fatalf("merged Count = %d, want 20", m.Count)
+	}
+	if want := 10*time.Microsecond + 10*time.Millisecond; m.Sum != want {
+		t.Fatalf("merged Sum = %v, want %v", m.Sum, want)
+	}
+	lo, _ := m.Quantile(0.25)
+	hi, _ := m.Quantile(0.75)
+	if lo >= 2*time.Microsecond || hi < 900*time.Microsecond {
+		t.Fatalf("merged quantiles p25=%v p75=%v do not straddle the two modes", lo, hi)
+	}
+}
+
+func TestHistNegativeAndOverflow(t *testing.T) {
+	var h Hist
+	h.Observe(-time.Second) // counts as zero
+	h.Observe(time.Duration(math.MaxInt64))
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count)
+	}
+	if s.Buckets[0] != 1 || s.Buckets[HistBuckets-1] != 1 {
+		t.Fatalf("expected one observation in first and last bucket, got %d / %d",
+			s.Buckets[0], s.Buckets[HistBuckets-1])
+	}
+	if s.Sum != time.Duration(math.MaxInt64) {
+		t.Fatalf("negative observation leaked into Sum: %v", s.Sum)
+	}
+}
+
+func TestCumulativeOctaves(t *testing.T) {
+	var h Hist
+	for _, v := range []time.Duration{3, 100, 1000, 1_000_000} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Snapshot().CumulativeOctaves()
+	if len(bounds) != len(counts) || len(bounds) == 0 {
+		t.Fatalf("bounds/counts = %d/%d", len(bounds), len(counts))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] != bounds[i-1]*2 {
+			t.Fatalf("bounds not octaves: %v", bounds)
+		}
+		if counts[i] < counts[i-1] {
+			t.Fatalf("counts not cumulative: %v", counts)
+		}
+	}
+	if last := counts[len(counts)-1]; last != 4 {
+		t.Fatalf("final cumulative count = %d, want 4", last)
+	}
+	// An empty histogram exposes no octaves.
+	if b, c := (HistSnapshot{}).CumulativeOctaves(); b != nil || c != nil {
+		t.Fatalf("empty CumulativeOctaves = %v/%v", b, c)
+	}
+}

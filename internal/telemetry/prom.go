@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4), the contract of a /metrics endpoint. It is a plain
+// serializer — callers gather their snapshots (engine stats, counters,
+// histograms) and emit them; errors stick and are reported once at the
+// end, in the fmt.Fprintf style.
+type PromWriter struct {
+	w      io.Writer
+	err    error
+	headed map[string]bool
+}
+
+// Labels are metric labels; rendered sorted by key for stable output.
+type Labels map[string]string
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, headed: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...interface{}) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// head emits the HELP/TYPE preamble once per metric name.
+func (p *PromWriter) head(name, typ, help string) {
+	if p.headed[name] {
+		return
+	}
+	p.headed[name] = true
+	if help != "" {
+		p.printf("# HELP %s %s\n", name, help)
+	}
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+func renderLabels(l Labels, extra ...string) string {
+	if len(l) == 0 && len(extra) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if b.Len() > 1 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extra[i], extra[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter emits a monotonically increasing metric.
+func (p *PromWriter) Counter(name, help string, labels Labels, v uint64) {
+	p.head(name, "counter", help)
+	p.printf("%s%s %d\n", name, renderLabels(labels), v)
+}
+
+// Gauge emits a point-in-time value.
+func (p *PromWriter) Gauge(name, help string, labels Labels, v float64) {
+	p.head(name, "gauge", help)
+	p.printf("%s%s %g\n", name, renderLabels(labels), v)
+}
+
+// Histogram emits a HistSnapshot as a Prometheus histogram with
+// power-of-two le bounds in seconds.
+func (p *PromWriter) Histogram(name, help string, labels Labels, h HistSnapshot) {
+	p.head(name, "histogram", help)
+	bounds, counts := h.CumulativeOctaves()
+	for i := range bounds {
+		p.printf("%s_bucket%s %d\n", name,
+			renderLabels(labels, "le", fmt.Sprintf("%g", float64(bounds[i])/1e9)), counts[i])
+	}
+	p.printf("%s_bucket%s %d\n", name, renderLabels(labels, "le", "+Inf"), h.Count)
+	p.printf("%s_sum%s %g\n", name, renderLabels(labels), h.Sum.Seconds())
+	p.printf("%s_count%s %d\n", name, renderLabels(labels), h.Count)
+}
+
+// TraceStats emits a whole trace readout under the given metric prefix,
+// labelling stage and action histograms — the export form of the span
+// collector's aggregates.
+func (p *PromWriter) TraceStats(prefix string, labels Labels, ts TraceStats) {
+	p.Counter(prefix+"_spans_total", "frame spans recorded by the trace collector", labels, ts.Spans)
+	for st := Stage(0); st < NumStages; st++ {
+		if ts.Stage[st].Count == 0 {
+			continue
+		}
+		l := Labels{"stage": st.String()}
+		for k, v := range labels {
+			l[k] = v
+		}
+		p.Histogram(prefix+"_stage_seconds", "per-stage frame latency", l, ts.Stage[st])
+	}
+	for a := Action(0); a < NumActions; a++ {
+		if ts.Action[a].Count == 0 {
+			continue
+		}
+		l := Labels{"action": a.String()}
+		for k, v := range labels {
+			l[k] = v
+		}
+		p.Histogram(prefix+"_action_seconds", "per-action processing cost", l, ts.Action[a])
+	}
+}

@@ -1,0 +1,247 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ranbooster/internal/sim"
+)
+
+// Frame-level tracing: every frame that crosses an engine's datapath can
+// leave a Span — the timestamps of its journey (ingress ring enqueue →
+// service start → egress TX) plus the per-stage and per-action processing
+// costs charged along the way. Spans land in per-shard fixed-size rings
+// (allocation-free once constructed) while stage and action latencies feed
+// the log-scale histograms, so both an offline slot replay (DumpTrace) and
+// a live percentile readout (TraceStats) come from the same instrument.
+
+// Stage labels one leg of a frame's journey through the datapath.
+type Stage uint8
+
+// Stages, in datapath order.
+const (
+	// StageQueue is the wait from ingress-ring enqueue to service start
+	// (ring residency plus core contention).
+	StageQueue Stage = iota
+	// StageDecode is header dissection: Ethernet/eCPRI/O-RAN parse and
+	// validity checks (plus driver and wakeup costs on an XDP engine).
+	StageDecode
+	// StageKernel is the in-kernel rule-program evaluation (XDP only).
+	StageKernel
+	// StageApp is the userspace handler: the App's Handle call including
+	// every action cost it charged.
+	StageApp
+	// StageTotal is the frame's whole sojourn: enqueue to egress TX (or to
+	// service completion for frames that die in the middlebox).
+	StageTotal
+	// NumStages sizes per-stage arrays.
+	NumStages
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageQueue:
+		return "queue"
+	case StageDecode:
+		return "decode"
+	case StageKernel:
+		return "kernel"
+	case StageApp:
+		return "app"
+	case StageTotal:
+		return "total"
+	}
+	return fmt.Sprintf("stage(%d)", uint8(s))
+}
+
+// Action labels one of the four RANBooster processing actions whose cost a
+// span attributes (§3.1 of the paper).
+type Action uint8
+
+// Actions A1-A4.
+const (
+	// ActionRedirect is A1: redirection, forwarding and drops.
+	ActionRedirect Action = iota
+	// ActionReplicate is A2: packet replication.
+	ActionReplicate
+	// ActionCache is A3: packet caching (insert and take).
+	ActionCache
+	// ActionModify is A4: payload inspection and modification (header
+	// rewrites, IQ merges, PRB relocation, exponent scans).
+	ActionModify
+	// NumActions sizes per-action arrays.
+	NumActions
+)
+
+// String names the action the way the paper's cost tables do.
+func (a Action) String() string {
+	switch a {
+	case ActionRedirect:
+		return "A1-redirect"
+	case ActionReplicate:
+		return "A2-replicate"
+	case ActionCache:
+		return "A3-cache"
+	case ActionModify:
+		return "A4-modify"
+	}
+	return fmt.Sprintf("action(%d)", uint8(a))
+}
+
+// spanClassNames names Span.Class values. The table mirrors the traffic
+// classes of the core engine (core.TrafficClass); core's tests assert the
+// two stay aligned.
+var spanClassNames = [...]string{"DL C-Plane", "DL U-Plane", "UL C-Plane", "UL U-Plane"}
+
+// ClassName names a Span.Class value.
+func ClassName(class uint8) string {
+	if int(class) < len(spanClassNames) {
+		return spanClassNames[class]
+	}
+	return fmt.Sprintf("class(%d)", class)
+}
+
+// Span is one frame's trace record. It is a fixed-size value — recording a
+// span allocates nothing.
+type Span struct {
+	// EAxC is the frame's antenna-carrier stream (eCPRI PC_ID wire form).
+	EAxC uint16
+	// Frame, Subframe, Slot locate the frame on the air-interface grid.
+	Frame, Subframe, Slot uint8
+	// Class is the traffic class ordinal (see ClassName).
+	Class uint8
+	// Actions is a bitmask of 1<<Action for each action the handler used.
+	Actions uint8
+	// EnqueuedAt is the ingress-ring enqueue instant, StartAt the service
+	// start (after core contention), DoneAt the egress TX instant (or
+	// service completion for frames that were dropped).
+	EnqueuedAt, StartAt, DoneAt sim.Time
+	// Stages holds the per-stage durations (see Stage).
+	Stages [NumStages]time.Duration
+	// ActionCost attributes the App-stage cost to the actions that
+	// incurred it.
+	ActionCost [NumActions]time.Duration
+}
+
+// SlotKey formats the span's slot coordinates ("frame.subframe.slot").
+func (s Span) SlotKey() string { return fmt.Sprintf("%d.%d.%d", s.Frame, s.Subframe, s.Slot) }
+
+// SpanRing is a fixed-size ring of the most recent spans. Record is
+// allocation-free; a short critical section makes concurrent Record and
+// Snapshot race-safe without perturbing the single-writer fast path.
+type SpanRing struct {
+	mu    sync.Mutex
+	spans []Span
+	next  uint64
+}
+
+// NewSpanRing returns a ring retaining the last capacity spans (minimum 1).
+func NewSpanRing(capacity int) *SpanRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpanRing{spans: make([]Span, capacity)}
+}
+
+// Record stores one span, overwriting the oldest once the ring is full.
+func (r *SpanRing) Record(s Span) {
+	r.mu.Lock()
+	r.spans[r.next%uint64(len(r.spans))] = s
+	r.next++
+	r.mu.Unlock()
+}
+
+// Recorded reports how many spans were ever recorded (not how many are
+// retained).
+func (r *SpanRing) Recorded() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Snapshot copies the retained spans, oldest first.
+func (r *SpanRing) Snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	cap64 := uint64(len(r.spans))
+	if n > cap64 {
+		out := make([]Span, 0, cap64)
+		out = append(out, r.spans[n%cap64:]...)
+		out = append(out, r.spans[:n%cap64]...)
+		return out
+	}
+	return append([]Span(nil), r.spans[:n]...)
+}
+
+// Tracer is one shard's trace instrument: the span ring plus per-stage and
+// per-action latency histograms.
+type Tracer struct {
+	ring   *SpanRing
+	stage  [NumStages]Hist
+	action [NumActions]Hist
+}
+
+// NewTracer builds a tracer whose ring retains ringCap spans.
+func NewTracer(ringCap int) *Tracer {
+	return &Tracer{ring: NewSpanRing(ringCap)}
+}
+
+// Record stores the span and feeds the histograms. Stages and actions with
+// zero cost that did not run (kernel on a DPDK engine, unused actions) are
+// not observed, so their histograms reflect only real occurrences; the
+// queue and total stages are always observed.
+func (t *Tracer) Record(s Span) {
+	t.ring.Record(s)
+	t.stage[StageQueue].Observe(s.Stages[StageQueue])
+	t.stage[StageTotal].Observe(s.Stages[StageTotal])
+	for st := StageDecode; st < StageTotal; st++ {
+		if d := s.Stages[st]; d > 0 {
+			t.stage[st].Observe(d)
+		}
+	}
+	for a := Action(0); a < NumActions; a++ {
+		if s.Actions&(1<<a) != 0 {
+			t.action[a].Observe(s.ActionCost[a])
+		}
+	}
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []Span { return t.ring.Snapshot() }
+
+// Stats snapshots the tracer's histograms.
+func (t *Tracer) Stats() TraceStats {
+	var s TraceStats
+	s.Spans = t.ring.Recorded()
+	for i := range t.stage {
+		s.Stage[i] = t.stage[i].Snapshot()
+	}
+	for i := range t.action {
+		s.Action[i] = t.action[i].Snapshot()
+	}
+	return s
+}
+
+// TraceStats is a merged histogram readout: per-stage and per-action
+// latency distributions plus the total span count. The zero value is an
+// empty readout; Merge combines per-shard (or per-engine) snapshots.
+type TraceStats struct {
+	Spans  uint64
+	Stage  [NumStages]HistSnapshot
+	Action [NumActions]HistSnapshot
+}
+
+// Merge returns the combination of s and o.
+func (s TraceStats) Merge(o TraceStats) TraceStats {
+	out := TraceStats{Spans: s.Spans + o.Spans}
+	for i := range s.Stage {
+		out.Stage[i] = s.Stage[i].Add(o.Stage[i])
+	}
+	for i := range s.Action {
+		out.Action[i] = s.Action[i].Add(o.Action[i])
+	}
+	return out
+}

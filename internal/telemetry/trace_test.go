@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ranbooster/internal/sim"
+)
+
+func span(eaxc uint16, enq sim.Time, total time.Duration) Span {
+	s := Span{EAxC: eaxc, EnqueuedAt: enq, StartAt: enq, DoneAt: enq + sim.Time(total)}
+	s.Stages[StageQueue] = 0
+	s.Stages[StageDecode] = total / 2
+	s.Stages[StageTotal] = total
+	return s
+}
+
+func TestSpanRingWraps(t *testing.T) {
+	r := NewSpanRing(4)
+	for i := 0; i < 6; i++ {
+		r.Record(span(uint16(i), sim.Time(i), time.Microsecond))
+	}
+	if r.Recorded() != 6 {
+		t.Fatalf("Recorded = %d, want 6", r.Recorded())
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("Snapshot len = %d, want 4 (ring capacity)", len(got))
+	}
+	for i, s := range got {
+		if want := uint16(i + 2); s.EAxC != want {
+			t.Fatalf("span %d: EAxC = %d, want %d (oldest-first after wrap)", i, s.EAxC, want)
+		}
+	}
+}
+
+func TestSpanRingPartial(t *testing.T) {
+	r := NewSpanRing(8)
+	r.Record(span(7, 1, time.Microsecond))
+	got := r.Snapshot()
+	if len(got) != 1 || got[0].EAxC != 7 {
+		t.Fatalf("Snapshot = %+v, want the single recorded span", got)
+	}
+}
+
+func TestTracerStats(t *testing.T) {
+	tr := NewTracer(16)
+	s := span(1, 0, 10*time.Microsecond)
+	s.Stages[StageApp] = 4 * time.Microsecond
+	s.Actions = 1<<ActionCache | 1<<ActionModify
+	s.ActionCost[ActionCache] = time.Microsecond
+	s.ActionCost[ActionModify] = 3 * time.Microsecond
+	tr.Record(s)
+	tr.Record(span(2, 5, 20*time.Microsecond))
+
+	st := tr.Stats()
+	if st.Spans != 2 {
+		t.Fatalf("Spans = %d, want 2", st.Spans)
+	}
+	if st.Stage[StageTotal].Count != 2 || st.Stage[StageQueue].Count != 2 {
+		t.Fatalf("total/queue counts = %d/%d, want 2/2",
+			st.Stage[StageTotal].Count, st.Stage[StageQueue].Count)
+	}
+	if st.Stage[StageApp].Count != 1 {
+		t.Fatalf("app observations = %d, want 1 (zero-cost stages unobserved)", st.Stage[StageApp].Count)
+	}
+	if st.Stage[StageKernel].Count != 0 {
+		t.Fatalf("kernel observations = %d, want 0", st.Stage[StageKernel].Count)
+	}
+	if st.Action[ActionCache].Count != 1 || st.Action[ActionModify].Count != 1 ||
+		st.Action[ActionRedirect].Count != 0 {
+		t.Fatalf("action counts = %+v", st.Action)
+	}
+	if st.Action[ActionModify].Sum != 3*time.Microsecond {
+		t.Fatalf("A4 sum = %v, want 3µs", st.Action[ActionModify].Sum)
+	}
+
+	merged := st.Merge(st)
+	if merged.Spans != 4 || merged.Stage[StageTotal].Count != 4 {
+		t.Fatalf("Merge: spans=%d total=%d, want 4/4", merged.Spans, merged.Stage[StageTotal].Count)
+	}
+}
+
+func TestStageAndActionNames(t *testing.T) {
+	wantStages := []string{"queue", "decode", "kernel", "app", "total"}
+	for st := Stage(0); st < NumStages; st++ {
+		if st.String() != wantStages[st] {
+			t.Fatalf("Stage(%d) = %q, want %q", st, st.String(), wantStages[st])
+		}
+	}
+	wantActions := []string{"A1-redirect", "A2-replicate", "A3-cache", "A4-modify"}
+	for a := Action(0); a < NumActions; a++ {
+		if a.String() != wantActions[a] {
+			t.Fatalf("Action(%d) = %q, want %q", a, a.String(), wantActions[a])
+		}
+	}
+	if ClassName(1) != "DL U-Plane" || !strings.Contains(ClassName(9), "9") {
+		t.Fatalf("ClassName mapping broken: %q / %q", ClassName(1), ClassName(9))
+	}
+}
+
+func TestDumpTrace(t *testing.T) {
+	s1 := span(0x0102, 100, 10*time.Microsecond)
+	s1.Frame, s1.Subframe, s1.Slot = 1, 2, 3
+	s1.Actions = 1<<ActionRedirect | 1<<ActionCache
+	s2 := span(0x0103, 50, 5*time.Microsecond)
+	s2.Frame, s2.Subframe, s2.Slot = 1, 2, 4
+
+	var b strings.Builder
+	if err := DumpTrace(&b, []Span{s1, s2}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	i1, i4 := strings.Index(out, "slot 1.2.3"), strings.Index(out, "slot 1.2.4")
+	if i1 < 0 || i4 < 0 {
+		t.Fatalf("missing slot headers:\n%s", out)
+	}
+	if i4 > i1 {
+		t.Fatalf("spans not replayed in enqueue order (slot 1.2.4 arrived first):\n%s", out)
+	}
+	if !strings.Contains(out, "eAxC 0x0102") || !strings.Contains(out, "A1+A3") {
+		t.Fatalf("span line missing eAxC or action mask:\n%s", out)
+	}
+
+	b.Reset()
+	if err := DumpTrace(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no spans") {
+		t.Fatalf("empty dump = %q", b.String())
+	}
+}
+
+func TestDumpTraceStats(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Record(span(1, 0, 10*time.Microsecond))
+	var b strings.Builder
+	if err := DumpTraceStats(&b, tr.Stats()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"1 spans", "total", "p50", "p99.9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats dump missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "kernel") {
+		t.Fatalf("stats dump includes a stage with no observations:\n%s", out)
+	}
+}
+
+func TestPromWriter(t *testing.T) {
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Counter("rx_total", "frames received", Labels{"engine": "das"}, 42)
+	p.Counter("rx_total", "", Labels{"engine": "mon"}, 7)
+	p.Gauge("health", "engine health", nil, 1)
+
+	var h Hist
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(3 * time.Microsecond)
+	p.Histogram("stage_seconds", "latency", Labels{"stage": "total"}, h.Snapshot())
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	if strings.Count(out, "# TYPE rx_total counter") != 1 {
+		t.Fatalf("HELP/TYPE not deduplicated per metric name:\n%s", out)
+	}
+	for _, want := range []string{
+		`rx_total{engine="das"} 42`,
+		`rx_total{engine="mon"} 7`,
+		"health 1",
+		"# TYPE stage_seconds histogram",
+		`stage_seconds_bucket{stage="total",le="+Inf"} 2`,
+		`stage_seconds_count{stage="total"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// le bounds are cumulative: the 100ns observation must be counted in
+	// every bucket that covers 3µs too.
+	if !strings.Contains(out, `stage_seconds_bucket{stage="total",le="1.28e-07"} 1`) {
+		t.Fatalf("expected 128ns bucket with count 1:\n%s", out)
+	}
+}
+
+func TestPromTraceStats(t *testing.T) {
+	tr := NewTracer(4)
+	s := span(1, 0, 10*time.Microsecond)
+	s.Actions = 1 << ActionModify
+	s.ActionCost[ActionModify] = time.Microsecond
+	tr.Record(s)
+
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.TraceStats("ranbooster_trace", Labels{"engine": "das"}, tr.Stats())
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`ranbooster_trace_spans_total{engine="das"} 1`,
+		`stage="total"`,
+		`action="A4-modify"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `stage="kernel"`) {
+		t.Fatalf("empty stage exported:\n%s", out)
+	}
+}

@@ -38,6 +38,8 @@ type DASOpts struct {
 	// Cheap selects budget RU elements; Ports antennas per RU.
 	Cheap bool
 	Ports int
+	// Trace enables the engine's frame-span trace collector.
+	Trace bool
 }
 
 // DASCell deploys one cell whose signal a DAS middlebox replicates over
@@ -70,6 +72,7 @@ func (tb *TB) DASCell(name string, cell air.CellConfig, positions []radio.Point,
 		Name: app.Name(), Mode: opts.Mode, Cores: opts.Cores, App: app,
 		CarrierPRBs: cell.Carrier.NumPRB,
 		Kernel:      dasKernel(),
+		Trace:       opts.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -101,6 +104,8 @@ type DMIMOOpts struct {
 	Cheap      bool
 	// DisableSSBReplication reproduces the §4.2 failure mode.
 	DisableSSBReplication bool
+	// Trace enables the engine's frame-span trace collector.
+	Trace bool
 }
 
 // DMIMOCell combines RUs at the given positions into one virtual RU of
@@ -130,6 +135,7 @@ func (tb *TB) DMIMOCell(name string, cell air.CellConfig, positions []radio.Poin
 		Name: app.Name(), Mode: opts.Mode, App: app,
 		Kernel:      app.KernelProgram(),
 		CarrierPRBs: cell.Carrier.NumPRB,
+		Trace:       opts.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -201,6 +207,8 @@ type MonitorOpts struct {
 	// Estimator selects Algorithm 1's exponent shortcut or the
 	// energy-threshold alternative (the §4.4 ablation).
 	Estimator prbmon.Estimator
+	// Trace enables the engine's frame-span trace collector.
+	Trace bool
 }
 
 // MonitoredCell wires DU→monitor→RU.
@@ -220,6 +228,7 @@ func (tb *TB) MonitoredCell(name string, cell air.CellConfig, pos radio.Point, o
 		Name: app.Name(), Mode: opts.Mode, App: app,
 		Kernel:      app.KernelProgram(),
 		CarrierPRBs: cell.Carrier.NumPRB,
+		Trace:       opts.Trace,
 	})
 	if err != nil {
 		return nil, err

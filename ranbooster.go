@@ -53,6 +53,7 @@ import (
 	"ranbooster/internal/fh"
 	"ranbooster/internal/phy"
 	"ranbooster/internal/radio"
+	"ranbooster/internal/telemetry"
 	"ranbooster/internal/testbed"
 )
 
@@ -231,6 +232,38 @@ var (
 	// TranslateFreqOffset converts PRACH frequency offsets between DU and
 	// RU spectra (Appendix A.1.2).
 	TranslateFreqOffset = phy.TranslateFreqOffset
+)
+
+// Observability (DESIGN.md §6.3): the frame-level trace collector and the
+// Prometheus export surface. Enable with EngineConfig.Trace or
+// Engine.EnableTracing; read merged histograms from Snapshot().Trace and
+// recorded spans from Engine.TraceSpans.
+type (
+	// TraceSpan is one recorded frame's journey through the datapath,
+	// with per-stage durations and A1-A4 action attribution.
+	TraceSpan = telemetry.Span
+	// TraceStage indexes a span's datapath stages (queue, decode,
+	// kernel, app, total).
+	TraceStage = telemetry.Stage
+	// TraceAction indexes the RANBooster actions A1-A4.
+	TraceAction = telemetry.Action
+	// TraceStats is the merged histogram snapshot in EngineStats.Trace.
+	TraceStats = telemetry.TraceStats
+	// PromWriter renders metrics in the Prometheus text format.
+	PromWriter = telemetry.PromWriter
+)
+
+// Observability helpers.
+var (
+	// NewPromWriter wraps an io.Writer for Prometheus text rendering;
+	// pair with Engine.WriteMetrics.
+	NewPromWriter = telemetry.NewPromWriter
+	// DumpTrace writes a slot-by-slot replay of recorded spans.
+	DumpTrace = telemetry.DumpTrace
+	// DumpTraceStats writes a per-stage/per-action percentile table.
+	DumpTraceStats = telemetry.DumpTraceStats
+	// TraceQuantiles extracts (p50, p99, p99.9) from one histogram.
+	TraceQuantiles = telemetry.Quantiles
 )
 
 // Experiments: regenerate the paper's tables and figures.
