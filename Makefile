@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short chaos bench fuzz check
+.PHONY: all build vet ranvet lint test race short chaos bench fuzz check
 
 all: check
 
@@ -11,6 +11,26 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# ranvet enforces the datapath invariants (hot-path allocations, atomic
+# field discipline, shard safety, sim-clock purity, wire bounds). See
+# internal/analysis and DESIGN.md §6.4.
+ranvet:
+	$(GO) run ./cmd/ranvet ./...
+
+# lint = vet + ranvet, plus govulncheck and golangci-lint when installed
+# (CI installs them; local runs skip what's missing rather than fail).
+lint: vet ranvet
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run; \
+	else \
+		echo "golangci-lint not installed; skipping"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -44,4 +64,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzUPlane -fuzztime $(FUZZTIME) ./internal/oran
 	$(GO) test -run '^$$' -fuzz FuzzBFPDecode -fuzztime $(FUZZTIME) ./internal/bfp
 
-check: vet build race
+check: lint build race

@@ -1,0 +1,66 @@
+// Command ranvet is the multichecker driver for the repo's datapath
+// invariant analyzers (internal/analysis): hotpathalloc, atomicfield,
+// shardsafe, simclock and wirebounds. It loads the module packages
+// matching the argument patterns (default ./...), runs the whole suite,
+// and prints go-vet-style diagnostics; the exit status is 1 when any
+// unsuppressed finding remains.
+//
+// Usage:
+//
+//	go run ./cmd/ranvet [-list] [packages]
+//
+// Suppressions are in-source: //ranvet:allow <analyzer> <reason> on or
+// above the flagged line, //ranvet:allowfile <analyzer> <reason> for a
+// whole file. A directive without a reason is itself an error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ranbooster/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ranvet [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s (alias %-9s %s\n", a.Name, a.Alias+")", a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.ModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := analysis.Load(root, flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+	diags := analysis.RunAnalyzers(prog, suite)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ranvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ranvet:", err)
+	os.Exit(2)
+}

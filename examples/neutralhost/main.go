@@ -90,7 +90,7 @@ func main() {
 	fmt.Printf("MNO A subscriber: attached=%v DL %.1f Mbps\n", ua.Attached(), ranbooster.Mbps(ua.ThroughputDLbps(now)))
 	fmt.Printf("MNO B subscriber: attached=%v DL %.1f Mbps\n", ub.Attached(), ranbooster.Mbps(ub.ThroughputDLbps(now)))
 	fmt.Printf("multiplexed DL packets %d, demultiplexed UL %d, PRACH merges %d\n",
-		shareApp.Muxed, shareApp.Demuxed, shareApp.PRACHMuxed)
+		shareApp.Muxed.Load(), shareApp.Demuxed.Load(), shareApp.PRACHMuxed.Load())
 	fmt.Println("two networks, one set of radios — software only (paper Fig. 12: ~350 Mbps each).")
 }
 

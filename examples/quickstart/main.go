@@ -51,7 +51,7 @@ func main() {
 	}
 	fmt.Printf("aggregate goodput through the DAS: DL %.1f Mbps, UL %.1f Mbps\n",
 		ranbooster.Mbps(dl), ranbooster.Mbps(ul))
-	fmt.Printf("uplink IQ merges performed by the middlebox: %d\n", dep.App.Merges)
+	fmt.Printf("uplink IQ merges performed by the middlebox: %d\n", dep.App.Merges.Load())
 	fmt.Println("the same cell would cover only one floor without the middlebox —")
 	fmt.Println("no DU, RU or infrastructure change was needed to add the second.")
 }

@@ -1,0 +1,223 @@
+// Package analysis implements ranvet, a static-analysis suite that
+// enforces the repo's datapath invariants by machine rather than by code
+// review. The invariants come straight from the engineering rules the
+// engine is built on (DESIGN.md §6): the per-frame path must not allocate,
+// counters shared across shards are touched only through sync/atomic,
+// non-SerialApp middleboxes must not write unsynchronized receiver state
+// from Handle, nothing under internal/ reads the wall clock (seeded runs
+// must replay bit-identically), and wire-format parsers index payloads
+// only behind a length check.
+//
+// The suite is stdlib-only. It deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis — an Analyzer with a Run hook reporting
+// position-anchored diagnostics — but loads packages itself: `go list
+// -export` supplies compiled export data for every dependency, each module
+// package is re-type-checked from source, and analyzers walk the typed
+// ASTs. See load.go.
+//
+// # Suppressions
+//
+// A diagnostic is silenced with an in-source directive carrying a written
+// reason:
+//
+//	//ranvet:allow <analyzer> <reason...>     – silences the named
+//	    analyzer on the same line and the line below the comment.
+//	//ranvet:allowfile <analyzer> <reason...> – silences the named
+//	    analyzer for the whole file (one per file, conventionally at top).
+//
+// <analyzer> is a full name (hotpathalloc, atomicfield, shardsafe,
+// simclock, wirebounds) or its short alias (alloc, atomic, shard,
+// simclock, bounds). A directive without a reason, or naming an unknown
+// analyzer, is itself reported — unexplained suppressions defeat the
+// point of the suite.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the go-vet style the driver prints.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reporter receives findings from an analyzer run.
+type Reporter func(pkg *Package, pos token.Pos, format string, args ...any)
+
+// Analyzer is one invariant checker. Run inspects the whole Program so
+// checks may reason across package boundaries (the hot-path call graph
+// and mixed atomic/plain field accesses both cross packages).
+type Analyzer struct {
+	Name  string // full name, e.g. "hotpathalloc"
+	Alias string // suppression shorthand, e.g. "alloc"
+	Doc   string // one-line description
+	Run   func(prog *Program, report Reporter)
+}
+
+// All returns the ranvet suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		HotPathAlloc,
+		AtomicField,
+		ShardSafe,
+		SimClock,
+		WireBounds,
+	}
+}
+
+// byName resolves a directive's analyzer name (full or alias) against the
+// suite; ok is false for unknown names.
+func byName(name string, suite []*Analyzer) (*Analyzer, bool) {
+	for _, a := range suite {
+		if a.Name == name || a.Alias == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// suppression is one parsed //ranvet:allow[file] directive.
+type suppression struct {
+	analyzer string // full analyzer name (resolved from name or alias)
+	file     string
+	line     int
+	fileWide bool
+	reason   string
+}
+
+const (
+	directiveAllow     = "ranvet:allow"
+	directiveAllowFile = "ranvet:allowfile"
+)
+
+// parseSuppressions scans every comment of the program for ranvet
+// directives. Malformed directives (no reason, unknown analyzer) are
+// returned as diagnostics so they fail the build like any other finding.
+func parseSuppressions(prog *Program, suite []*Analyzer) ([]suppression, []Diagnostic) {
+	var sups []suppression
+	var bad []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					var fileWide bool
+					switch {
+					case strings.HasPrefix(text, directiveAllowFile):
+						fileWide = true
+						text = strings.TrimPrefix(text, directiveAllowFile)
+					case strings.HasPrefix(text, directiveAllow):
+						text = strings.TrimPrefix(text, directiveAllow)
+					default:
+						continue
+					}
+					pos := prog.Fset.Position(c.Slash)
+					fields := strings.Fields(text)
+					if len(fields) == 0 {
+						bad = append(bad, Diagnostic{Analyzer: "ranvet", Pos: pos,
+							Message: "ranvet:allow directive names no analyzer"})
+						continue
+					}
+					a, ok := byName(fields[0], suite)
+					if !ok {
+						bad = append(bad, Diagnostic{Analyzer: "ranvet", Pos: pos,
+							Message: fmt.Sprintf("ranvet:allow names unknown analyzer %q", fields[0])})
+						continue
+					}
+					reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), fields[0]))
+					if reason == "" {
+						bad = append(bad, Diagnostic{Analyzer: "ranvet", Pos: pos,
+							Message: fmt.Sprintf("ranvet:allow %s needs a written reason", fields[0])})
+						continue
+					}
+					sups = append(sups, suppression{
+						analyzer: a.Name,
+						file:     pos.Filename,
+						line:     pos.Line,
+						fileWide: fileWide,
+						reason:   reason,
+					})
+				}
+			}
+		}
+	}
+	return sups, bad
+}
+
+// matches reports whether the suppression covers the diagnostic: same
+// file and analyzer, and (unless file-wide) the diagnostic sits on the
+// directive's own line or the line directly below it — i.e. the directive
+// is a trailing comment or sits on the line above the flagged construct.
+func (s suppression) matches(d Diagnostic) bool {
+	if s.analyzer != d.Analyzer || s.file != d.Pos.Filename {
+		return false
+	}
+	return s.fileWide || d.Pos.Line == s.line || d.Pos.Line == s.line+1
+}
+
+// RunAnalyzers applies the suite to the program and returns surviving
+// diagnostics, sorted by position. Suppressed findings are dropped;
+// malformed suppression directives are reported.
+func RunAnalyzers(prog *Program, suite []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range suite {
+		name := a.Name
+		report := func(pkg *Package, pos token.Pos, format string, args ...any) {
+			raw = append(raw, Diagnostic{
+				Analyzer: name,
+				Pos:      prog.Fset.Position(pos),
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+		a.Run(prog, report)
+	}
+	sups, bad := parseSuppressions(prog, suite)
+	var kept []Diagnostic
+	for _, d := range raw {
+		suppressed := false
+		for _, s := range sups {
+			if s.matches(d) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, bad...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// inspect walks every file of the package in source order, calling fn for
+// each node; fn returning false prunes the subtree.
+func (p *Package) inspect(fn func(n ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicField catches the mixed-access race the race detector only finds
+// when a test gets lucky: a struct field that is touched through
+// sync/atomic somewhere (atomic.AddUint64(&s.f, 1)) and by a plain load
+// or store somewhere else. Once one access site is atomic, every access
+// must be — a plain read can tear or be reordered, and a plain write
+// silently loses increments. The scan is whole-program: the atomic
+// increment typically lives in an app's hot path while the plain read
+// hides in an example or experiment harness three packages away.
+//
+// The idiomatic fix is to change the field to an atomic.Uint64 (or
+// friends), which makes mixed access unrepresentable; that is what the
+// repo's app counters do.
+var AtomicField = &Analyzer{
+	Name:  "atomicfield",
+	Alias: "atomic",
+	Doc:   "flags struct fields accessed both atomically and plainly",
+	Run:   runAtomicField,
+}
+
+// fieldKey canonically identifies a struct field across packages.
+type fieldKey struct {
+	pkg   string // declaring package path
+	typ   string // named struct type
+	field string
+}
+
+// fieldOf resolves a selector expression to the struct field it denotes,
+// keyed by the field's declaring named type.
+func fieldOf(pkg *Package, sel *ast.SelectorExpr) (fieldKey, bool) {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return fieldKey{}, false
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() || v.Pkg() == nil {
+		return fieldKey{}, false
+	}
+	// Walk to the named type that declares the (possibly embedded) field.
+	t := s.Recv()
+	for _, idx := range s.Index()[:len(s.Index())-1] {
+		t = fieldAt(t, idx).Type()
+	}
+	named := namedOf(t)
+	if named == nil {
+		return fieldKey{}, false
+	}
+	return fieldKey{pkg: v.Pkg().Path(), typ: named.Obj().Name(), field: v.Name()}, true
+}
+
+func fieldAt(t types.Type, i int) *types.Var {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return t.Underlying().(*types.Struct).Field(i)
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func runAtomicField(prog *Program, report Reporter) {
+	type site struct {
+		pkg *Package
+		pos token.Pos
+	}
+	atomicSites := map[fieldKey]site{} // first atomic access per field
+	atomicArgs := map[token.Pos]bool{} // selector positions inside atomic call args
+
+	// Pass 1: record fields whose address is passed to a sync/atomic call.
+	for _, pkg := range prog.Packages {
+		pkg.inspect(func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeFunc(pkg.Info, sel)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				fsel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				key, ok := fieldOf(pkg, fsel)
+				if !ok {
+					continue
+				}
+				atomicArgs[fsel.Pos()] = true
+				if _, dup := atomicSites[key]; !dup {
+					atomicSites[key] = site{pkg: pkg, pos: fsel.Pos()}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicSites) == 0 {
+		return
+	}
+
+	// Pass 2: any other access to those fields is a mixed-access race.
+	type finding struct {
+		pkg *Package
+		pos token.Pos
+		key fieldKey
+	}
+	var findings []finding
+	for _, pkg := range prog.Packages {
+		pkg.inspect(func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if atomicArgs[sel.Pos()] {
+				return true
+			}
+			key, ok := fieldOf(pkg, sel)
+			if !ok {
+				return true
+			}
+			if _, hot := atomicSites[key]; hot {
+				findings = append(findings, finding{pkg: pkg, pos: sel.Pos(), key: key})
+			}
+			return true
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		at := atomicSites[f.key]
+		report(f.pkg, f.pos,
+			"field %s.%s.%s is accessed with sync/atomic at %s; this plain access is a data race — use atomic ops everywhere or change the field to an atomic type",
+			shortPkg(f.key.pkg), f.key.typ, f.key.field, prog.Fset.Position(at.pos))
+	}
+}

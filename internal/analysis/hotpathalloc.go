@@ -1,0 +1,350 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc enforces the allocation-free hot path (DESIGN.md §6: "hot
+// paths do not allocate"). Functions annotated //ranvet:hotpath are roots
+// of the per-frame datapath — the shard worker loop, the frame decoder,
+// the BFP codec, every App's Handle. The analyzer walks the static call
+// graph from those roots across the whole module and flags constructs
+// that heap-allocate (or are very likely to):
+//
+//   - make, new, append (growth reallocates)
+//   - &T{...} and slice/map composite literals
+//   - string concatenation
+//   - calls into package fmt
+//   - function literals (closure environments escape)
+//   - explicit conversions of concrete values to interface types
+//
+// Two deliberate blind spots keep the signal honest. An append whose
+// destination is rooted at a parameter or the receiver is not flagged:
+// that is the append-style API shape (dst = append(dst, ...)), where the
+// amortization decision belongs to the caller who owns the buffer. And
+// nothing inside a panic(...) argument is flagged: a crash path allocates
+// once, right before dying.
+//
+// Interface method calls and func-typed values are not traversed (the
+// callee is unknown statically); annotate implementations directly — the
+// repo annotates every core.App Handle for exactly this reason.
+// Intentional allocations (A2 replication buffers, once-per-symbol merge
+// paths, error construction) carry //ranvet:allow alloc <reason>.
+var HotPathAlloc = &Analyzer{
+	Name:  "hotpathalloc",
+	Alias: "alloc",
+	Doc:   "flags heap allocations reachable from //ranvet:hotpath roots",
+	Run:   runHotPathAlloc,
+}
+
+const hotpathDirective = "ranvet:hotpath"
+
+// funcNode is one function with a body in the analyzed module.
+type funcNode struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	name string // printable, e.g. (*shard).process
+}
+
+// funcKey canonically identifies a function across packages: the
+// *types.Func objects differ between a package's own check and an import
+// via export data, but FullName strings agree.
+func funcKey(fn *types.Func) string { return fn.FullName() }
+
+func runHotPathAlloc(prog *Program, report Reporter) {
+	// Index every function declaration in the module and find the roots.
+	funcs := map[string]*funcNode{}
+	var roots []string
+	rootSet := map[string]bool{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := funcKey(obj)
+				funcs[key] = &funcNode{pkg: pkg, decl: fd, name: displayName(obj)}
+				if hasDirective(fd.Doc, hotpathDirective) && !rootSet[key] {
+					rootSet[key] = true
+					roots = append(roots, key)
+				}
+			}
+		}
+	}
+
+	// BFS the static call graph, remembering how each function was reached
+	// so diagnostics can show the chain back to a root.
+	parent := map[string]string{}
+	visited := map[string]bool{}
+	queue := append([]string(nil), roots...)
+	for _, r := range roots {
+		visited[r] = true
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		node := funcs[key]
+		if node == nil {
+			continue
+		}
+		checkHotFunc(node, chain(key, parent, funcs), report)
+		for _, callee := range staticCallees(node) {
+			if visited[callee] {
+				continue
+			}
+			visited[callee] = true
+			parent[callee] = key
+			queue = append(queue, callee)
+		}
+	}
+}
+
+// chain renders the call path from a root down to key.
+func chain(key string, parent map[string]string, funcs map[string]*funcNode) string {
+	var names []string
+	for k := key; k != ""; k = parent[k] {
+		if n := funcs[k]; n != nil {
+			names = append(names, n.name)
+		}
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " → ")
+}
+
+// displayName renders a function the way diagnostics read best:
+// pkg.Func or (*pkg.Recv).Method.
+func displayName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = shortPkg(fn.Pkg().Path()) + "."
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		ptr := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			ptr = "*"
+		}
+		if named, ok := t.(*types.Named); ok {
+			return "(" + ptr + pkg + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// hasDirective reports whether a doc comment carries the given directive.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// staticCallees returns the module functions node calls directly: plain
+// function calls and method calls on concrete receivers. Interface
+// dispatch and func values are unresolvable statically and skipped.
+func staticCallees(node *funcNode) []string {
+	info := node.pkg.Info
+	var out []string
+	seen := map[string]bool{}
+	add := func(fn *types.Func) {
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		key := funcKey(fn)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fn, ok := info.Uses[fun].(*types.Func); ok {
+				add(fn)
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[fun]; ok {
+				// Method (or method-value) call; skip interface dispatch.
+				if !types.IsInterface(sel.Recv()) {
+					if fn, ok := sel.Obj().(*types.Func); ok {
+						add(fn)
+					}
+				}
+			} else if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+				add(fn) // package-qualified call
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkHotFunc flags allocating constructs inside one hot function.
+func checkHotFunc(node *funcNode, via string, report Reporter) {
+	info := node.pkg.Info
+	pkg := node.pkg
+	callerOwned := callerOwnedObjects(pkg, node.decl)
+	flag := func(pos token.Pos, what string) {
+		report(pkg, pos, "%s in hot path (%s)", what, via)
+	}
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			flag(e.Pos(), "function literal (closure environment escapes)")
+			return false // the literal runs later; its body is not this hot path
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					flag(e.Pos(), "&composite literal (escapes to heap)")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if t := info.Types[e].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					flag(e.Pos(), "slice/map literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD {
+				if t, ok := info.Types[e]; ok {
+					if b, ok := t.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						flag(e.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isPanicCall(info, e) {
+				return false // crash path: allocating the message is fine
+			}
+			checkHotCall(node, e, callerOwned, flag)
+		}
+		return true
+	})
+}
+
+// callerOwnedObjects collects the function's receiver and parameter
+// objects: buffers rooted at these belong to the caller, so appending to
+// them is the caller's amortization contract, not this function's alloc.
+func callerOwnedObjects(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	owned := map[types.Object]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	return owned
+}
+
+// rootObj walks a selector/index/deref chain to its base identifier's
+// object (a.f[i].g -> a), or nil when the base is not a plain identifier.
+func rootObj(pkg *Package, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			return pkg.Info.Uses[e]
+		default:
+			return nil
+		}
+	}
+}
+
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func checkHotCall(node *funcNode, call *ast.CallExpr, callerOwned map[types.Object]bool, flag func(token.Pos, string)) {
+	info := node.pkg.Info
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				flag(call.Pos(), "make allocates")
+			case "new":
+				flag(call.Pos(), "new allocates")
+			case "append":
+				if len(call.Args) > 0 {
+					if obj := rootObj(node.pkg, call.Args[0]); obj != nil && callerOwned[obj] {
+						return // caller-owned buffer: the caller amortizes it
+					}
+				}
+				flag(call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := calleeFunc(info, fun); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			flag(call.Pos(), "fmt."+fn.Name()+" allocates (formatting boxes arguments)")
+			return
+		}
+	}
+	// Explicit conversion of a concrete value to an interface type boxes it.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at, ok := info.Types[call.Args[0]]; ok && at.Type != nil && !types.IsInterface(at.Type) {
+				flag(call.Pos(), "conversion to interface boxes the value")
+			}
+		}
+	}
+}
+
+// calleeFunc resolves a selector callee to its *types.Func, whether it is
+// a method or a package-qualified function.
+func calleeFunc(info *types.Info, sel *ast.SelectorExpr) (*types.Func, bool) {
+	if s, ok := info.Selections[sel]; ok {
+		fn, ok := s.Obj().(*types.Func)
+		return fn, ok
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return fn, ok
+}

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness mirrors go/analysis's analysistest: fixture files
+// carry trailing comments of the form
+//
+//	// want `regex` [`regex` ...]
+//
+// and the test requires exactly the expected diagnostics on exactly those
+// lines. Each regex is matched against "analyzer: message".
+
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// collectWants parses the // want comments of a loaded fixture.
+func collectWants(t *testing.T, prog *Program) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					body, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Slash)
+					for _, m := range wantRe.FindAllStringSubmatch(body, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+						}
+						k := wantKey{file: pos.Filename, line: pos.Line}
+						wants[k] = append(wants[k], re)
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// loadFixture type-checks one testdata package under a synthetic import
+// path and runs the full suite over it (analyzers must not interfere).
+func loadFixture(t *testing.T, dir, importPath string) (*Program, []Diagnostic) {
+	t.Helper()
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	prog, err := LoadDir(root, filepath.Join("testdata", "src", dir), importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	return prog, RunAnalyzers(prog, All())
+}
+
+// checkFixture requires the diagnostics to match the want comments 1:1.
+func checkFixture(t *testing.T, prog *Program, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, prog)
+	for _, d := range diags {
+		k := wantKey{file: d.Pos.Filename, line: d.Pos.Line}
+		text := d.Analyzer + ": " + d.Message
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(text) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				if len(wants[k]) == 0 {
+					delete(wants, k)
+				}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, text)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+func TestHotPathAllocFixture(t *testing.T) {
+	prog, diags := loadFixture(t, "hotpath", "ranvetfixture/hotpath")
+	checkFixture(t, prog, diags)
+}
+
+func TestAtomicFieldFixture(t *testing.T) {
+	prog, diags := loadFixture(t, "atomicmix", "ranvetfixture/atomicmix")
+	checkFixture(t, prog, diags)
+}
+
+func TestShardSafeFixture(t *testing.T) {
+	prog, diags := loadFixture(t, "shardapp", "ranvetfixture/shardapp")
+	checkFixture(t, prog, diags)
+}
+
+func TestSimClockFixture(t *testing.T) {
+	// The synthetic import path places the fixture under internal/ so the
+	// wall-clock ban applies.
+	prog, diags := loadFixture(t, "clockuser", "ranvetfixture/internal/clockuser")
+	checkFixture(t, prog, diags)
+}
+
+func TestWireBoundsFixture(t *testing.T) {
+	// The import path basename selects the codec scope.
+	prog, diags := loadFixture(t, "fh", "ranvetfixture/fh")
+	checkFixture(t, prog, diags)
+}
+
+// TestBadSuppressions requires malformed directives to be reported:
+// a suppression without a reason (or naming an unknown analyzer) must
+// fail the run, not silently stop matching.
+func TestBadSuppressions(t *testing.T) {
+	_, diags := loadFixture(t, "badsup", "ranvetfixture/badsup")
+	var got []string
+	for _, d := range diags {
+		if d.Analyzer != "ranvet" {
+			t.Errorf("unexpected non-directive diagnostic: %s", d)
+			continue
+		}
+		got = append(got, d.Message)
+	}
+	want := []string{
+		"needs a written reason",
+		"unknown analyzer",
+		"names no analyzer",
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no directive diagnostic containing %q (got %v)", w, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("got %d directive diagnostics, want %d: %v", len(got), len(want), got)
+	}
+}
+
+// TestRanvetRepoClean is the meta-test the whole suite exists for: the
+// repository's own code must satisfy every invariant, with each remaining
+// suppression carrying a written reason. A finding here is a regression
+// in the datapath contract, not in the analyzer.
+func TestRanvetRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-type-checks the whole module; skipped in -short")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	prog, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := RunAnalyzers(prog, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("ranvet found %d violation(s); fix them or add //ranvet:allow <analyzer> <reason>", len(diags))
+	}
+	// Sanity: the hot-path analyzer actually had roots to walk — if the
+	// annotations disappear the suite silently checks nothing.
+	roots := 0
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && hasDirective(fd.Doc, hotpathDirective) {
+					roots++
+				}
+			}
+		}
+	}
+	if roots < 5 {
+		t.Fatalf("only %d //ranvet:hotpath roots in the module; the datapath annotations went missing", roots)
+	}
+}
+
+// TestSuiteMetadata guards the suppression grammar: distinct names and
+// aliases, docs present.
+func TestSuiteMetadata(t *testing.T) {
+	seen := map[string]string{}
+	for _, a := range All() {
+		for _, n := range []string{a.Name, a.Alias} {
+			if other, dup := seen[n]; dup && other != a.Name {
+				t.Errorf("name %q claimed by both %s and %s", n, other, a.Name)
+			}
+			seen[n] = a.Name
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s missing doc or run hook", a.Name)
+		}
+	}
+	if len(All()) != 5 {
+		t.Errorf("suite has %d analyzers, want 5", len(All()))
+	}
+}
+
+// TestDiagnosticString pins the go-vet-style rendering the driver prints.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "simclock", Message: "msg"}
+	d.Pos.Filename, d.Pos.Line, d.Pos.Column = "f.go", 3, 7
+	if got, want := d.String(), "f.go:3:7: simclock: msg"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

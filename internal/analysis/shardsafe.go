@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShardSafe enforces the core.App concurrency contract (DESIGN.md §6.1):
+// on a multi-shard engine, Handle runs concurrently on several worker
+// goroutines, so an App that is not marked SerialApp must not write its
+// receiver's fields from the Handle path without synchronization —
+// cross-stream state needs atomics or a lock, or the App must declare
+// Serial() and forfeit parallel workers.
+//
+// The analyzer finds every type with a Handle(ctx *Context, ...) method
+// and no Serial() marker, walks Handle plus the same-type methods it
+// calls (within the package), and flags plain assignments, ++/--, and
+// map/slice-element writes whose destination is rooted at the receiver.
+// Writes through atomic types (a.ctr.Add(1)) are method calls, not
+// assignments, and pass; a receiver-rooted mu.Lock() call earlier in the
+// same function body disarms the check for that function.
+var ShardSafe = &Analyzer{
+	Name:  "shardsafe",
+	Alias: "shard",
+	Doc:   "flags non-SerialApp frame handlers writing receiver state unsynchronized",
+	Run:   runShardSafe,
+}
+
+func runShardSafe(prog *Program, report Reporter) {
+	for _, pkg := range prog.Packages {
+		checkShardSafePkg(pkg, report)
+	}
+}
+
+// appMethods collects the method declarations of each named type in the
+// package, keyed by type name.
+func appMethods(pkg *Package) map[string][]*ast.FuncDecl {
+	methods := map[string][]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			name, ok := recvTypeName(fd)
+			if !ok {
+				continue
+			}
+			methods[name] = append(methods[name], fd)
+		}
+	}
+	return methods
+}
+
+func recvTypeName(fd *ast.FuncDecl) (string, bool) {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch e := t.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name, true
+		}
+	}
+	return "", false
+}
+
+// isHandleMethod matches the core.App frame handler shape: a method named
+// Handle whose first parameter is a pointer to a type named Context.
+func isHandleMethod(fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Handle" || fd.Type.Params == nil || len(fd.Type.Params.List) == 0 {
+		return false
+	}
+	t := fd.Type.Params.List[0].Type
+	star, ok := t.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	switch e := star.X.(type) {
+	case *ast.Ident:
+		return e.Name == "Context"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "Context"
+	}
+	return false
+}
+
+func checkShardSafePkg(pkg *Package, report Reporter) {
+	methods := appMethods(pkg)
+	for typeName, decls := range methods {
+		var handle *ast.FuncDecl
+		serial := false
+		for _, fd := range decls {
+			if isHandleMethod(fd) {
+				handle = fd
+			}
+			if fd.Name.Name == "Serial" && (fd.Type.Params == nil || len(fd.Type.Params.List) == 0) {
+				serial = true
+			}
+		}
+		if handle == nil || serial {
+			continue
+		}
+		// Walk Handle and the same-type methods it (transitively) calls.
+		visited := map[*ast.FuncDecl]bool{}
+		queue := []*ast.FuncDecl{handle}
+		for len(queue) > 0 {
+			fd := queue[0]
+			queue = queue[1:]
+			if visited[fd] {
+				continue
+			}
+			visited[fd] = true
+			checkHandlerBody(pkg, typeName, fd, report)
+			for _, callee := range sameTypeCallees(pkg, typeName, fd, methods[typeName]) {
+				queue = append(queue, callee)
+			}
+		}
+	}
+}
+
+// recvIdent returns the receiver's identifier object, if named.
+func recvIdent(pkg *Package, fd *ast.FuncDecl) types.Object {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	return pkg.Info.Defs[names[0]]
+}
+
+// rootedAtReceiver reports whether expr is a selector/index chain whose
+// innermost operand is the receiver object (a.f, a.f[i], a.f.g, ...).
+func rootedAtReceiver(pkg *Package, recv types.Object, expr ast.Expr) bool {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			return recv != nil && pkg.Info.Uses[e] == recv
+		default:
+			return false
+		}
+	}
+}
+
+// sameTypeCallees resolves calls like a.helper(...) to method decls of
+// the same type within the package.
+func sameTypeCallees(pkg *Package, typeName string, fd *ast.FuncDecl, decls []*ast.FuncDecl) []*ast.FuncDecl {
+	byName := map[string]*ast.FuncDecl{}
+	for _, d := range decls {
+		byName[d.Name.Name] = d
+	}
+	recv := recvIdent(pkg, fd)
+	var out []*ast.FuncDecl
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !rootedAtReceiver(pkg, recv, sel.X) {
+			return true
+		}
+		if d, ok := byName[sel.Sel.Name]; ok {
+			out = append(out, d)
+		}
+		return true
+	})
+	return out
+}
+
+// checkHandlerBody flags unsynchronized receiver writes in one method.
+func checkHandlerBody(pkg *Package, typeName string, fd *ast.FuncDecl, report Reporter) {
+	recv := recvIdent(pkg, fd)
+	if recv == nil || fd.Body == nil {
+		return
+	}
+	// A receiver-rooted Lock()/RLock() call disarms the check from that
+	// position onward — the coarse but honest reading of "guarded".
+	lockPos := token.Pos(-1)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if (sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") && rootedAtReceiver(pkg, recv, sel.X) {
+			if lockPos < 0 || call.Pos() < lockPos {
+				lockPos = call.Pos()
+			}
+		}
+		return true
+	})
+	guarded := func(pos token.Pos) bool { return lockPos >= 0 && pos > lockPos }
+	flag := func(pos token.Pos, what string) {
+		if guarded(pos) {
+			return
+		}
+		report(pkg, pos,
+			"%s is not a SerialApp but its frame-handler path writes receiver state (%s) without atomics or a lock; "+
+				"use atomics, guard with a mutex, or declare Serial()", typeName, what)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if target, ok := receiverWriteTarget(pkg, recv, lhs); ok {
+					flag(lhs.Pos(), target)
+				}
+			}
+		case *ast.IncDecStmt:
+			if target, ok := receiverWriteTarget(pkg, recv, s.X); ok {
+				flag(s.X.Pos(), target)
+			}
+		case *ast.CallExpr:
+			// delete(a.m, k) mutates a receiver-held map.
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok {
+				if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" && len(s.Args) > 0 {
+					if rootedAtReceiver(pkg, recv, s.Args[0]) {
+						flag(s.Args[0].Pos(), exprString(pkg, s.Args[0]))
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// receiverWriteTarget reports whether lhs writes through the receiver
+// (field assignment or element write of a receiver-held map/slice).
+func receiverWriteTarget(pkg *Package, recv types.Object, lhs ast.Expr) (string, bool) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		if rootedAtReceiver(pkg, recv, e) {
+			return exprString(pkg, e), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,40 @@
+// Package atomicmix is the atomicfield fixture: a field accessed through
+// sync/atomic in one place and plainly in another is a data race.
+package atomicmix
+
+import "sync/atomic"
+
+type Stats struct {
+	hits   uint64
+	misses uint64
+}
+
+// recordHit is the atomic access site that puts hits in scope.
+func (s *Stats) recordHit() { atomic.AddUint64(&s.hits, 1) }
+
+// read mixes in a plain load: flagged.
+func (s *Stats) read() uint64 {
+	return s.hits // want `accessed with sync/atomic`
+}
+
+// write mixes in a plain store: flagged.
+func (s *Stats) write() {
+	s.hits = 0 // want `accessed with sync/atomic`
+}
+
+// ok reads through sync/atomic: fine.
+func (s *Stats) ok() uint64 {
+	return atomic.LoadUint64(&s.hits)
+}
+
+// plainOnly never touches an atomic-accessed field: fine.
+func (s *Stats) plainOnly() uint64 {
+	s.misses++
+	return s.misses
+}
+
+// reset is single-goroutine by contract and says so.
+func (s *Stats) reset() {
+	//ranvet:allow atomic test-only helper, called with all workers stopped
+	s.hits = 0
+}

@@ -1,0 +1,12 @@
+// Package badsup holds malformed suppression directives; each must be
+// reported instead of silently ignored.
+package badsup
+
+//ranvet:allow alloc
+func missingReason() {}
+
+//ranvet:allow nosuchanalyzer because reasons
+func unknownAnalyzer() {}
+
+//ranvet:allow
+func missingName() {}

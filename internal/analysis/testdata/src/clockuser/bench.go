@@ -1,0 +1,15 @@
+// bench.go measures real elapsed time on purpose; the file-wide
+// directive keeps simclock quiet for every use in this file.
+//
+//ranvet:allowfile simclock this file measures real elapsed wall time by design
+package clockuser
+
+import "time"
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func now() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,30 @@
+// Package clockuser is the simclock fixture: its synthetic import path
+// puts it under internal/, where wall-clock reads are forbidden.
+package clockuser
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func wait() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+func ticker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+}
+
+// span is pure duration arithmetic: fine.
+func span(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// construct builds an explicit instant: fine.
+func construct() time.Time {
+	return time.Unix(0, 0)
+}
+
+//ranvet:allow simclock daemon-only retry backoff, outside the seeded datapath
+func retry() { time.Sleep(time.Second) }

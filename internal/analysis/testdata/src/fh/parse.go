@@ -1,0 +1,50 @@
+// Package fh is the wirebounds fixture; the import path basename puts it
+// in the codec scope where payload access needs a local length check.
+package fh
+
+func unchecked(b []byte) byte {
+	return b[0] // want `indexing of "b" without a preceding len\(b\) check`
+}
+
+func checked(b []byte) (byte, bool) {
+	if len(b) < 1 {
+		return 0, false
+	}
+	return b[0], true
+}
+
+func uncheckedSlice(b []byte) []byte {
+	return b[2:4] // want `slicing of "b" without a preceding len\(b\) check`
+}
+
+// selfLimited bounds the slice with len(b): fine.
+func selfLimited(b []byte) []byte {
+	return b[:len(b)/2]
+}
+
+// lastByte indexes relative to len(b): fine.
+func lastByte(b []byte) byte {
+	return b[len(b)-1]
+}
+
+func uncheckedArray(b []byte) *[2]byte {
+	return (*[2]byte)(b) // want `array-pointer conversion of "b"`
+}
+
+func checkedArray(b []byte) *[2]byte {
+	if len(b) < 2 {
+		return nil
+	}
+	return (*[2]byte)(b)
+}
+
+// invariant documents why the access is safe instead of checking.
+func invariant(b []byte) byte {
+	//ranvet:allow bounds the framing contract guarantees four bytes here
+	return b[3]
+}
+
+// notBytes: int slices are out of scope, the bug class is payload parsing.
+func notBytes(v []int) int {
+	return v[0]
+}

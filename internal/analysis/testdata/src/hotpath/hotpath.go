@@ -1,0 +1,54 @@
+// Package hotpath is the hotpathalloc fixture: one annotated root, one
+// transitively reached helper full of allocating constructs, and the
+// negatives the analyzer must stay quiet about.
+package hotpath
+
+import "fmt"
+
+type config struct{ n int }
+
+// process is the hot-path root; everything it reaches is checked.
+//
+//ranvet:hotpath
+func process(frames [][]byte) {
+	for _, f := range frames {
+		handle(f)
+	}
+}
+
+func handle(f []byte) {
+	m := make([]int, len(f)) // want `make allocates`
+	_ = m
+	c := &config{} // want `&composite literal`
+	_ = c
+	s := []int{1, 2} // want `slice/map literal`
+	_ = s
+	msg := "frame:" + string(rune(f[0])) // want `string concatenation`
+	_ = msg
+	fmt.Println(len(f)) // want `fmt\.Println allocates`
+	fn := func() {}     // want `function literal`
+	fn()
+	_ = any(len(f)) // want `conversion to interface boxes`
+
+	// Caller-owned destination: the append is the caller's amortization.
+	_ = grow(nil, 1)
+
+	// Crash path: allocating the message right before dying is fine.
+	if len(f) == 0 {
+		panic(fmt.Sprintf("empty frame %d", len(f)))
+	}
+
+	//ranvet:allow alloc per-batch table, amortized across the whole batch
+	tbl := make([]int, 8)
+	_ = tbl
+}
+
+// grow appends to its parameter: not flagged, the buffer is caller-owned.
+func grow(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+// cold is never reached from a root: allocate freely.
+func cold() []int {
+	return make([]int, 64)
+}

@@ -1,0 +1,79 @@
+// Package shardapp is the shardsafe fixture: a frame handler on a type
+// without the Serial marker must not write receiver state unsynchronized.
+// The Context/Packet types mirror the core.App handler shape.
+package shardapp
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Context struct{}
+
+type Packet struct{}
+
+// Racy writes receiver fields from Handle and a helper it calls.
+type Racy struct {
+	count int
+	m     map[int]int
+}
+
+func (r *Racy) Handle(ctx *Context, pkt *Packet) error {
+	r.count++      // want `writes receiver state`
+	r.m[1] = 2     // want `writes receiver state`
+	delete(r.m, 3) // want `writes receiver state`
+	r.note()
+	return nil
+}
+
+func (r *Racy) note() {
+	r.count = 7 // want `writes receiver state`
+}
+
+// Locked guards its writes with a receiver-rooted mutex: fine.
+type Locked struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (l *Locked) Handle(ctx *Context, pkt *Packet) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.n++
+	return nil
+}
+
+// Serialized declares Serial(): the engine gives it one worker, so plain
+// writes are fine.
+type Serialized struct{ n int }
+
+func (s *Serialized) Handle(ctx *Context, pkt *Packet) error { s.n++; return nil }
+
+func (s *Serialized) Serial() {}
+
+// Counted uses an atomic field: method calls are not plain writes.
+type Counted struct{ n atomic.Uint64 }
+
+func (c *Counted) Handle(ctx *Context, pkt *Packet) error {
+	c.n.Add(1)
+	return nil
+}
+
+// Allowed documents why its plain write is safe.
+type Allowed struct{ n int }
+
+func (a *Allowed) Handle(ctx *Context, pkt *Packet) error {
+	//ranvet:allow shard deployment pins this app to a single shard by config
+	a.n++
+	return nil
+}
+
+// locals only: writing non-receiver state is fine.
+type Clean struct{ limit int }
+
+func (c *Clean) Handle(ctx *Context, pkt *Packet) error {
+	n := 0
+	n += c.limit
+	_ = n
+	return nil
+}

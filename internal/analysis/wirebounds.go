@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WireBounds guards the wire-format parsers against the exact bug class
+// behind the DAS merge panic of PR 3: indexing or slicing an attacker-
+// shaped payload without a dominating length check. In the fronthaul
+// codec packages (fh, oran, ecpri, bfp, eth), every index or slice
+// expression over a []byte — and every slice-to-array-pointer conversion,
+// which panics just the same when the slice is short — must be preceded,
+// within the same function, by a len() observation of the same
+// expression. The check is syntactic and flow-insensitive on purpose: a
+// parser whose bounds safety needs cross-function reasoning is a parser
+// the next refactor breaks, so such sites either gain a local check or a
+// //ranvet:allow bounds <reason> spelling the invariant out.
+var WireBounds = &Analyzer{
+	Name:  "wirebounds",
+	Alias: "bounds",
+	Doc:   "flags payload indexing/slicing not preceded by a length check",
+	Run:   runWireBounds,
+}
+
+// wireBoundsPackages are the codec package basenames in scope.
+var wireBoundsPackages = map[string]bool{
+	"fh":    true,
+	"oran":  true,
+	"ecpri": true,
+	"bfp":   true,
+	"eth":   true,
+}
+
+func runWireBounds(prog *Program, report Reporter) {
+	for _, pkg := range prog.Packages {
+		if !wireBoundsPackages[shortPkg(pkg.Path)] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					checkWireBoundsFunc(pkg, fd, report)
+				}
+			}
+		}
+	}
+}
+
+// isByteSlice reports whether the expression's static type is []byte (or
+// a named type whose underlying type is).
+func isByteSlice(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	s, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// exprString renders an expression canonically for syntactic comparison.
+func exprString(pkg *Package, e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, pkg.fset, e)
+	return buf.String()
+}
+
+func checkWireBoundsFunc(pkg *Package, fd *ast.FuncDecl, report Reporter) {
+	// Pass 1: positions of every len(X) observation in the function.
+	lenChecks := map[string][]token.Pos{} // printed operand -> len() positions
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "len" {
+			return true
+		}
+		key := exprString(pkg, call.Args[0])
+		lenChecks[key] = append(lenChecks[key], call.Pos())
+		return true
+	})
+	dominated := func(operand ast.Expr, use token.Pos) bool {
+		for _, p := range lenChecks[exprString(pkg, operand)] {
+			if p < use {
+				return true
+			}
+		}
+		return false
+	}
+	flag := func(pos token.Pos, what, operand string) {
+		report(pkg, pos,
+			"%s of %q without a preceding len(%s) check in this function; a short payload panics here — check the length locally",
+			what, operand, operand)
+	}
+
+	// Pass 2: flag unguarded byte-slice element/slice accesses.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.IndexExpr:
+			x := ast.Unparen(e.X)
+			if !isByteSlice(pkg, x) {
+				return true
+			}
+			if dominated(x, e.Pos()) || mentionsLenOf(pkg, e.Index, x) {
+				return true
+			}
+			flag(e.Pos(), "indexing", exprString(pkg, x))
+		case *ast.SliceExpr:
+			x := ast.Unparen(e.X)
+			if !isByteSlice(pkg, x) {
+				return true
+			}
+			if dominated(x, e.Pos()) {
+				return true
+			}
+			// b[:len(b)-1]-style bounds are self-limiting.
+			for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+				if idx != nil && mentionsLenOf(pkg, idx, x) {
+					return true
+				}
+			}
+			flag(e.Pos(), "slicing", exprString(pkg, x))
+		case *ast.CallExpr:
+			// (*[N]byte)(x): panics when len(x) < N.
+			tv, ok := pkg.Info.Types[e.Fun]
+			if !ok || !tv.IsType() || len(e.Args) != 1 {
+				return true
+			}
+			ptr, ok := tv.Type.Underlying().(*types.Pointer)
+			if !ok {
+				return true
+			}
+			if _, ok := ptr.Elem().Underlying().(*types.Array); !ok {
+				return true
+			}
+			x := ast.Unparen(e.Args[0])
+			if !isByteSlice(pkg, x) || dominated(x, e.Pos()) {
+				return true
+			}
+			flag(e.Pos(), "array-pointer conversion", exprString(pkg, x))
+		}
+		return true
+	})
+}
+
+// mentionsLenOf reports whether idx textually contains len(<operand>).
+func mentionsLenOf(pkg *Package, idx, operand ast.Expr) bool {
+	return strings.Contains(exprString(pkg, idx), "len("+exprString(pkg, operand)+")")
+}

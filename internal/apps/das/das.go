@@ -10,9 +10,8 @@
 package das
 
 import (
-	"sync/atomic"
-
 	"fmt"
+	"sync/atomic"
 
 	"ranbooster/internal/bfp"
 	"ranbooster/internal/core"
@@ -42,9 +41,9 @@ type App struct {
 	rus map[eth.MAC]bool
 
 	// Merges counts completed uplink combinations (for tests/telemetry).
-	// Incremented atomically; read with atomic.LoadUint64 while parallel
-	// engine workers run.
-	Merges uint64
+	// An atomic type so that readers racing parallel engine workers
+	// cannot accidentally use a plain load.
+	Merges atomic.Uint64
 }
 
 // New builds the middlebox.
@@ -90,6 +89,8 @@ func (a *App) Control(cmd string, args map[string]string) error {
 }
 
 // Handle implements core.App.
+//
+//ranvet:hotpath
 func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 	switch {
 	case pkt.Eth.Src == a.cfg.DU:
@@ -128,7 +129,7 @@ func (a *App) handleUpstream(ctx *core.Context, pkt *fh.Packet) error {
 	if err != nil {
 		return err
 	}
-	atomic.AddUint64(&a.Merges, 1)
+	a.Merges.Add(1)
 	return ctx.Redirect(merged, a.cfg.DU, a.cfg.MAC, -1)
 }
 
@@ -143,7 +144,9 @@ func (a *App) merge(ctx *core.Context, pkts []*fh.Packet) (*fh.Packet, error) {
 		return nil, err
 	}
 	// Decode every section of every packet into grids and accumulate.
+	//ranvet:allow alloc per-merge accumulation grids, amortized once per (symbol, port), charged as CostMerge
 	grids := make([]iq.Grid, len(baseMsg.Sections))
+	//ranvet:allow alloc per-merge section tables, amortized once per (symbol, port), charged as CostMerge
 	comps := make([]bfp.Params, len(baseMsg.Sections))
 	totalPRB := 0
 	for i := range baseMsg.Sections {
@@ -161,6 +164,7 @@ func (a *App) merge(ctx *core.Context, pkts []*fh.Packet) (*fh.Packet, error) {
 			return nil, err
 		}
 		if len(msg.Sections) != len(grids) {
+			//ranvet:allow alloc error path: layout mismatch only on a desynchronized lossy fronthaul
 			return nil, fmt.Errorf("das: section layout mismatch (%d vs %d)", len(msg.Sections), len(grids))
 		}
 		for i := range msg.Sections {
@@ -171,6 +175,7 @@ func (a *App) merge(ctx *core.Context, pkts []*fh.Packet) (*fh.Packet, error) {
 			// no longer holds; a width mismatch must fail the merge, not
 			// corrupt it.
 			if s.NumPRB != baseMsg.Sections[i].NumPRB {
+				//ranvet:allow alloc error path: width mismatch only on a desynchronized lossy fronthaul
 				return nil, fmt.Errorf("das: section %d width mismatch (%d vs %d PRBs)",
 					i, s.NumPRB, baseMsg.Sections[i].NumPRB)
 			}

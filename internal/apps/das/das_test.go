@@ -90,13 +90,13 @@ func TestUplinkMergeIsElementwiseSum(t *testing.T) {
 		}
 	}
 	eng.Ingress(uplink(t, b1, g1, 4))
-	if app.Merges != 0 {
+	if app.Merges.Load() != 0 {
 		t.Fatal("merged before all RUs arrived")
 	}
 	eng.Ingress(uplink(t, b2, g2, 4))
 	s.Run()
-	if app.Merges != 1 {
-		t.Fatalf("merges = %d", app.Merges)
+	if app.Merges.Load() != 1 {
+		t.Fatalf("merges = %d", app.Merges.Load())
 	}
 	if len(*out) != 1 {
 		t.Fatalf("out = %d", len(*out))
@@ -134,8 +134,8 @@ func TestDifferentSymbolsDoNotMerge(t *testing.T) {
 	eng.Ingress(uplink(t, b1, iq.NewGrid(4), 4))
 	eng.Ingress(uplink(t, b2, iq.NewGrid(4), 5)) // other symbol
 	s.Run()
-	if app.Merges != 0 {
-		t.Fatalf("merged across symbols: %d", app.Merges)
+	if app.Merges.Load() != 0 {
+		t.Fatalf("merged across symbols: %d", app.Merges.Load())
 	}
 }
 

@@ -11,9 +11,8 @@
 package dmimo
 
 import (
-	"sync/atomic"
-
 	"fmt"
+	"sync/atomic"
 
 	"ranbooster/internal/core"
 	"ranbooster/internal/eth"
@@ -53,9 +52,9 @@ type App struct {
 	byMAC map[eth.MAC]int
 
 	// SSBReplicas counts SSB copies fanned out (observability for tests).
-	// Incremented atomically; read with atomic.LoadUint64 while parallel
-	// engine workers run.
-	SSBReplicas uint64
+	// An atomic type so that readers racing parallel engine workers
+	// cannot accidentally use a plain load.
+	SSBReplicas atomic.Uint64
 }
 
 // New builds the middlebox. The RU port sum is the virtual RU's layer count.
@@ -87,15 +86,19 @@ func (a *App) ruForPort(p int) (idx int, local uint8, err error) {
 	for i := len(a.cfg.RUs) - 1; i >= 0; i-- {
 		if p >= a.base[i] {
 			if p-a.base[i] >= a.cfg.RUs[i].Ports {
+				//ranvet:allow alloc error path: out-of-range port means a misconfigured DU
 				return 0, 0, fmt.Errorf("dmimo: DU port %d beyond virtual RU", p)
 			}
 			return i, uint8(p - a.base[i]), nil
 		}
 	}
+	//ranvet:allow alloc error path: negative port means a corrupted eCPRI header
 	return 0, 0, fmt.Errorf("dmimo: negative port %d", p)
 }
 
 // Handle implements core.App.
+//
+//ranvet:hotpath
 func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 	if pkt.Eth.Src == a.cfg.DU {
 		return a.handleDownlink(ctx, pkt)
@@ -124,7 +127,7 @@ func (a *App) handleDownlink(ctx *core.Context, pkt *fh.Packet) error {
 			if err := ctx.Redirect(cp, sec.MAC, a.cfg.MAC, -1); err != nil {
 				return err
 			}
-			atomic.AddUint64(&a.SSBReplicas, 1)
+			a.SSBReplicas.Add(1)
 		}
 	}
 	if local != pc.RUPort {

@@ -156,8 +156,8 @@ func TestSSBReplicationDisabled(t *testing.T) {
 	if len(*out) != 1 {
 		t.Fatalf("out = %d, want 1 (primary only)", len(*out))
 	}
-	if app.SSBReplicas != 0 {
-		t.Fatalf("replicas = %d", app.SSBReplicas)
+	if app.SSBReplicas.Load() != 0 {
+		t.Fatalf("replicas = %d", app.SSBReplicas.Load())
 	}
 }
 

@@ -77,6 +77,8 @@ func (a *App) Serial() {}
 func (a *App) Stats() Stats { return a.stats }
 
 // Handle implements core.App.
+//
+//ranvet:hotpath
 func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 	src := pkt.Eth.Src
 	if src != a.cfg.DU && src != a.cfg.RU {

@@ -130,6 +130,8 @@ func (a *App) Control(cmd string, args map[string]string) error {
 
 // Handle implements core.App: Algorithm 1 over each U-plane packet, then
 // transparent forwarding to the opposite endpoint.
+//
+//ranvet:hotpath
 func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 	a.windowStart.CompareAndSwap(notStarted, int64(ctx.Now()))
 	// Only the first antenna port is scanned: Algorithm 1's PRB_Utilized

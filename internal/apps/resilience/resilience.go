@@ -81,6 +81,8 @@ func (a *App) Serial() {}
 func (a *App) Active() int { return a.active }
 
 // Handle implements core.App.
+//
+//ranvet:hotpath
 func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 	src := pkt.Eth.Src
 	if src == a.cfg.RU {

@@ -1,8 +1,6 @@
 package rushare
 
 import (
-	"sync/atomic"
-
 	"ranbooster/internal/core"
 	"ranbooster/internal/fh"
 	"ranbooster/internal/oran"
@@ -45,11 +43,12 @@ func (a *App) prachCPlane(ctx *core.Context, pkt *fh.Packet, t oran.Timing) erro
 			s.FreqOffset = phy.TranslateFreqOffset(s.FreqOffset, du.Carrier, a.cfg.RUCarrier)
 			s.SectionID = uint16(du.PortID)
 			ctx.ChargeHeaderMod()
+			//ranvet:allow alloc merged PRACH message built once per occasion, not per frame
 			out.Sections = append(out.Sections, s)
 		}
 	}
 	merged := fh.Rebuild(pkts[0], out.AppendTo)
-	atomic.AddUint64(&a.PRACHMuxed, 1)
+	a.PRACHMuxed.Add(1)
 	return ctx.Redirect(merged, a.cfg.RU, a.cfg.MAC, -1)
 }
 
@@ -66,7 +65,9 @@ func (a *App) prachULDemux(ctx *core.Context, pkt *fh.Packet, t oran.Timing) err
 		for i := range msg.Sections {
 			if msg.Sections[i].SectionID == uint16(du.PortID) {
 				s := msg.Sections[i]
+				//ranvet:allow alloc per-demux output sections, amortized once per PRACH occasion
 				s.Payload = append([]byte(nil), s.Payload...)
+				//ranvet:allow alloc per-demux output sections, amortized once per PRACH occasion
 				secs = append(secs, s)
 			}
 		}

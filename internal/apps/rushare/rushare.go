@@ -22,9 +22,8 @@
 package rushare
 
 import (
-	"sync/atomic"
-
 	"fmt"
+	"sync/atomic"
 
 	"ranbooster/internal/bfp"
 	"ranbooster/internal/core"
@@ -61,10 +60,10 @@ type App struct {
 	offset []int  // PRB offset of each DU's grid within the RU's
 	align  []bool // aligned fast path available?
 
-	// Observability. Incremented atomically; read with atomic.LoadUint64
-	// while parallel engine workers run.
-	Muxed, Demuxed, PRACHMuxed uint64
-	AlignedCopies, Recompress  uint64
+	// Observability counters. Atomic types so that readers racing
+	// parallel engine workers cannot accidentally use a plain load.
+	Muxed, Demuxed, PRACHMuxed atomic.Uint64
+	AlignedCopies, Recompress  atomic.Uint64
 }
 
 // New builds the middlebox, resolving each DU's grid placement.
@@ -89,6 +88,8 @@ func (a *App) Name() string { return a.cfg.Name }
 func (a *App) Aligned(i int) bool { return a.align[i] }
 
 // Handle implements core.App.
+//
+//ranvet:hotpath
 func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 	if i, ok := a.byMAC[pkt.Eth.Src]; ok {
 		return a.fromDU(ctx, pkt, i)
@@ -143,6 +144,7 @@ func (a *App) dataCPlane(ctx *core.Context, pkt *fh.Packet, t oran.Timing, idx i
 	if !first {
 		return nil
 	}
+	//ranvet:allow alloc widening closure runs once per (slot, port): only the first C-plane request is widened
 	widened, err := ctx.ModifyCPlane(pkt.Clone(), a.cfg.DUs[idx].Carrier.NumPRB, func(msg *oran.CPlaneMsg) error {
 		for i := range msg.Sections {
 			msg.Sections[i].StartPRB = 0
@@ -174,12 +176,13 @@ func (a *App) dlUPlane(ctx *core.Context, pkt *fh.Packet, t oran.Timing, idx int
 	if err != nil {
 		return err
 	}
-	atomic.AddUint64(&a.Muxed, 1)
+	a.Muxed.Add(1)
 	return ctx.Redirect(merged, a.cfg.RU, a.cfg.MAC, -1)
 }
 
 // duSet maps cached packets to the set of source DUs.
 func (a *App) duSet(pkts []*fh.Packet) map[int]bool {
+	//ranvet:allow alloc DU-set scratch map, built once per mux decision, bounded by tenant count
 	out := make(map[int]bool)
 	for _, p := range pkts {
 		if i, ok := a.byMAC[p.Eth.Src]; ok {
@@ -214,6 +217,7 @@ func (a *App) muxDL(ctx *core.Context, pkts []*fh.Packet, t oran.Timing) (*fh.Pa
 			if err != nil {
 				return nil, err
 			}
+			//ranvet:allow alloc combined message built once per (symbol, port) mux, charged by the cost model
 			out.Sections = append(out.Sections, sec)
 		}
 	}
@@ -243,7 +247,8 @@ func (a *App) relocate(ctx *core.Context, s *oran.USection, idx int, toRU bool) 
 	}
 	if a.align[idx] {
 		ctx.ChargeCopyAligned(s.NumPRB)
-		atomic.AddUint64(&a.AlignedCopies, 1)
+		a.AlignedCopies.Add(1)
+		//ranvet:allow alloc aligned fast path copies the payload once per muxed section, charged as CostCopy
 		sec.Payload = append([]byte(nil), s.Payload...)
 		return sec, nil
 	}
@@ -257,7 +262,7 @@ func (a *App) relocate(ctx *core.Context, s *oran.USection, idx int, toRU bool) 
 		return sec, err
 	}
 	ctx.ChargeRecompress(s.NumPRB)
-	atomic.AddUint64(&a.Recompress, 1)
+	a.Recompress.Add(1)
 	sec.Payload = payload
 	return sec, nil
 }
@@ -304,6 +309,7 @@ func (a *App) ulDemux(ctx *core.Context, pkt *fh.Packet, t oran.Timing) error {
 				return err
 			}
 			if ok {
+				//ranvet:allow alloc per-demux replica list, amortized once per (symbol, port)
 				out.Sections = append(out.Sections, carved)
 			}
 		}
@@ -319,7 +325,7 @@ func (a *App) ulDemux(ctx *core.Context, pkt *fh.Packet, t oran.Timing) error {
 		if err := ctx.Redirect(rebuilt, du.MAC, a.cfg.MAC, -1); err != nil {
 			return err
 		}
-		atomic.AddUint64(&a.Demuxed, 1)
+		a.Demuxed.Add(1)
 	}
 	ctx.Drop(pkt)
 	return nil
@@ -352,7 +358,8 @@ func (a *App) carve(ctx *core.Context, s *oran.USection, idx int) (oran.USection
 	start := (sLo - s.StartPRB) * size
 	if a.align[idx] {
 		ctx.ChargeCopyAligned(n)
-		atomic.AddUint64(&a.AlignedCopies, 1)
+		a.AlignedCopies.Add(1)
+		//ranvet:allow alloc transcode path: output payload for the relocated section, charged as CostRecompress
 		sec.Payload = append([]byte(nil), s.Payload[start:start+n*size]...)
 		return sec, true, nil
 	}
@@ -365,7 +372,7 @@ func (a *App) carve(ctx *core.Context, s *oran.USection, idx int) (oran.USection
 		return sec, false, err
 	}
 	ctx.ChargeRecompress(n)
-	atomic.AddUint64(&a.Recompress, 1)
+	a.Recompress.Add(1)
 	sec.Payload = payload
 	return sec, true, nil
 }

@@ -134,8 +134,8 @@ func TestDownlinkMuxPlacesPRBsAtRUPositions(t *testing.T) {
 	eng.Ingress(uplane(t, bA, oran.Downlink, 10, 4, 2, 8000))
 	eng.Ingress(uplane(t, bB, oran.Downlink, 20, 4, 2, 9000))
 	s.Run()
-	if app.Muxed != 1 {
-		t.Fatalf("muxed = %d", app.Muxed)
+	if app.Muxed.Load() != 1 {
+		t.Fatalf("muxed = %d", app.Muxed.Load())
 	}
 	// Last emission is the merged U-plane.
 	var p fh.Packet
@@ -170,7 +170,7 @@ func TestMuxWaitsForAllRequesters(t *testing.T) {
 	eng.Ingress(cplane(bB, oran.Downlink, 106, 2))
 	eng.Ingress(uplane(t, bA, oran.Downlink, 10, 4, 2, 8000))
 	s.Run()
-	if app.Muxed != 0 {
+	if app.Muxed.Load() != 0 {
 		t.Fatal("muxed before DU B delivered")
 	}
 }
@@ -182,8 +182,8 @@ func TestSilentTenantIsNotAwaited(t *testing.T) {
 	eng.Ingress(cplane(bA, oran.Downlink, 106, 2))
 	eng.Ingress(uplane(t, bA, oran.Downlink, 10, 4, 2, 8000))
 	s.Run()
-	if app.Muxed != 1 {
-		t.Fatalf("muxed = %d (silent tenant must not block)", app.Muxed)
+	if app.Muxed.Load() != 1 {
+		t.Fatalf("muxed = %d (silent tenant must not block)", app.Muxed.Load())
 	}
 }
 
@@ -198,8 +198,8 @@ func TestUplinkDemuxCarvesPerTenant(t *testing.T) {
 	// RU returns the full 273-PRB spectrum.
 	eng.Ingress(uplane(t, bRU, oran.Uplink, 0, ru.NumPRB, 12, 5000))
 	s.Run()
-	if app.Demuxed != 2 {
-		t.Fatalf("demuxed = %d", app.Demuxed)
+	if app.Demuxed.Load() != 2 {
+		t.Fatalf("demuxed = %d", app.Demuxed.Load())
 	}
 	got := map[eth.MAC]*oran.UPlaneMsg{}
 	for _, f := range *out {
@@ -253,8 +253,8 @@ func TestPRACHMuxTranslatesFreqOffsets(t *testing.T) {
 	eng.Ingress(prach(bA, carA))
 	eng.Ingress(prach(bB, carB))
 	s.Run()
-	if app.PRACHMuxed != 1 {
-		t.Fatalf("prach muxed = %d", app.PRACHMuxed)
+	if app.PRACHMuxed.Load() != 1 {
+		t.Fatalf("prach muxed = %d", app.PRACHMuxed.Load())
 	}
 	var p fh.Packet
 	if err := p.Decode((*out)[len(*out)-1]); err != nil {
@@ -331,7 +331,7 @@ func TestMisalignedPathTranscodes(t *testing.T) {
 	eng.Ingress(cplane(bA, oran.Downlink, 106, 2))
 	eng.Ingress(uplane(t, bA, oran.Downlink, 10, 4, 2, 8000))
 	s.Run()
-	if app.Recompress == 0 || app.AlignedCopies != 0 {
-		t.Fatalf("fast=%d transcode=%d", app.AlignedCopies, app.Recompress)
+	if app.Recompress.Load() == 0 || app.AlignedCopies.Load() != 0 {
+		t.Fatalf("fast=%d transcode=%d", app.AlignedCopies.Load(), app.Recompress.Load())
 	}
 }

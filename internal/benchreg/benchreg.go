@@ -3,6 +3,8 @@
 // BenchmarkEngineParallel / BenchmarkEngineTraced (go test -bench), the
 // tracing-overhead regression test, and cmd/benchreg, which records the
 // numbers to a BENCH_*.json snapshot so successive PRs can be compared.
+//
+//ranvet:allowfile simclock the benchmark harness measures real elapsed wall time by design; nothing here feeds the seeded datapath
 package benchreg
 
 import (

@@ -121,6 +121,8 @@ func ExponentFor(prb *iq.PRB, width int) uint8 {
 // CompressPRB encodes one PRB into dst (appending) and returns the extended
 // slice. Layout: 1 byte udCompParam (low nibble = exponent) followed by the
 // bit-packed mantissas, I then Q per subcarrier, MSB first.
+//
+//ranvet:hotpath
 func CompressPRB(dst []byte, prb *iq.PRB, p Params) ([]byte, error) {
 	switch p.Method {
 	case MethodNone:
@@ -149,6 +151,8 @@ func CompressPRB(dst []byte, prb *iq.PRB, p Params) ([]byte, error) {
 
 // DecompressPRB decodes one compressed PRB from src into prb and returns
 // the number of bytes consumed plus the exponent that was applied.
+//
+//ranvet:hotpath
 func DecompressPRB(src []byte, prb *iq.PRB, p Params) (n int, exp uint8, err error) {
 	switch p.Method {
 	case MethodNone:
@@ -186,6 +190,8 @@ func DecompressPRB(src []byte, prb *iq.PRB, p Params) (n int, exp uint8, err err
 // PeekExponent returns the BFP exponent of the compressed PRB at the start
 // of src without decoding any mantissas — the O(1) inspection at the heart
 // of the PRB-monitoring middlebox.
+//
+//ranvet:hotpath
 func PeekExponent(src []byte) (uint8, error) {
 	if len(src) < 1 {
 		return 0, ErrTruncated
@@ -194,6 +200,8 @@ func PeekExponent(src []byte) (uint8, error) {
 }
 
 // CompressGrid encodes a run of PRBs, appending to dst.
+//
+//ranvet:hotpath
 func CompressGrid(dst []byte, g iq.Grid, p Params) ([]byte, error) {
 	var err error
 	for i := range g {
@@ -206,9 +214,15 @@ func CompressGrid(dst []byte, g iq.Grid, p Params) ([]byte, error) {
 }
 
 // DecompressGrid decodes len(g) PRBs from src into g, returning bytes consumed.
+//
+//ranvet:hotpath
 func DecompressGrid(src []byte, g iq.Grid, p Params) (int, error) {
 	off := 0
 	for i := range g {
+		// DecompressPRB bounds-checks its input and errors on truncation,
+		// and n never exceeds the bytes it was given, so off <= len(src)
+		// holds on every iteration and the re-slice cannot panic.
+		//ranvet:allow bounds off advances only by bytes DecompressPRB consumed, so off <= len(src)
 		n, _, err := DecompressPRB(src[off:], &g[i], p)
 		if err != nil {
 			return off, err

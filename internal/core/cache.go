@@ -35,9 +35,11 @@ func NewCache(maxAge time.Duration) *Cache {
 func (c *Cache) Put(key fh.Key, pkt *fh.Packet, now sim.Time) {
 	e := c.entries[key]
 	if e == nil {
+		//ranvet:allow alloc one entry per active (symbol, port) key, reclaimed by Sweep
 		e = &cacheEntry{inserted: now}
 		c.entries[key] = e
 	}
+	//ranvet:allow alloc the A3 store retains packets beyond the frame; growth is the action's documented cost
 	e.pkts = append(e.pkts, pkt)
 }
 

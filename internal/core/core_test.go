@@ -365,3 +365,33 @@ func TestControlInterface(t *testing.T) {
 		t.Fatal("non-controllable app accepted command")
 	}
 }
+
+// TestEngineSteadyStateAllocs pins the per-frame allocation budget of the
+// deterministic datapath. The shard reuses its Context, pass-through
+// scratch and kernel emit buffer across frames, so a steady-state frame
+// should cost only the packet itself, the deterministic-mode emit closure
+// and the scheduler event. A jump here means a reuse path regressed.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	s := sim.NewScheduler()
+	e, err := NewEngine(s, Config{Name: "mb", Mode: ModeDPDK, App: &forwarder{}, CarrierPRBs: 106})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetOutput(func([]byte) {})
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	frame := uplaneFrame(t, b, oran.Downlink, 0, 3, 100)
+	// Warm up: let ring buffers, trace reservoirs and counters settle.
+	for i := 0; i < 64; i++ {
+		e.Ingress(frame)
+		s.Run()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		e.Ingress(frame)
+		s.Run()
+	})
+	const budget = 5 // measured 3: packet + emit closure + scheduler event
+	if avg > budget {
+		t.Fatalf("steady-state datapath allocates %.1f objects/frame, budget %d", avg, budget)
+	}
+	t.Logf("steady-state allocations per frame: %.1f", avg)
+}

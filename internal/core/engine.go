@@ -530,12 +530,13 @@ func (e *Engine) runKernel(sh *shard, pkt *fh.Packet) (KernelVerdict, time.Durat
 		if r.Exponents != nil {
 			seen, used := scanExponents(pkt, e.cfg.CarrierPRBs, r.Exponents, t)
 			cost += cpu.ExponentScanCost(seen)
-			dir := "dl"
+			// Constant names: concatenating per frame would allocate.
+			seenName, usedName := "prb.seen.dl", "prb.utilized.dl"
 			if t.Direction == 0 {
-				dir = "ul"
+				seenName, usedName = "prb.seen.ul", "prb.utilized.ul"
 			}
-			sh.counter("prb.seen."+dir).Add(sh.id, uint64(seen))
-			sh.counter("prb.utilized."+dir).Add(sh.id, uint64(used))
+			sh.counter(seenName).Add(sh.id, uint64(seen))
+			sh.counter(usedName).Add(sh.id, uint64(used))
 		}
 		switch r.Verdict {
 		case VerdictDrop:
@@ -543,20 +544,24 @@ func (e *Engine) runKernel(sh *shard, pkt *fh.Packet) (KernelVerdict, time.Durat
 		case VerdictPass:
 			return VerdictPass, cost, nil
 		case VerdictTx:
-			emits := make([]*fh.Packet, 0, 1+len(r.Mirrors))
+			// The emit list lives in a per-shard scratch buffer: process
+			// hands it to emitAll before the next frame, so the backing
+			// array is reused instead of reallocated per Tx verdict.
+			sh.kernelEmits = sh.kernelEmits[:0]
 			for j := range r.Mirrors {
+				//ranvet:allow alloc A2 mirroring copies the frame by definition; charged as CostReplicate
 				cp := pkt.Clone()
 				r.Mirrors[j].apply(cp)
 				cost += cpu.CostReplicate + cpu.CostHeaderMod
-				emits = append(emits, cp)
+				sh.kernelEmits = append(sh.kernelEmits, cp)
 			}
 			if r.Rewrite != nil {
 				r.Rewrite.apply(pkt)
 				cost += cpu.CostHeaderMod
-				emits = append(emits, pkt)
+				sh.kernelEmits = append(sh.kernelEmits, pkt)
 			}
 			cost += cpu.CostKernelTx
-			return VerdictTx, cost, emits
+			return VerdictTx, cost, sh.kernelEmits
 		}
 	}
 	return VerdictPass, cost, nil

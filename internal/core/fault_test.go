@@ -47,9 +47,9 @@ func TestDuplicateAndReorderDetection(t *testing.T) {
 	f2 := uplaneFrame(t, b, oran.Downlink, 0, 5, 100) // seq 2
 
 	e.Ingress(f0)
-	e.Ingress(f2) // seq 1 overtaken: one gap
+	e.Ingress(f2)                         // seq 1 overtaken: one gap
 	e.Ingress(append([]byte(nil), f2...)) // exact duplicate of seq 2
-	e.Ingress(f1) // the late frame arrives: reordered
+	e.Ingress(f1)                         // the late frame arrives: reordered
 	s.Run()
 	st := e.Snapshot()
 	if st.SeqGaps != 1 {

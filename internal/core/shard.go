@@ -154,6 +154,18 @@ type shard struct {
 	latMu sync.Mutex
 	lat   [classCount][]time.Duration
 
+	// ctx is the shard's reusable app context. The App contract (see
+	// Context) says the value is valid only for the duration of Handle,
+	// so the single consumer goroutine resets and hands out the same
+	// allocation for every frame; only the emits backing array survives
+	// a reset, trimmed to length zero.
+	ctx Context
+	// passthrough and kernelEmits are consumer-goroutine scratch for the
+	// kernel-only paths: both are handed to emitAll and fully consumed
+	// before the next frame, so the storage is reused, never reallocated.
+	passthrough [1]*fh.Packet
+	kernelEmits []*fh.Packet
+
 	wake chan struct{}
 }
 
@@ -289,6 +301,8 @@ func (sh *shard) drain(max int) int {
 // run is the parallel-mode worker loop: batched dequeue to amortize the
 // wakeup, block when idle, final-drain on stop so no accepted frame is
 // lost.
+//
+//ranvet:hotpath
 func (sh *shard) run(stop <-chan struct{}) {
 	batch := sh.eng.cfg.Batch
 	for {
@@ -317,6 +331,7 @@ func (sh *shard) process(frame []byte, enq sim.Time) {
 	if n%healthWindow == 0 {
 		sh.updateHealth()
 	}
+	//ranvet:allow alloc the packet must be fresh per frame: A3 caching and A2 replication retain it beyond process
 	pkt := &fh.Packet{}
 	if err := pkt.Decode(frame); err != nil {
 		sh.stats.parseError.Add(1)
@@ -375,11 +390,13 @@ func (sh *shard) process(frame []byte, enq sim.Time) {
 		fin := sh.core.Charge(start, cost+cpu.CostForward)
 		sh.recordLatency(class, cost+cpu.CostForward)
 		sh.traceSpan(pkt, class, enq, start, fin, decodeCost, kernelCost, 0, nil)
-		sh.emitAll([]*fh.Packet{pkt}, fin)
+		sh.passthrough[0] = pkt
+		sh.emitAll(sh.passthrough[:], fin)
 		return
 	}
 
-	ctx := &Context{sh: sh, now: sh.now(), cost: cost}
+	ctx := &sh.ctx
+	*ctx = Context{sh: sh, now: sh.now(), cost: cost, emits: ctx.emits[:0]}
 	if err := e.cfg.App.Handle(ctx, pkt); err != nil {
 		sh.stats.appErrors.Add(1)
 		fin := sh.core.Charge(start, ctx.cost)
@@ -442,6 +459,7 @@ func (sh *shard) emitAll(pkts []*fh.Packet, at sim.Time) {
 			}
 			continue
 		}
+		//ranvet:allow alloc deterministic mode only: the parallel hot path continues before this branch
 		e.sched.At(at, func() {
 			if e.out != nil {
 				e.out(frame)

@@ -62,7 +62,7 @@ func AblationAlignment() *Table {
 			label = "aligned (A.1.1 centers)"
 		}
 		t.AddRow(label, mbpsCell(u.ThroughputDLbps(tb.Sched.Now())), lat.String(),
-			fmt.Sprintf("%d", dep.App.AlignedCopies), fmt.Sprintf("%d", dep.App.Recompress))
+			fmt.Sprintf("%d", dep.App.AlignedCopies.Load()), fmt.Sprintf("%d", dep.App.Recompress.Load()))
 	}
 	run(true)
 	run(false)
@@ -134,7 +134,7 @@ func AblationSSB() *Table {
 		if replicate {
 			onOff = "on"
 		}
-		t.AddRow(onOff, state, fmt.Sprintf("%d", dep.App.SSBReplicas))
+		t.AddRow(onOff, state, fmt.Sprintf("%d", dep.App.SSBReplicas.Load()))
 	}
 	run(true)
 	run(false)

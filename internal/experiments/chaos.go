@@ -198,6 +198,6 @@ func chaosReorderPRACH(t *Table) {
 		"30% uplink reorder, +100µs",
 		fmt.Sprintf("%d/2 UEs attached, %d PRACH detected", attached, prach),
 		fmt.Sprintf("prach muxed %d, reordered frames %d (engine saw %d late)",
-			dep.App.PRACHMuxed, inj.Stats().Reordered, st.Reordered))
+			dep.App.PRACHMuxed.Load(), inj.Stats().Reordered, st.Reordered))
 	t.Note("all scenarios replay bit-identically from the fixed seeds (400..402)")
 }

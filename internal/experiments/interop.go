@@ -52,7 +52,7 @@ func Interop() *Table {
 		dl := u0.ThroughputDLbps(now) + u1.ThroughputDLbps(now)
 		ul := u0.ThroughputULbps(now) + u1.ThroughputULbps(now)
 		t.AddRow(stack.Name, stack.TDDPattern, mbpsCell(dl), mbpsCell(ul),
-			fmt.Sprintf("%d/2", attached), fmt.Sprintf("%d", dep.App.Merges))
+			fmt.Sprintf("%d/2", attached), fmt.Sprintf("%d", dep.App.Merges.Load()))
 	}
 	t.Note("no middlebox source change between rows; throughput varies with vendor efficiency and TDD split (§6.2)")
 	return t

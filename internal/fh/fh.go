@@ -62,6 +62,8 @@ type Packet struct {
 
 // Decode parses the Ethernet and eCPRI layers of frame into p. The O-RAN
 // payload is left un-decoded; use UPlane/CPlane/Timing. p is reusable.
+//
+//ranvet:hotpath
 func (p *Packet) Decode(frame []byte) error {
 	p.Frame = frame
 	rest, err := p.Eth.DecodeFromBytes(frame)
@@ -206,6 +208,7 @@ func (p *Packet) String() string {
 // replication primitive; the clone can be rewritten and re-addressed
 // independently of the original.
 func (p *Packet) Clone() *Packet {
+	//ranvet:allow alloc Clone is the A2 replication primitive: the copy is the point, charged as CostReplicate
 	frame := make([]byte, len(p.Frame))
 	copy(frame, p.Frame)
 	var q Packet
@@ -217,9 +220,14 @@ func (p *Packet) Clone() *Packet {
 }
 
 // SetEAxC patches the packet's eCPRI PC_ID in place (frame and view) —
-// the antenna-port remapping primitive of the dMIMO middlebox.
+// the antenna-port remapping primitive of the dMIMO middlebox. The
+// packet must have been decoded; calling it on a zero Packet panics
+// with a diagnosable message instead of an index error.
 func (p *Packet) SetEAxC(pc ecpri.PcID) {
 	off := p.appOff - 4 // PC_ID sits 4 bytes into the 8-byte eCPRI header
+	if off < 0 || off+2 > len(p.Frame) {
+		panic("fh: SetEAxC on an undecoded packet")
+	}
 	p.Frame[off] = byte(pc.Uint16() >> 8)
 	p.Frame[off+1] = byte(pc.Uint16())
 	p.Ecpri.PcID = pc

@@ -2,6 +2,7 @@ package fh
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"ranbooster/internal/bfp"
@@ -277,5 +278,40 @@ func TestPeekEAxC(t *testing.T) {
 	}
 	if _, ok := PeekEAxC(tagged[:16]); ok {
 		t.Fatal("truncated VLAN frame peeked")
+	}
+}
+
+// SetEAxC on a packet that was never decoded used to panic with a bare
+// negative-index runtime error deep in the frame write; it must fail with
+// a message that names the misuse (ranvet: wirebounds hardening).
+func TestSetEAxCUndecodedPanicsClearly(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("SetEAxC on an undecoded packet did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "undecoded") {
+			t.Fatalf("panic = %v, want message naming the undecoded packet", r)
+		}
+	}()
+	var p Packet
+	p.SetEAxC(ecpri.PcID{RUPort: 1})
+}
+
+// SetEAxC on a decoded packet keeps working and patches frame and view.
+func TestSetEAxCDecoded(t *testing.T) {
+	b := NewBuilder(duMAC, ruMAC, 6)
+	var p Packet
+	if err := p.Decode(b.UPlane(ecpri.PcID{RUPort: 3}, sampleUPlane())); err != nil {
+		t.Fatal(err)
+	}
+	p.SetEAxC(ecpri.PcID{RUPort: 9})
+	var q Packet
+	if err := q.Decode(p.Frame); err != nil {
+		t.Fatal(err)
+	}
+	if q.Ecpri.PcID.RUPort != 9 {
+		t.Fatalf("RUPort = %d, want 9", q.Ecpri.PcID.RUPort)
 	}
 }

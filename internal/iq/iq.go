@@ -133,6 +133,8 @@ func satI32(v int32) int16 {
 type Grid []PRB
 
 // NewGrid allocates a zeroed grid of n PRBs.
+//
+//ranvet:allow alloc grid buffers are per-merge working state, amortized once per (symbol, port)
 func NewGrid(n int) Grid { return make(Grid, n) }
 
 // AddSat accumulates other into g element-wise. Grids must be equal length.

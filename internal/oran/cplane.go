@@ -135,9 +135,14 @@ func (m *CPlaneMsg) DecodeFromBytes(b []byte, carrierPRBs int) error {
 	m.Sections = m.Sections[:0]
 	for i := 0; i < nSections; i++ {
 		sb := rest[i*secLen : (i+1)*secLen]
+		if len(sb) < secLen {
+			// Unreachable given the aggregate check above, but keeps the
+			// per-section bounds invariant local to the loop body.
+			return ErrTruncated
+		}
 		var s CSection
 		var start uint16
-		s.SectionID, s.RB, s.SymInc, start = decodeSectionHdr(sb)
+		s.SectionID, s.RB, s.SymInc, start = decodeSectionHdr((*[3]byte)(sb))
 		s.StartPRB = int(start)
 		s.NumPRB = decodeNumPRB(sb[3], carrierPRBs)
 		mk := binary.BigEndian.Uint16(sb[4:6])

@@ -149,7 +149,9 @@ func appendSectionHdr(b []byte, id uint16, rb, symInc bool, startPRB uint16) []b
 	return append(b, byte(v>>16), byte(v>>8), byte(v))
 }
 
-func decodeSectionHdr(b []byte) (id uint16, rb, symInc bool, startPRB uint16) {
+// decodeSectionHdr takes an array pointer so that callers prove the
+// three header bytes exist at the conversion site rather than here.
+func decodeSectionHdr(b *[3]byte) (id uint16, rb, symInc bool, startPRB uint16) {
 	v := uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2])
 	return uint16(v>>12) & 0xfff, v&(1<<11) != 0, v&(1<<10) != 0, uint16(v) & 0x3ff
 }

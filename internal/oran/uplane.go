@@ -71,7 +71,7 @@ func (m *UPlaneMsg) DecodeFromBytes(b []byte, carrierPRBs int) error {
 		}
 		var s USection
 		var start uint16
-		s.SectionID, s.RB, s.SymInc, start = decodeSectionHdr(rest)
+		s.SectionID, s.RB, s.SymInc, start = decodeSectionHdr((*[3]byte)(rest))
 		s.StartPRB = int(start)
 		s.NumPRB = decodeNumPRB(rest[3], carrierPRBs)
 		s.Comp = bfp.ParamsFromByte(rest[4])

@@ -93,6 +93,7 @@ func (s *Scheduler) At(t Time, fn func()) {
 		t = s.now
 	}
 	s.seq++
+	//ranvet:allow alloc deterministic-mode scheduler: the parallel hot path never enqueues events
 	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
 }
 

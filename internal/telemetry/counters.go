@@ -43,6 +43,7 @@ func (cs *Counters) Get(name string) *Counter {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	if c = cs.m[name]; c == nil {
+		//ranvet:allow alloc once per counter name for the process lifetime; shards cache the handle
 		c = &Counter{name: name, cells: make([]counterCell, cs.stripes)}
 		cs.m[name] = c
 	}

@@ -46,8 +46,11 @@ func (b *Bus) Subscribe(name string, fn func(Sample)) {
 // Publish delivers a sample synchronously to all matching subscribers.
 func (b *Bus) Publish(s Sample) {
 	b.mu.Lock()
+	//ranvet:allow alloc subscriber snapshot taken outside the lock; Publish fires on violations, not per frame
 	fns := make([]func(Sample), 0, len(b.subs[s.Name])+len(b.any))
+	//ranvet:allow alloc event bus: Publish fires on violations and faults, not per frame
 	fns = append(fns, b.subs[s.Name]...)
+	//ranvet:allow alloc event bus: Publish fires on violations and faults, not per frame
 	fns = append(fns, b.any...)
 	b.mu.Unlock()
 	for _, fn := range fns {

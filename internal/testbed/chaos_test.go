@@ -54,7 +54,7 @@ func TestChaosRUShareLoss(t *testing.T) {
 	if prach == 0 {
 		t.Error("no PRACH detected at either DU under loss")
 	}
-	if dep.App.PRACHMuxed == 0 {
+	if dep.App.PRACHMuxed.Load() == 0 {
 		t.Error("PRACH occasions never traversed the mux path")
 	}
 	st := inj.Stats()

@@ -52,14 +52,14 @@ func TestDASFiveFloors(t *testing.T) {
 		dl += h.ThroughputDLbps(now)
 		ul += h.ThroughputULbps(now)
 	}
-	t.Logf("simultaneous: aggregate DL %.1f Mbps, UL %.1f Mbps (merges %d)", Mbps(dl), Mbps(ul), dep.App.Merges)
+	t.Logf("simultaneous: aggregate DL %.1f Mbps, UL %.1f Mbps (merges %d)", Mbps(dl), Mbps(ul), dep.App.Merges.Load())
 	if dl < 790e6 || dl > 1000e6 {
 		t.Errorf("aggregate DL = %.1f Mbps, want ~898 (single-cell baseline)", Mbps(dl))
 	}
 	if ul < 55e6 || ul > 85e6 {
 		t.Errorf("aggregate UL = %.1f Mbps, want ~70", Mbps(ul))
 	}
-	if dep.App.Merges == 0 {
+	if dep.App.Merges.Load() == 0 {
 		t.Error("no uplink merges happened — DAS was not combining")
 	}
 

@@ -86,12 +86,12 @@ func TestRUSharingFig10b(t *testing.T) {
 			t.Errorf("tenant %s UL = %.1f Mbps, want ≈ dedicated %.1f", name, Mbps(ul), Mbps(baseUL))
 		}
 	}
-	if dep.App.Muxed == 0 || dep.App.Demuxed == 0 || dep.App.PRACHMuxed == 0 {
+	if dep.App.Muxed.Load() == 0 || dep.App.Demuxed.Load() == 0 || dep.App.PRACHMuxed.Load() == 0 {
 		t.Errorf("sharing paths unused: %+v", map[string]uint64{
-			"mux": dep.App.Muxed, "demux": dep.App.Demuxed, "prach": dep.App.PRACHMuxed})
+			"mux": dep.App.Muxed.Load(), "demux": dep.App.Demuxed.Load(), "prach": dep.App.PRACHMuxed.Load()})
 	}
-	if dep.App.Recompress != 0 {
-		t.Errorf("aligned deployment used the recompress path %d times", dep.App.Recompress)
+	if dep.App.Recompress.Load() != 0 {
+		t.Errorf("aligned deployment used the recompress path %d times", dep.App.Recompress.Load())
 	}
 }
 
@@ -119,14 +119,14 @@ func TestRUSharingMisaligned(t *testing.T) {
 	}
 	tb.Measure(200 * time.Millisecond)
 	dl := ua.ThroughputDLbps(tb.Sched.Now())
-	t.Logf("misaligned tenant: DL %.1f Mbps, recompress %d", Mbps(dl), dep.App.Recompress)
+	t.Logf("misaligned tenant: DL %.1f Mbps, recompress %d", Mbps(dl), dep.App.Recompress.Load())
 	if dl < 290e6 {
 		t.Errorf("misaligned DL = %.1f Mbps, want ~330 (correct, just slower)", Mbps(dl))
 	}
-	if dep.App.Recompress == 0 {
+	if dep.App.Recompress.Load() == 0 {
 		t.Error("misaligned deployment never used the recompress path")
 	}
-	if dep.App.AlignedCopies != 0 {
+	if dep.App.AlignedCopies.Load() != 0 {
 		t.Error("misaligned deployment used the aligned fast path")
 	}
 }
