@@ -50,10 +50,11 @@ chaos:
 	$(GO) test ./internal/fabric/ -race -run TestPortStatsConcurrentRead -count=1
 
 # Bench regression snapshot: runs the engine benchmark matrix (parallel
-# and traced, 1/2/4 cores) and records it to BENCH_3.json. The <5%
-# tracing-overhead gate itself runs as a test (internal/benchreg).
+# and traced, 1/2/4 cores) plus the BFP codec microbenchmarks and records
+# them to BENCH_5.json. The <5% tracing-overhead gate itself runs as a
+# test (internal/benchreg).
 bench:
-	$(GO) run ./cmd/benchreg -o BENCH_3.json
+	$(GO) run ./cmd/benchreg -o BENCH_5.json
 
 # FUZZTIME bounds each fuzz target; the wire-format dissectors must never
 # panic however mangled the frame.

@@ -1,12 +1,13 @@
 // Command benchreg records the engine benchmark matrix to a JSON snapshot
-// (BENCH_3.json by default) so successive changes can be compared number
+// (BENCH_5.json by default) so successive changes can be compared number
 // against number. It runs the exact workload of BenchmarkEngineParallel
 // and BenchmarkEngineTraced — via testing.Benchmark, the same harness
-// `go test -bench` uses — at 1, 2 and 4 cores, traced and untraced.
+// `go test -bench` uses — at 1, 2 and 4 cores, traced and untraced, plus
+// the per-width BFP codec microbenchmarks.
 //
 // Usage:
 //
-//	benchreg                  # writes BENCH_3.json in the current directory
+//	benchreg                  # writes BENCH_5.json in the current directory
 //	benchreg -o bench.json
 package main
 
@@ -32,10 +33,13 @@ type snapshot struct {
 	// TracingOverhead is (traced − untraced) / untraced ns/op at each core
 	// count; the CI regression gate holds the 4-core value under 5%.
 	TracingOverhead map[string]float64 `json:"tracing_overhead"`
+	// Codec holds the per-width BFP compress/decompress and exponent-scan
+	// microbenchmarks over a full 273-PRB carrier.
+	Codec []benchreg.CodecResult `json:"codec"`
 }
 
 func main() {
-	out := flag.String("o", "BENCH_3.json", "output file")
+	out := flag.String("o", "BENCH_5.json", "output file")
 	flag.Parse()
 
 	snap := snapshot{
@@ -64,6 +68,16 @@ func main() {
 	for _, cores := range []int{1, 2, 4} {
 		key := fmt.Sprintf("cores=%d", cores)
 		fmt.Printf("tracing overhead %-10s %+.2f%%\n", key, snap.TracingOverhead[key]*100)
+	}
+
+	codec, err := benchreg.MeasureCodecs()
+	if err != nil {
+		exit(err)
+	}
+	snap.Codec = codec
+	for _, c := range codec {
+		fmt.Printf("%-36s %12.1f ns/op %10.1f MB/s %6d allocs/op\n",
+			c.Name, c.NsPerOp, c.MBPerSec, c.AllocsPerOp)
 	}
 
 	buf, err := json.MarshalIndent(&snap, "", "  ")

@@ -10,9 +10,11 @@ import (
 // HotPathAlloc enforces the allocation-free hot path (DESIGN.md §6: "hot
 // paths do not allocate"). Functions annotated //ranvet:hotpath are roots
 // of the per-frame datapath — the shard worker loop, the frame decoder,
-// the BFP codec, every App's Handle. The analyzer walks the static call
-// graph from those roots across the whole module and flags constructs
-// that heap-allocate (or are very likely to):
+// the BFP codec, every App's Handle. A type annotated //ranvet:hotpath
+// roots its entire method set — the shape of a pooled scratch object
+// (bfp.Transcoder) whose every method runs per frame. The analyzer walks
+// the static call graph from those roots across the whole module and
+// flags constructs that heap-allocate (or are very likely to):
 //
 //   - make, new, append (growth reallocates)
 //   - &T{...} and slice/map composite literals
@@ -55,7 +57,34 @@ type funcNode struct {
 func funcKey(fn *types.Func) string { return fn.FullName() }
 
 func runHotPathAlloc(prog *Program, report Reporter) {
-	// Index every function declaration in the module and find the roots.
+	// Pass 1: collect //ranvet:hotpath-annotated types. Methods are always
+	// declared in the type's own package, but the collection runs over the
+	// whole module first so declaration order never matters.
+	hotTypes := map[types.Object]bool{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if hasDirective(gd.Doc, hotpathDirective) || hasDirective(ts.Doc, hotpathDirective) {
+						if obj := pkg.Info.Defs[ts.Name]; obj != nil {
+							hotTypes[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: index every function declaration in the module and find the
+	// roots — directly annotated functions plus every method of a hot type.
 	funcs := map[string]*funcNode{}
 	var roots []string
 	rootSet := map[string]bool{}
@@ -72,7 +101,7 @@ func runHotPathAlloc(prog *Program, report Reporter) {
 				}
 				key := funcKey(obj)
 				funcs[key] = &funcNode{pkg: pkg, decl: fd, name: displayName(obj)}
-				if hasDirective(fd.Doc, hotpathDirective) && !rootSet[key] {
+				if (hasDirective(fd.Doc, hotpathDirective) || isHotTypeMethod(obj, hotTypes)) && !rootSet[key] {
 					rootSet[key] = true
 					roots = append(roots, key)
 				}
@@ -105,6 +134,24 @@ func runHotPathAlloc(prog *Program, report Reporter) {
 			queue = append(queue, callee)
 		}
 	}
+}
+
+// isHotTypeMethod reports whether fn is a method whose receiver's named
+// type carries the type-level //ranvet:hotpath directive.
+func isHotTypeMethod(fn *types.Func, hotTypes map[types.Object]bool) bool {
+	if len(hotTypes) == 0 {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && hotTypes[named.Obj()]
 }
 
 // chain renders the call path from a root down to key.

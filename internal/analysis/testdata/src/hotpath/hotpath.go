@@ -52,3 +52,27 @@ func grow(dst []byte, b byte) []byte {
 func cold() []int {
 	return make([]int, 64)
 }
+
+// scratch models a pooled per-frame object (the bfp.Transcoder shape):
+// the type-level directive roots every method without annotating each.
+//
+//ranvet:hotpath
+type scratch struct{ buf []byte }
+
+func (s *scratch) fill(n int) {
+	b := make([]byte, n) // want `make allocates`
+	_ = b
+	// Receiver-owned destination: the pool amortizes the growth.
+	s.buf = append(s.buf, 0)
+}
+
+func (s scratch) report() {
+	fmt.Println(len(s.buf)) // want `fmt\.Println allocates`
+}
+
+// plain is not annotated and unreachable from any root: allocate freely.
+type plain struct{ buf []byte }
+
+func (p *plain) fill() {
+	p.buf = make([]byte, 16)
+}

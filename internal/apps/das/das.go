@@ -17,8 +17,6 @@ import (
 	"ranbooster/internal/core"
 	"ranbooster/internal/eth"
 	"ranbooster/internal/fh"
-	"ranbooster/internal/iq"
-	"ranbooster/internal/oran"
 )
 
 // Config describes one DAS middlebox.
@@ -137,35 +135,41 @@ func (a *App) handleUpstream(ctx *core.Context, pkt *fh.Packet) error {
 // port) on a per-subcarrier basis, returning a rebuilt packet. The inputs
 // must share a section layout, which they do by construction: each RU
 // answered the same replicated C-plane request.
+//
+// All working storage — accumulation grids, the per-packet decode grid,
+// the re-encoded payloads and both U-plane messages — comes from the
+// shard's pooled Transcoder and message scratch, so a steady-state merge
+// performs zero allocations (fh.Rebuild copies the payloads out into the
+// fresh frame, so nothing from the arena outlives the Handle call).
 func (a *App) merge(ctx *core.Context, pkts []*fh.Packet) (*fh.Packet, error) {
+	tx := ctx.Transcoder()
+	tx.Reset()
 	base := pkts[0]
-	var baseMsg oran.UPlaneMsg
-	if err := base.UPlane(&baseMsg, a.cfg.CarrierPRBs); err != nil {
+	baseMsg := ctx.UPlaneScratch(0)
+	if err := base.UPlane(baseMsg, a.cfg.CarrierPRBs); err != nil {
 		return nil, err
 	}
 	// Decode every section of every packet into grids and accumulate.
-	//ranvet:allow alloc per-merge accumulation grids, amortized once per (symbol, port), charged as CostMerge
-	grids := make([]iq.Grid, len(baseMsg.Sections))
-	//ranvet:allow alloc per-merge section tables, amortized once per (symbol, port), charged as CostMerge
-	comps := make([]bfp.Params, len(baseMsg.Sections))
+	// Grid slot i accumulates section i; slot nSec holds the per-packet
+	// decode scratch. DecompressGrid overwrites every PRB it is given, so
+	// the stale slot contents never leak into a merge.
+	nSec := len(baseMsg.Sections)
 	totalPRB := 0
 	for i := range baseMsg.Sections {
 		s := &baseMsg.Sections[i]
-		grids[i] = iq.NewGrid(s.NumPRB)
-		comps[i] = s.Comp
 		totalPRB += s.NumPRB
-		if _, err := bfp.DecompressGrid(s.Payload, grids[i], s.Comp); err != nil {
+		if _, err := bfp.DecompressGrid(s.Payload, tx.Grid(i, s.NumPRB), s.Comp); err != nil {
 			return nil, err
 		}
 	}
-	var msg oran.UPlaneMsg
+	msg := ctx.UPlaneScratch(1)
 	for _, p := range pkts[1:] {
-		if err := p.UPlane(&msg, a.cfg.CarrierPRBs); err != nil {
+		if err := p.UPlane(msg, a.cfg.CarrierPRBs); err != nil {
 			return nil, err
 		}
-		if len(msg.Sections) != len(grids) {
+		if len(msg.Sections) != nSec {
 			//ranvet:allow alloc error path: layout mismatch only on a desynchronized lossy fronthaul
-			return nil, fmt.Errorf("das: section layout mismatch (%d vs %d)", len(msg.Sections), len(grids))
+			return nil, fmt.Errorf("das: section layout mismatch (%d vs %d)", len(msg.Sections), nSec)
 		}
 		for i := range msg.Sections {
 			s := &msg.Sections[i]
@@ -179,22 +183,23 @@ func (a *App) merge(ctx *core.Context, pkts []*fh.Packet) (*fh.Packet, error) {
 				return nil, fmt.Errorf("das: section %d width mismatch (%d vs %d PRBs)",
 					i, s.NumPRB, baseMsg.Sections[i].NumPRB)
 			}
-			g := iq.NewGrid(s.NumPRB)
+			g := tx.Grid(nSec, s.NumPRB)
 			if _, err := bfp.DecompressGrid(s.Payload, g, s.Comp); err != nil {
 				return nil, err
 			}
-			grids[i].AddSat(g)
+			tx.Grid(i, s.NumPRB).AddSat(g)
 		}
 	}
 	ctx.ChargeMerge(totalPRB, len(pkts))
 
-	// Re-encode into the base packet's layout.
+	// Re-encode into the base packet's layout, payloads in the arena.
 	for i := range baseMsg.Sections {
-		payload, err := bfp.CompressGrid(nil, grids[i], comps[i])
+		s := &baseMsg.Sections[i]
+		payload, err := tx.CompressGrid(tx.Grid(i, s.NumPRB), s.Comp)
 		if err != nil {
 			return nil, err
 		}
-		baseMsg.Sections[i].Payload = payload
+		s.Payload = payload
 	}
 	return fh.Rebuild(base, baseMsg.AppendTo), nil
 }

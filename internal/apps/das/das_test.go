@@ -127,6 +127,43 @@ func TestUplinkMergeIsElementwiseSum(t *testing.T) {
 	}
 }
 
+// TestMergeSteadyStateAllocs pins the allocation budget of a full uplink
+// combine cycle: two RU frames in, one merged frame out. The decode grids,
+// re-encoded payloads and U-plane messages all come from the shard's
+// pooled Transcoder, so the only allocations left are the per-frame
+// fh.Packet copies, the rebuilt output frame, the emit closure and the
+// scheduler events — none of them proportional to the carrier.
+func TestMergeSteadyStateAllocs(t *testing.T) {
+	s, eng, app, _ := newDAS(t)
+	eng.SetOutput(func([]byte) {})
+	b1 := fh.NewBuilder(ru1MAC, mbMAC, -1)
+	b2 := fh.NewBuilder(ru2MAC, mbMAC, -1)
+	g := iq.NewGrid(64)
+	for i := range g {
+		g[i][0] = iq.Sample{I: int16(i * 100), Q: int16(-i * 100)}
+	}
+	f1 := uplink(t, b1, g, 4)
+	f2 := uplink(t, b2, g, 4)
+	for i := 0; i < 64; i++ {
+		eng.Ingress(f1)
+		eng.Ingress(f2)
+		s.Run()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		eng.Ingress(f1)
+		eng.Ingress(f2)
+		s.Run()
+	})
+	const budget = 10 // measured 9: fixed per-cycle overhead; the transcode itself is alloc-free
+	if avg > budget {
+		t.Fatalf("merge cycle allocates %.1f objects, budget %d", avg, budget)
+	}
+	if app.Merges.Load() == 0 {
+		t.Fatal("no merges happened")
+	}
+	t.Logf("merge cycle allocations: %.1f", avg)
+}
+
 func TestDifferentSymbolsDoNotMerge(t *testing.T) {
 	s, eng, app, _ := newDAS(t)
 	b1 := fh.NewBuilder(ru1MAC, mbMAC, -1)

@@ -123,6 +123,32 @@ func ssbFrame(b *fh.Builder) []byte {
 	return b.UPlane(ecpri.PcID{RUPort: 0}, msg)
 }
 
+// TestRemapSteadyStateAllocs pins the per-frame allocation budget of the
+// port-remap datapath in both modes: a header rewrite on the pooled packet
+// must cost only the fixed per-frame packet/emit/scheduler overhead.
+func TestRemapSteadyStateAllocs(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeDPDK, core.ModeXDP} {
+		app := New(cfg(false))
+		s, eng, _ := newEngine(t, mode, app)
+		eng.SetOutput(func([]byte) {})
+		b := fh.NewBuilder(duMAC, mbMAC, -1)
+		frame := uFrame(b, oran.Downlink, 3, 7)
+		for i := 0; i < 64; i++ {
+			eng.Ingress(frame)
+			s.Run()
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			eng.Ingress(frame)
+			s.Run()
+		})
+		const budget = 2 // measured 1: just the pooled-ring refill
+		if avg > budget {
+			t.Fatalf("%v: remap allocates %.1f objects/frame, budget %d", mode, avg, budget)
+		}
+		t.Logf("%v: remap allocations per frame: %.1f", mode, avg)
+	}
+}
+
 func TestSSBReplicationFanOut(t *testing.T) {
 	for _, mode := range []core.Mode{core.ModeDPDK, core.ModeXDP} {
 		app := New(cfg(true))

@@ -156,14 +156,15 @@ func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 }
 
 func (a *App) scan(ctx *core.Context, pkt *fh.Packet, t oran.Timing) {
-	var msg oran.UPlaneMsg
-	if err := pkt.UPlane(&msg, a.cfg.Carrier.NumPRB); err != nil {
+	msg := ctx.UPlaneScratch(0)
+	if err := pkt.UPlane(msg, a.cfg.Carrier.NumPRB); err != nil {
 		return
 	}
 	thr := a.cfg.ThrDL
 	if t.Direction == oran.Uplink {
 		thr = a.cfg.ThrUL
 	}
+	tx := ctx.Transcoder()
 	seen := 0
 	util := 0
 	for i := range msg.Sections {
@@ -171,10 +172,10 @@ func (a *App) scan(ctx *core.Context, pkt *fh.Packet, t oran.Timing) {
 		if s.Comp.Method != bfp.MethodBlockFloatingPoint {
 			continue
 		}
-		size := s.Comp.PRBSize()
-		for off := 0; off+size <= len(s.Payload); off += size {
-			seen++
-			if a.cfg.Method == EstimatorEnergy {
+		if a.cfg.Method == EstimatorEnergy {
+			size := s.Comp.PRBSize()
+			for off := 0; off+size <= len(s.Payload); off += size {
+				seen++
 				var prb iq.PRB
 				if _, _, err := bfp.DecompressPRB(s.Payload[off:], &prb, s.Comp); err != nil {
 					break
@@ -182,13 +183,19 @@ func (a *App) scan(ctx *core.Context, pkt *fh.Packet, t oran.Timing) {
 				if prb.Energy() > EnergyThreshold {
 					util++
 				}
-				continue
 			}
-			exp, err := bfp.PeekExponent(s.Payload[off:])
-			if err != nil {
-				break
-			}
-			if exp > thr {
+			continue
+		}
+		// Algorithm 1 fast path: one batched exponent sweep per section
+		// through the shard's reusable buffer — no per-PRB call overhead,
+		// no allocation.
+		exps, err := tx.Exponents(s.Payload, s.Comp)
+		if err != nil {
+			continue
+		}
+		seen += len(exps)
+		for _, e := range exps {
+			if e > thr {
 				util++
 			}
 		}

@@ -1,6 +1,8 @@
 package rushare
 
 import (
+	"math/bits"
+
 	"ranbooster/internal/core"
 	"ranbooster/internal/fh"
 	"ranbooster/internal/oran"
@@ -19,7 +21,7 @@ import (
 func (a *App) prachCPlane(ctx *core.Context, pkt *fh.Packet, t oran.Timing) error {
 	key := cKey(t, pkt.EAxC().RUPort, true)
 	ctx.Cache(key, pkt)
-	if len(a.duSet(ctx.Cached(key))) < len(a.cfg.DUs) {
+	if bits.OnesCount64(a.duSet(ctx.Cached(key))) < len(a.cfg.DUs) {
 		return nil
 	}
 	pkts := ctx.TakeCached(key)
@@ -55,26 +57,27 @@ func (a *App) prachCPlane(ctx *core.Context, pkt *fh.Packet, t oran.Timing) erro
 // prachULDemux splits the RU's PRACH response: each DU receives a packet
 // holding only the sections stamped with its id.
 func (a *App) prachULDemux(ctx *core.Context, pkt *fh.Packet, t oran.Timing) error {
-	var msg oran.UPlaneMsg
-	if err := pkt.UPlane(&msg, a.cfg.RUCarrier.NumPRB); err != nil {
+	tx := ctx.Transcoder()
+	tx.Reset()
+	msg := ctx.UPlaneScratch(0)
+	if err := pkt.UPlane(msg, a.cfg.RUCarrier.NumPRB); err != nil {
 		return err
 	}
+	out := ctx.UPlaneScratch(1)
 	for idx := range a.cfg.DUs {
 		du := a.cfg.DUs[idx]
-		var secs []oran.USection
+		*out = oran.UPlaneMsg{Timing: t, Sections: out.Sections[:0]}
 		for i := range msg.Sections {
 			if msg.Sections[i].SectionID == uint16(du.PortID) {
 				s := msg.Sections[i]
-				//ranvet:allow alloc per-demux output sections, amortized once per PRACH occasion
-				s.Payload = append([]byte(nil), s.Payload...)
-				//ranvet:allow alloc per-demux output sections, amortized once per PRACH occasion
-				secs = append(secs, s)
+				s.Payload = tx.AppendBytes(s.Payload)
+				//ranvet:allow alloc appends into the shard's reusable staging message; the backing array amortizes across occasions
+				out.Sections = append(out.Sections, s)
 			}
 		}
-		if len(secs) == 0 {
+		if len(out.Sections) == 0 {
 			continue
 		}
-		out := oran.UPlaneMsg{Timing: t, Sections: secs}
 		replica := ctx.Replicate(pkt)
 		rebuilt := fh.Rebuild(replica, out.AppendTo)
 		pc := rebuilt.EAxC()

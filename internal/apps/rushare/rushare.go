@@ -29,7 +29,6 @@ import (
 	"ranbooster/internal/core"
 	"ranbooster/internal/eth"
 	"ranbooster/internal/fh"
-	"ranbooster/internal/iq"
 	"ranbooster/internal/oran"
 	"ranbooster/internal/phy"
 )
@@ -53,6 +52,10 @@ type Config struct {
 	DUs       []DUInfo
 }
 
+// MaxDUs bounds the number of sharing tenants: DU membership sets are
+// tracked as uint64 bitmasks on the datapath.
+const MaxDUs = 64
+
 // App is the RU-sharing middlebox.
 type App struct {
 	cfg    Config
@@ -68,6 +71,9 @@ type App struct {
 
 // New builds the middlebox, resolving each DU's grid placement.
 func New(cfg Config) (*App, error) {
+	if len(cfg.DUs) > MaxDUs {
+		return nil, fmt.Errorf("rushare: %d DUs exceed the %d-tenant bound", len(cfg.DUs), MaxDUs)
+	}
 	a := &App{cfg: cfg, byMAC: make(map[eth.MAC]int)}
 	for i, d := range cfg.DUs {
 		off, aligned := phy.PRBOffset(cfg.RUCarrier, d.Carrier)
@@ -168,7 +174,7 @@ func (a *App) dlUPlane(ctx *core.Context, pkt *fh.Packet, t oran.Timing, idx int
 	ckey := cKey(t, pkt.EAxC().RUPort, false)
 	needed := a.duSet(ctx.Cached(ckey))
 	have := a.duSet(ctx.Cached(ukey))
-	if len(needed) == 0 || !subset(needed, have) {
+	if needed == 0 || !subset(needed, have) {
 		return nil
 	}
 	pkts := ctx.TakeCached(ukey)
@@ -180,35 +186,34 @@ func (a *App) dlUPlane(ctx *core.Context, pkt *fh.Packet, t oran.Timing, idx int
 	return ctx.Redirect(merged, a.cfg.RU, a.cfg.MAC, -1)
 }
 
-// duSet maps cached packets to the set of source DUs.
-func (a *App) duSet(pkts []*fh.Packet) map[int]bool {
-	//ranvet:allow alloc DU-set scratch map, built once per mux decision, bounded by tenant count
-	out := make(map[int]bool)
+// duSet maps cached packets to the set of source DUs, as a bitmask over
+// tenant indices (New bounds tenants to MaxDUs). A plain integer keeps
+// mux decisions allocation-free on the datapath.
+func (a *App) duSet(pkts []*fh.Packet) uint64 {
+	var out uint64
 	for _, p := range pkts {
 		if i, ok := a.byMAC[p.Eth.Src]; ok {
-			out[i] = true
+			out |= 1 << uint(i)
 		}
 	}
 	return out
 }
 
-func subset(needed, have map[int]bool) bool {
-	for k := range needed {
-		if !have[k] {
-			return false
-		}
-	}
-	return true
-}
+// subset reports whether every DU in needed also appears in have.
+func subset(needed, have uint64) bool { return needed&^have == 0 }
 
 // muxDL combines the cached DL U-plane packets into one full-position
-// message on the RU grid.
+// message on the RU grid. Decode scratch, relocated payloads and the
+// combined message all come from the shard's pooled scratch, so a
+// steady-state mux allocates only the rebuilt output frame.
 func (a *App) muxDL(ctx *core.Context, pkts []*fh.Packet, t oran.Timing) (*fh.Packet, error) {
-	out := oran.UPlaneMsg{Timing: t}
-	var msg oran.UPlaneMsg
+	ctx.Transcoder().Reset()
+	out := ctx.UPlaneScratch(1)
+	*out = oran.UPlaneMsg{Timing: t, Sections: out.Sections[:0]}
+	msg := ctx.UPlaneScratch(0)
 	for _, p := range pkts {
 		idx := a.byMAC[p.Eth.Src]
-		if err := p.UPlane(&msg, a.cfg.DUs[idx].Carrier.NumPRB); err != nil {
+		if err := p.UPlane(msg, a.cfg.DUs[idx].Carrier.NumPRB); err != nil {
 			return nil, err
 		}
 		for i := range msg.Sections {
@@ -217,7 +222,7 @@ func (a *App) muxDL(ctx *core.Context, pkts []*fh.Packet, t oran.Timing) (*fh.Pa
 			if err != nil {
 				return nil, err
 			}
-			//ranvet:allow alloc combined message built once per (symbol, port) mux, charged by the cost model
+			//ranvet:allow alloc appends into the shard's reusable staging message; the backing array amortizes across frames
 			out.Sections = append(out.Sections, sec)
 		}
 	}
@@ -245,19 +250,20 @@ func (a *App) relocate(ctx *core.Context, s *oran.USection, idx int, toRU bool) 
 		NumPRB:    s.NumPRB,
 		Comp:      s.Comp,
 	}
+	tx := ctx.Transcoder()
 	if a.align[idx] {
 		ctx.ChargeCopyAligned(s.NumPRB)
 		a.AlignedCopies.Add(1)
-		//ranvet:allow alloc aligned fast path copies the payload once per muxed section, charged as CostCopy
-		sec.Payload = append([]byte(nil), s.Payload...)
+		sec.Payload = tx.AppendBytes(s.Payload)
 		return sec, nil
 	}
-	// Misaligned: decompress, re-grid, recompress (Fig. 6 right).
-	g := iq.NewGrid(s.NumPRB)
+	// Misaligned: decompress, re-grid, recompress (Fig. 6 right), all
+	// through the pooled grid and arena scratch.
+	g := tx.Grid(0, s.NumPRB)
 	if _, err := bfp.DecompressGrid(s.Payload, g, s.Comp); err != nil {
 		return sec, err
 	}
-	payload, err := bfp.CompressGrid(nil, g, sec.Comp)
+	payload, err := tx.CompressGrid(g, sec.Comp)
 	if err != nil {
 		return sec, err
 	}
@@ -288,20 +294,22 @@ func (a *App) fromRU(ctx *core.Context, pkt *fh.Packet) error {
 func (a *App) ulDemux(ctx *core.Context, pkt *fh.Packet, t oran.Timing) error {
 	ckey := cKey(t, pkt.EAxC().RUPort, false)
 	requesters := a.duSet(ctx.Cached(ckey))
-	if len(requesters) == 0 {
+	if requesters == 0 {
 		ctx.Drop(pkt)
 		return nil
 	}
-	var msg oran.UPlaneMsg
-	if err := pkt.UPlane(&msg, a.cfg.RUCarrier.NumPRB); err != nil {
+	ctx.Transcoder().Reset()
+	msg := ctx.UPlaneScratch(0)
+	if err := pkt.UPlane(msg, a.cfg.RUCarrier.NumPRB); err != nil {
 		return err
 	}
+	out := ctx.UPlaneScratch(1)
 	for idx := range a.cfg.DUs {
-		if !requesters[idx] {
+		if requesters&(1<<uint(idx)) == 0 {
 			continue
 		}
 		du := a.cfg.DUs[idx]
-		out := oran.UPlaneMsg{Timing: t}
+		*out = oran.UPlaneMsg{Timing: t, Sections: out.Sections[:0]}
 		for i := range msg.Sections {
 			s := &msg.Sections[i]
 			carved, ok, err := a.carve(ctx, s, idx)
@@ -309,7 +317,7 @@ func (a *App) ulDemux(ctx *core.Context, pkt *fh.Packet, t oran.Timing) error {
 				return err
 			}
 			if ok {
-				//ranvet:allow alloc per-demux replica list, amortized once per (symbol, port)
+				//ranvet:allow alloc appends into the shard's reusable staging message; the backing array amortizes across frames
 				out.Sections = append(out.Sections, carved)
 			}
 		}
@@ -356,18 +364,18 @@ func (a *App) carve(ctx *core.Context, s *oran.USection, idx int) (oran.USection
 	}
 	size := s.Comp.PRBSize()
 	start := (sLo - s.StartPRB) * size
+	tx := ctx.Transcoder()
 	if a.align[idx] {
 		ctx.ChargeCopyAligned(n)
 		a.AlignedCopies.Add(1)
-		//ranvet:allow alloc transcode path: output payload for the relocated section, charged as CostRecompress
-		sec.Payload = append([]byte(nil), s.Payload[start:start+n*size]...)
+		sec.Payload = tx.AppendBytes(s.Payload[start : start+n*size])
 		return sec, true, nil
 	}
-	g := iq.NewGrid(n)
+	g := tx.Grid(0, n)
 	if _, err := bfp.DecompressGrid(s.Payload[start:], g, s.Comp); err != nil {
 		return sec, false, err
 	}
-	payload, err := bfp.CompressGrid(nil, g, sec.Comp)
+	payload, err := tx.CompressGrid(g, sec.Comp)
 	if err != nil {
 		return sec, false, err
 	}

@@ -37,20 +37,19 @@ type decodeApp struct{}
 
 func (decodeApp) Name() string { return "bench-decode" }
 func (decodeApp) Handle(ctx *core.Context, pkt *fh.Packet) error {
-	var msg oran.UPlaneMsg
-	if err := pkt.UPlane(&msg, 273); err != nil {
+	msg := ctx.UPlaneScratch(0)
+	if err := pkt.UPlane(msg, 273); err != nil {
 		return err
 	}
 	util := 0
 	for i := range msg.Sections {
 		s := &msg.Sections[i]
-		size := s.Comp.PRBSize()
-		for off := 0; off+size <= len(s.Payload); off += size {
-			exp, err := bfp.PeekExponent(s.Payload[off:])
-			if err != nil {
-				break
-			}
-			if exp > 0 {
+		exps, err := ctx.Transcoder().Exponents(s.Payload, s.Comp)
+		if err != nil {
+			continue
+		}
+		for _, e := range exps {
+			if e > 0 {
 				util++
 			}
 		}

@@ -46,6 +46,9 @@ func TestTracingOverhead(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing comparison; skipped in -short")
 	}
+	if raceEnabled {
+		t.Skip("timing comparison; race instrumentation distorts the traced/untraced ratio")
+	}
 	best := func(traced bool) time.Duration {
 		bestD := time.Duration(1<<63 - 1)
 		for attempt := 0; attempt < 3; attempt++ {

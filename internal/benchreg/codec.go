@@ -1,0 +1,111 @@
+package benchreg
+
+import (
+	"fmt"
+	"testing"
+
+	"ranbooster/internal/bfp"
+	"ranbooster/internal/iq"
+)
+
+// CodecResult is one BFP codec microbenchmark measurement — the per-width
+// throughput numbers the word-at-a-time kernels are judged by. MBPerSec is
+// measured against the compressed wire size (what actually crosses the
+// fronthaul), not the decoded sample volume.
+type CodecResult struct {
+	Name        string  `json:"name"`
+	Width       int     `json:"width"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// codecPRBs is the grid size of every codec microbenchmark: one full
+// 100 MHz carrier symbol, the same shape the engine workload moves.
+const codecPRBs = 273
+
+func codecGrid() iq.Grid {
+	g := iq.NewGrid(codecPRBs)
+	for i := range g {
+		for j := range g[i] {
+			g[i][j] = iq.Sample{I: int16((i + j) * 500), Q: int16(-(i - j) * 499)}
+		}
+	}
+	return g
+}
+
+func codecResult(name string, width int, r testing.BenchmarkResult) CodecResult {
+	return CodecResult{
+		Name:        name,
+		Width:       width,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		MBPerSec:    float64(r.Bytes) * float64(r.N) / r.T.Seconds() / 1e6,
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// MeasureCodecs runs the full-carrier compress/decompress microbenchmark
+// at each kernel width (9, 14 and 16 specialized; 12 through the generic
+// path) plus the batched exponent scan, under the same testing.Benchmark
+// harness `go test -bench` uses.
+func MeasureCodecs() ([]CodecResult, error) {
+	g := codecGrid()
+	var out []CodecResult
+	for _, w := range []uint8{9, 12, 14, 0 /* =16 */} {
+		p := bfp.Params{IQWidth: w, Method: bfp.MethodBlockFloatingPoint}
+		width := p.EffectiveWidth()
+		wire, err := bfp.CompressGrid(nil, g, p)
+		if err != nil {
+			return nil, err
+		}
+		size := int64(len(wire))
+
+		r := testing.Benchmark(func(b *testing.B) {
+			buf := make([]byte, 0, len(wire))
+			b.ReportAllocs()
+			b.SetBytes(size)
+			for i := 0; i < b.N; i++ {
+				buf = buf[:0]
+				var err error
+				buf, err = bfp.CompressGrid(buf, g, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out = append(out, codecResult(fmt.Sprintf("CompressGrid273/w=%d", width), width, r))
+
+		dst := iq.NewGrid(codecPRBs)
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(size)
+			for i := 0; i < b.N; i++ {
+				if _, err := bfp.DecompressGrid(wire, dst, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out = append(out, codecResult(fmt.Sprintf("DecompressGrid273/w=%d", width), width, r))
+	}
+
+	// The Algorithm 1 scan: one header byte per PRB across the carrier.
+	p := bfp.Params{IQWidth: 9, Method: bfp.MethodBlockFloatingPoint}
+	wire, err := bfp.CompressGrid(nil, g, p)
+	if err != nil {
+		return nil, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		exps := make([]uint8, 0, codecPRBs)
+		b.ReportAllocs()
+		b.SetBytes(int64(len(wire)))
+		for i := 0; i < b.N; i++ {
+			var err error
+			exps, err = bfp.AppendExponents(exps[:0], wire, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out = append(out, codecResult("AppendExponents273/w=9", 9, r))
+	return out, nil
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package benchreg
+
+const raceEnabled = false

@@ -11,11 +11,19 @@
 // exploits (Algorithm 1): a PRB whose samples all fit without shifting
 // (exponent at the floor) is carrying almost no energy and can be counted
 // as unutilized without decompressing anything.
+//
+// The codec works a PRB at a time through the word-at-a-time kernels in
+// kernels.go: the wire-common widths 9, 14 and 16 have unrolled 64-bit-lane
+// specializations, other widths fall back to a generic indexed bit loop.
+// Destinations are grown once per call, never appended to byte by byte, and
+// truncated input is always an error — short payloads never decode as
+// silent zero samples.
 package bfp
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"ranbooster/internal/iq"
 )
@@ -94,6 +102,35 @@ func (p Params) PRBSize() int {
 	return 1 + (iq.SubcarriersPerPRB*2*w+7)/8
 }
 
+// codecWidth validates the parameters and returns the mantissa width the
+// kernels will run at. It is the single gate every codec entry point passes
+// through.
+func codecWidth(p Params) (int, error) {
+	switch p.Method {
+	case MethodNone:
+		return 16, nil
+	case MethodBlockFloatingPoint:
+		w := p.EffectiveWidth()
+		if w < 2 || w > 16 {
+			return 0, ErrWidth
+		}
+		return w, nil
+	default:
+		return 0, ErrMethod
+	}
+}
+
+// grow extends dst by n bytes in a single step, reusing spare capacity when
+// there is any. The new bytes are uninitialized from the caller's point of
+// view: every caller overwrites them completely before returning.
+func grow(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst[:len(dst)+n]
+	}
+	//ranvet:allow alloc growth of the caller-owned destination; amortized away once the buffer reaches carrier size
+	return append(dst, make([]byte, n)...)
+}
+
 // MaxExponent is the largest exponent the 4-bit udCompParam field can carry.
 const MaxExponent = 15
 
@@ -105,85 +142,103 @@ func ExponentFor(prb *iq.PRB, width int) uint8 {
 		return 0
 	}
 	max := prb.MaxMagnitude()
-	// Find the smallest e such that every sample >> e fits in a signed
-	// width-bit value, i.e. max>>e <= 2^(width-1)-1 and min>>e >= -2^(width-1).
-	// Using the magnitude bound 2^(width-1)-1 is conservative by one LSB for
-	// exactly -2^(width-1), which keeps the search branch-free.
-	limit := int32(1)<<(width-1) - 1
-	var e uint8
-	for max > limit && e < MaxExponent {
-		max >>= 1
-		e++
+	// The smallest e such that max>>e <= 2^(width-1)-1, i.e.
+	// e = bitlen(max) - (width-1) clamped to [0, MaxExponent]. Using the
+	// magnitude bound 2^(width-1)-1 is conservative by one LSB for exactly
+	// -2^(width-1), which keeps the choice branch-free and matches the wire
+	// output of the original shift-loop encoder bit for bit.
+	e := bits.Len32(uint32(max)) - (width - 1)
+	if e < 0 {
+		e = 0
 	}
-	return e
+	if e > MaxExponent {
+		e = MaxExponent
+	}
+	return uint8(e)
+}
+
+// encodePRB encodes one PRB into buf, which must hold exactly p.PRBSize()
+// bytes for an already-validated p (see codecWidth). Layout for BFP: 1 byte
+// udCompParam (low nibble = exponent) followed by the bit-packed mantissas,
+// I then Q per subcarrier, MSB first.
+func encodePRB(buf []byte, prb *iq.PRB, p Params, w int) {
+	if p.Method == MethodNone {
+		pack16(buf, prb)
+		return
+	}
+	if len(buf) < 1 {
+		panic("bfp: encodePRB short buffer")
+	}
+	exp := ExponentFor(prb, w)
+	buf[0] = exp & 0x0f
+	switch w {
+	case 9:
+		pack9(buf[1:], prb, exp)
+	case 14:
+		pack14(buf[1:], prb, exp)
+	case 16:
+		pack16(buf[1:], prb)
+	default:
+		packGeneric(buf[1:], prb, w, exp)
+	}
+}
+
+// decodePRB decodes one PRB from buf, which must hold at least p.PRBSize()
+// bytes for an already-validated p, and returns the exponent applied.
+func decodePRB(buf []byte, prb *iq.PRB, p Params, w int) uint8 {
+	if p.Method == MethodNone {
+		unpack16(buf, prb, 0)
+		return 0
+	}
+	if len(buf) < 1 {
+		panic("bfp: decodePRB short buffer")
+	}
+	exp := buf[0] & 0x0f
+	switch w {
+	case 9:
+		unpack9(buf[1:], prb, exp)
+	case 14:
+		unpack14(buf[1:], prb, exp)
+	case 16:
+		unpack16(buf[1:], prb, exp)
+	default:
+		unpackGeneric(buf[1:], prb, w, exp)
+	}
+	return exp
 }
 
 // CompressPRB encodes one PRB into dst (appending) and returns the extended
-// slice. Layout: 1 byte udCompParam (low nibble = exponent) followed by the
-// bit-packed mantissas, I then Q per subcarrier, MSB first.
+// slice. The destination is grown once; with spare capacity present the
+// call does not allocate.
 //
 //ranvet:hotpath
 func CompressPRB(dst []byte, prb *iq.PRB, p Params) ([]byte, error) {
-	switch p.Method {
-	case MethodNone:
-		for i := range prb {
-			dst = append(dst, byte(uint16(prb[i].I)>>8), byte(prb[i].I), byte(uint16(prb[i].Q)>>8), byte(prb[i].Q))
-		}
-		return dst, nil
-	case MethodBlockFloatingPoint:
-	default:
-		return dst, ErrMethod
+	w, err := codecWidth(p)
+	if err != nil {
+		return dst, err
 	}
-	w := p.EffectiveWidth()
-	if w < 2 || w > 16 {
-		return dst, ErrWidth
-	}
-	exp := ExponentFor(prb, w)
-	dst = append(dst, exp&0x0f)
-	var bw bitWriter
-	bw.dst = dst
-	for i := range prb {
-		bw.write(int32(prb[i].I)>>exp, w)
-		bw.write(int32(prb[i].Q)>>exp, w)
-	}
-	return bw.flush(), nil
+	base := len(dst)
+	dst = grow(dst, p.PRBSize())
+	encodePRB(dst[base:], prb, p, w)
+	return dst, nil
 }
 
 // DecompressPRB decodes one compressed PRB from src into prb and returns
-// the number of bytes consumed plus the exponent that was applied.
+// the number of bytes consumed plus the exponent that was applied. A src
+// shorter than the encoded PRB size is ErrTruncated — never a silent
+// zero-filled decode.
 //
 //ranvet:hotpath
 func DecompressPRB(src []byte, prb *iq.PRB, p Params) (n int, exp uint8, err error) {
-	switch p.Method {
-	case MethodNone:
-		need := iq.SubcarriersPerPRB * 4
-		if len(src) < need {
-			return 0, 0, ErrTruncated
-		}
-		for i := range prb {
-			off := i * 4
-			prb[i].I = int16(uint16(src[off])<<8 | uint16(src[off+1]))
-			prb[i].Q = int16(uint16(src[off+2])<<8 | uint16(src[off+3]))
-		}
-		return need, 0, nil
-	case MethodBlockFloatingPoint:
-	default:
-		return 0, 0, ErrMethod
-	}
-	w := p.EffectiveWidth()
-	if w < 2 || w > 16 {
-		return 0, 0, ErrWidth
+	w, err := codecWidth(p)
+	if err != nil {
+		return 0, 0, err
 	}
 	size := p.PRBSize()
 	if len(src) < size {
 		return 0, 0, ErrTruncated
 	}
-	exp = src[0] & 0x0f
-	br := bitReader{src: src[1:size]}
-	for i := range prb {
-		prb[i].I = int16(br.read(w) << exp)
-		prb[i].Q = int16(br.read(w) << exp)
-	}
+	exp = decodePRB(src, prb, p, w)
 	return size, exp, nil
 }
 
@@ -199,85 +254,69 @@ func PeekExponent(src []byte) (uint8, error) {
 	return src[0] & 0x0f, nil
 }
 
-// CompressGrid encodes a run of PRBs, appending to dst.
+// AppendExponents appends the udCompParam exponent of every complete
+// compressed PRB in src to dst — the batched form of PeekExponent. It reads
+// only the header byte of each PRB, skipping the mantissas entirely, and
+// grows dst once. A trailing partial PRB is ignored, matching the per-PRB
+// scan loops it replaces. Only MethodBlockFloatingPoint payloads carry
+// exponents; other methods return ErrMethod.
 //
 //ranvet:hotpath
-func CompressGrid(dst []byte, g iq.Grid, p Params) ([]byte, error) {
-	var err error
-	for i := range g {
-		dst, err = CompressPRB(dst, &g[i], p)
-		if err != nil {
-			return dst, err
-		}
+func AppendExponents(dst []uint8, src []byte, p Params) ([]uint8, error) {
+	if p.Method != MethodBlockFloatingPoint {
+		return dst, ErrMethod
+	}
+	w := p.EffectiveWidth()
+	if w < 2 || w > 16 {
+		return dst, ErrWidth
+	}
+	size := p.PRBSize()
+	n := len(src) / size
+	base := len(dst)
+	dst = grow(dst, n)
+	for i := 0; i < n; i++ {
+		dst[base+i] = src[i*size] & 0x0f
 	}
 	return dst, nil
 }
 
-// DecompressGrid decodes len(g) PRBs from src into g, returning bytes consumed.
+// CompressGrid encodes a run of PRBs, appending to dst. The destination is
+// grown once for the whole grid, then each PRB is encoded in place at its
+// stride.
+//
+//ranvet:hotpath
+func CompressGrid(dst []byte, g iq.Grid, p Params) ([]byte, error) {
+	w, err := codecWidth(p)
+	if err != nil {
+		return dst, err
+	}
+	size := p.PRBSize()
+	base := len(dst)
+	dst = grow(dst, size*len(g))
+	for i := range g {
+		encodePRB(dst[base+i*size:base+(i+1)*size], &g[i], p, w)
+	}
+	return dst, nil
+}
+
+// DecompressGrid decodes len(g) PRBs from src into g, returning bytes
+// consumed. Decoding stops at the first truncated PRB with ErrTruncated and
+// the count of bytes consumed so far.
 //
 //ranvet:hotpath
 func DecompressGrid(src []byte, g iq.Grid, p Params) (int, error) {
+	w, err := codecWidth(p)
+	if err != nil {
+		return 0, err
+	}
+	size := p.PRBSize()
 	off := 0
 	for i := range g {
-		// DecompressPRB bounds-checks its input and errors on truncation,
-		// and n never exceeds the bytes it was given, so off <= len(src)
-		// holds on every iteration and the re-slice cannot panic.
-		//ranvet:allow bounds off advances only by bytes DecompressPRB consumed, so off <= len(src)
-		n, _, err := DecompressPRB(src[off:], &g[i], p)
-		if err != nil {
-			return off, err
+		if len(src)-off < size {
+			return off, ErrTruncated
 		}
-		off += n
+		decodePRB(src[off:], &g[i], p, w)
+		off += size
 	}
 	return off, nil
-}
-
-// bitWriter packs signed values MSB-first.
-type bitWriter struct {
-	dst  []byte
-	acc  uint64
-	bits uint
-}
-
-func (w *bitWriter) write(v int32, width int) {
-	mask := uint32(1)<<uint(width) - 1
-	w.acc = w.acc<<uint(width) | uint64(uint32(v)&mask)
-	w.bits += uint(width)
-	for w.bits >= 8 {
-		w.bits -= 8
-		w.dst = append(w.dst, byte(w.acc>>w.bits))
-	}
-}
-
-func (w *bitWriter) flush() []byte {
-	if w.bits > 0 {
-		w.dst = append(w.dst, byte(w.acc<<(8-w.bits)))
-		w.bits = 0
-	}
-	return w.dst
-}
-
-// bitReader unpacks signed values MSB-first.
-type bitReader struct {
-	src  []byte
-	acc  uint64
-	bits uint
-	pos  int
-}
-
-func (r *bitReader) read(width int) int32 {
-	for r.bits < uint(width) {
-		var b byte
-		if r.pos < len(r.src) {
-			b = r.src[r.pos]
-			r.pos++
-		}
-		r.acc = r.acc<<8 | uint64(b)
-		r.bits += 8
-	}
-	r.bits -= uint(width)
-	v := uint32(r.acc>>r.bits) & (uint32(1)<<uint(width) - 1)
-	// Sign-extend from width bits.
-	shift := 32 - uint(width)
-	return int32(v<<shift) >> shift
 }

@@ -1,0 +1,213 @@
+// Word-at-a-time pack/unpack kernels. Each kernel moves a whole PRB — 24
+// mantissas of a fixed width — per call, reading and writing 64-bit lanes
+// via encoding/binary instead of shifting one value (and appending one
+// byte) at a time. The wire-common widths 9, 14 and 16 get fully unrolled
+// specializations; every other width takes the generic indexed path.
+//
+// All kernels operate on exactly-sized mantissa buffers (3·w bytes — 24·w
+// bits is always a whole number of bytes) and panic on shorter input; the
+// exported codec entry points in bfp.go validate sizes first, so the guards
+// here are unreachable through the public API and exist to keep the
+// kernels safe and the wire-bounds invariant machine-checkable.
+
+package bfp
+
+import (
+	"encoding/binary"
+
+	"ranbooster/internal/iq"
+)
+
+// Mantissa bytes per PRB for the specialized widths: 3·w.
+const (
+	mantBytes9  = 27
+	mantBytes14 = 42
+	mantBytes16 = 48
+)
+
+// mant extracts the width-masked mantissa of one sample component after
+// the BFP right shift, widened for lane packing.
+func mant(v int16, exp uint8, mask uint32) uint64 {
+	return uint64(uint32(int32(v)>>exp) & mask)
+}
+
+// sext16 sign-extends a w-bit mantissa sitting in the low bits of v and
+// applies the BFP exponent. The int16 shift pair is table-free and exactly
+// matches widening to int32, shifting, and truncating.
+func sext16(v uint16, sh uint, exp uint8) int16 {
+	return int16(v<<sh) >> sh << exp
+}
+
+// pack9 encodes 24 9-bit mantissas into 27 bytes, MSB first. Each group of
+// eight values (four samples) packs into one 64-bit lane plus a tail byte:
+// 8×9 = 72 bits = 9 bytes.
+func pack9(dst []byte, prb *iq.PRB, exp uint8) {
+	if len(dst) < mantBytes9 {
+		panic("bfp: pack9 short buffer")
+	}
+	for g := 0; g < 3; g++ {
+		s := g * 4
+		m0 := mant(prb[s].I, exp, 0x1ff)
+		m1 := mant(prb[s].Q, exp, 0x1ff)
+		m2 := mant(prb[s+1].I, exp, 0x1ff)
+		m3 := mant(prb[s+1].Q, exp, 0x1ff)
+		m4 := mant(prb[s+2].I, exp, 0x1ff)
+		m5 := mant(prb[s+2].Q, exp, 0x1ff)
+		m6 := mant(prb[s+3].I, exp, 0x1ff)
+		m7 := mant(prb[s+3].Q, exp, 0x1ff)
+		hi := m0<<55 | m1<<46 | m2<<37 | m3<<28 | m4<<19 | m5<<10 | m6<<1 | m7>>8
+		binary.BigEndian.PutUint64(dst[9*g:], hi)
+		dst[9*g+8] = byte(m7)
+	}
+}
+
+// unpack9 decodes 24 9-bit mantissas from 27 bytes.
+func unpack9(src []byte, prb *iq.PRB, exp uint8) {
+	if len(src) < mantBytes9 {
+		panic("bfp: unpack9 short buffer")
+	}
+	for g := 0; g < 3; g++ {
+		hi := binary.BigEndian.Uint64(src[9*g:])
+		lo := uint64(src[9*g+8])
+		s := g * 4
+		prb[s].I = sext16(uint16(hi>>55), 7, exp)
+		prb[s].Q = sext16(uint16(hi>>46)&0x1ff, 7, exp)
+		prb[s+1].I = sext16(uint16(hi>>37)&0x1ff, 7, exp)
+		prb[s+1].Q = sext16(uint16(hi>>28)&0x1ff, 7, exp)
+		prb[s+2].I = sext16(uint16(hi>>19)&0x1ff, 7, exp)
+		prb[s+2].Q = sext16(uint16(hi>>10)&0x1ff, 7, exp)
+		prb[s+3].I = sext16(uint16(hi>>1)&0x1ff, 7, exp)
+		prb[s+3].Q = sext16(uint16(hi&1)<<8|uint16(lo), 7, exp)
+	}
+}
+
+// pack14 encodes 24 14-bit mantissas into 42 bytes. Each group of eight
+// values spans 14 bytes: one full 64-bit lane (m0..m3 plus the top 8 bits
+// of m4) and a 48-bit tail written as a 16-bit and a 32-bit store.
+func pack14(dst []byte, prb *iq.PRB, exp uint8) {
+	if len(dst) < mantBytes14 {
+		panic("bfp: pack14 short buffer")
+	}
+	for g := 0; g < 3; g++ {
+		s := g * 4
+		m0 := mant(prb[s].I, exp, 0x3fff)
+		m1 := mant(prb[s].Q, exp, 0x3fff)
+		m2 := mant(prb[s+1].I, exp, 0x3fff)
+		m3 := mant(prb[s+1].Q, exp, 0x3fff)
+		m4 := mant(prb[s+2].I, exp, 0x3fff)
+		m5 := mant(prb[s+2].Q, exp, 0x3fff)
+		m6 := mant(prb[s+3].I, exp, 0x3fff)
+		m7 := mant(prb[s+3].Q, exp, 0x3fff)
+		binary.BigEndian.PutUint64(dst[14*g:], m0<<50|m1<<36|m2<<22|m3<<8|m4>>6)
+		lo := (m4&0x3f)<<42 | m5<<28 | m6<<14 | m7
+		binary.BigEndian.PutUint16(dst[14*g+8:], uint16(lo>>32))
+		binary.BigEndian.PutUint32(dst[14*g+10:], uint32(lo))
+	}
+}
+
+// unpack14 decodes 24 14-bit mantissas from 42 bytes using two overlapping
+// 64-bit loads per group (bytes 0..7 and 6..13).
+func unpack14(src []byte, prb *iq.PRB, exp uint8) {
+	if len(src) < mantBytes14 {
+		panic("bfp: unpack14 short buffer")
+	}
+	for g := 0; g < 3; g++ {
+		u0 := binary.BigEndian.Uint64(src[14*g:])
+		u1 := binary.BigEndian.Uint64(src[14*g+6:])
+		s := g * 4
+		prb[s].I = sext16(uint16(u0>>50), 2, exp)
+		prb[s].Q = sext16(uint16(u0>>36)&0x3fff, 2, exp)
+		prb[s+1].I = sext16(uint16(u0>>22)&0x3fff, 2, exp)
+		prb[s+1].Q = sext16(uint16(u0>>8)&0x3fff, 2, exp)
+		prb[s+2].I = sext16(uint16(u1>>42)&0x3fff, 2, exp)
+		prb[s+2].Q = sext16(uint16(u1>>28)&0x3fff, 2, exp)
+		prb[s+3].I = sext16(uint16(u1>>14)&0x3fff, 2, exp)
+		prb[s+3].Q = sext16(uint16(u1)&0x3fff, 2, exp)
+	}
+}
+
+// pack16 encodes 24 16-bit values as big-endian uint16 lanes (48 bytes).
+// This is both the width-16 BFP mantissa layout (the exponent is always 0
+// at full width) and the MethodNone payload layout.
+func pack16(dst []byte, prb *iq.PRB) {
+	if len(dst) < mantBytes16 {
+		panic("bfp: pack16 short buffer")
+	}
+	for i := range prb {
+		binary.BigEndian.PutUint16(dst[4*i:], uint16(prb[i].I))
+		binary.BigEndian.PutUint16(dst[4*i+2:], uint16(prb[i].Q))
+	}
+}
+
+// unpack16 decodes 24 big-endian 16-bit values. exp is 0 for MethodNone
+// and for anything our encoder produced, but hostile width-16 BFP headers
+// may carry a nonzero exponent, which applies exactly as at other widths.
+func unpack16(src []byte, prb *iq.PRB, exp uint8) {
+	if len(src) < mantBytes16 {
+		panic("bfp: unpack16 short buffer")
+	}
+	for i := range prb {
+		prb[i].I = int16(binary.BigEndian.Uint16(src[4*i:])) << exp
+		prb[i].Q = int16(binary.BigEndian.Uint16(src[4*i+2:])) << exp
+	}
+}
+
+// packGeneric encodes 24 w-bit mantissas into 3·w bytes for any width
+// 2..16, accumulating through a 64-bit lane and storing bytes by index
+// (no per-byte append).
+func packGeneric(dst []byte, prb *iq.PRB, w int, exp uint8) {
+	if len(dst) < 3*w {
+		panic("bfp: packGeneric short buffer")
+	}
+	mask := uint32(1)<<uint(w) - 1
+	var acc uint64
+	bits := 0
+	off := 0
+	for i := range prb {
+		acc = acc<<uint(w) | uint64(uint32(int32(prb[i].I)>>exp)&mask)
+		bits += w
+		for bits >= 8 {
+			bits -= 8
+			dst[off] = byte(acc >> uint(bits))
+			off++
+		}
+		acc = acc<<uint(w) | uint64(uint32(int32(prb[i].Q)>>exp)&mask)
+		bits += w
+		for bits >= 8 {
+			bits -= 8
+			dst[off] = byte(acc >> uint(bits))
+			off++
+		}
+	}
+	// 24·w ≡ 0 (mod 8), so the accumulator always drains completely.
+}
+
+// unpackGeneric decodes 24 w-bit mantissas from 3·w bytes for any width
+// 2..16. It loads bytes strictly on demand and consumes exactly 3·w of
+// them — there is no zero-fill past the end of src.
+func unpackGeneric(src []byte, prb *iq.PRB, w int, exp uint8) {
+	if len(src) < 3*w {
+		panic("bfp: unpackGeneric short buffer")
+	}
+	mask := uint32(1)<<uint(w) - 1
+	sh := 16 - uint(w)
+	var acc uint64
+	bits := 0
+	off := 0
+	for i := range prb {
+		for bits < w {
+			acc = acc<<8 | uint64(src[off])
+			off++
+			bits += 8
+		}
+		bits -= w
+		prb[i].I = sext16(uint16(uint32(acc>>uint(bits))&mask), sh, exp)
+		for bits < w {
+			acc = acc<<8 | uint64(src[off])
+			off++
+			bits += 8
+		}
+		bits -= w
+		prb[i].Q = sext16(uint16(uint32(acc>>uint(bits))&mask), sh, exp)
+	}
+}

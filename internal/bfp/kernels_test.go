@@ -1,0 +1,379 @@
+package bfp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ranbooster/internal/iq"
+)
+
+// extremePRBs are the mantissa patterns most likely to expose a shift or
+// sign-extension bug in an unrolled kernel.
+func extremePRBs() []iq.PRB {
+	var all, min, alt, edge iq.PRB
+	for i := range all {
+		all[i] = iq.Sample{I: 32767, Q: 32767}
+		min[i] = iq.Sample{I: -32768, Q: -32768}
+		if i%2 == 0 {
+			alt[i] = iq.Sample{I: 32767, Q: -32768}
+		} else {
+			alt[i] = iq.Sample{I: -32768, Q: 32767}
+		}
+		edge[i] = iq.Sample{I: int16(1 << (i % 15)), Q: -int16(1 << (i % 15))}
+	}
+	return []iq.PRB{{}, all, min, alt, edge}
+}
+
+func randomPRB(rng *rand.Rand) iq.PRB {
+	var prb iq.PRB
+	for i := range prb {
+		prb[i] = iq.Sample{I: int16(rng.Uint32()), Q: int16(rng.Uint32())}
+	}
+	return prb
+}
+
+// TestSpecializedMatchesGeneric drives the unrolled width-9/14/16 kernels
+// and the generic bit loop over the same inputs — every exponent, extreme
+// mantissas, and randomized PRBs — and requires bit-identical wire bytes
+// on encode and identical samples on decode (including decode of arbitrary
+// mantissa bytes the encoder would never emit).
+func TestSpecializedMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	type kernel struct {
+		w      int
+		pack   func(dst []byte, prb *iq.PRB, exp uint8)
+		unpack func(src []byte, prb *iq.PRB, exp uint8)
+	}
+	kernels := []kernel{
+		{9, pack9, unpack9},
+		{14, pack14, unpack14},
+		{16, func(dst []byte, prb *iq.PRB, _ uint8) { pack16(dst, prb) }, unpack16},
+	}
+	for _, k := range kernels {
+		prbs := extremePRBs()
+		for i := 0; i < 64; i++ {
+			prbs = append(prbs, randomPRB(rng))
+		}
+		for exp := uint8(0); exp <= MaxExponent; exp++ {
+			// pack16 ignores the exponent (full width never shifts), so only
+			// compare its encode at exp 0.
+			encExp := exp
+			if k.w == 16 {
+				encExp = 0
+			}
+			for pi := range prbs {
+				prb := prbs[pi]
+				spec := make([]byte, 3*k.w)
+				gen := make([]byte, 3*k.w)
+				k.pack(spec, &prb, encExp)
+				packGeneric(gen, &prb, k.w, encExp)
+				if !bytes.Equal(spec, gen) {
+					t.Fatalf("w=%d exp=%d prb#%d: encode mismatch\n spec %x\n gen  %x", k.w, encExp, pi, spec, gen)
+				}
+				var gotS, gotG iq.PRB
+				k.unpack(spec, &gotS, exp)
+				unpackGeneric(spec, &gotG, k.w, exp)
+				if gotS != gotG {
+					t.Fatalf("w=%d exp=%d prb#%d: decode mismatch\n spec %v\n gen  %v", k.w, exp, pi, gotS, gotG)
+				}
+			}
+			// Arbitrary mantissa bytes (not encoder output) must also decode
+			// identically — the decoder sees hostile wire input.
+			for r := 0; r < 16; r++ {
+				src := make([]byte, 3*k.w)
+				rng.Read(src)
+				var gotS, gotG iq.PRB
+				k.unpack(src, &gotS, exp)
+				unpackGeneric(src, &gotG, k.w, exp)
+				if gotS != gotG {
+					t.Fatalf("w=%d exp=%d random src: decode mismatch\n src %x\n spec %v\n gen  %v", k.w, exp, src, gotS, gotG)
+				}
+			}
+		}
+	}
+}
+
+// TestDecompressPRBShortBuffer is the regression test for the old
+// bit-reader's silent zero-fill: every prefix strictly shorter than the
+// encoded PRB must fail with ErrTruncated, at every codec width and for
+// uncompressed payloads — never decode as zero samples.
+func TestDecompressPRBShortBuffer(t *testing.T) {
+	var prb iq.PRB
+	for i := range prb {
+		prb[i] = iq.Sample{I: int16(i*1500 - 9000), Q: int16(31000 - i*2500)}
+	}
+	params := []Params{
+		{IQWidth: 9, Method: MethodBlockFloatingPoint},
+		{IQWidth: 12, Method: MethodBlockFloatingPoint},
+		{IQWidth: 14, Method: MethodBlockFloatingPoint},
+		{IQWidth: 0 /* =16 */, Method: MethodBlockFloatingPoint},
+		{Method: MethodNone},
+	}
+	for _, p := range params {
+		full, err := CompressPRB(nil, &prb, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := p.PRBSize()
+		if len(full) != size {
+			t.Fatalf("%+v: encoded %d bytes, PRBSize %d", p, len(full), size)
+		}
+		for n := 0; n < size; n++ {
+			var got iq.PRB
+			consumed, _, err := DecompressPRB(full[:n], &got, p)
+			if err != ErrTruncated {
+				t.Fatalf("%+v prefix %d/%d: err = %v, want ErrTruncated", p, n, size, err)
+			}
+			if consumed != 0 {
+				t.Fatalf("%+v prefix %d/%d: consumed %d bytes of a truncated PRB", p, n, size, consumed)
+			}
+		}
+	}
+}
+
+func TestAppendExponents(t *testing.T) {
+	p := bfp9()
+	g := iq.NewGrid(5)
+	for i := range g {
+		for j := range g[i] {
+			g[i][j] = iq.Sample{I: int16(1 << (2 * i)), Q: -int16(1 << (2 * i))}
+		}
+	}
+	wire, err := CompressGrid(nil, g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps, err := AppendExponents(nil, wire, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != len(g) {
+		t.Fatalf("got %d exponents, want %d", len(exps), len(g))
+	}
+	size := p.PRBSize()
+	for i := range exps {
+		peek, err := PeekExponent(wire[i*size:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exps[i] != peek {
+			t.Fatalf("exponent %d: batched %d != peeked %d", i, exps[i], peek)
+		}
+	}
+	// A trailing partial PRB is ignored, like the scan loops this replaces.
+	if exps, err = AppendExponents(exps[:0], wire[:len(wire)-3], p); err != nil || len(exps) != len(g)-1 {
+		t.Fatalf("partial tail: %d exponents, err %v", len(exps), err)
+	}
+	// Appending extends rather than overwrites.
+	pre := []uint8{42}
+	if exps, err = AppendExponents(pre, wire, p); err != nil || len(exps) != 1+len(g) || exps[0] != 42 {
+		t.Fatalf("append onto prefix: %v, err %v", exps, err)
+	}
+	if _, err := AppendExponents(nil, wire, Params{Method: MethodNone}); err != ErrMethod {
+		t.Fatalf("MethodNone: %v, want ErrMethod", err)
+	}
+	if _, err := AppendExponents(nil, wire, Params{IQWidth: 1, Method: MethodBlockFloatingPoint}); err != ErrWidth {
+		t.Fatalf("width 1: %v, want ErrWidth", err)
+	}
+}
+
+// TestTranscoderSteadyStateAllocs locks in the tentpole's zero-allocation
+// contract: after Reserve, a full decode → combine → re-encode transaction
+// plus the payload-copy and exponent-scan helpers allocates nothing.
+func TestTranscoderSteadyStateAllocs(t *testing.T) {
+	const nPRB = 64
+	p := bfp9()
+	g := iq.NewGrid(nPRB)
+	for i := range g {
+		g[i][0] = iq.Sample{I: int16(i * 400), Q: int16(-i * 400)}
+	}
+	wire, err := CompressGrid(nil, g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := NewTranscoder()
+	tx.Reserve(273)
+	var runErr error
+	run := func() {
+		tx.Reset()
+		acc := tx.Grid(0, nPRB)
+		if _, err := DecompressGrid(wire, acc, p); err != nil {
+			runErr = err
+			return
+		}
+		scratch := tx.Grid(1, nPRB)
+		if _, err := DecompressGrid(wire, scratch, p); err != nil {
+			runErr = err
+			return
+		}
+		acc.AddSat(scratch)
+		if _, err := tx.CompressGrid(acc, p); err != nil {
+			runErr = err
+			return
+		}
+		tx.AppendBytes(wire)
+		if _, err := tx.Exponents(wire, p); err != nil {
+			runErr = err
+		}
+	}
+	run() // warm up slot table and arena
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if n := testing.AllocsPerRun(200, run); n != 0 {
+		t.Fatalf("transcode transaction allocates %v times in steady state, want 0", n)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+}
+
+// TestTranscoderPayloadsSurviveTransaction verifies the ownership rule that
+// payload slices stay readable until the next Reset, even across an arena
+// growth mid-transaction.
+func TestTranscoderPayloadsSurviveTransaction(t *testing.T) {
+	p := bfp9()
+	g := iq.NewGrid(8)
+	for i := range g {
+		g[i][3] = iq.Sample{I: 1000, Q: -1000}
+	}
+	tx := NewTranscoder() // deliberately not Reserved: forces mid-frame growth
+	tx.Reset()
+	first, err := tx.CompressGrid(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), first...)
+	// Force the arena to grow well past its current capacity.
+	big := iq.NewGrid(256)
+	if _, err := tx.CompressGrid(big, p); err != nil {
+		t.Fatal(err)
+	}
+	tx.AppendBytes(make([]byte, 4096))
+	if !bytes.Equal(first, snapshot) {
+		t.Fatal("payload from before arena growth was corrupted")
+	}
+}
+
+func benchPRB() *iq.PRB {
+	var prb iq.PRB
+	for i := range prb {
+		prb[i] = iq.Sample{I: int16(i * 2000), Q: int16(-i * 1999)}
+	}
+	return &prb
+}
+
+func benchmarkCompressPRB(b *testing.B, p Params) {
+	prb := benchPRB()
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.SetBytes(int64(p.PRBSize()))
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		var err error
+		buf, err = CompressPRB(buf, prb, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkDecompressPRB(b *testing.B, p Params) {
+	buf, err := CompressPRB(nil, benchPRB(), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(p.PRBSize()))
+	var out iq.PRB
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecompressPRB(buf, &out, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressPRB14(b *testing.B) {
+	benchmarkCompressPRB(b, Params{IQWidth: 14, Method: MethodBlockFloatingPoint})
+}
+
+func BenchmarkDecompressPRB14(b *testing.B) {
+	benchmarkDecompressPRB(b, Params{IQWidth: 14, Method: MethodBlockFloatingPoint})
+}
+
+func BenchmarkCompressPRB16(b *testing.B) {
+	benchmarkCompressPRB(b, Params{IQWidth: 0, Method: MethodBlockFloatingPoint})
+}
+
+func BenchmarkDecompressPRB16(b *testing.B) {
+	benchmarkDecompressPRB(b, Params{IQWidth: 0, Method: MethodBlockFloatingPoint})
+}
+
+func BenchmarkCompressPRB12Generic(b *testing.B) {
+	benchmarkCompressPRB(b, Params{IQWidth: 12, Method: MethodBlockFloatingPoint})
+}
+
+func BenchmarkDecompressPRB12Generic(b *testing.B) {
+	benchmarkDecompressPRB(b, Params{IQWidth: 12, Method: MethodBlockFloatingPoint})
+}
+
+func BenchmarkCompressGrid273(b *testing.B) {
+	p := bfp9()
+	g := iq.NewGrid(273)
+	for i := range g {
+		g[i] = *benchPRB()
+	}
+	buf := make([]byte, 0, 273*p.PRBSize())
+	b.ReportAllocs()
+	b.SetBytes(int64(273 * p.PRBSize()))
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		var err error
+		buf, err = CompressGrid(buf, g, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressGrid273(b *testing.B) {
+	p := bfp9()
+	g := iq.NewGrid(273)
+	for i := range g {
+		g[i] = *benchPRB()
+	}
+	wire, err := CompressGrid(nil, g, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := iq.NewGrid(273)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(wire)))
+	for i := 0; i < b.N; i++ {
+		if _, err := DecompressGrid(wire, out, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendExponents273(b *testing.B) {
+	p := bfp9()
+	g := iq.NewGrid(273)
+	for i := range g {
+		g[i] = *benchPRB()
+	}
+	wire, err := CompressGrid(nil, g, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exps := make([]uint8, 0, 273)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(wire)))
+	for i := 0; i < b.N; i++ {
+		exps, err = AppendExponents(exps[:0], wire, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"ranbooster/internal/bfp"
 	"ranbooster/internal/cpu"
 	"ranbooster/internal/eth"
 	"ranbooster/internal/fh"
@@ -187,6 +188,22 @@ func (c *Context) ModifyCPlane(pkt *fh.Packet, carrierPRBs int, fn func(msg *ora
 	}
 	return fh.Rebuild(pkt, msg.AppendTo), nil
 }
+
+// Transcoder returns the shard's pooled BFP transcode scratch (A4): grid
+// slots, a payload arena and an exponent buffer, pre-sized to the carrier
+// and reused for every frame the shard processes. Apps running the decode
+// → modify → re-encode cycle should call Reset once per Handle and draw
+// all working buffers from it — in steady state the cycle then performs
+// zero allocations. The scratch is shard-local: frames of one eAxC stream
+// always land on the same shard, so no synchronization is needed.
+func (c *Context) Transcoder() *bfp.Transcoder { return c.sh.txc }
+
+// UPlaneScratch returns one of the shard's two reusable U-plane message
+// slots (decoding into a reused message recycles its section slice).
+// Conventionally slot 0 is the decode scratch and slot 1 the re-encode
+// staging message. Like the Transcoder, the slots are valid only within
+// the current Handle call and must not be retained.
+func (c *Context) UPlaneScratch(slot int) *oran.UPlaneMsg { return &c.sh.msgs[slot] }
 
 // ChargeHeaderMod charges one in-place header-field modification (A4).
 func (c *Context) ChargeHeaderMod() { c.noteAction(telemetry.ActionModify, cpu.CostHeaderMod) }

@@ -389,7 +389,7 @@ func TestEngineSteadyStateAllocs(t *testing.T) {
 		e.Ingress(frame)
 		s.Run()
 	})
-	const budget = 5 // measured 3: packet + emit closure + scheduler event
+	const budget = 4 // measured 3: packet + emit closure + scheduler event
 	if avg > budget {
 		t.Fatalf("steady-state datapath allocates %.1f objects/frame, budget %d", avg, budget)
 	}

@@ -528,7 +528,7 @@ func (e *Engine) runKernel(sh *shard, pkt *fh.Packet) (KernelVerdict, time.Durat
 			continue
 		}
 		if r.Exponents != nil {
-			seen, used := scanExponents(pkt, e.cfg.CarrierPRBs, r.Exponents, t)
+			seen, used := scanExponents(sh, pkt, e.cfg.CarrierPRBs, r.Exponents, t)
 			cost += cpu.ExponentScanCost(seen)
 			// Constant names: concatenating per frame would allocate.
 			seenName, usedName := "prb.seen.dl", "prb.utilized.dl"

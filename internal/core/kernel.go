@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"ranbooster/internal/bfp"
 	"ranbooster/internal/eth"
 	"ranbooster/internal/fh"
 	"ranbooster/internal/oran"
@@ -212,10 +211,12 @@ func (p *KernelProgram) Verify() error {
 
 // scanExponents runs Algorithm 1 over the packet's U-plane sections,
 // returning (seen, utilized) PRB counts. It reads one byte per PRB — the
-// udCompParam exponent — exactly the cheap inspection XDP can do.
-func scanExponents(pkt *fh.Packet, carrierPRBs int, es *ExponentStats, t oran.Timing) (seen, utilized int) {
-	var msg oran.UPlaneMsg
-	if err := pkt.UPlane(&msg, carrierPRBs); err != nil {
+// udCompParam exponent — exactly the cheap inspection XDP can do. The
+// decode message and the exponent buffer come from the shard's scratch,
+// so the scan allocates nothing in steady state.
+func scanExponents(sh *shard, pkt *fh.Packet, carrierPRBs int, es *ExponentStats, t oran.Timing) (seen, utilized int) {
+	msg := &sh.msgs[0]
+	if err := pkt.UPlane(msg, carrierPRBs); err != nil {
 		return 0, 0
 	}
 	thr := es.ThrDL
@@ -224,17 +225,13 @@ func scanExponents(pkt *fh.Packet, carrierPRBs int, es *ExponentStats, t oran.Ti
 	}
 	for i := range msg.Sections {
 		s := &msg.Sections[i]
-		if s.Comp.Method != bfp.MethodBlockFloatingPoint {
-			continue
+		exps, err := sh.txc.Exponents(s.Payload, s.Comp)
+		if err != nil {
+			continue // not BFP (or an invalid width): nothing to scan
 		}
-		size := s.Comp.PRBSize()
-		for off := 0; off+size <= len(s.Payload); off += size {
-			exp, err := bfp.PeekExponent(s.Payload[off:])
-			if err != nil {
-				break
-			}
-			seen++
-			if exp > thr {
+		seen += len(exps)
+		for _, e := range exps {
+			if e > thr {
 				utilized++
 			}
 		}

@@ -5,9 +5,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ranbooster/internal/bfp"
 	"ranbooster/internal/cpu"
 	"ranbooster/internal/eth"
 	"ranbooster/internal/fh"
+	"ranbooster/internal/oran"
 	"ranbooster/internal/sim"
 	"ranbooster/internal/telemetry"
 )
@@ -165,6 +167,16 @@ type shard struct {
 	// before the next frame, so the storage is reused, never reallocated.
 	passthrough [1]*fh.Packet
 	kernelEmits []*fh.Packet
+	// txc is the shard's BFP transcode scratch, pre-sized to the carrier:
+	// grids, payload arena and exponent buffer for the A4 decode → modify
+	// → re-encode cycle, reused frame after frame (consumer goroutine
+	// only; handed to apps via Context.Transcoder).
+	txc *bfp.Transcoder
+	// msgs are reusable U-plane message decode slots (the section slices
+	// inside are recycled by oran.UPlaneMsg.DecodeFromBytes). Slot 0 is
+	// the kernel/app decode scratch, slot 1 the re-encode staging message;
+	// handed to apps via Context.UPlaneScratch.
+	msgs [2]oran.UPlaneMsg
 
 	wake chan struct{}
 }
@@ -178,8 +190,10 @@ func newShard(e *Engine, id int) *shard {
 		in:       newRing(e.cfg.RingSize),
 		counters: make(map[string]*telemetry.Counter),
 		seq:      make(map[seqKey]uint8),
+		txc:      bfp.NewTranscoder(),
 		wake:     make(chan struct{}, 1),
 	}
+	sh.txc.Reserve(e.cfg.CarrierPRBs)
 	if e.cfg.Trace {
 		sh.tracer = telemetry.NewTracer(e.cfg.TraceRing)
 	}

@@ -81,15 +81,17 @@ func dissectUSection(b *strings.Builder, s *oran.USection) {
 	if s.Comp.Method != bfp.MethodBlockFloatingPoint {
 		return
 	}
+	// One batched sweep collects every PRB's exponent; only the first two
+	// PRBs are decoded for sample display.
+	exps, err := bfp.AppendExponents(nil, s.Payload, s.Comp)
+	if err != nil {
+		return
+	}
 	size := s.Comp.PRBSize()
 	shown := 0
-	for off := 0; off+size <= len(s.Payload) && shown < 2; off += size {
-		exp, err := bfp.PeekExponent(s.Payload[off:])
-		if err != nil {
-			return
-		}
+	for off := 0; off+size <= len(s.Payload) && shown < len(exps) && shown < 2; off += size {
 		fmt.Fprintf(b, "        PRB %d (12 samples)\n", s.StartPRB+shown)
-		fmt.Fprintf(b, "            udCompParam (Exponent=%d)\n", exp)
+		fmt.Fprintf(b, "            udCompParam (Exponent=%d)\n", exps[shown])
 		var prb iq.PRB
 		if _, _, err := bfp.DecompressPRB(s.Payload[off:], &prb, s.Comp); err == nil {
 			for j := 0; j < 2; j++ {
@@ -99,7 +101,7 @@ func dissectUSection(b *strings.Builder, s *oran.USection) {
 		}
 		shown++
 	}
-	if total := len(s.Payload) / size; total > shown {
+	if total := len(exps); total > shown {
 		fmt.Fprintf(b, "        ... %d more PRBs\n", total-shown)
 	}
 }

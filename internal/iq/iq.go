@@ -99,11 +99,12 @@ func (p *PRB) MaxMagnitude() int32 {
 	return m
 }
 
+// abs32 is the branch-free two's-complement absolute value. It is exact for
+// every int16-derived input (the only caller widens from int16, so v is
+// never math.MinInt32).
 func abs32(v int32) int32 {
-	if v < 0 {
-		return -v
-	}
-	return v
+	s := v >> 31
+	return (v ^ s) - s
 }
 
 // Scale multiplies every sample by num/den with rounding toward zero and
@@ -136,6 +137,12 @@ type Grid []PRB
 //
 //ranvet:allow alloc grid buffers are per-merge working state, amortized once per (symbol, port)
 func NewGrid(n int) Grid { return make(Grid, n) }
+
+// Clear zeroes every PRB in g. Reused scratch grids must be cleared (or
+// fully overwritten) before accumulating into them.
+func (g Grid) Clear() {
+	clear(g)
+}
 
 // AddSat accumulates other into g element-wise. Grids must be equal length.
 func (g Grid) AddSat(other Grid) {
