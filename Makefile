@@ -50,11 +50,11 @@ chaos:
 	$(GO) test ./internal/fabric/ -race -run TestPortStatsConcurrentRead -count=1
 
 # Bench regression snapshot: runs the engine benchmark matrix (parallel
-# and traced, 1/2/4 cores) plus the BFP codec microbenchmarks and records
-# them to BENCH_5.json. The <5% tracing-overhead gate itself runs as a
-# test (internal/benchreg).
+# and traced at 1/2/4 cores, plus the burst axis at batch 16/32/64) and
+# the BFP codec microbenchmarks, recording them to BENCH_6.json. The <5%
+# tracing-overhead gate itself runs as a test (internal/benchreg).
 bench:
-	$(GO) run ./cmd/benchreg -o BENCH_5.json
+	$(GO) run ./cmd/benchreg -o BENCH_6.json
 
 # FUZZTIME bounds each fuzz target; the wire-format dissectors must never
 # panic however mangled the frame.

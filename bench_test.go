@@ -82,3 +82,16 @@ func BenchmarkEngineTraced(b *testing.B) {
 		b.Run(fmt.Sprintf("cores=%d", cores), benchreg.EngineBench(cores, true))
 	}
 }
+
+// BenchmarkEngineBurst is the burst-size × core-count axis: the same
+// frame mix through a burst-aware app (core.BurstApp), whose per-burst
+// service pause amortizes the per-frame wakeup the per-frame axis pays.
+// Comparing batch=1 against larger batches at equal core counts isolates
+// the burst win; cmd/benchreg records the matrix to BENCH_6.json.
+func BenchmarkEngineBurst(b *testing.B) {
+	for _, batch := range []int{16, 32, 64} {
+		for _, cores := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("batch=%d/cores=%d", batch, cores), benchreg.BurstBench(cores, batch))
+		}
+	}
+}

@@ -1,13 +1,14 @@
 // Command benchreg records the engine benchmark matrix to a JSON snapshot
-// (BENCH_5.json by default) so successive changes can be compared number
-// against number. It runs the exact workload of BenchmarkEngineParallel
-// and BenchmarkEngineTraced — via testing.Benchmark, the same harness
-// `go test -bench` uses — at 1, 2 and 4 cores, traced and untraced, plus
-// the per-width BFP codec microbenchmarks.
+// (BENCH_6.json by default) so successive changes can be compared number
+// against number. It runs the exact workloads of BenchmarkEngineParallel,
+// BenchmarkEngineTraced and BenchmarkEngineBurst — via testing.Benchmark,
+// the same harness `go test -bench` uses — at 1, 2 and 4 cores (traced
+// and untraced on the per-frame axis, batch sizes 16/32/64 on the burst
+// axis), plus the per-width BFP codec microbenchmarks.
 //
 // Usage:
 //
-//	benchreg                  # writes BENCH_5.json in the current directory
+//	benchreg                  # writes BENCH_6.json in the current directory
 //	benchreg -o bench.json
 package main
 
@@ -39,7 +40,7 @@ type snapshot struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_5.json", "output file")
+	out := flag.String("o", "BENCH_6.json", "output file")
 	flag.Parse()
 
 	snap := snapshot{
@@ -68,6 +69,16 @@ func main() {
 	for _, cores := range []int{1, 2, 4} {
 		key := fmt.Sprintf("cores=%d", cores)
 		fmt.Printf("tracing overhead %-10s %+.2f%%\n", key, snap.TracingOverhead[key]*100)
+	}
+
+	// The burst-size × core-count axis (BurstApp + kernel-retire datapath).
+	for _, batch := range []int{16, 32, 64} {
+		for _, cores := range []int{1, 2, 4} {
+			r := benchreg.MeasureBurst(cores, batch)
+			fmt.Printf("%-36s %12.0f ns/op %12.0f frames/sec %6d allocs/op\n",
+				r.Name, r.NsPerOp, r.FramesPerSec, r.AllocsPerOp)
+			snap.Results = append(snap.Results, r)
+		}
 	}
 
 	codec, err := benchreg.MeasureCodecs()

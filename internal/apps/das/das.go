@@ -101,6 +101,21 @@ func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 	}
 }
 
+// HandleBurst implements core.BurstApp: each packet of the burst runs the
+// per-frame logic, with per-packet failures isolated through
+// Context.PacketError — a merge that fails for one symbol (layout
+// mismatch on a lossy fronthaul) must not discard the rest of the burst.
+//
+//ranvet:hotpath
+func (a *App) HandleBurst(ctx *core.Context, pkts []*fh.Packet) error {
+	for _, pkt := range pkts {
+		if err := a.Handle(ctx, pkt); err != nil {
+			ctx.PacketError(pkt, err)
+		}
+	}
+	return nil
+}
+
 // handleDownstream replicates DU traffic to every RU (A1+A2).
 func (a *App) handleDownstream(ctx *core.Context, pkt *fh.Packet) error {
 	for _, ruMAC := range a.cfg.RUs[1:] {

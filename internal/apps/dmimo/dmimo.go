@@ -110,6 +110,21 @@ func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 	return nil
 }
 
+// HandleBurst implements core.BurstApp: each packet of the burst runs the
+// per-frame remap logic, with per-packet failures (out-of-range ports on
+// a misconfigured DU, corrupted headers) isolated through
+// Context.PacketError so the rest of the burst still flows.
+//
+//ranvet:hotpath
+func (a *App) HandleBurst(ctx *core.Context, pkts []*fh.Packet) error {
+	for _, pkt := range pkts {
+		if err := a.Handle(ctx, pkt); err != nil {
+			ctx.PacketError(pkt, err)
+		}
+	}
+	return nil
+}
+
 // handleDownlink remaps the DU port onto the owning RU.
 func (a *App) handleDownlink(ctx *core.Context, pkt *fh.Packet) error {
 	pc := pkt.EAxC()

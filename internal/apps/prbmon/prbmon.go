@@ -134,16 +134,44 @@ func (a *App) Control(cmd string, args map[string]string) error {
 //ranvet:hotpath
 func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 	a.windowStart.CompareAndSwap(notStarted, int64(ctx.Now()))
-	// Only the first antenna port is scanned: Algorithm 1's PRB_Utilized
-	// is a per-grid bitvector, and every MIMO layer shares the same
-	// time-frequency grid.
+	a.estimate(ctx, pkt)
+	a.maybePublish(ctx)
+	return a.forward(ctx, pkt)
+}
+
+// HandleBurst implements core.BurstApp: Algorithm 1 over the whole burst
+// with the window bookkeeping — the open CAS and the interval-close check
+// — paid once per burst instead of once per frame. Per-packet forwarding
+// failures are isolated with Context.PacketError so one bad frame does
+// not discard the rest of the burst.
+//
+//ranvet:hotpath
+func (a *App) HandleBurst(ctx *core.Context, pkts []*fh.Packet) error {
+	a.windowStart.CompareAndSwap(notStarted, int64(ctx.Now()))
+	for _, pkt := range pkts {
+		a.estimate(ctx, pkt)
+		if err := a.forward(ctx, pkt); err != nil {
+			ctx.PacketError(pkt, err)
+		}
+	}
+	a.maybePublish(ctx)
+	return nil
+}
+
+// estimate feeds one packet into the utilization estimator. Only the
+// first antenna port is scanned: Algorithm 1's PRB_Utilized is a per-grid
+// bitvector, and every MIMO layer shares the same time-frequency grid.
+func (a *App) estimate(ctx *core.Context, pkt *fh.Packet) {
 	if pkt.Plane() == fh.PlaneU && pkt.EAxC().RUPort == 0 {
 		t, err := pkt.Timing()
 		if err == nil {
 			a.scan(ctx, pkt, t)
 		}
 	}
-	a.maybePublish(ctx)
+}
+
+// forward passes the packet through to the opposite endpoint.
+func (a *App) forward(ctx *core.Context, pkt *fh.Packet) error {
 	switch pkt.Eth.Src {
 	case a.cfg.DU:
 		return ctx.Redirect(pkt, a.cfg.RU, a.cfg.MAC, -1)

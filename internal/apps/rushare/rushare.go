@@ -107,6 +107,21 @@ func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 	return nil
 }
 
+// HandleBurst implements core.BurstApp: each packet of the burst runs the
+// per-frame mux/demux logic, with per-packet failures isolated through
+// Context.PacketError — a malformed tenant message must not discard the
+// other tenants' frames of the same burst.
+//
+//ranvet:hotpath
+func (a *App) HandleBurst(ctx *core.Context, pkts []*fh.Packet) error {
+	for _, pkt := range pkts {
+		if err := a.Handle(ctx, pkt); err != nil {
+			ctx.PacketError(pkt, err)
+		}
+	}
+	return nil
+}
+
 // Cache keys: C-plane state is slot-scoped per RU port; U-plane state is
 // symbol-scoped per RU port. The eAxC field carries only the RU port so
 // packets of different DUs share a key.

@@ -37,6 +37,51 @@ type decodeApp struct{}
 
 func (decodeApp) Name() string { return "bench-decode" }
 func (decodeApp) Handle(ctx *core.Context, pkt *fh.Packet) error {
+	if err := scanFrame(ctx, pkt); err != nil {
+		return err
+	}
+	time.Sleep(ServicePause)
+	ctx.Forward(pkt)
+	return nil
+}
+
+// burstApp is the burst-aware variant of decodeApp: the same per-frame
+// decode and exponent scan, but the fixed service pause is requested once
+// per burst for the whole burst's worth of service time. Per-frame service
+// latency is identical; what the burst amortizes is the wakeup/dispatch
+// overhead of blocking once per frame — the DPDK burst-processing lesson
+// the burst datapath exists for.
+type burstApp struct{}
+
+func (burstApp) Name() string { return "bench-burst" }
+
+// Handle is the per-frame fallback (exactly decodeApp's work).
+func (burstApp) Handle(ctx *core.Context, pkt *fh.Packet) error {
+	if err := scanFrame(ctx, pkt); err != nil {
+		return err
+	}
+	time.Sleep(ServicePause)
+	ctx.Forward(pkt)
+	return nil
+}
+
+// HandleBurst decodes and scans every frame, then blocks once for the
+// burst's aggregate service time.
+func (burstApp) HandleBurst(ctx *core.Context, pkts []*fh.Packet) error {
+	for _, pkt := range pkts {
+		if err := scanFrame(ctx, pkt); err != nil {
+			ctx.PacketError(pkt, err)
+			continue
+		}
+		ctx.Forward(pkt)
+	}
+	time.Sleep(ServicePause * time.Duration(len(pkts)))
+	return nil
+}
+
+// scanFrame is the shared userspace work: full U-plane decode plus an
+// Algorithm-1-style exponent scan over the 273-PRB payload.
+func scanFrame(ctx *core.Context, pkt *fh.Packet) error {
 	msg := ctx.UPlaneScratch(0)
 	if err := pkt.UPlane(msg, 273); err != nil {
 		return err
@@ -55,8 +100,6 @@ func (decodeApp) Handle(ctx *core.Context, pkt *fh.Packet) error {
 		}
 	}
 	ctx.ChargeExponentScan(util)
-	time.Sleep(ServicePause)
-	ctx.Forward(pkt)
 	return nil
 }
 
@@ -87,6 +130,22 @@ func NewEngine(cores int, traced bool) (*core.Engine, error) {
 	eng, err := core.NewEngine(tb.Sched, core.Config{
 		Name: "bench", Mode: core.ModeDPDK, App: decodeApp{},
 		CarrierPRBs: 273, Cores: cores, RingSize: 4096, Trace: traced,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng.SetOutput(func([]byte) {})
+	return eng, nil
+}
+
+// NewBurstEngine assembles the burst benchmark engine: the burst-aware
+// app on a sharded DPDK datapath with the given BurstPolicy batch size.
+func NewBurstEngine(cores, batch int) (*core.Engine, error) {
+	tb := testbed.New(1)
+	eng, err := core.NewEngine(tb.Sched, core.Config{
+		Name: "bench-burst", Mode: core.ModeDPDK, App: burstApp{},
+		CarrierPRBs: 273, Cores: cores, RingSize: 4096,
+		Burst: core.BurstPolicy{Batch: batch},
 	})
 	if err != nil {
 		return nil, err
@@ -133,6 +192,32 @@ func EngineBench(cores int, traced bool) func(b *testing.B) {
 	}
 }
 
+// BurstBench returns the benchmark body of the burst-size × core-count
+// axis (BenchmarkEngineBurst/batch=N/cores=M).
+func BurstBench(cores, batch int) func(b *testing.B) {
+	return func(b *testing.B) {
+		eng, err := NewBurstEngine(cores, batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames, err := Frames()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		Drive(eng, frames, b.N)
+		b.StopTimer()
+		if st := eng.Snapshot(); st.RxFrames != uint64(b.N) {
+			b.Fatalf("RxFrames = %d, want %d", st.RxFrames, b.N)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/sec")
+	}
+}
+
 // TimeFrames runs the workload once over n frames and returns the
 // wall-clock time of the drive loop (ingress through final drain).
 func TimeFrames(cores int, traced bool, n int) (time.Duration, error) {
@@ -158,9 +243,12 @@ func TimeFrames(cores int, traced bool, n int) (time.Duration, error) {
 
 // Result is one benchmark measurement, in the shape BENCH_*.json records.
 type Result struct {
-	Name         string  `json:"name"`
-	Cores        int     `json:"cores"`
-	Traced       bool    `json:"traced"`
+	Name   string `json:"name"`
+	Cores  int    `json:"cores"`
+	Traced bool   `json:"traced"`
+	// Batch is the BurstPolicy batch size of a burst-axis measurement
+	// (0 on the per-frame axes).
+	Batch        int     `json:"batch,omitempty"`
 	N            int     `json:"n"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	FramesPerSec float64 `json:"frames_per_sec"`
@@ -181,6 +269,22 @@ func Measure(cores int, traced bool) Result {
 		Name:         name,
 		Cores:        cores,
 		Traced:       traced,
+		N:            r.N,
+		NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+		FramesPerSec: float64(r.N) / r.T.Seconds(),
+		AllocsPerOp:  r.AllocsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+	}
+}
+
+// MeasureBurst runs one (cores, batch) point of the burst axis under the
+// testing.Benchmark harness and packages the outcome.
+func MeasureBurst(cores, batch int) Result {
+	r := testing.Benchmark(BurstBench(cores, batch))
+	return Result{
+		Name:         fmt.Sprintf("BenchmarkEngineBurst/batch=%d/cores=%d", batch, cores),
+		Cores:        cores,
+		Batch:        batch,
 		N:            r.N,
 		NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
 		FramesPerSec: float64(r.N) / r.T.Seconds(),

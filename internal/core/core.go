@@ -231,6 +231,16 @@ func (c *Context) ChargeExponentScan(nPRB int) {
 	c.noteAction(telemetry.ActionModify, cpu.ExponentScanCost(nPRB))
 }
 
+// PacketError reports a per-packet processing failure from inside a
+// BurstApp's HandleBurst without failing the rest of the burst: the
+// packet is counted in Stats.AppErrors and simply not forwarded (do not
+// Forward it afterwards). Returning an error from HandleBurst instead
+// drops the entire burst; returning an error from a per-frame Handle
+// keeps its one-packet meaning.
+func (c *Context) PacketError(pkt *fh.Packet, err error) {
+	c.sh.stats.appErrors.Add(1)
+}
+
 // Publish emits a telemetry sample on the middlebox's bus.
 func (c *Context) Publish(name string, value float64) {
 	c.sh.eng.bus.Publish(telemetry.Sample{Name: name, At: c.now, Value: value})

@@ -41,7 +41,8 @@ const (
 	MaxCores = 64
 	// MaxRingSize bounds the per-shard ingress ring.
 	MaxRingSize = 1 << 20
-	// DefaultBatch is the per-wakeup drain bound when Config.Batch is 0.
+	// DefaultBatch is the per-wakeup drain bound when BurstPolicy.Batch
+	// is 0.
 	DefaultBatch = 32
 	// DefaultRingSize is the per-shard ring capacity when Config.RingSize
 	// is 0.
@@ -76,9 +77,11 @@ type Config struct {
 	CarrierPRBs int
 	// CacheMaxAge bounds A3 entries (default 2 slots).
 	CacheMaxAge time.Duration
-	// Batch bounds how many frames a worker drains per wakeup (batched
-	// dequeue amortizes the scheduling cost; default DefaultBatch).
-	Batch int
+	// Burst tunes the burst-mode datapath: the per-wakeup batch size, the
+	// worker's idle-poll tolerance, and kernel fast-path retirement. The
+	// zero value keeps the defaults (see BurstPolicy); out-of-range knobs
+	// are rejected with ErrBadBatch / ErrBadIdlePolls.
+	Burst BurstPolicy
 	// RingSize is the per-shard ingress ring capacity, rounded up to a
 	// power of two (default DefaultRingSize).
 	RingSize int
@@ -111,7 +114,12 @@ type Stats struct {
 	// Kernel program outcomes (ModeXDP).
 	KernelTx   uint64
 	KernelDrop uint64
-	Punts      uint64 // AF_XDP handoffs to userspace
+	// KernelRetired counts frames the kernel half completed without ever
+	// constructing a userspace packet or invoking the App — the A1/A2-only
+	// fast path of the burst datapath (a subset of KernelTx+KernelDrop;
+	// zero when BurstPolicy.DisableKernelRetire is set).
+	KernelRetired uint64
+	Punts         uint64 // AF_XDP handoffs to userspace
 	// Userspace outcomes.
 	AppDrops  uint64
 	AppErrors uint64
@@ -146,12 +154,13 @@ type Stats struct {
 // merge per-shard or per-engine snapshots.
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
-		RxFrames:   s.RxFrames + o.RxFrames,
-		TxFrames:   s.TxFrames + o.TxFrames,
-		ParseError: s.ParseError + o.ParseError,
-		KernelTx:   s.KernelTx + o.KernelTx,
-		KernelDrop: s.KernelDrop + o.KernelDrop,
-		Punts:      s.Punts + o.Punts,
+		RxFrames:      s.RxFrames + o.RxFrames,
+		TxFrames:      s.TxFrames + o.TxFrames,
+		ParseError:    s.ParseError + o.ParseError,
+		KernelTx:      s.KernelTx + o.KernelTx,
+		KernelDrop:    s.KernelDrop + o.KernelDrop,
+		KernelRetired: s.KernelRetired + o.KernelRetired,
+		Punts:         s.Punts + o.Punts,
 		AppDrops:   s.AppDrops + o.AppDrops,
 		AppErrors:  s.AppErrors + o.AppErrors,
 		RingDrops:  s.RingDrops + o.RingDrops,
@@ -195,6 +204,10 @@ type Engine struct {
 
 	shards []*shard
 	serial bool
+	// burst is the App's burst-aware extension when it implements
+	// BurstApp, nil otherwise (the shard's flush loop then adapts bursts
+	// to per-frame Handle calls).
+	burst BurstApp
 
 	// parallel is true while Start'ed workers run. It is written only
 	// with no workers alive (before launch, after wg.Wait), so workers
@@ -229,9 +242,10 @@ func NewEngine(sched *sim.Scheduler, cfg Config) (*Engine, error) {
 	if cfg.CacheMaxAge <= 0 {
 		cfg.CacheMaxAge = time.Millisecond
 	}
-	if cfg.Batch <= 0 {
-		cfg.Batch = DefaultBatch
+	if err := cfg.Burst.validate(); err != nil {
+		return fail(err)
 	}
+	cfg.Burst = cfg.Burst.withDefaults()
 	if cfg.RingSize <= 0 {
 		cfg.RingSize = DefaultRingSize
 	}
@@ -276,6 +290,7 @@ func NewEngine(sched *sim.Scheduler, cfg Config) (*Engine, error) {
 		counters: telemetry.NewCounters(cfg.Cores),
 	}
 	_, e.serial = cfg.App.(SerialApp)
+	e.burst, _ = cfg.App.(BurstApp)
 	e.shards = make([]*shard, cfg.Cores)
 	for i := range e.shards {
 		e.shards[i] = newShard(e, i)
@@ -493,7 +508,7 @@ func (e *Engine) Ingress(frame []byte) {
 	if e.parallel {
 		sh.wakeUp()
 	} else {
-		sh.drain(e.cfg.Batch)
+		sh.drain(e.cfg.Burst.Batch)
 	}
 }
 
@@ -508,7 +523,7 @@ func (e *Engine) TryIngress(frame []byte) bool {
 	if e.parallel {
 		sh.wakeUp()
 	} else {
-		sh.drain(e.cfg.Batch)
+		sh.drain(e.cfg.Burst.Batch)
 	}
 	return true
 }

@@ -23,6 +23,12 @@ var (
 	ErrBadMode = errors.New("unknown datapath mode")
 	// ErrBadRing rejects a ring capacity above MaxRingSize.
 	ErrBadRing = errors.New("ring size out of range")
+	// ErrBadBatch rejects a burst batch size outside [0, MaxBatch] (0
+	// defaults to DefaultBatch).
+	ErrBadBatch = errors.New("burst batch size out of range")
+	// ErrBadIdlePolls rejects a negative BurstPolicy.MaxIdlePolls (0
+	// defaults to DefaultIdlePolls).
+	ErrBadIdlePolls = errors.New("max idle polls out of range")
 	// ErrBadHeadroom rejects a C-plane headroom that consumes the whole
 	// ring (no slot would ever admit U-plane traffic).
 	ErrBadHeadroom = errors.New("C-plane headroom out of range")

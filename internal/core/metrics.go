@@ -19,6 +19,7 @@ func (e *Engine) WriteMetrics(p *telemetry.PromWriter) {
 		{"ranbooster_invalid_frames_total", "decoded frames dropped by validity checks", st.InvalidFrames},
 		{"ranbooster_kernel_tx_total", "frames transmitted by the kernel rule program", st.KernelTx},
 		{"ranbooster_kernel_drop_total", "frames dropped by the kernel rule program", st.KernelDrop},
+		{"ranbooster_kernel_retired_total", "frames fully retired in-kernel without a userspace packet", st.KernelRetired},
 		{"ranbooster_punts_total", "AF_XDP handoffs to the userspace app", st.Punts},
 		{"ranbooster_app_drops_total", "frames dropped by the app (A1)", st.AppDrops},
 		{"ranbooster_app_errors_total", "app handler failures", st.AppErrors},

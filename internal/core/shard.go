@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,15 +27,25 @@ import (
 //   - deterministic (the default): Ingress drains the shard's ring inline
 //     on the caller's goroutine. Under the discrete-event scheduler this
 //     reproduces the seed semantics exactly — virtual-time parallelism
-//     across cores, bit-identical runs.
+//     across cores, bit-identical runs. Inline drains always see bursts of
+//     one frame, so burst amortization degenerates to the per-frame path.
 //   - parallel (Start/Stop): one worker goroutine per shard drains its
-//     ring in batches of up to Config.Batch frames per wakeup, for real
+//     ring in bursts of up to BurstPolicy.Batch frames per poll, for real
 //     wall-clock parallelism. Virtual time is frozen while workers run.
+//
+// The burst pipeline (DESIGN.md §6.6) runs in two halves. processBurst
+// decodes each dequeued frame into the shard's pooled packet scratch and
+// lets the kernel program retire A1/A2-only frames on the spot; frames
+// bound for userspace are parked on the pend list. flushApp then delivers
+// the parked frames — one HandleBurst call for a BurstApp, or per-frame
+// Handle calls through the adapter loop — and a retired frame always
+// flushes the parked frames first, so kernel completions never overtake
+// userspace completions and per-stream FIFO order survives mixed verdicts.
 
 // ring is a bounded single-producer/single-consumer frame queue — the
 // software equivalent of a per-core NIC RX descriptor ring. push is safe
-// only from one producer goroutine, pop only from one consumer; the two
-// may run concurrently.
+// only from one producer goroutine, pop/popN only from one consumer; the
+// two may run concurrently.
 type ring struct {
 	buf [][]byte
 	// ts is the enqueue-timestamp sidecar for the trace collector: slot i
@@ -87,6 +98,30 @@ func (r *ring) pop() ([]byte, sim.Time, bool) {
 	return f, at, true
 }
 
+// popN bulk-dequeues up to len(frames) queued frames and their enqueue
+// stamps into the caller's vectors, returning how many were dequeued. One
+// head load, one publish: the burst equivalent of a NIC RX burst read,
+// paying the cross-core cursor synchronization once per vector instead of
+// once per frame.
+func (r *ring) popN(frames [][]byte, stamps []sim.Time) int {
+	h := r.head.Load()
+	n := int(r.tail.Load() - h)
+	if n == 0 {
+		return 0
+	}
+	if n > len(frames) {
+		n = len(frames)
+	}
+	for i := 0; i < n; i++ {
+		idx := (h + uint64(i)) & r.mask
+		frames[i] = r.buf[idx]
+		stamps[i] = r.ts[idx]
+		r.buf[idx] = nil
+	}
+	r.head.Store(h + uint64(n))
+	return n
+}
+
 // queued reports how many frames are waiting (approximate under
 // concurrent access).
 func (r *ring) queued() int { return int(r.tail.Load() - r.head.Load()) }
@@ -97,6 +132,7 @@ func (r *ring) queued() int { return int(r.tail.Load() - r.head.Load()) }
 type shardStats struct {
 	rxFrames, txFrames, parseError  atomic.Uint64
 	kernelTx, kernelDrop, punts     atomic.Uint64
+	kernelRetired                   atomic.Uint64
 	appDrops, appErrors, ringDrops  atomic.Uint64
 	shedUPlane, seqGaps, duplicates atomic.Uint64
 	reordered, invalidFrames        atomic.Uint64
@@ -105,23 +141,40 @@ type shardStats struct {
 
 func (s *shardStats) snapshot() Stats {
 	return Stats{
-		RxFrames:   s.rxFrames.Load(),
-		TxFrames:   s.txFrames.Load(),
-		ParseError: s.parseError.Load(),
-		KernelTx:   s.kernelTx.Load(),
-		KernelDrop: s.kernelDrop.Load(),
-		Punts:      s.punts.Load(),
-		AppDrops:   s.appDrops.Load(),
-		AppErrors:  s.appErrors.Load(),
-		RingDrops:  s.ringDrops.Load(),
-		ShedUPlane: s.shedUPlane.Load(),
-		SeqGaps:    s.seqGaps.Load(),
-		Duplicates: s.duplicates.Load(),
-		Reordered:  s.reordered.Load(),
+		RxFrames:      s.rxFrames.Load(),
+		TxFrames:      s.txFrames.Load(),
+		ParseError:    s.parseError.Load(),
+		KernelTx:      s.kernelTx.Load(),
+		KernelDrop:    s.kernelDrop.Load(),
+		KernelRetired: s.kernelRetired.Load(),
+		Punts:         s.punts.Load(),
+		AppDrops:      s.appDrops.Load(),
+		AppErrors:     s.appErrors.Load(),
+		RingDrops:     s.ringDrops.Load(),
+		ShedUPlane:    s.shedUPlane.Load(),
+		SeqGaps:       s.seqGaps.Load(),
+		Duplicates:    s.duplicates.Load(),
+		Reordered:     s.reordered.Load(),
 
 		InvalidFrames: s.invalidFrames.Load(),
 		Health:        Health(s.health.Load()),
 	}
+}
+
+// pendFrame is one decoded frame parked between the kernel half of the
+// burst pipeline and the userspace flush: the fresh packet plus everything
+// the flush needs to charge and trace it (the costs accrued so far, its
+// identity class, and its timestamps).
+type pendFrame struct {
+	pkt     *fh.Packet
+	class   TrafficClass
+	enq     sim.Time
+	arrival sim.Time
+	// decode is the frame's parse(+driver) cost, without the interrupt-
+	// wake surcharge — that is resolved at charge time (see chargeStart).
+	// kernel includes the rule-program evaluation and, for punts, the
+	// AF_XDP handoff.
+	decode, kernel time.Duration
 }
 
 // shard is one worker's slice of the datapath.
@@ -162,6 +215,21 @@ type shard struct {
 	// allocation for every frame; only the emits backing array survives
 	// a reset, trimmed to length zero.
 	ctx Context
+	// kpkt is the shard's pooled decode packet: every frame is dissected
+	// into it first, and only frames that cross into userspace are copied
+	// out to a fresh allocation. Kernel-retired and passthrough frames
+	// live and die in this scratch — zero allocations.
+	kpkt fh.Packet
+	// burstFrames/burstTs receive each popN vector; pend parks decoded
+	// userspace-bound frames until the flush; burstPkts is the packet
+	// vector handed to a BurstApp; spanBuf collects the burst's spans for
+	// one batched Tracer record. All are consumer-goroutine scratch sized
+	// by BurstPolicy.Batch and reused burst after burst.
+	burstFrames [][]byte
+	burstTs     []sim.Time
+	pend        []pendFrame
+	burstPkts   []*fh.Packet
+	spanBuf     []telemetry.Span
 	// passthrough and kernelEmits are consumer-goroutine scratch for the
 	// kernel-only paths: both are handed to emitAll and fully consumed
 	// before the next frame, so the storage is reused, never reallocated.
@@ -182,20 +250,26 @@ type shard struct {
 }
 
 func newShard(e *Engine, id int) *shard {
+	batch := e.cfg.Burst.Batch
 	sh := &shard{
-		id:       id,
-		eng:      e,
-		core:     e.pool.Core(id),
-		cache:    NewCache(e.cfg.CacheMaxAge),
-		in:       newRing(e.cfg.RingSize),
-		counters: make(map[string]*telemetry.Counter),
-		seq:      make(map[seqKey]uint8),
-		txc:      bfp.NewTranscoder(),
-		wake:     make(chan struct{}, 1),
+		id:          id,
+		eng:         e,
+		core:        e.pool.Core(id),
+		cache:       NewCache(e.cfg.CacheMaxAge),
+		in:          newRing(e.cfg.RingSize),
+		counters:    make(map[string]*telemetry.Counter),
+		seq:         make(map[seqKey]uint8),
+		burstFrames: make([][]byte, batch),
+		burstTs:     make([]sim.Time, batch),
+		pend:        make([]pendFrame, 0, batch),
+		burstPkts:   make([]*fh.Packet, 0, batch),
+		txc:         bfp.NewTranscoder(),
+		wake:        make(chan struct{}, 1),
 	}
 	sh.txc.Reserve(e.cfg.CarrierPRBs)
 	if e.cfg.Trace {
 		sh.tracer = telemetry.NewTracer(e.cfg.TraceRing)
+		sh.spanBuf = make([]telemetry.Span, 0, batch)
 	}
 	return sh
 }
@@ -298,31 +372,46 @@ func (sh *shard) wakeUp() {
 	}
 }
 
-// drain processes up to max queued frames and reports how many ran.
+// drain processes up to max queued frames in bursts and reports how many
+// ran. In deterministic mode the ring holds at most the frame Ingress
+// just admitted, so every burst is a single frame and the burst path is
+// semantically the per-frame path.
 func (sh *shard) drain(max int) int {
-	n := 0
-	for n < max {
-		frame, enq, ok := sh.in.pop()
-		if !ok {
+	total := 0
+	for total < max {
+		want := max - total
+		if want > len(sh.burstFrames) {
+			want = len(sh.burstFrames)
+		}
+		n := sh.in.popN(sh.burstFrames[:want], sh.burstTs[:want])
+		if n == 0 {
 			break
 		}
-		sh.process(frame, enq)
-		n++
+		sh.processBurst(sh.burstFrames[:n], sh.burstTs[:n])
+		total += n
 	}
-	return n
+	return total
 }
 
-// run is the parallel-mode worker loop: batched dequeue to amortize the
-// wakeup, block when idle, final-drain on stop so no accepted frame is
-// lost.
+// run is the parallel-mode worker loop: burst dequeue to amortize the
+// wakeup, spin through BurstPolicy.MaxIdlePolls empty polls before
+// blocking, final-drain on stop so no accepted frame is lost.
 //
 //ranvet:hotpath
 func (sh *shard) run(stop <-chan struct{}) {
-	batch := sh.eng.cfg.Batch
+	batch := sh.eng.cfg.Burst.Batch
+	maxIdle := sh.eng.cfg.Burst.MaxIdlePolls
+	idle := 0
 	for {
 		if sh.drain(batch) > 0 {
+			idle = 0
 			continue
 		}
+		if idle++; idle < maxIdle {
+			runtime.Gosched()
+			continue
+		}
+		idle = 0
 		select {
 		case <-sh.wake:
 		case <-stop:
@@ -333,106 +422,245 @@ func (sh *shard) run(stop <-chan struct{}) {
 	}
 }
 
-// process runs one frame through the shard's datapath: decode, optional
-// kernel program, userspace App. enq is the frame's ingress-ring enqueue
-// stamp (meaningful only while the trace collector is on).
-func (sh *shard) process(frame []byte, enq sim.Time) {
-	e := sh.eng
-	n := sh.stats.rxFrames.Add(1)
-	if n%sweepEvery == 0 {
-		sh.cache.Sweep(sh.now())
+// processBurst runs one dequeued vector of frames through the datapath.
+// Per-burst overhead is paid once here — the rxFrames counter add, the
+// clock read, and the cache-sweep / health cadence checks (which fire when
+// the burst crosses a cadence boundary, exactly the frames the per-frame
+// modulo checks used to fire on) — then each frame runs the kernel half
+// inline and the userspace half is flushed at burst end.
+func (sh *shard) processBurst(frames [][]byte, stamps []sim.Time) {
+	n := uint64(len(frames))
+	rx := sh.stats.rxFrames.Add(n)
+	now := sh.now()
+	if rx/sweepEvery != (rx-n)/sweepEvery {
+		sh.cache.Sweep(now)
 	}
-	if n%healthWindow == 0 {
+	if rx/healthWindow != (rx-n)/healthWindow {
 		sh.updateHealth()
 	}
-	//ranvet:allow alloc the packet must be fresh per frame: A3 caching and A2 replication retain it beyond process
-	pkt := &fh.Packet{}
-	if err := pkt.Decode(frame); err != nil {
+	for i, frame := range frames {
+		sh.processOne(frame, stamps[i], now)
+	}
+	sh.flushApp()
+	sh.flushSpans()
+}
+
+// processOne runs one frame of a burst through decode and the kernel
+// half. Frames the kernel retires (Tx/Drop) or that bypass userspace
+// (no App) complete here against the shard's pooled packet — no
+// allocation; frames bound for the App are copied to a fresh packet and
+// parked on the pend list for flushApp. enq is the frame's ingress-ring
+// enqueue stamp (meaningful only while the trace collector is on); now is
+// the burst's arrival instant.
+func (sh *shard) processOne(frame []byte, enq, now sim.Time) {
+	e := sh.eng
+	kpkt := &sh.kpkt
+	if err := kpkt.Decode(frame); err != nil {
 		sh.stats.parseError.Add(1)
 		return
 	}
-	if !sh.valid(pkt) {
+	if !sh.valid(kpkt) {
 		// Dropped wholesale, untracked: a corrupted header's SeqID is not
 		// trustworthy, and the stream's next clean frame will surface the
 		// consumed sequence number as a gap.
 		sh.stats.invalidFrames.Add(1)
 		return
 	}
-	sh.trackSeq(pkt)
-	arrival := sh.now()
-	start := sh.core.Acquire(arrival)
+	sh.trackSeq(kpkt)
 	decodeCost := cpu.CostParse
 	if e.cfg.Mode == ModeXDP {
 		decodeCost += cpu.CostKernelDriver
-		if start == arrival && sh.core.BusyUntil() < arrival {
-			// Interrupt-driven wakeup from idle.
-			decodeCost += cpu.CostInterruptWake
-		}
 	}
-	cost := decodeCost
 
-	class := Classify(pkt)
+	class := Classify(kpkt)
 	var kernelCost time.Duration
+	pkt := kpkt
 	if e.cfg.Mode == ModeXDP {
+		if e.cfg.Burst.DisableKernelRetire {
+			// Pre-burst semantics: every kernel verdict operates on a
+			// userspace packet.
+			//ranvet:allow alloc kernel retirement disabled by policy: the compatibility path constructs the userspace packet per frame
+			pkt = &fh.Packet{}
+			*pkt = sh.kpkt
+		}
 		verdict, kCost, emits := e.runKernel(sh, pkt)
 		kernelCost = kCost
-		cost += kCost
 		switch verdict {
 		case VerdictTx:
+			// A kernel completion must not overtake parked userspace
+			// frames of the same burst: flush them first, then emit.
+			sh.flushApp()
 			sh.stats.kernelTx.Add(1)
+			if pkt == kpkt {
+				sh.stats.kernelRetired.Add(1)
+			}
+			start, decode := sh.chargeStart(now, decodeCost)
+			cost := decode + kernelCost
 			fin := sh.core.Charge(start, cost)
 			sh.recordLatency(class, cost)
-			sh.traceSpan(pkt, class, enq, start, fin, decodeCost, kernelCost, 0, nil)
+			sh.stampSpan(pkt, class, enq, start, fin, decode, kernelCost, 0, 0, nil)
 			sh.emitAll(emits, fin)
 			return
 		case VerdictDrop:
+			sh.flushApp()
 			sh.stats.kernelDrop.Add(1)
-			fin := sh.core.Charge(start, cost)
-			sh.traceSpan(pkt, class, enq, start, fin, decodeCost, kernelCost, 0, nil)
+			if pkt == kpkt {
+				sh.stats.kernelRetired.Add(1)
+			}
+			start, decode := sh.chargeStart(now, decodeCost)
+			fin := sh.core.Charge(start, decode+kernelCost)
+			sh.stampSpan(pkt, class, enq, start, fin, decode, kernelCost, 0, 0, nil)
 			return
 		default:
 			sh.stats.punts.Add(1)
 			// The AF_XDP handoff belongs to the kernel stage: it is the
 			// cost of leaving it.
 			kernelCost += cpu.CostAFXDPHandoff
-			cost += cpu.CostAFXDPHandoff
 		}
 	}
 	if e.cfg.App == nil {
 		// Pure-kernel middlebox with no userspace half: passed packets
-		// continue unmodified (the XDP program returned PASS).
-		fin := sh.core.Charge(start, cost+cpu.CostForward)
-		sh.recordLatency(class, cost+cpu.CostForward)
-		sh.traceSpan(pkt, class, enq, start, fin, decodeCost, kernelCost, 0, nil)
+		// continue unmodified (the XDP program returned PASS). Nothing
+		// retains the packet, so the pooled scratch is emitted directly.
+		start, decode := sh.chargeStart(now, decodeCost)
+		cost := decode + kernelCost + cpu.CostForward
+		fin := sh.core.Charge(start, cost)
+		sh.recordLatency(class, cost)
+		sh.stampSpan(pkt, class, enq, start, fin, decode, kernelCost, 0, 0, nil)
 		sh.passthrough[0] = pkt
 		sh.emitAll(sh.passthrough[:], fin)
 		return
 	}
-
-	ctx := &sh.ctx
-	*ctx = Context{sh: sh, now: sh.now(), cost: cost, emits: ctx.emits[:0]}
-	if err := e.cfg.App.Handle(ctx, pkt); err != nil {
-		sh.stats.appErrors.Add(1)
-		fin := sh.core.Charge(start, ctx.cost)
-		sh.traceSpan(pkt, class, enq, start, fin, decodeCost, kernelCost, ctx.cost-cost, ctx)
-		return
+	if pkt == kpkt {
+		// The packet crosses into userspace, which may retain it beyond
+		// this burst (A3 caching, A2 replication), so it must be fresh.
+		//ranvet:allow alloc the packet must be fresh per userspace frame: A3 caching and A2 replication retain it beyond the burst
+		pkt = &fh.Packet{}
+		*pkt = sh.kpkt
 	}
-	fin := sh.core.Charge(start, ctx.cost)
-	sh.recordLatency(class, ctx.cost)
-	sh.traceSpan(pkt, class, enq, start, fin, decodeCost, kernelCost, ctx.cost-cost, ctx)
-	sh.emitAll(ctx.emits, fin)
+	sh.pend = append(sh.pend, pendFrame{
+		pkt: pkt, class: class, enq: enq, arrival: now,
+		decode: decodeCost, kernel: kernelCost,
+	})
 }
 
-// traceSpan records one frame's span when the trace collector is on. The
-// stage durations come from the cost model (decode, kernel, app); the
-// queue stage is measured from the enqueue stamp to service start, so it
-// captures ring residency plus core contention; total spans enqueue to
-// egress TX. ctx carries the per-action attribution (nil on paths that
-// never reach the App).
-func (sh *shard) traceSpan(pkt *fh.Packet, class TrafficClass, enq, start, fin sim.Time,
-	decode, kernel, app time.Duration, ctx *Context) {
-	t := sh.tracer
-	if t == nil {
+// chargeStart resolves one frame's service start and final decode cost at
+// charge time: the interrupt-wake surcharge of the XDP path applies only
+// when the core is genuinely idle at arrival. The first charged frame of
+// a wakeup pushes busyUntil past the burst's arrival instant, so followers
+// see a busy core and the wake is paid once per wakeup batch.
+func (sh *shard) chargeStart(arrival sim.Time, decode time.Duration) (sim.Time, time.Duration) {
+	start := sh.core.Acquire(arrival)
+	if sh.eng.cfg.Mode == ModeXDP && start == arrival && sh.core.BusyUntil() < arrival {
+		decode += cpu.CostInterruptWake
+	}
+	return start, decode
+}
+
+// flushApp delivers the burst's parked userspace frames: one HandleBurst
+// call when the App is burst-aware, otherwise per-frame Handle calls
+// through the adapter loop. Charging happens here, in frame order, so the
+// virtual-time accounting is identical to the pre-burst per-frame path.
+// The pend list is empty between bursts and after any kernel completion.
+func (sh *shard) flushApp() {
+	if len(sh.pend) == 0 {
+		return
+	}
+	if sh.eng.burst != nil {
+		sh.flushBurst()
+	} else {
+		sh.flushEach()
+	}
+	for i := range sh.pend {
+		sh.pend[i].pkt = nil
+	}
+	sh.pend = sh.pend[:0]
+}
+
+// flushEach is the per-frame adapter: Apps without HandleBurst keep the
+// exact pre-burst Handle contract — a Context per frame, per-frame error
+// accounting, per-frame emission.
+func (sh *shard) flushEach() {
+	e := sh.eng
+	for i := range sh.pend {
+		p := &sh.pend[i]
+		start, decode := sh.chargeStart(p.arrival, p.decode)
+		base := decode + p.kernel
+		ctx := &sh.ctx
+		*ctx = Context{sh: sh, now: p.arrival, cost: base, emits: ctx.emits[:0]}
+		if err := e.cfg.App.Handle(ctx, p.pkt); err != nil {
+			sh.stats.appErrors.Add(1)
+			fin := sh.core.Charge(start, ctx.cost)
+			sh.stampSpan(p.pkt, p.class, p.enq, start, fin, decode, p.kernel, ctx.cost-base, ctx.actions, &ctx.actCost)
+			continue
+		}
+		fin := sh.core.Charge(start, ctx.cost)
+		sh.recordLatency(p.class, ctx.cost)
+		sh.stampSpan(p.pkt, p.class, p.enq, start, fin, decode, p.kernel, ctx.cost-base, ctx.actions, &ctx.actCost)
+		sh.emitAll(ctx.emits, fin)
+	}
+}
+
+// flushBurst hands the parked frames to the App's HandleBurst in one call.
+// The burst shares one Context; its app-stage cost and action attribution
+// are amortized equally across the burst's frames for latency samples and
+// spans. A handler error drops the whole burst (len(pend) app errors);
+// per-packet failures should use Context.PacketError instead.
+func (sh *shard) flushBurst() {
+	e := sh.eng
+	// pend never outgrows one burst, so the pre-sized packet vector is
+	// resliced, not grown.
+	n := len(sh.pend)
+	pkts := sh.burstPkts[:n]
+	var base time.Duration
+	start, decode0 := sh.chargeStart(sh.pend[0].arrival, sh.pend[0].decode)
+	sh.pend[0].decode = decode0
+	for i := range sh.pend {
+		p := &sh.pend[i]
+		base += p.decode + p.kernel
+		pkts[i] = p.pkt
+	}
+	ctx := &sh.ctx
+	*ctx = Context{sh: sh, now: sh.pend[0].arrival, cost: base, emits: ctx.emits[:0]}
+	err := e.burst.HandleBurst(ctx, pkts)
+	fin := sh.core.Charge(start, ctx.cost)
+	share := (ctx.cost - base) / time.Duration(n)
+	var shareCost [telemetry.NumActions]time.Duration
+	if sh.tracer != nil {
+		for a := range ctx.actCost {
+			shareCost[a] = ctx.actCost[a] / time.Duration(n)
+		}
+	}
+	if err != nil {
+		sh.stats.appErrors.Add(uint64(n))
+		for i := range sh.pend {
+			p := &sh.pend[i]
+			sh.stampSpan(p.pkt, p.class, p.enq, start, fin, p.decode, p.kernel, share, ctx.actions, &shareCost)
+		}
+	} else {
+		for i := range sh.pend {
+			p := &sh.pend[i]
+			sh.recordLatency(p.class, p.decode+p.kernel+share)
+			sh.stampSpan(p.pkt, p.class, p.enq, start, fin, p.decode, p.kernel, share, ctx.actions, &shareCost)
+		}
+		sh.emitAll(ctx.emits, fin)
+	}
+	for i := range pkts {
+		pkts[i] = nil
+	}
+	sh.burstPkts = pkts[:0]
+}
+
+// stampSpan collects one frame's span into the burst's span buffer when
+// the trace collector is on. The stage durations come from the cost model
+// (decode, kernel, app); the queue stage is measured from the enqueue
+// stamp to service start, so it captures ring residency plus core
+// contention; total spans enqueue to egress TX. actions/actCost carry the
+// per-action attribution (zero/nil on paths that never reach the App).
+// The buffer is recorded in one batch at burst end (flushSpans).
+func (sh *shard) stampSpan(pkt *fh.Packet, class TrafficClass, enq, start, fin sim.Time,
+	decode, kernel, app time.Duration, actions uint8, actCost *[telemetry.NumActions]time.Duration) {
+	if sh.tracer == nil {
 		return
 	}
 	var s telemetry.Span
@@ -451,11 +679,21 @@ func (sh *shard) traceSpan(pkt *fh.Packet, class TrafficClass, enq, start, fin s
 	if fin > enq {
 		s.Stages[telemetry.StageTotal] = time.Duration(fin - enq)
 	}
-	if ctx != nil {
-		s.Actions = ctx.actions
-		s.ActionCost = ctx.actCost
+	s.Actions = actions
+	if actCost != nil {
+		s.ActionCost = *actCost
 	}
-	t.Record(s)
+	sh.spanBuf = append(sh.spanBuf, s)
+}
+
+// flushSpans records the burst's collected spans in one batched Tracer
+// call — one ring critical section per burst instead of one per frame.
+func (sh *shard) flushSpans() {
+	if len(sh.spanBuf) == 0 {
+		return
+	}
+	sh.tracer.RecordBatch(sh.spanBuf)
+	sh.spanBuf = sh.spanBuf[:0]
 }
 
 // emitAll hands processed packets to the egress. Deterministically they
@@ -464,9 +702,12 @@ func (sh *shard) traceSpan(pkt *fh.Packet, class TrafficClass, enq, start, fin s
 // use).
 func (sh *shard) emitAll(pkts []*fh.Packet, at sim.Time) {
 	e := sh.eng
+	if len(pkts) == 0 {
+		return
+	}
+	sh.stats.txFrames.Add(uint64(len(pkts)))
 	for _, p := range pkts {
 		frame := p.Frame
-		sh.stats.txFrames.Add(1)
 		if e.parallel {
 			if e.out != nil {
 				e.out(frame)

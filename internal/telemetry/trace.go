@@ -153,6 +153,21 @@ func (r *SpanRing) Record(s Span) {
 	r.mu.Unlock()
 }
 
+// RecordBatch stores a vector of spans under one critical section — the
+// burst datapath's amortized stamp: one lock acquisition per drained
+// burst instead of one per frame.
+func (r *SpanRing) RecordBatch(spans []Span) {
+	if len(spans) == 0 {
+		return
+	}
+	r.mu.Lock()
+	for i := range spans {
+		r.spans[r.next%uint64(len(r.spans))] = spans[i]
+		r.next++
+	}
+	r.mu.Unlock()
+}
+
 // Recorded reports how many spans were ever recorded (not how many are
 // retained).
 func (r *SpanRing) Recorded() uint64 {
@@ -195,6 +210,21 @@ func NewTracer(ringCap int) *Tracer {
 // queue and total stages are always observed.
 func (t *Tracer) Record(s Span) {
 	t.ring.Record(s)
+	t.observe(s)
+}
+
+// RecordBatch stores a burst's spans in one ring critical section and
+// feeds the histograms, preserving per-span order. Equivalent to calling
+// Record once per span, amortized.
+func (t *Tracer) RecordBatch(spans []Span) {
+	t.ring.RecordBatch(spans)
+	for i := range spans {
+		t.observe(spans[i])
+	}
+}
+
+// observe feeds one span into the stage and action histograms.
+func (t *Tracer) observe(s Span) {
 	t.stage[StageQueue].Observe(s.Stages[StageQueue])
 	t.stage[StageTotal].Observe(s.Stages[StageTotal])
 	for st := StageDecode; st < StageTotal; st++ {

@@ -66,6 +66,15 @@ type (
 	// SerialApp marks an App whose cross-stream state is not shard-safe;
 	// such an App refuses parallel workers over more than one shard.
 	SerialApp = core.SerialApp
+	// BurstApp is the optional burst-aware App extension: an App that also
+	// implements HandleBurst receives each drained burst of packets in one
+	// call. Detected at engine construction; plain Apps keep the per-frame
+	// Handle contract unchanged.
+	BurstApp = core.BurstApp
+	// BurstPolicy tunes the burst datapath (EngineConfig.Burst): batch
+	// size, worker idle-poll tolerance, kernel fast-path retirement. The
+	// zero value keeps the defaults.
+	BurstPolicy = core.BurstPolicy
 	// Context exposes the four RANBooster actions plus telemetry.
 	Context = core.Context
 	// Packet is one fronthaul frame with decoded protocol views.
@@ -101,6 +110,10 @@ var (
 	ErrKernelUnverified = core.ErrKernelUnverified
 	// ErrBadCores rejects a core count outside the supported range.
 	ErrBadCores = core.ErrBadCores
+	// ErrBadBatch rejects a burst batch size outside the supported range.
+	ErrBadBatch = core.ErrBadBatch
+	// ErrBadIdlePolls rejects a negative BurstPolicy.MaxIdlePolls.
+	ErrBadIdlePolls = core.ErrBadIdlePolls
 	// ErrSerialApp refuses parallel workers for a SerialApp on a
 	// multi-shard engine.
 	ErrSerialApp = core.ErrSerialApp
