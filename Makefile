@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet ranvet lint test race short chaos bench fuzz check
+.PHONY: all build vet ranvet lint test race short chaos chaos-supervise bench fuzz check
 
 all: check
 
@@ -48,6 +48,13 @@ chaos:
 	$(GO) test ./internal/fault/ -run . -count=1
 	$(GO) test ./internal/testbed/ -run 'TestChaos' -count=1
 	$(GO) test ./internal/fabric/ -race -run TestPortStatsConcurrentRead -count=1
+
+# Supervision chaos smoke: the seeded panic/stall/shed acceptance run
+# (internal/fault) under the race detector, plus the supervision rows of
+# the chaos experiment. Everything is sim-clocked and deterministic.
+chaos-supervise:
+	$(GO) test ./internal/fault/ -race -run 'TestChaosSupervisionAcceptance|TestPanicEvery|TestStall' -count=1
+	$(GO) test ./internal/experiments/ -run TestSuperviseScenarios -count=1 -v
 
 # Bench regression snapshot: runs the engine benchmark matrix (parallel
 # and traced at 1/2/4 cores, plus the burst axis at batch 16/32/64) and

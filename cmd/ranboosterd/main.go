@@ -12,6 +12,8 @@
 //	ranboosterd -app das -metrics :9090 -pprof      # Prometheus /metrics + pprof
 //	ranboosterd -app das -trace -tracedump -        # slot replay of frame spans
 //	ranboosterd -app das -trace -pcap run.pcap      # spans correlate with capture
+//	ranboosterd -panic-every 1000                   # supervision demo: panic isolation
+//	ranboosterd -stall-after 1ms -panic-every 250   # + watchdog restart of a wedged shard
 package main
 
 import (
@@ -21,14 +23,23 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"ranbooster/internal/air"
+	"ranbooster/internal/bfp"
 	"ranbooster/internal/core"
+	"ranbooster/internal/ecpri"
+	"ranbooster/internal/eth"
 	"ranbooster/internal/fault"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/iq"
+	"ranbooster/internal/oran"
 	"ranbooster/internal/pcap"
 	"ranbooster/internal/phy"
 	"ranbooster/internal/radio"
+	"ranbooster/internal/sim"
 	"ranbooster/internal/telemetry"
 	"ranbooster/internal/testbed"
 )
@@ -44,7 +55,17 @@ func main() {
 	trace := flag.Bool("trace", false, "enable the frame-span trace collector on the middlebox engine")
 	traceDump := flag.String("tracedump", "", "write a slot-replay of the recorded frame spans to this path after the run (\"-\" for stdout; implies -trace)")
 	pcapPath := flag.String("pcap", "", "capture every frame crossing the fabric to this pcap file")
+	panicEvery := flag.Int("panic-every", 0, "supervision demo: the App panics every Nth invocation; the engine isolates and quarantines (implies the standalone supervision harness)")
+	stallAfterF := flag.Duration("stall-after", 0, "supervision demo: shard-watchdog deadline; the App also wedges once mid-run so the hitless restart is exercised (implies the standalone supervision harness)")
 	flag.Parse()
+	if *panicEvery < 0 || *stallAfterF < 0 {
+		fmt.Fprintln(os.Stderr, "-panic-every and -stall-after must be non-negative")
+		os.Exit(2)
+	}
+	if *panicEvery > 0 || *stallAfterF > 0 {
+		superviseDemo(*panicEvery, *stallAfterF, *dur, *metrics)
+		return
+	}
 	if *loss < 0 || *loss >= 1 {
 		fmt.Fprintf(os.Stderr, "-loss must be in [0, 1), got %v\n", *loss)
 		os.Exit(2)
@@ -238,4 +259,164 @@ func exitOn(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// demoForward is the identity App of the supervision demo: frames are
+// forwarded untouched, so anything that fails to come back out was lost
+// by the engine — which, under supervision, must be (nearly) nothing.
+type demoForward struct{}
+
+func (demoForward) Name() string { return "supervise-demo" }
+func (demoForward) Handle(ctx *core.Context, pkt *fh.Packet) error {
+	ctx.Forward(pkt)
+	return nil
+}
+
+// superviseDemo is the standalone engine-supervision harness behind
+// -panic-every / -stall-after: a 2-core parallel engine forwards a
+// synthetic U-plane load while the App misbehaves on the configured
+// schedule, and the run reports what the supervision machinery did about
+// it — recovered panics, quarantined frames, breaker transitions, shard
+// restarts, adaptive sheds. With -metrics the Prometheus endpoint stays
+// up for the run, exporting ranbooster_app_panics_total,
+// ranbooster_breaker_state, ranbooster_shard_restarts_total and
+// ranbooster_shed_total alongside the usual engine series.
+func superviseDemo(panicEvery int, stallAfter, dur time.Duration, metrics string) {
+	s := sim.NewScheduler()
+	var app core.App = demoForward{}
+	var pstats *fault.PanicStats
+	if panicEvery > 0 {
+		app, pstats = fault.PanicEvery(app, panicEvery, 42)
+	}
+	const cadence = 10 * time.Microsecond
+	frames := int(dur / cadence)
+	if frames < 1024 {
+		frames = 1024
+	}
+	var stall *fault.Stall
+	if stallAfter > 0 {
+		app, stall = fault.StallFor(app, uint64(frames/2))
+	}
+	pol := core.SupervisePolicy{
+		StallAfter:    stallAfter,
+		ShedHighWater: 0.75,
+		ShedLowWater:  0.25,
+	}
+	if panicEvery > 0 {
+		pol.PanicBudget = 3
+	}
+	eng, err := core.NewEngine(s, core.Config{
+		Name: "supervise-demo", Mode: core.ModeDPDK, Cores: 2, App: app,
+		CarrierPRBs: 106, RingSize: 512, Supervise: pol,
+	})
+	exitOn(err)
+	var tx atomic.Uint64
+	eng.SetOutput(func([]byte) { tx.Add(1) })
+	rec := telemetry.NewRecorder()
+	rec.Attach(eng.Bus(), core.KPIBreaker)
+
+	if metrics != "" {
+		ln, err := net.Listen("tcp", metrics)
+		exitOn(err)
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			eng.WriteMetrics(telemetry.NewPromWriter(w))
+		})
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("serving /metrics on %v\n", ln.Addr())
+	}
+
+	poll := 100 * time.Microsecond
+	if stallAfter > 0 {
+		poll = stallAfter / 4
+	}
+	exitOn(eng.Start())
+	if stall != nil {
+		// The wedged call frees itself after 10x the watchdog deadline —
+		// long after the supervisor has restarted the shard around it.
+		defer stall.Arm(s, 10*stallAfter, poll)()
+	}
+	fmt.Printf("supervision demo: %d frames on 2 cores", frames)
+	if panicEvery > 0 {
+		fmt.Printf("; app panics every %dth call (budget %d)", panicEvery, pol.PanicBudget)
+	}
+	if stallAfter > 0 {
+		fmt.Printf("; app wedges at call %d (watchdog %v)", frames/2, stallAfter)
+	}
+	fmt.Println()
+
+	builders := [2]*fh.Builder{
+		fh.NewBuilder(eth.MAC{2, 0, 0, 0, 0, 1}, eth.MAC{2, 0, 0, 0, 0, 2}, -1),
+		fh.NewBuilder(eth.MAC{2, 0, 0, 0, 0, 1}, eth.MAC{2, 0, 0, 0, 0, 2}, -1),
+	}
+	var tWedge, tRestart sim.Time
+	step := func() {
+		// Let the workers run between virtual-time polls (single-CPU
+		// hosts otherwise starve them against this driver loop).
+		for i := 0; i < 8; i++ {
+			runtime.Gosched()
+		}
+		s.RunFor(poll)
+		eng.Supervise()
+		if stall != nil {
+			if tWedge == 0 && stall.Stalled() {
+				tWedge = s.Now()
+			}
+			if tRestart == 0 && eng.Snapshot().ShardRestarts > 0 {
+				tRestart = s.Now()
+			}
+		}
+	}
+	for i := 0; i < frames; i++ {
+		port := uint8(i % 2)
+		f := demoFrame(builders[port], port, int16(i))
+		for !eng.TryIngress(f) {
+			step()
+		}
+		if i%16 == 0 {
+			step()
+		}
+	}
+	for i := 0; i < 4000 && eng.Snapshot().RxFrames < uint64(frames); i++ {
+		step()
+	}
+	eng.Stop()
+
+	st := eng.Snapshot()
+	fmt.Printf("forwarded %d of %d frames (rx %d, shed %d data + %d PRACH, ring drops %d)\n",
+		tx.Load(), frames, st.RxFrames, st.ShedUPlane, st.ShedPRACH, st.RingDrops)
+	if pstats != nil {
+		fmt.Printf("panic isolation: %d injected panics, %d recovered, %d frames quarantined to passthrough; breaker %v after %d transitions\n",
+			pstats.Panics(), st.AppPanics, st.Quarantined, st.Breaker, len(rec.Series(core.KPIBreaker)))
+	}
+	if stall != nil {
+		if tRestart > 0 {
+			fmt.Printf("watchdog: wedge observed at %v, shard restarted by %v (bound StallAfter + 2 polls = %v); restarts %d\n",
+				time.Duration(tWedge), time.Duration(tRestart), stallAfter+2*poll, st.ShardRestarts)
+		} else {
+			fmt.Printf("watchdog: no restart observed (restarts %d)\n", st.ShardRestarts)
+		}
+	}
+	fmt.Printf("engine health: %v\n", st.Health)
+}
+
+// demoFrame builds one downlink U-plane frame for the supervision demo.
+func demoFrame(b *fh.Builder, port uint8, fill int16) []byte {
+	g := iq.NewGrid(4)
+	for i := range g {
+		for j := range g[i] {
+			g[i][j] = iq.Sample{I: fill, Q: -fill}
+		}
+	}
+	p := bfp.Params{IQWidth: 9, Method: bfp.MethodBlockFloatingPoint}
+	payload, err := bfp.CompressGrid(nil, g, p)
+	exitOn(err)
+	return b.UPlane(ecpri.PcID{RUPort: port}, &oran.UPlaneMsg{
+		Timing:   oran.Timing{Direction: oran.Downlink, FrameID: uint8(fill), SymbolID: uint8(fill) % 14},
+		Sections: []oran.USection{{NumPRB: 4, Comp: p, Payload: payload}},
+	})
 }

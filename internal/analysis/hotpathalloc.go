@@ -23,12 +23,15 @@ import (
 //   - function literals (closure environments escape)
 //   - explicit conversions of concrete values to interface types
 //
-// Two deliberate blind spots keep the signal honest. An append whose
+// Three deliberate blind spots keep the signal honest. An append whose
 // destination is rooted at a parameter or the receiver is not flagged:
 // that is the append-style API shape (dst = append(dst, ...)), where the
-// amortization decision belongs to the caller who owns the buffer. And
-// nothing inside a panic(...) argument is flagged: a crash path allocates
-// once, right before dying.
+// amortization decision belongs to the caller who owns the buffer.
+// Nothing inside a panic(...) argument is flagged: a crash path allocates
+// once, right before dying. And a function literal whose body calls
+// recover() is not flagged: that is the panic-isolation shape (the
+// engine's supervision quarantine), a path that only runs once the hot
+// path has already died.
 //
 // Interface method calls and func-typed values are not traversed (the
 // callee is unknown statically); annotate implementations directly — the
@@ -265,6 +268,14 @@ func checkHotFunc(node *funcNode, via string, report Reporter) {
 	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
 		switch e := n.(type) {
 		case *ast.FuncLit:
+			// A closure whose body calls recover() is a panic-only path:
+			// it runs when the hot path is already dead (the engine's
+			// quarantine machinery), so its one-time environment
+			// allocation is as acceptable as a panic message. Plain
+			// closures still escape on every pass and stay flagged.
+			if containsRecover(info, e.Body) {
+				return false
+			}
 			flag(e.Pos(), "function literal (closure environment escapes)")
 			return false // the literal runs later; its body is not this hot path
 		case *ast.UnaryExpr:
@@ -338,6 +349,29 @@ func rootObj(pkg *Package, expr ast.Expr) types.Object {
 			return nil
 		}
 	}
+}
+
+// containsRecover reports whether the body calls the recover builtin
+// anywhere in its subtree — the marker of a panic-only cleanup path.
+func containsRecover(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
 }
 
 func isPanicCall(info *types.Info, call *ast.CallExpr) bool {

@@ -33,6 +33,14 @@ func handle(f []byte) {
 	// Caller-owned destination: the append is the caller's amortization.
 	_ = grow(nil, 1)
 
+	// Panic-only path: a recover-bearing closure is the supervision
+	// quarantine shape and stays unflagged, even when it allocates.
+	defer func() {
+		if r := recover(); r != nil {
+			_ = fmt.Sprintf("recovered: %v", r)
+		}
+	}()
+
 	// Crash path: allocating the message right before dying is fine.
 	if len(f) == 0 {
 		panic(fmt.Sprintf("empty frame %d", len(f)))

@@ -80,7 +80,7 @@ type Controllable interface {
 // engine telemetry. A Context is valid only for the duration of the
 // Handle call it was passed to.
 type Context struct {
-	sh    *shard
+	w     *worker
 	now   sim.Time
 	cost  time.Duration
 	emits []*fh.Packet
@@ -95,7 +95,7 @@ type Context struct {
 // to action a in the packet's span.
 func (c *Context) noteAction(a telemetry.Action, d time.Duration) {
 	c.cost += d
-	if c.sh.tracer != nil {
+	if c.w.sh.tracer != nil {
 		c.actions |= 1 << a
 		c.actCost[a] += d
 	}
@@ -127,7 +127,7 @@ func (c *Context) Redirect(pkt *fh.Packet, dst, src eth.MAC, vlan int) error {
 // Drop discards the packet (A1).
 func (c *Context) Drop(pkt *fh.Packet) {
 	c.noteAction(telemetry.ActionRedirect, cpu.CostDrop)
-	c.sh.stats.appDrops.Add(1)
+	c.w.sh.stats.appDrops.Add(1)
 }
 
 // Replicate clones the packet (A2). The clone is independent: it can be
@@ -143,21 +143,21 @@ func (c *Context) Replicate(pkt *fh.Packet) *fh.Packet {
 // on.
 func (c *Context) Cache(key fh.Key, pkt *fh.Packet) {
 	c.noteAction(telemetry.ActionCache, cpu.CostCacheInsert)
-	c.sh.cache.Put(key, pkt, c.now)
+	c.w.cache.Put(key, pkt, c.now)
 }
 
 // Cached returns the packets stored under key without removing them (A3).
 func (c *Context) Cached(key fh.Key) []*fh.Packet {
-	return c.sh.cache.Peek(key)
+	return c.w.cache.Peek(key)
 }
 
 // CachedCount returns how many packets are stored under key.
-func (c *Context) CachedCount(key fh.Key) int { return len(c.sh.cache.Peek(key)) }
+func (c *Context) CachedCount(key fh.Key) int { return len(c.w.cache.Peek(key)) }
 
 // TakeCached removes and returns the packets stored under key (A3).
 func (c *Context) TakeCached(key fh.Key) []*fh.Packet {
 	c.noteAction(telemetry.ActionCache, cpu.CostCacheTake)
-	return c.sh.cache.Take(key)
+	return c.w.cache.Take(key)
 }
 
 // ModifyUPlane decodes the packet's U-plane message, applies fn, and
@@ -196,14 +196,14 @@ func (c *Context) ModifyCPlane(pkt *fh.Packet, carrierPRBs int, fn func(msg *ora
 // all working buffers from it — in steady state the cycle then performs
 // zero allocations. The scratch is shard-local: frames of one eAxC stream
 // always land on the same shard, so no synchronization is needed.
-func (c *Context) Transcoder() *bfp.Transcoder { return c.sh.txc }
+func (c *Context) Transcoder() *bfp.Transcoder { return c.w.txc }
 
 // UPlaneScratch returns one of the shard's two reusable U-plane message
 // slots (decoding into a reused message recycles its section slice).
 // Conventionally slot 0 is the decode scratch and slot 1 the re-encode
 // staging message. Like the Transcoder, the slots are valid only within
 // the current Handle call and must not be retained.
-func (c *Context) UPlaneScratch(slot int) *oran.UPlaneMsg { return &c.sh.msgs[slot] }
+func (c *Context) UPlaneScratch(slot int) *oran.UPlaneMsg { return &c.w.msgs[slot] }
 
 // ChargeHeaderMod charges one in-place header-field modification (A4).
 func (c *Context) ChargeHeaderMod() { c.noteAction(telemetry.ActionModify, cpu.CostHeaderMod) }
@@ -238,23 +238,23 @@ func (c *Context) ChargeExponentScan(nPRB int) {
 // drops the entire burst; returning an error from a per-frame Handle
 // keeps its one-packet meaning.
 func (c *Context) PacketError(pkt *fh.Packet, err error) {
-	c.sh.stats.appErrors.Add(1)
+	c.w.sh.stats.appErrors.Add(1)
 }
 
 // Publish emits a telemetry sample on the middlebox's bus.
 func (c *Context) Publish(name string, value float64) {
-	c.sh.eng.bus.Publish(telemetry.Sample{Name: name, At: c.now, Value: value})
+	c.w.eng.bus.Publish(telemetry.Sample{Name: name, At: c.now, Value: value})
 }
 
 // AddCounter increments the named shared counter (the userspace view of
 // the kernel program's per-CPU maps) by delta, on this shard's stripe.
 func (c *Context) AddCounter(name string, delta uint64) {
-	c.sh.counter(name).Add(c.sh.id, delta)
+	c.w.counter(name).Add(c.w.sh.id, delta)
 }
 
 // CounterValue returns the merged value of the named shared counter.
 func (c *Context) CounterValue(name string) uint64 {
-	return c.sh.counter(name).Value()
+	return c.w.counter(name).Value()
 }
 
 // TrafficClass buckets packets for the latency statistics of Fig. 15b.

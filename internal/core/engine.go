@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"ranbooster/internal/cpu"
@@ -94,6 +93,13 @@ type Config struct {
 	// RingSize/8; a negative value disables shedding; values >= RingSize
 	// are rejected with ErrBadHeadroom.
 	CPlaneHeadroom int
+	// Supervise tunes the engine-supervision subsystem: App panic
+	// isolation with a circuit breaker, the shard stall watchdog, and
+	// AIMD overload shedding (see SupervisePolicy). The zero value
+	// disables all three — the unsupervised behavior. Out-of-range knobs
+	// are rejected with ErrBadPanicBudget / ErrBadCooldown /
+	// ErrBadStallAfter / ErrBadShedWater.
+	Supervise SupervisePolicy
 	// Trace enables the frame-span trace collector: every processed frame
 	// leaves a telemetry.Span in its shard's fixed-size ring and feeds the
 	// per-stage/per-action latency histograms merged into Snapshot. Off by
@@ -141,9 +147,23 @@ type Stats struct {
 	// failed validity checks (bad version, unknown plane, undecodable
 	// timing) — corrupted input dropped instead of propagated to apps.
 	InvalidFrames uint64
+	// Supervision counters (SupervisePolicy). AppPanics counts recovered
+	// App panics; Quarantined counts frames failed to the wire as raw
+	// passthrough because of a panic or an open breaker; ShardRestarts
+	// counts hitless watchdog restarts; ShedPRACH counts PRACH frames
+	// shed by the AIMD controller under sustained overload (data-plane
+	// sheds stay in ShedUPlane).
+	AppPanics     uint64
+	Quarantined   uint64
+	ShardRestarts uint64
+	ShedPRACH     uint64
 	// Health is the engine's degradation state: the worst per-shard state
 	// (Add merges with max, not sum).
 	Health Health
+	// Breaker is the panic circuit breaker's position: the worst
+	// per-shard state (Add merges with max — Open dominates Half-Open
+	// dominates Closed).
+	Breaker BreakerState
 	// Trace is the merged trace readout (span count, per-stage and
 	// per-action latency histograms) when tracing is enabled, nil
 	// otherwise. Add merges readouts histogram-wise.
@@ -161,18 +181,31 @@ func (s Stats) Add(o Stats) Stats {
 		KernelDrop:    s.KernelDrop + o.KernelDrop,
 		KernelRetired: s.KernelRetired + o.KernelRetired,
 		Punts:         s.Punts + o.Punts,
-		AppDrops:   s.AppDrops + o.AppDrops,
-		AppErrors:  s.AppErrors + o.AppErrors,
-		RingDrops:  s.RingDrops + o.RingDrops,
-		ShedUPlane: s.ShedUPlane + o.ShedUPlane,
-		SeqGaps:    s.SeqGaps + o.SeqGaps,
-		Duplicates: s.Duplicates + o.Duplicates,
-		Reordered:  s.Reordered + o.Reordered,
+		AppDrops:      s.AppDrops + o.AppDrops,
+		AppErrors:     s.AppErrors + o.AppErrors,
+		RingDrops:     s.RingDrops + o.RingDrops,
+		ShedUPlane:    s.ShedUPlane + o.ShedUPlane,
+		SeqGaps:       s.SeqGaps + o.SeqGaps,
+		Duplicates:    s.Duplicates + o.Duplicates,
+		Reordered:     s.Reordered + o.Reordered,
 
 		InvalidFrames: s.InvalidFrames + o.InvalidFrames,
+		AppPanics:     s.AppPanics + o.AppPanics,
+		Quarantined:   s.Quarantined + o.Quarantined,
+		ShardRestarts: s.ShardRestarts + o.ShardRestarts,
+		ShedPRACH:     s.ShedPRACH + o.ShedPRACH,
 		Health:        maxHealth(s.Health, o.Health),
+		Breaker:       maxBreaker(s.Breaker, o.Breaker),
 		Trace:         mergeTrace(s.Trace, o.Trace),
 	}
+}
+
+// maxBreaker returns the worse of two breaker states.
+func maxBreaker(a, b BreakerState) BreakerState {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // mergeTrace combines two optional trace readouts without mutating either.
@@ -210,11 +243,11 @@ type Engine struct {
 	burst BurstApp
 
 	// parallel is true while Start'ed workers run. It is written only
-	// with no workers alive (before launch, after wg.Wait), so workers
-	// and the producer read a stable value.
+	// with no workers alive (before launch, after Stop joined every
+	// shard's done channel), so workers and the producer read a stable
+	// value.
 	parallel bool
 	stopc    chan struct{}
-	wg       sync.WaitGroup
 }
 
 // sweepEvery bounds how many ingress frames may pass between cache sweeps
@@ -246,6 +279,10 @@ func NewEngine(sched *sim.Scheduler, cfg Config) (*Engine, error) {
 		return fail(err)
 	}
 	cfg.Burst = cfg.Burst.withDefaults()
+	if err := cfg.Supervise.validate(); err != nil {
+		return fail(err)
+	}
+	cfg.Supervise = cfg.Supervise.withDefaults()
 	if cfg.RingSize <= 0 {
 		cfg.RingSize = DefaultRingSize
 	}
@@ -324,6 +361,7 @@ func (e *Engine) Snapshot() Stats {
 	var s Stats
 	for _, sh := range e.shards {
 		st := sh.stats.snapshot()
+		st.Breaker = BreakerState(sh.brk.state.Load())
 		if sh.tracer != nil {
 			ts := sh.tracer.Stats()
 			st.Trace = &ts
@@ -447,24 +485,26 @@ func (e *Engine) Start() error {
 	e.parallel = true
 	e.stopc = make(chan struct{})
 	for _, sh := range e.shards {
-		e.wg.Add(1)
-		go func(sh *shard) {
-			defer e.wg.Done()
-			sh.run(e.stopc)
-		}(sh)
+		sh.spawn(e.stopc)
 	}
 	return nil
 }
 
 // Stop halts the parallel workers, draining every accepted frame first,
 // and returns the engine to the deterministic inline mode. It is a no-op
-// on an engine that was never started.
+// on an engine that was never started. Stop joins each shard's *current*
+// worker incarnation; goroutines the watchdog abandoned exit on their
+// own when their wedged App call finally returns (see DESIGN.md §6.7) —
+// a worker wedged forever without a supervising restart would hang Stop,
+// exactly as it would have hung the pre-supervision engine.
 func (e *Engine) Stop() {
 	if !e.parallel {
 		return
 	}
 	close(e.stopc)
-	e.wg.Wait()
+	for _, sh := range e.shards {
+		<-sh.done
+	}
 	e.parallel = false
 	e.clock = e.sched
 }
@@ -528,9 +568,11 @@ func (e *Engine) TryIngress(frame []byte) bool {
 	return true
 }
 
-// runKernel evaluates the rule program on sh. It returns the verdict, the
-// CPU cost of the evaluation, and the packets to transmit on VerdictTx.
-func (e *Engine) runKernel(sh *shard, pkt *fh.Packet) (KernelVerdict, time.Duration, []*fh.Packet) {
+// runKernel evaluates the rule program on w's shard. It returns the
+// verdict, the CPU cost of the evaluation, and the packets to transmit
+// on VerdictTx.
+func (e *Engine) runKernel(w *worker, pkt *fh.Packet) (KernelVerdict, time.Duration, []*fh.Packet) {
+	sh := w.sh
 	t, err := pkt.Timing()
 	if err != nil {
 		return VerdictDrop, cpu.CostKernelRule, nil
@@ -543,15 +585,15 @@ func (e *Engine) runKernel(sh *shard, pkt *fh.Packet) (KernelVerdict, time.Durat
 			continue
 		}
 		if r.Exponents != nil {
-			seen, used := scanExponents(sh, pkt, e.cfg.CarrierPRBs, r.Exponents, t)
+			seen, used := scanExponents(w, pkt, e.cfg.CarrierPRBs, r.Exponents, t)
 			cost += cpu.ExponentScanCost(seen)
 			// Constant names: concatenating per frame would allocate.
 			seenName, usedName := "prb.seen.dl", "prb.utilized.dl"
 			if t.Direction == 0 {
 				seenName, usedName = "prb.seen.ul", "prb.utilized.ul"
 			}
-			sh.counter(seenName).Add(sh.id, uint64(seen))
-			sh.counter(usedName).Add(sh.id, uint64(used))
+			w.counter(seenName).Add(sh.id, uint64(seen))
+			w.counter(usedName).Add(sh.id, uint64(used))
 		}
 		switch r.Verdict {
 		case VerdictDrop:
@@ -568,12 +610,12 @@ func (e *Engine) runKernel(sh *shard, pkt *fh.Packet) (KernelVerdict, time.Durat
 				cp := pkt.Clone()
 				r.Mirrors[j].apply(cp)
 				cost += cpu.CostReplicate + cpu.CostHeaderMod
-				sh.kernelEmits = append(sh.kernelEmits, cp)
+				w.sh.kernelEmits = append(w.sh.kernelEmits, cp)
 			}
 			if r.Rewrite != nil {
 				r.Rewrite.apply(pkt)
 				cost += cpu.CostHeaderMod
-				sh.kernelEmits = append(sh.kernelEmits, pkt)
+				w.sh.kernelEmits = append(w.sh.kernelEmits, pkt)
 			}
 			cost += cpu.CostKernelTx
 			return VerdictTx, cost, sh.kernelEmits

@@ -32,6 +32,18 @@ var (
 	// ErrBadHeadroom rejects a C-plane headroom that consumes the whole
 	// ring (no slot would ever admit U-plane traffic).
 	ErrBadHeadroom = errors.New("C-plane headroom out of range")
+	// ErrBadPanicBudget rejects a negative SupervisePolicy.PanicBudget
+	// (0 disables panic isolation).
+	ErrBadPanicBudget = errors.New("panic budget out of range")
+	// ErrBadCooldown rejects a negative SupervisePolicy.BreakerCooldown
+	// (0 defaults to DefaultBreakerCooldown when isolation is on).
+	ErrBadCooldown = errors.New("breaker cooldown out of range")
+	// ErrBadStallAfter rejects a negative SupervisePolicy.StallAfter
+	// (0 disables the shard watchdog).
+	ErrBadStallAfter = errors.New("stall deadline out of range")
+	// ErrBadShedWater rejects AIMD shedding watermarks that are not
+	// 0 <= low < high <= 1 (both zero disables AIMD shedding).
+	ErrBadShedWater = errors.New("shed watermarks out of range")
 	// ErrSerialApp refuses to start parallel workers for an App that
 	// declared itself serial (see SerialApp) on a multi-shard engine.
 	ErrSerialApp = errors.New("serial app cannot run parallel workers over multiple shards")

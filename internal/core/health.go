@@ -58,10 +58,11 @@ func maxHealth(a, b Health) Health {
 // Degraded, not directly to Healthy). It runs on the shard's consumer
 // goroutine only; transitions are published as KPIHealth samples.
 func (sh *shard) updateHealth() {
-	ring := sh.stats.ringDrops.Load() + sh.stats.shedUPlane.Load()
+	ring := sh.stats.ringDrops.Load() + sh.stats.shedUPlane.Load() +
+		sh.stats.shedPRACH.Load()
 	faults := sh.stats.seqGaps.Load() + sh.stats.duplicates.Load() +
 		sh.stats.reordered.Load() + sh.stats.invalidFrames.Load() +
-		sh.stats.parseError.Load()
+		sh.stats.parseError.Load() + sh.stats.appPanics.Load()
 	cur := Health(sh.stats.health.Load())
 	next := cur
 	switch {
@@ -71,6 +72,12 @@ func (sh *shard) updateHealth() {
 		next = maxHealth(Degraded, cur)
 	case cur > Healthy:
 		next = cur - 1
+	}
+	// A breaker that is Open (or probing Half-Open) means the App is
+	// being bypassed: the shard cannot be considered healthy while raw
+	// passthrough substitutes for its workload.
+	if BreakerState(sh.brk.state.Load()) != BreakerClosed {
+		next = maxHealth(next, Degraded)
 	}
 	sh.lastRing, sh.lastFaults = ring, faults
 	if next == cur {

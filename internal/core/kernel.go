@@ -212,10 +212,10 @@ func (p *KernelProgram) Verify() error {
 // scanExponents runs Algorithm 1 over the packet's U-plane sections,
 // returning (seen, utilized) PRB counts. It reads one byte per PRB — the
 // udCompParam exponent — exactly the cheap inspection XDP can do. The
-// decode message and the exponent buffer come from the shard's scratch,
+// decode message and the exponent buffer come from the worker's scratch,
 // so the scan allocates nothing in steady state.
-func scanExponents(sh *shard, pkt *fh.Packet, carrierPRBs int, es *ExponentStats, t oran.Timing) (seen, utilized int) {
-	msg := &sh.msgs[0]
+func scanExponents(w *worker, pkt *fh.Packet, carrierPRBs int, es *ExponentStats, t oran.Timing) (seen, utilized int) {
+	msg := &w.msgs[0]
 	if err := pkt.UPlane(msg, carrierPRBs); err != nil {
 		return 0, 0
 	}
@@ -225,7 +225,7 @@ func scanExponents(sh *shard, pkt *fh.Packet, carrierPRBs int, es *ExponentStats
 	}
 	for i := range msg.Sections {
 		s := &msg.Sections[i]
-		exps, err := sh.txc.Exponents(s.Payload, s.Comp)
+		exps, err := w.txc.Exponents(s.Payload, s.Comp)
 		if err != nil {
 			continue // not BFP (or an invalid width): nothing to scan
 		}

@@ -28,11 +28,17 @@ func (e *Engine) WriteMetrics(p *telemetry.PromWriter) {
 		{"ranbooster_seq_gaps_total", "missing eCPRI sequence numbers", st.SeqGaps},
 		{"ranbooster_seq_duplicates_total", "duplicate eCPRI sequence numbers", st.Duplicates},
 		{"ranbooster_seq_reordered_total", "late frames behind their stream's high-water mark", st.Reordered},
+		{"ranbooster_app_panics_total", "recovered app panics (panic isolation)", st.AppPanics},
+		{"ranbooster_quarantined_total", "frames failed to the wire as raw passthrough", st.Quarantined},
+		{"ranbooster_shard_restarts_total", "hitless shard restarts by the stall watchdog", st.ShardRestarts},
+		{"ranbooster_shed_prach_total", "PRACH frames shed under sustained overload (AIMD)", st.ShedPRACH},
+		{"ranbooster_shed_total", "all U-plane frames shed at ingress (data + PRACH)", st.ShedUPlane + st.ShedPRACH},
 	}
 	for _, c := range counters {
 		p.Counter(c.name, c.help, l, c.v)
 	}
 	p.Gauge("ranbooster_health", "engine degradation state (0 healthy, rising with severity)", l, float64(st.Health))
+	p.Gauge("ranbooster_breaker_state", "panic circuit breaker (0 closed, 1 half-open, 2 open)", l, float64(st.Breaker))
 	for _, name := range e.CounterNames() {
 		cl := telemetry.Labels{"engine": e.cfg.Name, "mode": e.cfg.Mode.String(), "counter": name}
 		p.Counter("ranbooster_app_counter", "shared kernel/userspace counter map entries", cl, e.CounterValue(name))

@@ -127,8 +127,9 @@ func (r *ring) popN(frames [][]byte, stamps []sim.Time) int {
 func (r *ring) queued() int { return int(r.tail.Load() - r.head.Load()) }
 
 // shardStats is the atomic mirror of Stats one shard accumulates. The
-// owning worker writes the datapath counters; ringDrops and shedUPlane
-// are written by the producer (Ingress). Snapshot merges all shards.
+// owning worker writes the datapath counters; ringDrops, shedUPlane and
+// shedPRACH are written by the producer (Ingress). Snapshot merges all
+// shards.
 type shardStats struct {
 	rxFrames, txFrames, parseError  atomic.Uint64
 	kernelTx, kernelDrop, punts     atomic.Uint64
@@ -136,6 +137,8 @@ type shardStats struct {
 	appDrops, appErrors, ringDrops  atomic.Uint64
 	shedUPlane, seqGaps, duplicates atomic.Uint64
 	reordered, invalidFrames        atomic.Uint64
+	appPanics, quarantined          atomic.Uint64
+	shardRestarts, shedPRACH        atomic.Uint64
 	health                          atomic.Uint32
 }
 
@@ -157,6 +160,10 @@ func (s *shardStats) snapshot() Stats {
 		Reordered:     s.reordered.Load(),
 
 		InvalidFrames: s.invalidFrames.Load(),
+		AppPanics:     s.appPanics.Load(),
+		Quarantined:   s.quarantined.Load(),
+		ShardRestarts: s.shardRestarts.Load(),
+		ShedPRACH:     s.shedPRACH.Load(),
 		Health:        Health(s.health.Load()),
 	}
 }
@@ -177,20 +184,17 @@ type pendFrame struct {
 	decode, kernel time.Duration
 }
 
-// shard is one worker's slice of the datapath.
+// shard is one worker's slice of the datapath: the shared half — ring,
+// stats, health, latency windows, sequence tracking, supervision state —
+// that survives worker restarts. The scratch an App can reach through
+// its Context lives on the worker incarnation instead (see worker), so
+// a wedged goroutine abandoned by the watchdog can never race a fresh
+// incarnation on shared mutable state.
 type shard struct {
 	id   int
 	eng  *Engine
 	core *cpu.Core
-	// cache is the shard's private A3 store. Keys embed the eAxC RU port
-	// the shard is selected by, so every packet touching a key is
-	// processed by the key's owning shard — cache access never locks.
-	cache *Cache
-	in    *ring
-	// counters caches resolved handles into the engine's striped store;
-	// the map is shard-owned, so the hot path pays no lock after the
-	// first use of a name.
-	counters map[string]*telemetry.Counter
+	in   *ring
 	// seq holds the last eCPRI sequence number seen per source stream —
 	// the middlebox-side view of a Builder's per-eAxC counter. Frames of
 	// one stream always land on one shard (shardFor keys on the eAxC RU
@@ -209,44 +213,113 @@ type shard struct {
 	latMu sync.Mutex
 	lat   [classCount][]time.Duration
 
-	// ctx is the shard's reusable app context. The App contract (see
-	// Context) says the value is valid only for the duration of Handle,
-	// so the single consumer goroutine resets and hands out the same
-	// allocation for every frame; only the emits backing array survives
-	// a reset, trimmed to length zero.
-	ctx Context
 	// kpkt is the shard's pooled decode packet: every frame is dissected
 	// into it first, and only frames that cross into userspace are copied
 	// out to a fresh allocation. Kernel-retired and passthrough frames
-	// live and die in this scratch — zero allocations.
+	// live and die in this scratch — zero allocations. It is safe to keep
+	// on the shard across restarts: an abandoned worker executes no
+	// datapath code after retirement, and the App never sees it.
 	kpkt fh.Packet
 	// burstFrames/burstTs receive each popN vector; pend parks decoded
-	// userspace-bound frames until the flush; burstPkts is the packet
-	// vector handed to a BurstApp; spanBuf collects the burst's spans for
-	// one batched Tracer record. All are consumer-goroutine scratch sized
-	// by BurstPolicy.Batch and reused burst after burst.
+	// userspace-bound frames until the flush; spanBuf collects the
+	// burst's spans for one batched Tracer record. All are consumer-
+	// goroutine scratch sized by BurstPolicy.Batch and reused burst after
+	// burst (a fresh worker incarnation resets them before use).
 	burstFrames [][]byte
 	burstTs     []sim.Time
 	pend        []pendFrame
-	burstPkts   []*fh.Packet
 	spanBuf     []telemetry.Span
 	// passthrough and kernelEmits are consumer-goroutine scratch for the
 	// kernel-only paths: both are handed to emitAll and fully consumed
 	// before the next frame, so the storage is reused, never reallocated.
 	passthrough [1]*fh.Packet
 	kernelEmits []*fh.Packet
-	// txc is the shard's BFP transcode scratch, pre-sized to the carrier:
-	// grids, payload arena and exponent buffer for the A4 decode → modify
-	// → re-encode cycle, reused frame after frame (consumer goroutine
-	// only; handed to apps via Context.Transcoder).
+
+	// w is the current worker incarnation. Written at construction and by
+	// restartShard (scheduler goroutine, under superMu); read by the
+	// producer (inline drains, supervision polls) on the same goroutine,
+	// so no synchronization is needed — parallel workers never read it.
+	w *worker
+	// epoch is bumped by restartShard; a worker whose epoch trails it is
+	// abandoned and unwinds at its next guard step (see worker.appExit).
+	epoch atomic.Uint32
+	// superMu is the supervision guard: a watchdog-guarded worker holds
+	// it for all datapath work, releasing it only around App invocations
+	// and its idle block — exactly the windows a restart may interleave.
+	superMu sync.Mutex
+	// done closes when the current worker incarnation's goroutine exits;
+	// Stop waits on it. Replaced (with sh.w) on restart.
+	done chan struct{}
+	// brk is the per-shard circuit breaker; it survives restarts.
+	brk breaker
+	// aimd is the producer-owned adaptive shedding controller, nil unless
+	// SupervisePolicy enables AIMD watermarks.
+	aimd *aimdState
+	// wdLastSeq / wdSince are the watchdog's observation state: the app-
+	// invocation counter last seen and the instant it was first seen
+	// unfinished (supervisor/producer goroutine only).
+	wdLastSeq uint64
+	wdSince   sim.Time
+
+	wake chan struct{}
+}
+
+// worker is one incarnation of a shard's consumer: everything an App can
+// reach through its Context — the reusable context itself, the A3 cache,
+// the transcoder and message scratch, the resolved-counter map — plus
+// the supervision bookkeeping that decides this incarnation's fate. A
+// hitless restart abandons the whole incarnation and builds a fresh one,
+// so the wedged goroutine (still inside Handle) can keep touching its
+// own scratch without racing the replacement.
+type worker struct {
+	sh  *shard
+	eng *Engine
+	// epoch is the shard epoch this incarnation was built under; once the
+	// shard moves on, the incarnation's next guard step unwinds it.
+	epoch uint32
+	// guarded is set at run() entry when the watchdog is enabled: the
+	// worker then brackets App invocations and idle blocks with the
+	// supervision mutex. Inline drains (deterministic mode, whitebox
+	// tests) never set it and pay no synchronization.
+	guarded bool
+	// isolate is set when SupervisePolicy.PanicBudget > 0 and an App is
+	// configured: App invocations run under a recover and feed the
+	// circuit breaker.
+	isolate bool
+	// appSeq / appDone are the watchdog's progress counters: appSeq
+	// increments entering an App invocation, appDone leaving it. Stuck
+	// means appSeq != appDone with appSeq unchanged across two polls.
+	appSeq, appDone atomic.Uint64
+
+	// ctx is the worker's reusable app context. The App contract (see
+	// Context) says the value is valid only for the duration of Handle,
+	// so the single consumer goroutine resets and hands out the same
+	// allocation for every frame; only the emits backing array survives
+	// a reset, trimmed to length zero.
+	ctx Context
+	// cache is the incarnation's private A3 store. Keys embed the eAxC RU
+	// port the shard is selected by, so every packet touching a key is
+	// processed by the key's owning shard — cache access never locks.
+	// A restart forfeits the old incarnation's cached packets (the
+	// abandoned App may still hold references into them).
+	cache *Cache
+	// counters caches resolved handles into the engine's striped store;
+	// the map is incarnation-owned, so the hot path pays no lock after
+	// the first use of a name.
+	counters map[string]*telemetry.Counter
+	// txc is the incarnation's BFP transcode scratch, pre-sized to the
+	// carrier: grids, payload arena and exponent buffer for the A4 decode
+	// → modify → re-encode cycle, reused frame after frame (handed to
+	// apps via Context.Transcoder).
 	txc *bfp.Transcoder
 	// msgs are reusable U-plane message decode slots (the section slices
 	// inside are recycled by oran.UPlaneMsg.DecodeFromBytes). Slot 0 is
 	// the kernel/app decode scratch, slot 1 the re-encode staging message;
 	// handed to apps via Context.UPlaneScratch.
 	msgs [2]oran.UPlaneMsg
-
-	wake chan struct{}
+	// burstPkts is the packet vector handed to a BurstApp (app-reachable,
+	// hence per-incarnation), resliced per burst, never grown.
+	burstPkts []*fh.Packet
 }
 
 func newShard(e *Engine, id int) *shard {
@@ -255,23 +328,60 @@ func newShard(e *Engine, id int) *shard {
 		id:          id,
 		eng:         e,
 		core:        e.pool.Core(id),
-		cache:       NewCache(e.cfg.CacheMaxAge),
 		in:          newRing(e.cfg.RingSize),
-		counters:    make(map[string]*telemetry.Counter),
 		seq:         make(map[seqKey]uint8),
 		burstFrames: make([][]byte, batch),
 		burstTs:     make([]sim.Time, batch),
 		pend:        make([]pendFrame, 0, batch),
-		burstPkts:   make([]*fh.Packet, 0, batch),
-		txc:         bfp.NewTranscoder(),
 		wake:        make(chan struct{}, 1),
 	}
-	sh.txc.Reserve(e.cfg.CarrierPRBs)
 	if e.cfg.Trace {
 		sh.tracer = telemetry.NewTracer(e.cfg.TraceRing)
 		sh.spanBuf = make([]telemetry.Span, 0, batch)
 	}
+	if e.cfg.Supervise.aimd() {
+		sh.aimd = &aimdState{high: e.cfg.Supervise.ShedHighWater, low: e.cfg.Supervise.ShedLowWater}
+	}
+	sh.w = newWorker(sh)
 	return sh
+}
+
+// newWorker builds a fresh worker incarnation for sh at the shard's
+// current epoch, with its own app-reachable scratch, and resets the
+// shard-level burst scratch the previous incarnation may have left
+// mid-burst.
+func newWorker(sh *shard) *worker {
+	e := sh.eng
+	w := &worker{
+		sh:       sh,
+		eng:      e,
+		epoch:    sh.epoch.Load(),
+		isolate:  e.cfg.Supervise.PanicBudget > 0 && e.cfg.App != nil,
+		cache:    NewCache(e.cfg.CacheMaxAge),
+		counters: make(map[string]*telemetry.Counter),
+		txc:      bfp.NewTranscoder(),
+	}
+	w.txc.Reserve(e.cfg.CarrierPRBs)
+	w.burstPkts = make([]*fh.Packet, 0, e.cfg.Burst.Batch)
+	for i := range sh.pend {
+		sh.pend[i].pkt = nil
+	}
+	sh.pend = sh.pend[:0]
+	sh.spanBuf = sh.spanBuf[:0]
+	return w
+}
+
+// spawn launches the current worker incarnation's goroutine and arms the
+// done channel Stop waits on. Called by Start for the initial workers
+// and by restartShard for replacements.
+func (sh *shard) spawn(stop <-chan struct{}) {
+	done := make(chan struct{})
+	sh.done = done
+	w := sh.w
+	go func() {
+		defer close(done)
+		w.run(stop)
+	}()
 }
 
 // seqKey identifies one eCPRI sequence stream at a middlebox: each
@@ -283,12 +393,19 @@ type seqKey struct {
 
 // admit applies the overload-shedding policy and enqueues the frame,
 // reporting false (with the drop accounted) when it was shed or the ring
-// was full. Within the last CPlaneHeadroom free slots only C-plane frames
+// was full. With AIMD shedding enabled (SupervisePolicy watermarks) the
+// adaptive controller decides — U-plane data first, PRACH only under
+// sustained overload, C-plane never. Otherwise the static headroom check
+// applies: within the last CPlaneHeadroom free slots only C-plane frames
 // are admitted — a U-plane loss costs one symbol of IQ, a C-plane loss
 // wedges a slot's schedule — so C-plane is only ever dropped once the
 // ring is completely full and every U-plane shed is exhausted.
 func (sh *shard) admit(frame []byte) bool {
-	if h := sh.eng.cfg.CPlaneHeadroom; h > 0 && len(sh.in.buf)-sh.in.queued() <= h {
+	if sh.aimd != nil {
+		if sh.shed(frame) {
+			return false
+		}
+	} else if h := sh.eng.cfg.CPlaneHeadroom; h > 0 && len(sh.in.buf)-sh.in.queued() <= h {
 		if fh.PeekPlane(frame) != fh.PlaneC {
 			sh.stats.shedUPlane.Add(1)
 			return false
@@ -354,11 +471,11 @@ func (sh *shard) valid(pkt *fh.Packet) bool {
 // mode, a frozen instant while parallel workers run.
 func (sh *shard) now() sim.Time { return sh.eng.clock.Now() }
 
-func (sh *shard) counter(name string) *telemetry.Counter {
-	c := sh.counters[name]
+func (w *worker) counter(name string) *telemetry.Counter {
+	c := w.counters[name]
 	if c == nil {
-		c = sh.eng.counters.Get(name)
-		sh.counters[name] = c
+		c = w.eng.counters.Get(name)
+		w.counters[name] = c
 	}
 	return c
 }
@@ -372,11 +489,17 @@ func (sh *shard) wakeUp() {
 	}
 }
 
+// drain is the shard-level entry into the current worker incarnation's
+// drain loop — the deterministic inline path (and whitebox tests) go
+// through here; parallel workers call their own incarnation directly.
+func (sh *shard) drain(max int) int { return sh.w.drain(max) }
+
 // drain processes up to max queued frames in bursts and reports how many
 // ran. In deterministic mode the ring holds at most the frame Ingress
 // just admitted, so every burst is a single frame and the burst path is
 // semantically the per-frame path.
-func (sh *shard) drain(max int) int {
+func (w *worker) drain(max int) int {
+	sh := w.sh
 	total := 0
 	for total < max {
 		want := max - total
@@ -387,7 +510,7 @@ func (sh *shard) drain(max int) int {
 		if n == 0 {
 			break
 		}
-		sh.processBurst(sh.burstFrames[:n], sh.burstTs[:n])
+		w.processBurst(sh.burstFrames[:n], sh.burstTs[:n])
 		total += n
 	}
 	return total
@@ -395,15 +518,23 @@ func (sh *shard) drain(max int) int {
 
 // run is the parallel-mode worker loop: burst dequeue to amortize the
 // wakeup, spin through BurstPolicy.MaxIdlePolls empty polls before
-// blocking, final-drain on stop so no accepted frame is lost.
+// blocking, final-drain on stop so no accepted frame is lost. With the
+// watchdog enabled the loop runs under the supervision guard: the mutex
+// is held for all datapath work and released only around App invocations
+// and the idle block, so a restart can only interleave at those points.
 //
 //ranvet:hotpath
-func (sh *shard) run(stop <-chan struct{}) {
-	batch := sh.eng.cfg.Burst.Batch
-	maxIdle := sh.eng.cfg.Burst.MaxIdlePolls
+func (w *worker) run(stop <-chan struct{}) {
+	w.guarded = w.eng.cfg.Supervise.StallAfter > 0
+	defer w.retire()
+	if w.guarded {
+		w.sh.superMu.Lock()
+	}
+	batch := w.eng.cfg.Burst.Batch
+	maxIdle := w.eng.cfg.Burst.MaxIdlePolls
 	idle := 0
 	for {
-		if sh.drain(batch) > 0 {
+		if w.drain(batch) > 0 {
 			idle = 0
 			continue
 		}
@@ -412,13 +543,84 @@ func (sh *shard) run(stop <-chan struct{}) {
 			continue
 		}
 		idle = 0
+		w.pauseGuard()
 		select {
-		case <-sh.wake:
+		case <-w.sh.wake:
+			w.resumeGuard()
 		case <-stop:
-			for sh.drain(batch) > 0 {
+			w.resumeGuard()
+			for w.drain(batch) > 0 {
 			}
 			return
 		}
+	}
+}
+
+// retire is the worker goroutine's exit hatch. A normal return releases
+// the supervision guard; the errShardRetired sentinel (thrown by a guard
+// step that found the shard's epoch moved on) exits quietly — the guard
+// was already released and a fresh incarnation owns the shard; any other
+// panic is a real App panic with isolation off and crashes as before.
+func (w *worker) retire() {
+	r := recover()
+	g := w.guarded
+	w.guarded = false
+	switch r {
+	case nil:
+		if g {
+			w.sh.superMu.Unlock()
+		}
+	case errShardRetired:
+		// Abandoned: the supervisor restarted the shard while this
+		// incarnation was wedged. Nothing to release, nothing to drain.
+	default:
+		panic(r)
+	}
+}
+
+// appEnter opens an App-invocation window: progress is published for the
+// watchdog and the supervision guard is released so a restart can claim
+// the shard if this invocation never returns.
+func (w *worker) appEnter() {
+	if !w.guarded {
+		return
+	}
+	w.appSeq.Add(1)
+	w.sh.superMu.Unlock()
+}
+
+// appExit closes the window: the guard is re-acquired, and if the shard
+// moved to a new epoch while the App ran, this incarnation is abandoned
+// and unwinds via errShardRetired.
+func (w *worker) appExit() {
+	if !w.guarded {
+		return
+	}
+	w.sh.superMu.Lock()
+	if w.sh.epoch.Load() != w.epoch {
+		w.sh.superMu.Unlock()
+		panic(errShardRetired)
+	}
+	w.appDone.Add(1)
+}
+
+// pauseGuard / resumeGuard bracket the idle block the same way appEnter/
+// appExit bracket App invocations (without touching the progress
+// counters — an idle worker is not stuck).
+func (w *worker) pauseGuard() {
+	if w.guarded {
+		w.sh.superMu.Unlock()
+	}
+}
+
+func (w *worker) resumeGuard() {
+	if !w.guarded {
+		return
+	}
+	w.sh.superMu.Lock()
+	if w.sh.epoch.Load() != w.epoch {
+		w.sh.superMu.Unlock()
+		panic(errShardRetired)
 	}
 }
 
@@ -428,20 +630,21 @@ func (sh *shard) run(stop <-chan struct{}) {
 // the burst crosses a cadence boundary, exactly the frames the per-frame
 // modulo checks used to fire on) — then each frame runs the kernel half
 // inline and the userspace half is flushed at burst end.
-func (sh *shard) processBurst(frames [][]byte, stamps []sim.Time) {
+func (w *worker) processBurst(frames [][]byte, stamps []sim.Time) {
+	sh := w.sh
 	n := uint64(len(frames))
 	rx := sh.stats.rxFrames.Add(n)
 	now := sh.now()
 	if rx/sweepEvery != (rx-n)/sweepEvery {
-		sh.cache.Sweep(now)
+		w.cache.Sweep(now)
 	}
 	if rx/healthWindow != (rx-n)/healthWindow {
 		sh.updateHealth()
 	}
 	for i, frame := range frames {
-		sh.processOne(frame, stamps[i], now)
+		w.processOne(frame, stamps[i], now)
 	}
-	sh.flushApp()
+	w.flushApp()
 	sh.flushSpans()
 }
 
@@ -452,8 +655,9 @@ func (sh *shard) processBurst(frames [][]byte, stamps []sim.Time) {
 // parked on the pend list for flushApp. enq is the frame's ingress-ring
 // enqueue stamp (meaningful only while the trace collector is on); now is
 // the burst's arrival instant.
-func (sh *shard) processOne(frame []byte, enq, now sim.Time) {
-	e := sh.eng
+func (w *worker) processOne(frame []byte, enq, now sim.Time) {
+	sh := w.sh
+	e := w.eng
 	kpkt := &sh.kpkt
 	if err := kpkt.Decode(frame); err != nil {
 		sh.stats.parseError.Add(1)
@@ -483,13 +687,13 @@ func (sh *shard) processOne(frame []byte, enq, now sim.Time) {
 			pkt = &fh.Packet{}
 			*pkt = sh.kpkt
 		}
-		verdict, kCost, emits := e.runKernel(sh, pkt)
+		verdict, kCost, emits := e.runKernel(w, pkt)
 		kernelCost = kCost
 		switch verdict {
 		case VerdictTx:
 			// A kernel completion must not overtake parked userspace
 			// frames of the same burst: flush them first, then emit.
-			sh.flushApp()
+			w.flushApp()
 			sh.stats.kernelTx.Add(1)
 			if pkt == kpkt {
 				sh.stats.kernelRetired.Add(1)
@@ -502,7 +706,7 @@ func (sh *shard) processOne(frame []byte, enq, now sim.Time) {
 			sh.emitAll(emits, fin)
 			return
 		case VerdictDrop:
-			sh.flushApp()
+			w.flushApp()
 			sh.stats.kernelDrop.Add(1)
 			if pkt == kpkt {
 				sh.stats.kernelRetired.Add(1)
@@ -538,7 +742,7 @@ func (sh *shard) processOne(frame []byte, enq, now sim.Time) {
 		pkt = &fh.Packet{}
 		*pkt = sh.kpkt
 	}
-	sh.pend = append(sh.pend, pendFrame{
+	w.sh.pend = append(w.sh.pend, pendFrame{
 		pkt: pkt, class: class, enq: enq, arrival: now,
 		decode: decodeCost, kernel: kernelCost,
 	})
@@ -562,14 +766,15 @@ func (sh *shard) chargeStart(arrival sim.Time, decode time.Duration) (sim.Time, 
 // through the adapter loop. Charging happens here, in frame order, so the
 // virtual-time accounting is identical to the pre-burst per-frame path.
 // The pend list is empty between bursts and after any kernel completion.
-func (sh *shard) flushApp() {
+func (w *worker) flushApp() {
+	sh := w.sh
 	if len(sh.pend) == 0 {
 		return
 	}
-	if sh.eng.burst != nil {
-		sh.flushBurst()
+	if w.eng.burst != nil {
+		w.flushBurst()
 	} else {
-		sh.flushEach()
+		w.flushEach()
 	}
 	for i := range sh.pend {
 		sh.pend[i].pkt = nil
@@ -577,18 +782,160 @@ func (sh *shard) flushApp() {
 	sh.pend = sh.pend[:0]
 }
 
+// invoke runs one guarded, recovered Handle call: the supervision window
+// opens around the invocation and any App panic is caught and reported
+// instead of unwinding the worker.
+func (w *worker) invoke(ctx *Context, pkt *fh.Packet) (err error, panicked bool) {
+	w.appEnter()
+	err, panicked = w.protectedHandle(ctx, pkt)
+	w.appExit()
+	return err, panicked
+}
+
+// protectedHandle is the recover boundary for per-frame isolation. The
+// deferred catchPanic is a plain function call with a stack-resident
+// pointer argument, so the quarantine machinery adds no allocation to
+// the hot path.
+func (w *worker) protectedHandle(ctx *Context, pkt *fh.Packet) (err error, panicked bool) {
+	defer catchPanic(&panicked)
+	return w.eng.cfg.App.Handle(ctx, pkt), false
+}
+
+// invokeBurst is invoke for HandleBurst.
+func (w *worker) invokeBurst(ctx *Context, pkts []*fh.Packet) (err error, panicked bool) {
+	w.appEnter()
+	err, panicked = w.protectedHandleBurst(ctx, pkts)
+	w.appExit()
+	return err, panicked
+}
+
+func (w *worker) protectedHandleBurst(ctx *Context, pkts []*fh.Packet) (err error, panicked bool) {
+	defer catchPanic(&panicked)
+	return w.eng.burst.HandleBurst(ctx, pkts), false
+}
+
+// catchPanic converts a panic into a flag. It must be the directly
+// deferred function for recover to engage.
+func catchPanic(p *bool) {
+	if recover() != nil {
+		*p = true
+	}
+}
+
+// breakerAdmits reports whether the circuit breaker lets an invocation
+// through. An Open breaker whose cooldown elapsed thaws to Half-Open here
+// on the deterministic path (where the worker's clock advances); in
+// parallel mode Engine.Supervise thaws it instead.
+func (w *worker) breakerAdmits() bool {
+	b := &w.sh.brk
+	if BreakerState(b.state.Load()) != BreakerOpen {
+		return true
+	}
+	if w.sh.now().Sub(sim.Time(b.openedAt.Load())) >= w.eng.cfg.Supervise.BreakerCooldown &&
+		b.state.CompareAndSwap(uint32(BreakerOpen), uint32(BreakerHalfOpen)) {
+		w.publishBreaker(BreakerHalfOpen)
+		return true
+	}
+	return false
+}
+
+// notePanic counts a recovered App panic against the breaker budget:
+// exhausting the budget — or panicking on a Half-Open probe — opens the
+// breaker.
+func (w *worker) notePanic() {
+	sh := w.sh
+	sh.stats.appPanics.Add(1)
+	b := &sh.brk
+	switch BreakerState(b.state.Load()) {
+	case BreakerHalfOpen:
+		b.openedAt.Store(int64(sh.now()))
+		b.state.Store(uint32(BreakerOpen))
+		w.publishBreaker(BreakerOpen)
+	case BreakerClosed:
+		if b.panics++; b.panics >= w.eng.cfg.Supervise.PanicBudget {
+			b.panics = 0
+			b.openedAt.Store(int64(sh.now()))
+			b.state.Store(uint32(BreakerOpen))
+			w.publishBreaker(BreakerOpen)
+		}
+	}
+}
+
+// noteAppOK closes a Half-Open breaker after a successful probe.
+func (w *worker) noteAppOK() {
+	b := &w.sh.brk
+	if BreakerState(b.state.Load()) == BreakerHalfOpen {
+		b.panics = 0
+		b.state.Store(uint32(BreakerClosed))
+		w.publishBreaker(BreakerClosed)
+	}
+}
+
+func (w *worker) publishBreaker(s BreakerState) {
+	w.eng.bus.Publish(telemetry.Sample{Name: KPIBreaker, At: w.sh.now(), Value: float64(s)})
+}
+
+// quarantine fails one parked frame to the wire: the packet is forwarded
+// raw, untouched by the App — the transparent bump-in-the-wire keeps the
+// cell alive even when its workload is misbehaving. The caller has
+// already resolved the frame's charge start and decode cost.
+func (w *worker) quarantine(p *pendFrame, start sim.Time, decode time.Duration) {
+	sh := w.sh
+	fin := sh.core.Charge(start, decode+p.kernel+cpu.CostForward)
+	sh.stats.quarantined.Add(1)
+	sh.stampSpan(p.pkt, p.class, p.enq, start, fin, decode, p.kernel, 0, 0, nil)
+	sh.passthrough[0] = p.pkt
+	sh.emitAll(sh.passthrough[:], fin)
+}
+
+// quarantinePend quarantines every parked frame (breaker open, or a
+// HandleBurst panic poisoned the whole burst).
+func (w *worker) quarantinePend() {
+	sh := w.sh
+	for i := range sh.pend {
+		p := &sh.pend[i]
+		start, decode := sh.chargeStart(p.arrival, p.decode)
+		w.quarantine(p, start, decode)
+	}
+}
+
 // flushEach is the per-frame adapter: Apps without HandleBurst keep the
 // exact pre-burst Handle contract — a Context per frame, per-frame error
-// accounting, per-frame emission.
-func (sh *shard) flushEach() {
-	e := sh.eng
+// accounting, per-frame emission. With panic isolation on, each Handle
+// runs recovered: a panicking frame is quarantined to passthrough and
+// the rest of the burst proceeds (unless the breaker opened).
+func (w *worker) flushEach() {
+	sh := w.sh
+	e := w.eng
 	for i := range sh.pend {
 		p := &sh.pend[i]
 		start, decode := sh.chargeStart(p.arrival, p.decode)
 		base := decode + p.kernel
-		ctx := &sh.ctx
-		*ctx = Context{sh: sh, now: p.arrival, cost: base, emits: ctx.emits[:0]}
-		if err := e.cfg.App.Handle(ctx, p.pkt); err != nil {
+		ctx := &w.ctx
+		*ctx = Context{w: w, now: p.arrival, cost: base, emits: ctx.emits[:0]}
+		var err error
+		switch {
+		case w.isolate:
+			if !w.breakerAdmits() {
+				w.quarantine(p, start, decode)
+				continue
+			}
+			var panicked bool
+			err, panicked = w.invoke(ctx, p.pkt)
+			if panicked {
+				w.notePanic()
+				w.quarantine(p, start, decode)
+				continue
+			}
+			w.noteAppOK()
+		case w.guarded:
+			w.appEnter()
+			err = e.cfg.App.Handle(ctx, p.pkt)
+			w.appExit()
+		default:
+			err = e.cfg.App.Handle(ctx, p.pkt)
+		}
+		if err != nil {
 			sh.stats.appErrors.Add(1)
 			fin := sh.core.Charge(start, ctx.cost)
 			sh.stampSpan(p.pkt, p.class, p.enq, start, fin, decode, p.kernel, ctx.cost-base, ctx.actions, &ctx.actCost)
@@ -605,13 +952,19 @@ func (sh *shard) flushEach() {
 // The burst shares one Context; its app-stage cost and action attribution
 // are amortized equally across the burst's frames for latency samples and
 // spans. A handler error drops the whole burst (len(pend) app errors);
-// per-packet failures should use Context.PacketError instead.
-func (sh *shard) flushBurst() {
-	e := sh.eng
+// per-packet failures should use Context.PacketError instead. With panic
+// isolation on, a HandleBurst panic quarantines the whole burst to
+// passthrough — the engine cannot know which packet poisoned it.
+func (w *worker) flushBurst() {
+	sh := w.sh
+	if w.isolate && !w.breakerAdmits() {
+		w.quarantinePend()
+		return
+	}
 	// pend never outgrows one burst, so the pre-sized packet vector is
 	// resliced, not grown.
 	n := len(sh.pend)
-	pkts := sh.burstPkts[:n]
+	pkts := w.burstPkts[:n]
 	var base time.Duration
 	start, decode0 := sh.chargeStart(sh.pend[0].arrival, sh.pend[0].decode)
 	sh.pend[0].decode = decode0
@@ -620,9 +973,40 @@ func (sh *shard) flushBurst() {
 		base += p.decode + p.kernel
 		pkts[i] = p.pkt
 	}
-	ctx := &sh.ctx
-	*ctx = Context{sh: sh, now: sh.pend[0].arrival, cost: base, emits: ctx.emits[:0]}
-	err := e.burst.HandleBurst(ctx, pkts)
+	ctx := &w.ctx
+	*ctx = Context{w: w, now: sh.pend[0].arrival, cost: base, emits: ctx.emits[:0]}
+	var err error
+	switch {
+	case w.isolate:
+		var panicked bool
+		err, panicked = w.invokeBurst(ctx, pkts)
+		if panicked {
+			w.notePanic()
+			// The burst's service start was already acquired; charge the
+			// base work plus one forward per quarantined frame, then fail
+			// every packet to the wire at that instant.
+			fin := sh.core.Charge(start, base+time.Duration(n)*cpu.CostForward)
+			sh.stats.quarantined.Add(uint64(n))
+			for i := range sh.pend {
+				p := &sh.pend[i]
+				sh.stampSpan(p.pkt, p.class, p.enq, start, fin, p.decode, p.kernel, 0, 0, nil)
+				sh.passthrough[0] = p.pkt
+				sh.emitAll(sh.passthrough[:], fin)
+			}
+			for i := range pkts {
+				pkts[i] = nil
+			}
+			w.burstPkts = pkts[:0]
+			return
+		}
+		w.noteAppOK()
+	case w.guarded:
+		w.appEnter()
+		err = w.eng.burst.HandleBurst(ctx, pkts)
+		w.appExit()
+	default:
+		err = w.eng.burst.HandleBurst(ctx, pkts)
+	}
 	fin := sh.core.Charge(start, ctx.cost)
 	share := (ctx.cost - base) / time.Duration(n)
 	var shareCost [telemetry.NumActions]time.Duration
@@ -648,7 +1032,7 @@ func (sh *shard) flushBurst() {
 	for i := range pkts {
 		pkts[i] = nil
 	}
-	sh.burstPkts = pkts[:0]
+	w.burstPkts = pkts[:0]
 }
 
 // stampSpan collects one frame's span into the burst's span buffer when

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ranbooster/internal/fh"
+	"ranbooster/internal/sim"
+	"ranbooster/internal/telemetry"
+)
+
+// Engine supervision (DESIGN.md §6.7): the paper's middlebox is a
+// transparent bump-in-the-wire — if it misbehaves, the cell goes down —
+// so the datapath must never let a buggy or overloaded *app* become the
+// single point of failure. Three mechanisms, all opt-in through
+// SupervisePolicy and all fail-to-wire (frames keep forwarding):
+//
+//   - Panic isolation: an App panic is recovered per frame (or per
+//     burst), the offending frames are quarantined to raw passthrough,
+//     and a per-app circuit breaker trips after PanicBudget panics —
+//     Open (passthrough only) → Half-Open (one probe) → Closed.
+//   - Shard watchdog: Engine.Supervise detects a worker stuck inside
+//     Handle past StallAfter via progress counters and performs a
+//     hitless shard restart — the wedged goroutine is abandoned, a
+//     fresh worker incarnation takes over the same ingress ring, and
+//     frames never popped keep their per-eAxC FIFO order.
+//   - Adaptive shedding: an AIMD controller on ring occupancy replaces
+//     the static C-plane headroom check, shedding in priority order
+//     (U-plane data first, U-plane PRACH only under sustained overload,
+//     C-plane never) with hysteresis so clean workloads see zero sheds.
+
+// DefaultBreakerCooldown is the Open → Half-Open delay when panic
+// isolation is enabled with SupervisePolicy.BreakerCooldown zero.
+const DefaultBreakerCooldown = time.Millisecond
+
+// SupervisePolicy groups the engine-supervision knobs of Config. The
+// zero value disables all three mechanisms — today's behavior: panics
+// propagate, stalls wedge their shard, and shedding follows the static
+// Config.CPlaneHeadroom check.
+type SupervisePolicy struct {
+	// PanicBudget enables panic isolation when positive: an App panic is
+	// recovered, the frame (or burst) is quarantined to raw passthrough
+	// (Stats.AppPanics, Stats.Quarantined), and after PanicBudget panics
+	// the per-shard circuit breaker opens. 0 disables isolation (panics
+	// propagate and crash, as without supervision); negative values are
+	// rejected with ErrBadPanicBudget.
+	PanicBudget int
+	// BreakerCooldown is how long an Open breaker quarantines everything
+	// before Half-Open admits one probe invocation. 0 defaults to
+	// DefaultBreakerCooldown when PanicBudget is set; negative values are
+	// rejected with ErrBadCooldown.
+	BreakerCooldown time.Duration
+	// StallAfter enables the shard watchdog when positive: a worker that
+	// has been inside one Handle/HandleBurst call for StallAfter of
+	// virtual time (as observed by Engine.Supervise polls) is declared
+	// Stalled and its shard is restarted hitlessly. 0 disables the
+	// watchdog; negative values are rejected with ErrBadStallAfter.
+	StallAfter time.Duration
+	// ShedHighWater / ShedLowWater enable AIMD overload shedding when
+	// set: ring occupancy at or above the high water mark additively
+	// raises the shed level, occupancy at or below the low water mark
+	// multiplicatively decays it (hysteresis — between the marks the
+	// level holds). Both zero disables AIMD and keeps the static
+	// CPlaneHeadroom check; otherwise 0 <= low < high <= 1 is required
+	// (ErrBadShedWater).
+	ShedHighWater float64
+	ShedLowWater  float64
+}
+
+// withDefaults resolves zero fields to the documented defaults.
+func (p SupervisePolicy) withDefaults() SupervisePolicy {
+	if p.PanicBudget > 0 && p.BreakerCooldown == 0 {
+		p.BreakerCooldown = DefaultBreakerCooldown
+	}
+	return p
+}
+
+// validate rejects out-of-range knobs with the typed errors of errors.go.
+func (p SupervisePolicy) validate() error {
+	if p.PanicBudget < 0 {
+		return fmt.Errorf("%w: %d", ErrBadPanicBudget, p.PanicBudget)
+	}
+	if p.BreakerCooldown < 0 {
+		return fmt.Errorf("%w: %v", ErrBadCooldown, p.BreakerCooldown)
+	}
+	if p.StallAfter < 0 {
+		return fmt.Errorf("%w: %v", ErrBadStallAfter, p.StallAfter)
+	}
+	if p.ShedHighWater != 0 || p.ShedLowWater != 0 {
+		if p.ShedLowWater < 0 || p.ShedLowWater >= p.ShedHighWater || p.ShedHighWater > 1 {
+			return fmt.Errorf("%w: low %.3f high %.3f", ErrBadShedWater, p.ShedLowWater, p.ShedHighWater)
+		}
+	}
+	return nil
+}
+
+// aimd reports whether adaptive shedding is enabled.
+func (p SupervisePolicy) aimd() bool { return p.ShedHighWater > 0 }
+
+// BreakerState is the circuit breaker's position, ordered by severity so
+// Stats.Add merges shard states with max.
+type BreakerState uint8
+
+// Breaker states.
+const (
+	// BreakerClosed: invocations flow to the App normally.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown elapsed; the next invocation is a
+	// probe — success closes the breaker, a panic re-opens it.
+	BreakerHalfOpen
+	// BreakerOpen: the panic budget is exhausted; every frame is
+	// quarantined to raw passthrough without invoking the App.
+	BreakerOpen
+)
+
+// String names the state.
+func (b BreakerState) String() string {
+	switch b {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// KPIBreaker is published on the engine's telemetry bus at every breaker
+// transition; the sample value is the new BreakerState.
+const KPIBreaker = "engine.breaker"
+
+// errShardRetired unwinds an abandoned worker goroutine: after a
+// restart bumped the shard's epoch, the old incarnation's first step
+// back from the App (or out of its idle block) panics with this
+// sentinel and worker.retire exits the goroutine quietly.
+var errShardRetired = errors.New("core: shard worker retired by supervisor")
+
+// breaker is one shard's circuit breaker. state/openedAt are atomics —
+// the worker trips and probes, Engine.Supervise thaws, Snapshot reads —
+// while panics is touched only by worker incarnations (handoff between
+// incarnations is ordered by the supervision mutex).
+type breaker struct {
+	state    atomic.Uint32
+	openedAt atomic.Int64
+	// panics counts budget consumed since the last clean probe/trip.
+	panics int
+}
+
+// AIMD curve constants. The shed level lives in [0, aimdMax]: the
+// fraction min(level, 1) of U-plane data frames is shed, and only the
+// excess above 1 — sustained overload that data shedding alone did not
+// relieve — sheds PRACH. C-plane is never shed.
+const (
+	aimdStep  = 1.0 / 16 // additive increase per admission at/above high water
+	aimdDecay = 0.5      // multiplicative decrease per admission at/below low water
+	aimdMax   = 2.0
+	aimdFloor = 1.0 / 1024 // below this the level snaps to zero
+)
+
+// aimdState is the producer-side AIMD shedding controller. All fields
+// are touched only from the ingress (producer) goroutine; shedding is
+// deterministic — a credit accumulator, not a random draw — so seeded
+// runs replay bit-identically.
+type aimdState struct {
+	high, low float64
+	level     float64
+	// acc / accPr are the shed-credit accumulators for U-plane data and
+	// PRACH respectively: each sheddable frame adds its shed probability,
+	// and a whole credit sheds one frame.
+	acc, accPr float64
+}
+
+// shed applies the AIMD controller to one arriving frame, reporting true
+// when the frame is shed (with the shed accounted).
+func (sh *shard) shed(frame []byte) bool {
+	a := sh.aimd
+	occ := float64(sh.in.queued()) / float64(len(sh.in.buf))
+	switch {
+	case occ >= a.high:
+		if a.level += aimdStep; a.level > aimdMax {
+			a.level = aimdMax
+		}
+	case occ <= a.low:
+		if a.level *= aimdDecay; a.level < aimdFloor {
+			a.level = 0
+		}
+	}
+	if a.level == 0 {
+		return false
+	}
+	plane, prach := fh.PeekShedClass(frame)
+	if plane == fh.PlaneC {
+		return false // C-plane is never shed: a lost C-plane wedges a slot's schedule
+	}
+	if prach {
+		p := a.level - 1
+		if p <= 0 {
+			return false // PRACH sheds only under sustained overload
+		}
+		if a.accPr += p; a.accPr >= 1 {
+			a.accPr--
+			sh.stats.shedPRACH.Add(1)
+			return true
+		}
+		return false
+	}
+	p := a.level
+	if p > 1 {
+		p = 1
+	}
+	if a.acc += p; a.acc >= 1 {
+		a.acc--
+		sh.stats.shedUPlane.Add(1)
+		return true
+	}
+	return false
+}
+
+// Supervise runs one management-plane supervision poll: it thaws open
+// breakers whose cooldown elapsed and restarts shards whose worker has
+// been stuck inside one App invocation for SupervisePolicy.StallAfter.
+// Call it periodically (e.g. from a sim.Ticker) on the producer/
+// scheduler goroutine — the same single-caller contract as Ingress. It
+// is a no-op in deterministic inline mode, where an App stall would
+// block the caller itself and the breaker thaws on the datapath.
+func (e *Engine) Supervise() {
+	if !e.parallel {
+		return
+	}
+	now := e.sched.Now()
+	sup := e.cfg.Supervise
+	for _, sh := range e.shards {
+		if sup.PanicBudget > 0 {
+			sh.thawBreaker(now)
+		}
+		if sup.StallAfter <= 0 {
+			continue
+		}
+		// Progress counters, not timestamps: worker clocks are frozen in
+		// parallel mode, so "stuck" means the invocation counter advanced
+		// past the completion counter and stayed there across polls.
+		w := sh.w
+		seq, done := w.appSeq.Load(), w.appDone.Load()
+		if seq == done {
+			sh.wdSince = 0
+			continue
+		}
+		if seq != sh.wdLastSeq || sh.wdSince == 0 {
+			sh.wdLastSeq, sh.wdSince = seq, now
+			continue
+		}
+		if now.Sub(sh.wdSince) >= sup.StallAfter {
+			e.restartShard(sh, now)
+		}
+	}
+}
+
+// thawBreaker moves an Open breaker whose cooldown elapsed to Half-Open.
+// Supervisor-side counterpart of the worker's breakerAdmits thaw: in
+// parallel mode the workers' clocks are frozen, so only the supervisor
+// observes virtual time advancing.
+func (sh *shard) thawBreaker(now sim.Time) {
+	b := &sh.brk
+	if BreakerState(b.state.Load()) != BreakerOpen {
+		return
+	}
+	if now.Sub(sim.Time(b.openedAt.Load())) < sh.eng.cfg.Supervise.BreakerCooldown {
+		return
+	}
+	if b.state.CompareAndSwap(uint32(BreakerOpen), uint32(BreakerHalfOpen)) {
+		sh.eng.bus.Publish(telemetry.Sample{Name: KPIBreaker, At: now, Value: float64(BreakerHalfOpen)})
+	}
+}
+
+// restartShard performs the hitless shard restart: under the supervision
+// mutex it re-checks the stall, bumps the shard's epoch (which retires
+// the wedged goroutine at its first step back into datapath code),
+// installs a fresh worker incarnation over the same ingress ring, and
+// respawns. Frames still queued in the ring were never popped, so their
+// per-eAxC FIFO order is untouched; the wedged burst's in-flight frames
+// are abandoned with the old incarnation.
+func (e *Engine) restartShard(sh *shard, now sim.Time) {
+	sh.superMu.Lock()
+	w := sh.w
+	if w.appSeq.Load() == w.appDone.Load() {
+		// The worker escaped the App between our poll and the lock; with
+		// the mutex held it cannot be inside the App now — not a stall.
+		sh.superMu.Unlock()
+		sh.wdSince = 0
+		return
+	}
+	sh.epoch.Add(1)
+	sh.stats.shardRestarts.Add(1)
+	if Health(sh.stats.health.Load()) != Stalled {
+		sh.stats.health.Store(uint32(Stalled))
+		e.bus.Publish(telemetry.Sample{Name: KPIHealth, At: now, Value: float64(Stalled)})
+	}
+	nw := newWorker(sh)
+	sh.w = nw
+	sh.wdLastSeq, sh.wdSince = 0, 0
+	sh.spawn(e.stopc)
+	sh.superMu.Unlock()
+}

@@ -1,0 +1,664 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ranbooster/internal/bfp"
+	"ranbooster/internal/ecpri"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/iq"
+	"ranbooster/internal/oran"
+	"ranbooster/internal/sim"
+	"ranbooster/internal/telemetry"
+)
+
+// prachFrame builds an uplink U-plane frame with timing filter index 1 —
+// PRACH traffic, the class the AIMD shedder sacrifices last.
+func prachFrame(t *testing.T, b *fh.Builder, port uint8) []byte {
+	t.Helper()
+	payload, err := bfp.CompressGrid(nil, iq.NewGrid(4), bfp9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := &oran.UPlaneMsg{
+		Timing:   oran.Timing{Direction: oran.Uplink, FilterIndex: 1, FrameID: 1},
+		Sections: []oran.USection{{NumPRB: 4, Comp: bfp9(), Payload: payload}},
+	}
+	return b.UPlane(ecpri.PcID{RUPort: port}, msg)
+}
+
+func TestSupervisePolicyValidation(t *testing.T) {
+	s := sim.NewScheduler()
+	base := Config{Name: "x", Mode: ModeDPDK, App: &forwarder{}, CarrierPRBs: 106}
+
+	cases := []struct {
+		pol  SupervisePolicy
+		want error
+	}{
+		{SupervisePolicy{PanicBudget: -1}, ErrBadPanicBudget},
+		{SupervisePolicy{BreakerCooldown: -time.Millisecond}, ErrBadCooldown},
+		{SupervisePolicy{StallAfter: -time.Millisecond}, ErrBadStallAfter},
+		{SupervisePolicy{ShedHighWater: 0.5, ShedLowWater: 0.5}, ErrBadShedWater},
+		{SupervisePolicy{ShedHighWater: 1.5, ShedLowWater: 0.1}, ErrBadShedWater},
+		{SupervisePolicy{ShedHighWater: 0, ShedLowWater: 0.1}, ErrBadShedWater},
+		{SupervisePolicy{ShedLowWater: -0.1, ShedHighWater: 0.5}, ErrBadShedWater},
+	}
+	for _, c := range cases {
+		cfg := base
+		cfg.Supervise = c.pol
+		if _, err := NewEngine(s, cfg); !errors.Is(err, c.want) {
+			t.Errorf("policy %+v: got %v, want %v", c.pol, err, c.want)
+		}
+	}
+
+	// The zero value is valid and disables everything.
+	e, err := NewEngine(s, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.cfg.Supervise != (SupervisePolicy{}) {
+		t.Fatalf("zero policy resolved to %+v", e.cfg.Supervise)
+	}
+	// PanicBudget defaults the cooldown.
+	cfg := base
+	cfg.Supervise = SupervisePolicy{PanicBudget: 3}
+	e, err = NewEngine(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.cfg.Supervise.BreakerCooldown != DefaultBreakerCooldown {
+		t.Fatalf("cooldown = %v, want default %v", e.cfg.Supervise.BreakerCooldown, DefaultBreakerCooldown)
+	}
+}
+
+// TestPanicIsolationQuarantinesFrame: an App panic on one frame must not
+// unwind the engine — the frame fails to the wire raw and the rest of
+// the traffic processes normally.
+func TestPanicIsolationQuarantinesFrame(t *testing.T) {
+	calls := 0
+	app := appFunc(func(ctx *Context, pkt *fh.Packet) error {
+		calls++
+		if calls == 2 {
+			panic("app bug")
+		}
+		ctx.Forward(pkt)
+		return nil
+	})
+	s := sim.NewScheduler()
+	e, err := NewEngine(s, Config{Name: "mb", Mode: ModeDPDK, App: app, CarrierPRBs: 106,
+		Supervise: SupervisePolicy{PanicBudget: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]byte
+	e.SetOutput(func(f []byte) { out = append(out, f) })
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	frames := [][]byte{
+		uplaneFrame(t, b, oran.Downlink, 0, 1, 10),
+		uplaneFrame(t, b, oran.Downlink, 0, 2, 20),
+		uplaneFrame(t, b, oran.Downlink, 0, 3, 30),
+	}
+	for _, f := range frames {
+		e.Ingress(f)
+	}
+	s.Run()
+	if len(out) != 3 {
+		t.Fatalf("out = %d frames, want 3", len(out))
+	}
+	// The panicked frame reached the wire untouched, in order.
+	if !bytes.Equal(out[1], frames[1]) {
+		t.Fatal("quarantined frame is not byte-identical to its input")
+	}
+	st := e.Snapshot()
+	if st.AppPanics != 1 || st.Quarantined != 1 {
+		t.Fatalf("AppPanics=%d Quarantined=%d, want 1/1", st.AppPanics, st.Quarantined)
+	}
+	if st.Breaker != BreakerClosed {
+		t.Fatalf("breaker = %v, want closed (budget 10, one panic)", st.Breaker)
+	}
+	if st.TxFrames != 3 || st.AppErrors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestPanicWithoutIsolationPropagates: with the zero policy an App panic
+// crashes the engine exactly as before supervision existed.
+func TestPanicWithoutIsolationPropagates(t *testing.T) {
+	app := appFunc(func(ctx *Context, pkt *fh.Packet) error { panic("app bug") })
+	s, e, _ := newDPDK(t, app)
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate with supervision off")
+		}
+	}()
+	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 1, 10))
+	s.Run()
+}
+
+// TestBreakerCycle drives the circuit breaker through its full state
+// machine on the deterministic path: Closed → Open on budget exhaustion,
+// quarantine-only while Open, Half-Open probe after the cooldown, Closed
+// on probe success — all observable through the KPIBreaker samples.
+func TestBreakerCycle(t *testing.T) {
+	bad := true
+	invocations := 0
+	app := appFunc(func(ctx *Context, pkt *fh.Packet) error {
+		invocations++
+		if bad {
+			panic("app bug")
+		}
+		ctx.Forward(pkt)
+		return nil
+	})
+	s := sim.NewScheduler()
+	e, err := NewEngine(s, Config{Name: "mb", Mode: ModeDPDK, App: app, CarrierPRBs: 106,
+		Supervise: SupervisePolicy{PanicBudget: 2, BreakerCooldown: time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetOutput(func([]byte) {})
+	rec := telemetry.NewRecorder()
+	rec.Attach(e.Bus(), KPIBreaker)
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	frame := func() []byte { return uplaneFrame(t, b, oran.Downlink, 0, 1, 10) }
+
+	// Two panics exhaust the budget: the breaker opens.
+	e.Ingress(frame())
+	e.Ingress(frame())
+	if st := e.Snapshot(); st.Breaker != BreakerOpen || st.AppPanics != 2 {
+		t.Fatalf("after budget: breaker=%v panics=%d, want open/2", st.Breaker, st.AppPanics)
+	}
+	// Open: frames quarantine without touching the App.
+	e.Ingress(frame())
+	if invocations != 2 {
+		t.Fatalf("open breaker still invoked the app (%d invocations)", invocations)
+	}
+	if st := e.Snapshot(); st.Quarantined != 3 {
+		t.Fatalf("Quarantined = %d, want 3", st.Quarantined)
+	}
+	// Cooldown elapses; the next frame is the Half-Open probe. The App
+	// has been fixed, so the probe closes the breaker.
+	s.RunFor(2 * time.Millisecond)
+	bad = false
+	e.Ingress(frame())
+	if invocations != 3 {
+		t.Fatalf("probe never reached the app (%d invocations)", invocations)
+	}
+	if st := e.Snapshot(); st.Breaker != BreakerClosed {
+		t.Fatalf("after probe: breaker = %v, want closed", st.Breaker)
+	}
+	s.Run()
+
+	var states []BreakerState
+	for _, smp := range rec.Series(KPIBreaker) {
+		states = append(states, BreakerState(smp.Value))
+	}
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(states) != len(want) {
+		t.Fatalf("KPI transitions = %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("KPI transitions = %v, want %v", states, want)
+		}
+	}
+}
+
+// TestBreakerReopensOnFailedProbe: a panic on the Half-Open probe
+// re-opens the breaker instead of closing it.
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	app := appFunc(func(ctx *Context, pkt *fh.Packet) error { panic("still broken") })
+	s := sim.NewScheduler()
+	e, err := NewEngine(s, Config{Name: "mb", Mode: ModeDPDK, App: app, CarrierPRBs: 106,
+		Supervise: SupervisePolicy{PanicBudget: 1, BreakerCooldown: time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetOutput(func([]byte) {})
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 1, 10)) // opens
+	s.RunFor(2 * time.Millisecond)
+	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 1, 10)) // probe panics
+	if st := e.Snapshot(); st.Breaker != BreakerOpen || st.AppPanics != 2 {
+		t.Fatalf("breaker=%v panics=%d, want re-opened/2", st.Breaker, st.AppPanics)
+	}
+}
+
+// TestBurstPanicQuarantinesBurst: a HandleBurst panic poisons the whole
+// burst — every parked frame fails to the wire raw, in order.
+func TestBurstPanicQuarantinesBurst(t *testing.T) {
+	app := &panickyBurst{}
+	s := sim.NewScheduler()
+	e, err := NewEngine(s, Config{Name: "mb", Mode: ModeDPDK, App: app, CarrierPRBs: 106,
+		RingSize: 64, Burst: BurstPolicy{Batch: 8}, Supervise: SupervisePolicy{PanicBudget: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]byte
+	e.SetOutput(func(f []byte) { out = append(out, f) })
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	frames := make([][]byte, 4)
+	for i := range frames {
+		frames[i] = uplaneFrame(t, b, oran.Downlink, 0, uint8(i), int16(10*i+10))
+	}
+	drainDirect(t, e, frames)
+	if len(out) != 4 {
+		t.Fatalf("out = %d frames, want 4", len(out))
+	}
+	for i := range frames {
+		if !bytes.Equal(out[i], frames[i]) {
+			t.Fatalf("quarantined frame %d differs from its input", i)
+		}
+	}
+	st := e.Snapshot()
+	if st.AppPanics != 1 || st.Quarantined != 4 {
+		t.Fatalf("AppPanics=%d Quarantined=%d, want 1/4", st.AppPanics, st.Quarantined)
+	}
+}
+
+// panickyBurst is a BurstApp whose burst handler always panics.
+type panickyBurst struct{}
+
+func (p *panickyBurst) Name() string                             { return "panicky" }
+func (p *panickyBurst) Handle(*Context, *fh.Packet) error        { panic("per-frame") }
+func (p *panickyBurst) HandleBurst(*Context, []*fh.Packet) error { panic("burst bug") }
+
+// TestAIMDShedding drives the adaptive shedder whitebox: sustained high
+// ring occupancy raises the shed level (U-plane data first, PRACH only
+// past level 1), C-plane is never shed, and low occupancy decays the
+// level back to zero.
+func TestAIMDShedding(t *testing.T) {
+	s := sim.NewScheduler()
+	e, err := NewEngine(s, Config{Name: "mb", Mode: ModeDPDK, App: &forwarder{}, CarrierPRBs: 106,
+		RingSize: 64, Supervise: SupervisePolicy{ShedHighWater: 0.5, ShedLowWater: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetOutput(func([]byte) {})
+	sh := e.shards[0]
+	if sh.aimd == nil {
+		t.Fatal("AIMD controller not armed")
+	}
+	// Park the engine in parallel mode without workers so admissions
+	// accumulate in the ring instead of draining inline.
+	e.parallel = true
+	defer func() { e.parallel = false }()
+
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	data := uplaneFrame(t, b, oran.Uplink, 0, 1, 10)
+	prach := prachFrame(t, b, 0)
+	cplane := cplaneFrame(t, b, oran.Downlink, 0)
+
+	// Fill to the high water mark: every admission from here on raises
+	// the level additively.
+	for sh.in.queued() < 32 {
+		if !sh.enqueue(data) {
+			t.Fatal("ring full during fill")
+		}
+	}
+	// Push the level to 1.0 (16 admissions at +1/16): all data credit.
+	for i := 0; i < 16; i++ {
+		sh.admit(data)
+	}
+	if lvl := sh.aimd.level; lvl < 0.99 {
+		t.Fatalf("level = %.3f after 16 high-occupancy admissions, want ~1", lvl)
+	}
+	st := e.Snapshot()
+	if st.ShedUPlane == 0 {
+		t.Fatal("no U-plane data shed at level ~1")
+	}
+	if st.ShedPRACH != 0 {
+		t.Fatalf("PRACH shed at level <= 1 (%d)", st.ShedPRACH)
+	}
+	// PRACH is spared until the level exceeds 1 — sustained overload.
+	sh.admit(prach)
+	if e.Snapshot().ShedPRACH != 0 {
+		t.Fatal("PRACH shed before sustained overload")
+	}
+	for i := 0; i < 32; i++ {
+		sh.admit(data)
+	}
+	if lvl := sh.aimd.level; lvl < 1.5 {
+		t.Fatalf("level = %.3f after sustained overload, want > 1.5", lvl)
+	}
+	shedBefore := e.Snapshot().ShedPRACH
+	for i := 0; i < 8; i++ {
+		sh.admit(prach)
+	}
+	if e.Snapshot().ShedPRACH == shedBefore {
+		t.Fatal("no PRACH shed under sustained overload")
+	}
+	// C-plane is never shed, at any level.
+	for i := 0; i < 8; i++ {
+		if sh.shed(cplane) {
+			t.Fatal("C-plane frame shed")
+		}
+	}
+	// Drain the ring below the low water mark: the level decays to zero.
+	for sh.in.queued() > 8 {
+		sh.in.pop()
+	}
+	for i := 0; i < 16; i++ {
+		sh.shed(cplane) // C-plane probes update the level without shedding
+	}
+	if lvl := sh.aimd.level; lvl != 0 {
+		t.Fatalf("level = %.4f after decay, want 0", lvl)
+	}
+}
+
+// TestAIMDCleanWorkloadZeroSheds: hysteresis means a workload that never
+// crosses the high water mark sees no sheds at all.
+func TestAIMDCleanWorkloadZeroSheds(t *testing.T) {
+	s := sim.NewScheduler()
+	e, err := NewEngine(s, Config{Name: "mb", Mode: ModeDPDK, App: &forwarder{}, CarrierPRBs: 106,
+		RingSize: 64, Supervise: SupervisePolicy{ShedHighWater: 0.75, ShedLowWater: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetOutput(func([]byte) {})
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	for i := 0; i < 2000; i++ {
+		e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, uint8(i%14), 10))
+	}
+	s.Run()
+	st := e.Snapshot()
+	if st.ShedUPlane != 0 || st.ShedPRACH != 0 || st.RingDrops != 0 {
+		t.Fatalf("clean workload shed frames: %+v", st)
+	}
+	if st.RxFrames != 2000 || st.TxFrames != 2000 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// wedgeApp blocks Handle exactly once, on the first frame whose RU port
+// matches, until release is closed. entered signals the block began.
+type wedgeApp struct {
+	port    uint8
+	armed   atomic.Bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newWedgeApp(port uint8) *wedgeApp {
+	w := &wedgeApp{port: port, entered: make(chan struct{}), release: make(chan struct{})}
+	w.armed.Store(true)
+	return w
+}
+
+func (a *wedgeApp) Name() string { return "wedge" }
+func (a *wedgeApp) Handle(ctx *Context, pkt *fh.Packet) error {
+	if pkt.EAxC().RUPort == a.port && a.armed.CompareAndSwap(true, false) {
+		close(a.entered)
+		<-a.release
+	}
+	ctx.Forward(pkt)
+	return nil
+}
+
+// TestWatchdogRestartsStalledShard wedges one shard's worker inside
+// Handle and requires the supervisor to detect the stall, restart the
+// shard hitlessly, and keep per-eAxC FIFO order for the frames that were
+// still queued behind the wedge.
+func TestWatchdogRestartsStalledShard(t *testing.T) {
+	const stallAfter = time.Millisecond
+	app := newWedgeApp(1)
+	s := sim.NewScheduler()
+	e, err := NewEngine(s, Config{Name: "mb", Mode: ModeDPDK, Cores: 2, App: app,
+		CarrierPRBs: 106, RingSize: 64, Supervise: SupervisePolicy{StallAfter: stallAfter}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outMu sync.Mutex
+	var outSeq []int // FrameID*16+Subframe of port-1 emissions, in order
+	e.SetOutput(func(f []byte) {
+		var p fh.Packet
+		if p.Decode(f) != nil {
+			return
+		}
+		if p.EAxC().RUPort != 1 {
+			return
+		}
+		tm, err := p.Timing()
+		if err != nil {
+			return
+		}
+		outMu.Lock()
+		outSeq = append(outSeq, int(tm.FrameID)*16+int(tm.SubframeID))
+		outMu.Unlock()
+	})
+	rec := telemetry.NewRecorder()
+	rec.Attach(e.Bus(), KPIHealth)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer close(app.release)
+
+	b1 := fh.NewBuilder(duMAC, ruMAC, -1)
+	// Frame 0 wedges the port-1 shard.
+	for !e.TryIngress(seqFrame(t, b1, 1, 0)) {
+		runtime.Gosched()
+	}
+	<-app.entered
+	// Followers queue behind the wedge, never popped by the stuck worker.
+	for i := 1; i <= 8; i++ {
+		for !e.TryIngress(seqFrame(t, b1, 1, i)) {
+			runtime.Gosched()
+		}
+	}
+	// Supervision polls on the scheduler goroutine: within StallAfter
+	// plus one poll interval the stall is detected and the shard
+	// restarted.
+	for i := 0; i < 10 && e.Snapshot().ShardRestarts == 0; i++ {
+		s.RunFor(stallAfter)
+		e.Supervise()
+	}
+	st := e.Snapshot()
+	if st.ShardRestarts != 1 {
+		t.Fatalf("ShardRestarts = %d, want 1", st.ShardRestarts)
+	}
+	if st.Health != Stalled {
+		t.Fatalf("health = %v after restart, want stalled", st.Health)
+	}
+	if smp, ok := rec.Last(KPIHealth); !ok || Health(smp.Value) != Stalled {
+		t.Fatal("no Stalled KPIHealth sample published on restart")
+	}
+	// The fresh incarnation drains the queued followers; Stop joins it.
+	e.Stop()
+	outMu.Lock()
+	got := append([]int(nil), outSeq...)
+	outMu.Unlock()
+	// Frame 0 was abandoned mid-Handle with the wedged incarnation; the
+	// 8 followers must all emerge, in FIFO order.
+	if len(got) != 8 {
+		t.Fatalf("port-1 emissions = %v, want the 8 followers", got)
+	}
+	for i, seq := range got {
+		if seq != i+1 {
+			t.Fatalf("port-1 order = %v — FIFO violated across restart", got)
+		}
+	}
+}
+
+// TestHealthMergeSupervision: a shard restart reports Stalled, merges
+// max-wise with another shard's Degraded through Snapshot, and steps
+// back down over clean health windows.
+func TestHealthMergeSupervision(t *testing.T) {
+	const stallAfter = time.Millisecond
+	app := newWedgeApp(1)
+	s := sim.NewScheduler()
+	e, err := NewEngine(s, Config{Name: "mb", Mode: ModeDPDK, Cores: 2, App: app,
+		CarrierPRBs: 106, RingSize: 256, Supervise: SupervisePolicy{StallAfter: stallAfter}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetOutput(func([]byte) {})
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer close(app.release)
+
+	// Shard 0 is Degraded (transport faults observed in a past window).
+	e.shards[0].stats.health.Store(uint32(Degraded))
+
+	b1 := fh.NewBuilder(duMAC, ruMAC, -1)
+	for !e.TryIngress(seqFrame(t, b1, 1, 0)) {
+		runtime.Gosched()
+	}
+	<-app.entered
+	for i := 0; i < 10 && e.Snapshot().ShardRestarts == 0; i++ {
+		s.RunFor(stallAfter)
+		e.Supervise()
+	}
+	// One shard restarting (Stalled) while the other is Degraded: the
+	// engine reports the max.
+	if st := e.Snapshot(); st.ShardRestarts != 1 || st.Health != Stalled {
+		t.Fatalf("mid-restart: restarts=%d health=%v, want 1/stalled", st.ShardRestarts, st.Health)
+	}
+	// Clean traffic through the restarted shard steps it down one level
+	// per health window: Stalled → Degraded → Healthy. Shard 0 stays
+	// Degraded (no windows close there), so the merge floors at Degraded.
+	// Frames are pre-built: a retried TryIngress must resend the same
+	// frame, not burn a fresh builder sequence number.
+	clean := make([][]byte, 3*healthWindow)
+	for i := range clean {
+		clean[i] = seqFrame(t, b1, 1, i+1)
+	}
+	for _, f := range clean {
+		for !e.TryIngress(f) {
+			runtime.Gosched()
+		}
+	}
+	e.Stop()
+	if h := Health(e.shards[1].stats.health.Load()); h != Healthy {
+		t.Fatalf("restarted shard health = %v after clean windows, want healthy", h)
+	}
+	if st := e.Snapshot(); st.Health != Degraded {
+		t.Fatalf("merged health = %v, want degraded (shard 0)", st.Health)
+	}
+}
+
+// TestBreakerDegradesHealth: a non-Closed breaker clamps the shard's
+// health at Degraded even over otherwise clean windows.
+func TestBreakerDegradesHealth(t *testing.T) {
+	bad := true
+	app := appFunc(func(ctx *Context, pkt *fh.Packet) error {
+		if bad {
+			panic("app bug")
+		}
+		ctx.Forward(pkt)
+		return nil
+	})
+	s := sim.NewScheduler()
+	e, err := NewEngine(s, Config{Name: "mb", Mode: ModeDPDK, App: app, CarrierPRBs: 106,
+		Supervise: SupervisePolicy{PanicBudget: 1, BreakerCooldown: time.Hour}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetOutput(func([]byte) {})
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	// One panic opens the breaker; enough clean windows follow that the
+	// health machine would otherwise step down to Healthy.
+	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 1, 10))
+	bad = false
+	for i := 0; i < 3*healthWindow; i++ {
+		e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, uint8(i%14), 10))
+	}
+	s.Run()
+	st := e.Snapshot()
+	if st.Breaker != BreakerOpen {
+		t.Fatalf("breaker = %v, want open (hour-long cooldown)", st.Breaker)
+	}
+	if st.Health != Degraded {
+		t.Fatalf("health = %v with an open breaker, want degraded", st.Health)
+	}
+}
+
+// TestSupervisedBurstPathAllocs re-runs the burst allocation gate with
+// panic isolation armed: the recover boundary must not cost the hot path
+// a single allocation — the budget stays at one fresh packet per frame.
+func TestSupervisedBurstPathAllocs(t *testing.T) {
+	const batch = 32
+	s := sim.NewScheduler()
+	e, err := NewEngine(s, Config{Name: "mb", Mode: ModeDPDK, App: &forwarder{},
+		CarrierPRBs: 106, RingSize: 256, Burst: BurstPolicy{Batch: batch},
+		Supervise: SupervisePolicy{PanicBudget: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetOutput(func([]byte) {})
+	e.parallel = true
+	defer func() { e.parallel = false }()
+	sh := e.shards[0]
+	if !sh.w.isolate {
+		t.Fatal("panic isolation not armed")
+	}
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	frame := uplaneFrame(t, b, oran.Downlink, 0, 3, 100)
+	fill := func() {
+		for i := 0; i < batch; i++ {
+			if !sh.enqueue(frame) {
+				t.Fatal("ring full")
+			}
+		}
+		sh.drain(batch)
+	}
+	for i := 0; i < 64; i++ {
+		fill()
+	}
+	sh.resetLatency()
+	if avg := testing.AllocsPerRun(50, fill); avg > batch {
+		t.Fatalf("supervised burst path allocates %.1f objects per %d-frame burst, budget %d (1/frame)", avg, batch, batch)
+	}
+}
+
+// TestSupervisionMetricsExported: the supervision counters and the
+// breaker gauge must appear in the Prometheus export alongside the
+// classic engine series.
+func TestSupervisionMetricsExported(t *testing.T) {
+	calls := 0
+	app := appFunc(func(ctx *Context, pkt *fh.Packet) error {
+		calls++
+		if calls == 1 {
+			panic("app bug")
+		}
+		ctx.Forward(pkt)
+		return nil
+	})
+	s := sim.NewScheduler()
+	e, err := NewEngine(s, Config{Name: "mb", Mode: ModeDPDK, App: app, CarrierPRBs: 106,
+		Supervise: SupervisePolicy{PanicBudget: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 1, 10))
+	s.Run()
+
+	var buf bytes.Buffer
+	e.WriteMetrics(telemetry.NewPromWriter(&buf))
+	got := buf.String()
+	for _, series := range []string{
+		"ranbooster_app_panics_total",
+		"ranbooster_quarantined_total",
+		"ranbooster_shard_restarts_total",
+		"ranbooster_shed_total",
+		"ranbooster_shed_prach_total",
+		"ranbooster_breaker_state",
+	} {
+		if !strings.Contains(got, series) {
+			t.Errorf("metrics export is missing %s", series)
+		}
+	}
+	// The budget-1 panic opened the breaker: the gauge must read Open.
+	if !strings.Contains(got, `ranbooster_breaker_state{engine="mb",mode="DPDK"} 2`) {
+		t.Errorf("breaker gauge does not read open (2):\n%s", got)
+	}
+}

@@ -2,18 +2,22 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"ranbooster/internal/air"
 	"ranbooster/internal/apps/resilience"
+	"ranbooster/internal/bfp"
 	"ranbooster/internal/core"
 	"ranbooster/internal/ecpri"
 	"ranbooster/internal/eth"
 	"ranbooster/internal/fault"
 	"ranbooster/internal/fh"
+	"ranbooster/internal/iq"
 	"ranbooster/internal/oran"
 	"ranbooster/internal/phy"
 	"ranbooster/internal/radio"
+	"ranbooster/internal/sim"
 	"ranbooster/internal/telemetry"
 	"ranbooster/internal/testbed"
 )
@@ -37,6 +41,9 @@ func Chaos() *Table {
 	chaosFailover(t)
 	chaosLossAccuracy(t)
 	chaosReorderPRACH(t)
+	chaosPanicIsolation(t)
+	chaosStallDetection(t)
+	chaosShedAIMD(t)
 	return t
 }
 
@@ -200,4 +207,221 @@ func chaosReorderPRACH(t *Table) {
 		fmt.Sprintf("prach muxed %d, reordered frames %d (engine saw %d late)",
 			dep.App.PRACHMuxed.Load(), inj.Stats().Reordered, st.Reordered))
 	t.Note("all scenarios replay bit-identically from the fixed seeds (400..402)")
+}
+
+// supForward is the identity App for the supervision scenarios: every
+// frame is forwarded untouched, so any frame that fails to reach the
+// output was lost by the engine, not the workload.
+type supForward struct{}
+
+func (supForward) Name() string { return "sup-fwd" }
+func (supForward) Handle(ctx *core.Context, pkt *fh.Packet) error {
+	ctx.Forward(pkt)
+	return nil
+}
+
+// supUplane builds one downlink U-plane frame with a payload derived
+// from fill.
+func supUplane(b *fh.Builder, fill int16) []byte {
+	g := iq.NewGrid(4)
+	for i := range g {
+		for j := range g[i] {
+			g[i][j] = iq.Sample{I: fill, Q: -fill}
+		}
+	}
+	payload, err := bfp.CompressGrid(nil, g, testbed.BFP9())
+	if err != nil {
+		panic(err)
+	}
+	return b.UPlane(ecpri.PcID{}, &oran.UPlaneMsg{
+		Timing:   oran.Timing{Direction: oran.Downlink, FrameID: uint8(fill), SymbolID: uint8(fill) % 14},
+		Sections: []oran.USection{{NumPRB: 4, Comp: testbed.BFP9(), Payload: payload}},
+	})
+}
+
+// supPRACH builds one uplink PRACH-occasion frame (FilterIndex 1).
+func supPRACH(b *fh.Builder, fill int16) []byte {
+	g := iq.NewGrid(4)
+	for i := range g {
+		for j := range g[i] {
+			g[i][j] = iq.Sample{I: fill, Q: fill}
+		}
+	}
+	payload, err := bfp.CompressGrid(nil, g, testbed.BFP9())
+	if err != nil {
+		panic(err)
+	}
+	return b.UPlane(ecpri.PcID{}, &oran.UPlaneMsg{
+		Timing:   oran.Timing{Direction: oran.Uplink, FilterIndex: 1, FrameID: uint8(fill)},
+		Sections: []oran.USection{{NumPRB: 4, Comp: testbed.BFP9(), Payload: payload}},
+	})
+}
+
+// supCPlane builds one downlink C-plane frame.
+func supCPlane(b *fh.Builder, fill int16) []byte {
+	return b.CPlane(ecpri.PcID{}, &oran.CPlaneMsg{
+		Timing:      oran.Timing{Direction: oran.Downlink, FrameID: uint8(fill)},
+		SectionType: oran.SectionType1,
+		Comp:        testbed.BFP9(),
+		Sections:    []oran.CSection{{NumPRB: 106, ReMask: 0xfff, NumSymbol: 14}},
+	})
+}
+
+// chaosPanicIsolation: the App panics on a deterministic schedule while
+// the engine runs with panic isolation on. The claim under test is
+// fail-to-wire: no matter the panic rate, every offered frame reaches the
+// output — forwarded by the App or quarantined to raw passthrough — and
+// the circuit breaker cycles instead of the process crashing.
+func chaosPanicIsolation(t *Table) {
+	for _, every := range []int{100, 1000} {
+		const offered = 5000
+		s := sim.NewScheduler()
+		app, stats := fault.PanicEvery(supForward{}, every, 7)
+		eng, err := core.NewEngine(s, core.Config{
+			Name: "sup-panic", Mode: core.ModeDPDK, App: app, CarrierPRBs: 106,
+			Supervise: core.SupervisePolicy{PanicBudget: 3},
+		})
+		if err != nil {
+			panic(err)
+		}
+		tx := 0
+		eng.SetOutput(func([]byte) { tx++ })
+		b := fh.NewBuilder(eth.MAC{2, 0, 0, 0, 0, 1}, eth.MAC{2, 0, 0, 0, 0, 2}, -1)
+		for i := 0; i < offered; i++ {
+			eng.Ingress(supUplane(b, int16(i)))
+			// Advance virtual time at the frame cadence so the breaker
+			// cooldown can elapse on the datapath clock.
+			s.RunFor(10 * time.Microsecond)
+		}
+		s.Run()
+		st := eng.Snapshot()
+		t.AddRow(
+			fmt.Sprintf("panic isolation @ 1 panic / %d calls", every),
+			fmt.Sprintf("app panics every %dth call, budget 3", every),
+			fmt.Sprintf("%d of %d frames lost", offered-tx, offered),
+			fmt.Sprintf("panics %d, quarantined %d, breaker %v at end", st.AppPanics, st.Quarantined, st.Breaker))
+		_ = stats
+	}
+}
+
+// chaosStallDetection: the App wedges forever on one call; the shard
+// watchdog must declare the stall and restart the shard within StallAfter
+// plus the poll granularity. Detection latency is measured from the first
+// supervision poll that observes the wedge to the poll that restarts.
+func chaosStallDetection(t *Table) {
+	for _, stallAfter := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond} {
+		poll := stallAfter / 4
+		s := sim.NewScheduler()
+		app, stall := fault.StallFor(supForward{}, 40)
+		eng, err := core.NewEngine(s, core.Config{
+			Name: "sup-stall", Mode: core.ModeDPDK, Cores: 1, App: app,
+			CarrierPRBs: 106, RingSize: 256,
+			Supervise: core.SupervisePolicy{StallAfter: stallAfter},
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := eng.Start(); err != nil {
+			panic(err)
+		}
+		b := fh.NewBuilder(eth.MAC{2, 0, 0, 0, 0, 1}, eth.MAC{2, 0, 0, 0, 0, 2}, -1)
+		var tWedge, tRestart sim.Time
+		step := func() {
+			// Yield so the single-P runtime schedules the worker between
+			// virtual-time polls.
+			for i := 0; i < 8; i++ {
+				runtime.Gosched()
+			}
+			s.RunFor(poll)
+			eng.Supervise()
+			if tWedge == 0 && stall.Stalled() {
+				tWedge = s.Now()
+			}
+			if tRestart == 0 && eng.Snapshot().ShardRestarts > 0 {
+				tRestart = s.Now()
+			}
+		}
+		for i := 0; i < 200; i++ {
+			f := supUplane(b, int16(i))
+			for !eng.TryIngress(f) {
+				step()
+			}
+			step()
+		}
+		for i := 0; i < 1000 && tRestart == 0; i++ {
+			step()
+		}
+		stall.Release()
+		eng.Stop()
+		bound := stallAfter + 2*poll
+		if tRestart == 0 {
+			t.AddRow(fmt.Sprintf("stall watchdog (StallAfter %v)", stallAfter),
+				"app wedges on call 40", "NO RESTART", "watchdog never tripped")
+			continue
+		}
+		t.AddRow(
+			fmt.Sprintf("stall watchdog (StallAfter %v)", stallAfter),
+			fmt.Sprintf("app wedges on call 40, poll %v", poll),
+			fmt.Sprintf("shard restarted %v after the wedge was observable", tRestart.Sub(tWedge)),
+			fmt.Sprintf("bound StallAfter + 2 polls = %v; restarts %d", bound, eng.Snapshot().ShardRestarts))
+	}
+}
+
+// chaosShedAIMD: offered load against a wedged consumer, AIMD shedding
+// versus the static C-plane headroom. The worker is deterministically
+// wedged on its first frame, then the ring absorbs the offered mix (6/8
+// U-plane data, 1/8 PRACH, 1/8 C-plane) with no consumer: the AIMD
+// controller should shed data first, touch PRACH only past sustained
+// overload, and never shed C-plane.
+func chaosShedAIMD(t *Table) {
+	policies := []struct {
+		name string
+		sup  core.SupervisePolicy
+	}{
+		{"AIMD low 0.25 / high 0.75", core.SupervisePolicy{ShedHighWater: 0.75, ShedLowWater: 0.25}},
+		{"static headroom (1/8 ring)", core.SupervisePolicy{}},
+	}
+	for _, pol := range policies {
+		for _, offered := range []int{96, 192, 288} {
+			const ring = 256
+			s := sim.NewScheduler()
+			app, stall := fault.StallFor(supForward{}, 1)
+			eng, err := core.NewEngine(s, core.Config{
+				Name: "sup-shed", Mode: core.ModeDPDK, Cores: 1, App: app,
+				CarrierPRBs: 106, RingSize: ring, Supervise: pol.sup,
+			})
+			if err != nil {
+				panic(err)
+			}
+			if err := eng.Start(); err != nil {
+				panic(err)
+			}
+			b := fh.NewBuilder(eth.MAC{2, 0, 0, 0, 0, 1}, eth.MAC{2, 0, 0, 0, 0, 2}, -1)
+			// Wedge the worker on a sacrificial frame so ring occupancy
+			// during the offered burst is deterministic.
+			eng.Ingress(supUplane(b, -1))
+			for i := 0; i < 1<<22 && !stall.Stalled(); i++ {
+				runtime.Gosched()
+			}
+			for i := 0; i < offered; i++ {
+				switch i % 8 {
+				case 3:
+					eng.Ingress(supPRACH(b, int16(i)))
+				case 7:
+					eng.Ingress(supCPlane(b, int16(i)))
+				default:
+					eng.Ingress(supUplane(b, int16(i)))
+				}
+			}
+			st := eng.Snapshot()
+			stall.Release()
+			eng.Stop()
+			t.AddRow(
+				fmt.Sprintf("overload shedding, %s", pol.name),
+				fmt.Sprintf("%d frames at a dead consumer (ring %d)", offered, ring),
+				fmt.Sprintf("shed %d data + %d PRACH, dropped %d", st.ShedUPlane, st.ShedPRACH, st.RingDrops),
+				fmt.Sprintf("occupancy offered %.2f of ring; C-plane never shed", float64(offered)/ring))
+		}
+	}
+	t.Note("supervision scenarios (panic, stall, shed) are deterministic by construction: fixed injector schedules, virtual-time polls")
 }

@@ -177,6 +177,43 @@ func PeekPlane(frame []byte) Plane {
 	return PlaneUnknown
 }
 
+// PeekShedClass classifies a raw frame for the adaptive shedder: the
+// plane, and for U-plane frames whether the payload is PRACH (timing
+// filter index 1), which the shedder sacrifices last. Like PeekPlane it
+// reads only fixed-offset bytes — the Ethernet type (skipping one
+// optional 802.1Q tag), the eCPRI message-type byte, and the first
+// payload byte holding the O-RAN filter index — so it is cheap enough
+// for the ingress admission path. prach is meaningful only for PlaneU.
+func PeekShedClass(frame []byte) (plane Plane, prach bool) {
+	if len(frame) < eth.HeaderLen {
+		return PlaneUnknown, false
+	}
+	off := eth.HeaderLen
+	et := binary.BigEndian.Uint16(frame[12:14])
+	if et == eth.TypeVLAN {
+		if len(frame) < eth.VLANHeaderLen {
+			return PlaneUnknown, false
+		}
+		off = eth.VLANHeaderLen
+		et = binary.BigEndian.Uint16(frame[16:18])
+	}
+	if et != eth.TypeECPRI || len(frame) < off+ecpri.HeaderLen {
+		return PlaneUnknown, false
+	}
+	switch ecpri.MessageType(frame[off+1]) {
+	case ecpri.MsgRTControl:
+		return PlaneC, false
+	case ecpri.MsgIQData:
+		if len(frame) < off+ecpri.HeaderLen+1 {
+			return PlaneU, false
+		}
+		// Byte 0 of the O-RAN application header: dataDirection,
+		// payloadVersion, filterIndex (low nibble). PRACH = index 1.
+		return PlaneU, frame[off+ecpri.HeaderLen]&0x0f == 1
+	}
+	return PlaneUnknown, false
+}
+
 // Key identifies the (symbol, eAxC, direction) a packet belongs to — the
 // cache key of RANBooster's A3 action: the DAS middlebox collects all RU
 // uplink packets for the same key before merging them.

@@ -95,6 +95,14 @@ type (
 	KernelProgram = core.KernelProgram
 	// KernelRule is one rule of a KernelProgram.
 	KernelRule = core.Rule
+	// SupervisePolicy tunes engine supervision (EngineConfig.Supervise):
+	// App panic isolation with a per-shard circuit breaker, the shard
+	// stall watchdog behind Engine.Supervise, and AIMD overload shedding.
+	// The zero value disables all three.
+	SupervisePolicy = core.SupervisePolicy
+	// BreakerState is the panic-isolation circuit breaker's position
+	// (EngineStats.Breaker, and the KPIBreaker telemetry series).
+	BreakerState = core.BreakerState
 	// MAC is an Ethernet address.
 	MAC = eth.MAC
 )
@@ -119,6 +127,15 @@ var (
 	ErrSerialApp = core.ErrSerialApp
 	// ErrRunning rejects Start on an already-started engine.
 	ErrRunning = core.ErrRunning
+	// ErrBadPanicBudget rejects a negative SupervisePolicy.PanicBudget.
+	ErrBadPanicBudget = core.ErrBadPanicBudget
+	// ErrBadCooldown rejects a negative SupervisePolicy.BreakerCooldown.
+	ErrBadCooldown = core.ErrBadCooldown
+	// ErrBadStallAfter rejects a negative SupervisePolicy.StallAfter.
+	ErrBadStallAfter = core.ErrBadStallAfter
+	// ErrBadShedWater rejects AIMD shed watermarks outside
+	// 0 <= low < high <= 1.
+	ErrBadShedWater = core.ErrBadShedWater
 )
 
 // Datapath modes.
@@ -126,6 +143,20 @@ const (
 	ModeDPDK = core.ModeDPDK
 	ModeXDP  = core.ModeXDP
 )
+
+// Circuit breaker states (EngineStats.Breaker), ordered by severity.
+const (
+	BreakerClosed   = core.BreakerClosed
+	BreakerHalfOpen = core.BreakerHalfOpen
+	BreakerOpen     = core.BreakerOpen
+)
+
+// DefaultBreakerCooldown is the Open → Half-Open delay used when panic
+// isolation is enabled without an explicit SupervisePolicy.BreakerCooldown.
+const DefaultBreakerCooldown = core.DefaultBreakerCooldown
+
+// KPIBreaker is the telemetry series name of breaker transitions.
+const KPIBreaker = core.KPIBreaker
 
 // NewEngine builds and verifies a middlebox engine.
 var NewEngine = core.NewEngine
