@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet ranvet lint test race short chaos chaos-supervise bench fuzz check
+.PHONY: all build vet ranvet lint test race short chaos chaos-supervise soak scale-smoke bench fuzz check
 
 all: check
 
@@ -56,12 +56,30 @@ chaos-supervise:
 	$(GO) test ./internal/fault/ -race -run 'TestChaosSupervisionAcceptance|TestPanicEvery|TestStall' -count=1
 	$(GO) test ./internal/experiments/ -run TestSuperviseScenarios -count=1 -v
 
+# Metro soak: the full 10k-slot chained-middlebox scenario — hundreds of
+# RUs over a multi-hop fabric — asserting frame conservation at every
+# hop, per-eAxC FIFO end to end, and zero goroutine leaks. Seeded and
+# sim-clocked; -short (the CI unit pass) runs a 1k-slot cut.
+soak:
+	$(GO) test ./internal/testbed/ -run 'TestMetro' -count=1 -v
+
+# Scale smoke: the small metro configurations and the work-stealing
+# admission tests under the race detector, plus a fixed-iteration pass
+# over the skewed-load scale bench (catches panics and alloc
+# regressions; timing is judged only by the BENCH_8.json snapshots).
+scale-smoke:
+	$(GO) test ./internal/testbed/ -race -short -run 'TestMetro' -count=1
+	$(GO) test ./internal/core/ -race -short -run 'TestWorkSteal|TestScalePolicy' -count=1
+	$(GO) test -run '^$$' -bench EngineScale -benchtime 100x .
+
 # Bench regression snapshot: runs the engine benchmark matrix (parallel
 # and traced at 1/2/4 cores, plus the burst axis at batch 16/32/64) and
-# the BFP codec microbenchmarks, recording them to BENCH_6.json. The <5%
+# the BFP codec microbenchmarks, recording them to BENCH_6.json; then
+# the metro-scale axis (streams × shards × chain depth, plus the
+# hash-vs-worksteal skew comparison) to BENCH_8.json. The <5%
 # tracing-overhead gate itself runs as a test (internal/benchreg).
 bench:
-	$(GO) run ./cmd/benchreg -o BENCH_6.json
+	$(GO) run ./cmd/benchreg -o BENCH_6.json -scale-o BENCH_8.json
 
 # FUZZTIME bounds each fuzz target; the wire-format dissectors must never
 # panic however mangled the frame.
@@ -72,4 +90,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzUPlane -fuzztime $(FUZZTIME) ./internal/oran
 	$(GO) test -run '^$$' -fuzz FuzzBFPDecode -fuzztime $(FUZZTIME) ./internal/bfp
 
-check: lint build race
+check: lint build race scale-smoke

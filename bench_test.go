@@ -83,6 +83,24 @@ func BenchmarkEngineTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineScale is the skewed-load admission axis: four hot eAxC
+// streams whose RU-port nibbles collide on one shard under the static
+// hash, driven through the static layout and the work-stealing pool at
+// equal core counts. The worksteal/cores=4 row should approach 4x the
+// hash row; cmd/benchreg records the matrix (plus the metro scenario
+// points) to BENCH_8.json.
+func BenchmarkEngineScale(b *testing.B) {
+	for _, layout := range []struct {
+		name string
+		ws   bool
+	}{{"hash", false}, {"worksteal", true}} {
+		for _, cores := range []int{1, 4} {
+			b.Run(fmt.Sprintf("layout=%s/cores=%d", layout.name, cores),
+				benchreg.SkewBench(cores, layout.ws))
+		}
+	}
+}
+
 // BenchmarkEngineBurst is the burst-size × core-count axis: the same
 // frame mix through a burst-aware app (core.BurstApp), whose per-burst
 // service pause amortizes the per-frame wakeup the per-frame axis pays.

@@ -1,15 +1,19 @@
-// Command benchreg records the engine benchmark matrix to a JSON snapshot
-// (BENCH_6.json by default) so successive changes can be compared number
-// against number. It runs the exact workloads of BenchmarkEngineParallel,
-// BenchmarkEngineTraced and BenchmarkEngineBurst — via testing.Benchmark,
-// the same harness `go test -bench` uses — at 1, 2 and 4 cores (traced
-// and untraced on the per-frame axis, batch sizes 16/32/64 on the burst
-// axis), plus the per-width BFP codec microbenchmarks.
+// Command benchreg records the engine benchmark matrix to JSON snapshots
+// so successive changes can be compared number against number. It runs
+// the exact workloads of BenchmarkEngineParallel, BenchmarkEngineTraced
+// and BenchmarkEngineBurst — via testing.Benchmark, the same harness
+// `go test -bench` uses — at 1, 2 and 4 cores (traced and untraced on
+// the per-frame axis, batch sizes 16/32/64 on the burst axis), plus the
+// per-width BFP codec microbenchmarks, into BENCH_6.json; and the
+// metro-scale axis — streams × shards × chain-depth scenarios with
+// telemetry latency percentiles and loss, plus the skewed-load
+// hash-vs-worksteal comparison — into BENCH_8.json.
 //
 // Usage:
 //
-//	benchreg                  # writes BENCH_6.json in the current directory
-//	benchreg -o bench.json
+//	benchreg                  # writes BENCH_6.json and BENCH_8.json
+//	benchreg -o bench.json -scale-o scale.json
+//	benchreg -scale-only      # only the metro-scale axis / BENCH_8.json
 package main
 
 import (
@@ -39,9 +43,80 @@ type snapshot struct {
 	Codec []benchreg.CodecResult `json:"codec"`
 }
 
+// scaleSnapshot is the BENCH_8.json document: the metro-scale axis.
+type scaleSnapshot struct {
+	Timestamp  string `json:"timestamp"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Metro holds the streams × shards × chain-depth scenario points:
+	// virtual latency percentiles and loss from the engines' telemetry.
+	Metro []benchreg.ScaleResult `json:"metro"`
+	// Skew holds the skewed-load wall-clock comparison of the static
+	// eAxC→shard hash against the work-stealing admission pool.
+	Skew []benchreg.Result `json:"skew"`
+}
+
+// metroSlots sizes each scenario point; ~200k frames at the largest point.
+const metroSlots = 200
+
+func runScale(out string) error {
+	snap := scaleSnapshot{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	// One-at-a-time sweeps around the center point (256 streams, 4
+	// shards, chain 2), plus the 1024-stream depth-3 acceptance point.
+	points := [][3]int{
+		{64, 4, 2}, {256, 4, 2}, {1024, 4, 2},
+		{256, 1, 2}, {256, 2, 2},
+		{256, 4, 1}, {256, 4, 3},
+		{1024, 4, 3},
+	}
+	for _, p := range points {
+		r, err := benchreg.MetroScale(p[0], p[1], p[2], metroSlots)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-44s %8d frames  p50 %8.0f ns  p99 %8.0f ns  loss %.4f  (%.0f ms wall)\n",
+			r.Name, r.Frames, r.P50Ns, r.P99Ns, r.LossRate, r.WallMs)
+		snap.Metro = append(snap.Metro, r)
+	}
+	for _, ws := range []bool{false, true} {
+		for _, cores := range []int{1, 4} {
+			r := benchreg.MeasureSkew(cores, ws)
+			fmt.Printf("%-44s %12.0f ns/op %12.0f frames/sec %6d allocs/op\n",
+				r.Name, r.NsPerOp, r.FramesPerSec, r.AllocsPerOp)
+			snap.Skew = append(snap.Skew, r)
+		}
+	}
+	buf, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
 func main() {
-	out := flag.String("o", "BENCH_6.json", "output file")
+	out := flag.String("o", "BENCH_6.json", "engine-matrix output file")
+	scaleOut := flag.String("scale-o", "BENCH_8.json", "metro-scale output file")
+	scaleOnly := flag.Bool("scale-only", false, "record only the metro-scale axis")
 	flag.Parse()
+
+	if *scaleOnly {
+		if err := runScale(*scaleOut); err != nil {
+			exit(err)
+		}
+		return
+	}
 
 	snap := snapshot{
 		Timestamp:       time.Now().UTC().Format(time.RFC3339),
@@ -99,6 +174,10 @@ func main() {
 		exit(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if err := runScale(*scaleOut); err != nil {
+		exit(err)
+	}
 }
 
 func exit(err error) {

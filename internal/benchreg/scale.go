@@ -1,0 +1,197 @@
+//ranvet:allowfile simclock the scale harness reports wall-clock run time alongside the virtual-time percentiles; nothing here feeds the seeded datapath
+package benchreg
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"ranbooster/internal/core"
+	"ranbooster/internal/ecpri"
+	"ranbooster/internal/eth"
+	"ranbooster/internal/fh"
+	"ranbooster/internal/iq"
+	"ranbooster/internal/oran"
+	"ranbooster/internal/telemetry"
+	"ranbooster/internal/testbed"
+
+	"ranbooster/internal/bfp"
+)
+
+// ScaleResult is one point of the BENCH_8 metro-scale axis: a chained
+// scenario of streams × shards × chain-depth run on the deterministic
+// clock, with latency percentiles and the loss rate read from the
+// engines' own telemetry rather than from the harness.
+type ScaleResult struct {
+	Name       string `json:"name"`
+	Streams    int    `json:"streams"`
+	Shards     int    `json:"shards"`
+	ChainDepth int    `json:"chain_depth"`
+	Slots      int    `json:"slots"`
+	// Frames is how many frames the cells injected over the run.
+	Frames uint64 `json:"frames"`
+	// LossRate is end-to-end: (injected − delivered) / injected, with
+	// every lost frame accounted by the conservation ledger.
+	LossRate float64 `json:"loss_rate"`
+	// P50Ns / P99Ns are the virtual per-frame sojourn percentiles
+	// (telemetry StageTotal) merged across every hop's span collector.
+	P50Ns float64 `json:"p50_ns"`
+	P99Ns float64 `json:"p99_ns"`
+	// WallMs is the real time the simulation took — the harness cost of
+	// the scenario, not a datapath measurement.
+	WallMs float64 `json:"wall_ms"`
+}
+
+// MetroScale runs one streams × shards × chain-depth point: a metro
+// scenario with work-stealing engines and span collectors on every hop.
+// Streams are laid out 4 per RU over 4-cell floors.
+func MetroScale(streams, shards, chain, slots int) (ScaleResult, error) {
+	cells := (streams + 3) / 4
+	m, err := testbed.NewMetro(testbed.MetroConfig{
+		Floors: (cells + 3) / 4, CellsPerFloor: 4, PortsPerRU: 4,
+		ChainDepth: chain,
+		Cores:      shards,
+		Scale:      core.ScalePolicy{WorkSteal: true},
+		Trace:      true,
+		Seed:       8,
+	})
+	if err != nil {
+		return ScaleResult{}, err
+	}
+	start := time.Now()
+	m.RunSlots(slots)
+	m.Flush()
+	wall := time.Since(start)
+
+	rep := m.Conservation(0)
+	if err := rep.Check(); err != nil {
+		return ScaleResult{}, err
+	}
+	var tr telemetry.TraceStats
+	for _, e := range m.Engines {
+		if st := e.Snapshot(); st.Trace != nil {
+			tr = tr.Merge(*st.Trace)
+		}
+	}
+	p50, _ := tr.Stage[telemetry.StageTotal].Quantile(0.50)
+	p99, _ := tr.Stage[telemetry.StageTotal].Quantile(0.99)
+	r := ScaleResult{
+		Name:       fmt.Sprintf("MetroScale/streams=%d/shards=%d/chain=%d", streams, shards, chain),
+		Streams:    m.Config().Streams(),
+		Shards:     shards,
+		ChainDepth: chain,
+		Slots:      slots,
+		Frames:     m.Injected(),
+		P50Ns:      float64(p50.Nanoseconds()),
+		P99Ns:      float64(p99.Nanoseconds()),
+		WallMs:     float64(wall.Nanoseconds()) / 1e6,
+	}
+	if r.Frames > 0 {
+		r.LossRate = float64(r.Frames-rep.Sink.Delivered) / float64(r.Frames)
+	}
+	return r, nil
+}
+
+// skewKeys are the hot eAxC streams of the skewed-load bench. All four
+// share RU-port nibble 1, so the static eAxC→shard hash pins every hot
+// frame to one shard regardless of core count — the collision regime the
+// work-stealing admission pool exists for. Under work stealing the four
+// streams are independent FIFO queues that idle workers steal, so the
+// same load spreads across all cores.
+var skewKeys = [4]uint16{0x0001, 0x0011, 0x0021, 0x0031}
+
+// SkewFrames pre-builds full-carrier U-plane frames on the four
+// colliding hot streams.
+func SkewFrames() ([][]byte, error) {
+	payload, err := bfp.CompressGrid(nil, iq.NewGrid(273), testbed.BFP9())
+	if err != nil {
+		return nil, err
+	}
+	du := eth.MAC{0x02, 0, 0, 0, 0, 0x01}
+	mb := eth.MAC{0x02, 0, 0, 0, 0, 0x02}
+	frames := make([][]byte, len(skewKeys))
+	for i, key := range skewKeys {
+		msg := &oran.UPlaneMsg{
+			Timing:   oran.Timing{Direction: oran.Downlink, FrameID: 1},
+			Sections: []oran.USection{{NumPRB: 273, Comp: testbed.BFP9(), Payload: payload}},
+		}
+		frames[i] = fh.NewBuilder(du, mb, -1).UPlane(ecpri.PcIDFromUint16(key), msg)
+	}
+	return frames, nil
+}
+
+// NewSkewEngine assembles the skewed-load engine: the decode app on a
+// sharded DPDK datapath, admission either the static hash (ws=false) or
+// the work-stealing pool (ws=true).
+func NewSkewEngine(cores int, ws bool) (*core.Engine, error) {
+	tb := testbed.New(1)
+	eng, err := core.NewEngine(tb.Sched, core.Config{
+		Name: "bench-skew", Mode: core.ModeDPDK, App: decodeApp{},
+		CarrierPRBs: 273, Cores: cores, RingSize: 4096,
+		Scale: core.ScalePolicy{WorkSteal: ws},
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng.SetOutput(func([]byte) {})
+	return eng, nil
+}
+
+// SkewBench returns the benchmark body of the skewed-load axis
+// (BenchmarkEngineScale/layout=.../cores=N): b.N frames round-robined
+// over the four colliding hot streams through parallel workers. The
+// work-stealing layout should approach cores× the static hash at 4
+// cores, because the hash serializes all four streams on one shard.
+func SkewBench(cores int, ws bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		eng, err := NewSkewEngine(cores, ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames, err := SkewFrames()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f := frames[i&3]
+			for !eng.TryIngress(f) {
+				runtime.Gosched()
+			}
+		}
+		eng.Stop()
+		b.StopTimer()
+		st := eng.Snapshot()
+		if st.RxFrames != uint64(b.N) {
+			b.Fatalf("RxFrames = %d, want %d", st.RxFrames, b.N)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/sec")
+		if ws {
+			b.ReportMetric(float64(st.Steals), "steals")
+		}
+	}
+}
+
+// MeasureSkew runs one (cores, layout) point of the skewed-load axis
+// under the testing.Benchmark harness and packages the outcome.
+func MeasureSkew(cores int, ws bool) Result {
+	layout := "hash"
+	if ws {
+		layout = "worksteal"
+	}
+	r := testing.Benchmark(SkewBench(cores, ws))
+	return Result{
+		Name:         fmt.Sprintf("BenchmarkEngineScale/layout=%s/cores=%d", layout, cores),
+		Cores:        cores,
+		N:            r.N,
+		NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+		FramesPerSec: float64(r.N) / r.T.Seconds(),
+		AllocsPerOp:  r.AllocsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+	}
+}

@@ -1,0 +1,96 @@
+package benchreg
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestMetroScalePoint sanity-checks one point of the BENCH_8 axis
+// outside the snapshot harness: the scenario must conserve every frame,
+// and the telemetry percentiles must be populated and ordered.
+func TestMetroScalePoint(t *testing.T) {
+	r, err := MetroScale(64, 2, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Streams != 64 || r.ChainDepth != 2 {
+		t.Fatalf("scenario dimensions wrong: %+v", r)
+	}
+	if r.Frames == 0 {
+		t.Fatal("no frames injected")
+	}
+	if r.LossRate != 0 {
+		t.Fatalf("clean fabric lost frames: loss rate %v", r.LossRate)
+	}
+	if r.P50Ns <= 0 || r.P99Ns < r.P50Ns {
+		t.Fatalf("latency percentiles malformed: p50 %v ns, p99 %v ns", r.P50Ns, r.P99Ns)
+	}
+}
+
+// timeSkew drives n frames of the skewed-load workload through a started
+// engine and returns the wall-clock time to full drain.
+func timeSkew(t *testing.T, cores int, ws bool, n int) time.Duration {
+	t.Helper()
+	eng, err := NewSkewEngine(cores, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := SkewFrames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		f := frames[i&3]
+		for !eng.TryIngress(f) {
+			runtime.Gosched()
+		}
+	}
+	eng.Stop()
+	elapsed := time.Since(start)
+	st := eng.Snapshot()
+	if st.RxFrames != uint64(n) || st.TxFrames != uint64(n) {
+		t.Fatalf("rx %d tx %d, want %d/%d", st.RxFrames, st.TxFrames, n, n)
+	}
+	if ws && st.Steals == 0 {
+		t.Fatal("work-stealing run recorded no steals on colliding streams")
+	}
+	return elapsed
+}
+
+// TestSkewWorkStealSpeedup is the acceptance gate of the admission
+// refactor: on the skewed load whose four hot streams collide on one
+// shard under the static hash, the work-stealing layout at 4 cores must
+// beat the hash layout outright — the hash serializes the whole load on
+// one worker, work stealing spreads it. Best of three per variant so a
+// scheduler hiccup cannot fail the build.
+func TestSkewWorkStealSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing comparison; race instrumentation distorts the layouts unevenly")
+	}
+	const frames = 2000
+	best := func(ws bool) time.Duration {
+		bestD := time.Duration(1<<63 - 1)
+		for attempt := 0; attempt < 3; attempt++ {
+			if d := timeSkew(t, 4, ws, frames); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	hash := best(false)
+	ws := best(true)
+	speedup := float64(hash) / float64(ws)
+	t.Logf("hash %v, worksteal %v, speedup %.2fx", hash, ws, speedup)
+	if speedup < 1.5 {
+		t.Errorf("work stealing %.2fx vs static hash on skewed load, want >= 1.5x (hash %v, ws %v)",
+			speedup, hash, ws)
+	}
+}

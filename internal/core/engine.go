@@ -100,6 +100,13 @@ type Config struct {
 	// are rejected with ErrBadPanicBudget / ErrBadCooldown /
 	// ErrBadStallAfter / ErrBadShedWater.
 	Supervise SupervisePolicy
+	// Scale tunes metro-scale admission: ScalePolicy.WorkSteal replaces
+	// the static eAxC→shard hash with per-stream queues drained by a
+	// work-stealing worker pool (see ScalePolicy). The zero value keeps
+	// the hash layout. Out-of-range knobs are rejected with ErrBadRing /
+	// ErrBadMaxStreams / ErrBadHedge; combinations with the shard
+	// watchdog or AIMD shedding are rejected with ErrScaleSupervise.
+	Scale ScalePolicy
 	// Trace enables the frame-span trace collector: every processed frame
 	// leaves a telemetry.Span in its shard's fixed-size ring and feeds the
 	// per-stage/per-action latency histograms merged into Snapshot. Off by
@@ -157,6 +164,11 @@ type Stats struct {
 	Quarantined   uint64
 	ShardRestarts uint64
 	ShedPRACH     uint64
+	// Steals counts streams a work-stealing worker took from another
+	// worker's deque — regular steal-half batches and hedged pickups of
+	// stale stragglers alike (ScalePolicy.WorkSteal; always zero in the
+	// hash layout and in deterministic inline mode).
+	Steals uint64
 	// Health is the engine's degradation state: the worst per-shard state
 	// (Add merges with max, not sum).
 	Health Health
@@ -194,6 +206,7 @@ func (s Stats) Add(o Stats) Stats {
 		Quarantined:   s.Quarantined + o.Quarantined,
 		ShardRestarts: s.ShardRestarts + o.ShardRestarts,
 		ShedPRACH:     s.ShedPRACH + o.ShedPRACH,
+		Steals:        s.Steals + o.Steals,
 		Health:        maxHealth(s.Health, o.Health),
 		Breaker:       maxBreaker(s.Breaker, o.Breaker),
 		Trace:         mergeTrace(s.Trace, o.Trace),
@@ -236,6 +249,10 @@ type Engine struct {
 	counters *telemetry.Counters
 
 	shards []*shard
+	// ws is the work-stealing admission pool when ScalePolicy.WorkSteal
+	// is set, nil in the classic hash layout. Set at construction, never
+	// reassigned — workers and the producer read a stable pointer.
+	ws     *wsPool
 	serial bool
 	// burst is the App's burst-aware extension when it implements
 	// BurstApp, nil otherwise (the shard's flush loop then adapts bursts
@@ -283,6 +300,18 @@ func NewEngine(sched *sim.Scheduler, cfg Config) (*Engine, error) {
 		return fail(err)
 	}
 	cfg.Supervise = cfg.Supervise.withDefaults()
+	if err := cfg.Scale.validate(); err != nil {
+		return fail(err)
+	}
+	cfg.Scale = cfg.Scale.withDefaults()
+	if cfg.Scale.WorkSteal {
+		if cfg.Supervise.StallAfter > 0 {
+			return fail(fmt.Errorf("%w: shard watchdog (StallAfter)", ErrScaleSupervise))
+		}
+		if cfg.Supervise.aimd() {
+			return fail(fmt.Errorf("%w: AIMD shedding watermarks", ErrScaleSupervise))
+		}
+	}
 	if cfg.RingSize <= 0 {
 		cfg.RingSize = DefaultRingSize
 	}
@@ -331,6 +360,9 @@ func NewEngine(sched *sim.Scheduler, cfg Config) (*Engine, error) {
 	e.shards = make([]*shard, cfg.Cores)
 	for i := range e.shards {
 		e.shards[i] = newShard(e, i)
+	}
+	if cfg.Scale.WorkSteal {
+		e.ws = newWSPool(e)
 	}
 	e.pool.ResetWindows(sched.Now())
 	return e, nil
@@ -541,6 +573,10 @@ func (e *Engine) shardFor(frame []byte) *shard {
 // saturated NIC queue would. Every frame handed to Ingress is therefore
 // accounted for as processed, shed, or ring-dropped.
 func (e *Engine) Ingress(frame []byte) {
+	if e.ws != nil {
+		e.wsIngress(frame, true)
+		return
+	}
 	sh := e.shardFor(frame)
 	if !sh.admit(frame) {
 		return
@@ -556,6 +592,9 @@ func (e *Engine) Ingress(frame []byte) {
 // prefer retry over drop: it reports whether the frame was accepted and
 // never counts a drop.
 func (e *Engine) TryIngress(frame []byte) bool {
+	if e.ws != nil {
+		return e.wsIngress(frame, false)
+	}
 	sh := e.shardFor(frame)
 	if !sh.enqueue(frame) {
 		return false

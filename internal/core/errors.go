@@ -44,6 +44,16 @@ var (
 	// ErrBadShedWater rejects AIMD shedding watermarks that are not
 	// 0 <= low < high <= 1 (both zero disables AIMD shedding).
 	ErrBadShedWater = errors.New("shed watermarks out of range")
+	// ErrBadMaxStreams rejects a ScalePolicy.MaxStreams outside
+	// [0, MaxStreams] (0 defaults to DefaultMaxStreams).
+	ErrBadMaxStreams = errors.New("max streams out of range")
+	// ErrBadHedge rejects a negative ScalePolicy.HedgeAfterPolls (0
+	// defaults to DefaultHedgePolls).
+	ErrBadHedge = errors.New("hedge poll threshold out of range")
+	// ErrScaleSupervise rejects combining the work-stealing admission
+	// pool with supervision mechanisms that assume the static
+	// shard-per-stream layout (the shard watchdog, AIMD shedding).
+	ErrScaleSupervise = errors.New("work-stealing admission incompatible with supervision mechanism")
 	// ErrSerialApp refuses to start parallel workers for an App that
 	// declared itself serial (see SerialApp) on a multi-shard engine.
 	ErrSerialApp = errors.New("serial app cannot run parallel workers over multiple shards")

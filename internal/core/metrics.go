@@ -32,6 +32,7 @@ func (e *Engine) WriteMetrics(p *telemetry.PromWriter) {
 		{"ranbooster_quarantined_total", "frames failed to the wire as raw passthrough", st.Quarantined},
 		{"ranbooster_shard_restarts_total", "hitless shard restarts by the stall watchdog", st.ShardRestarts},
 		{"ranbooster_shed_prach_total", "PRACH frames shed under sustained overload (AIMD)", st.ShedPRACH},
+		{"ranbooster_steals_total", "streams taken from another worker's deque (work-stealing admission)", st.Steals},
 		{"ranbooster_shed_total", "all U-plane frames shed at ingress (data + PRACH)", st.ShedUPlane + st.ShedPRACH},
 	}
 	for _, c := range counters {

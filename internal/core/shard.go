@@ -139,6 +139,7 @@ type shardStats struct {
 	reordered, invalidFrames        atomic.Uint64
 	appPanics, quarantined          atomic.Uint64
 	shardRestarts, shedPRACH        atomic.Uint64
+	steals                          atomic.Uint64
 	health                          atomic.Uint32
 }
 
@@ -164,6 +165,7 @@ func (s *shardStats) snapshot() Stats {
 		Quarantined:   s.quarantined.Load(),
 		ShardRestarts: s.shardRestarts.Load(),
 		ShedPRACH:     s.shedPRACH.Load(),
+		Steals:        s.steals.Load(),
 		Health:        Health(s.health.Load()),
 	}
 }
@@ -234,6 +236,10 @@ type shard struct {
 	// before the next frame, so the storage is reused, never reallocated.
 	passthrough [1]*fh.Packet
 	kernelEmits []*fh.Packet
+	// stealBuf is the worker's steal scratch (work-stealing layout only):
+	// one steal's stream pointers pass through here between the victim
+	// unlock and the own-deque append, reused steal after steal.
+	stealBuf []*streamQ
 
 	// w is the current worker incarnation. Written at construction and by
 	// restartShard (scheduler goroutine, under superMu); read by the
@@ -290,6 +296,10 @@ type worker struct {
 	// increments entering an App invocation, appDone leaving it. Stuck
 	// means appSeq != appDone with appSeq unchanged across two polls.
 	appSeq, appDone atomic.Uint64
+	// seq is the sequence-tracking table trackSeq writes: the shard's
+	// own table in the hash layout, swapped to the running stream's
+	// private table by the work-stealing drains.
+	seq map[seqKey]uint8
 
 	// ctx is the worker's reusable app context. The App contract (see
 	// Context) says the value is valid only for the duration of Handle,
@@ -335,6 +345,9 @@ func newShard(e *Engine, id int) *shard {
 		pend:        make([]pendFrame, 0, batch),
 		wake:        make(chan struct{}, 1),
 	}
+	if e.cfg.Scale.WorkSteal {
+		sh.stealBuf = make([]*streamQ, wsStealMax)
+	}
 	if e.cfg.Trace {
 		sh.tracer = telemetry.NewTracer(e.cfg.TraceRing)
 		sh.spanBuf = make([]telemetry.Span, 0, batch)
@@ -357,6 +370,7 @@ func newWorker(sh *shard) *worker {
 		eng:      e,
 		epoch:    sh.epoch.Load(),
 		isolate:  e.cfg.Supervise.PanicBudget > 0 && e.cfg.App != nil,
+		seq:      sh.seq,
 		cache:    NewCache(e.cfg.CacheMaxAge),
 		counters: make(map[string]*telemetry.Counter),
 		txc:      bfp.NewTranscoder(),
@@ -378,9 +392,14 @@ func (sh *shard) spawn(stop <-chan struct{}) {
 	done := make(chan struct{})
 	sh.done = done
 	w := sh.w
+	ws := sh.eng.ws != nil
 	go func() {
 		defer close(done)
-		w.run(stop)
+		if ws {
+			w.runWS(stop)
+		} else {
+			w.run(stop)
+		}
 	}()
 }
 
@@ -433,23 +452,26 @@ func (sh *shard) enqueue(frame []byte) bool {
 // uint8 arithmetic classifies the delta from the stream's last number:
 // 0 is a duplicate, 1 in-order, 2..127 a forward jump (delta-1 frames
 // missing), >=128 a late frame overtaken by successors (reordered; the
-// high-water mark is kept).
-func (sh *shard) trackSeq(pkt *fh.Packet) {
+// high-water mark is kept). The table written is w.seq — the shard's own
+// in the hash layout, the stream's private table under work stealing —
+// so the map never needs a lock in either layout.
+func (w *worker) trackSeq(pkt *fh.Packet) {
+	sh := w.sh
 	key := seqKey{src: pkt.Eth.Src, eaxc: pkt.Ecpri.PcID.Uint16()}
 	seq := pkt.Ecpri.SeqID
-	last, ok := sh.seq[key]
+	last, ok := w.seq[key]
 	if !ok {
-		sh.seq[key] = seq
+		w.seq[key] = seq
 		return
 	}
 	switch delta := seq - last; {
 	case delta == 0:
 		sh.stats.duplicates.Add(1)
 	case delta == 1:
-		sh.seq[key] = seq
+		w.seq[key] = seq
 	case delta < 128:
 		sh.stats.seqGaps.Add(uint64(delta) - 1)
-		sh.seq[key] = seq
+		w.seq[key] = seq
 	default:
 		sh.stats.reordered.Add(1)
 	}
@@ -670,7 +692,7 @@ func (w *worker) processOne(frame []byte, enq, now sim.Time) {
 		sh.stats.invalidFrames.Add(1)
 		return
 	}
-	sh.trackSeq(kpkt)
+	w.trackSeq(kpkt)
 	decodeCost := cpu.CostParse
 	if e.cfg.Mode == ModeXDP {
 		decodeCost += cpu.CostKernelDriver

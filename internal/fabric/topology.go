@@ -1,0 +1,160 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ranbooster/internal/eth"
+	"ranbooster/internal/sim"
+)
+
+// Topology assembles multiple switches into a metro fabric: the
+// aggregation tree of §6.1 where chained middleboxes sit on distinct
+// fabric hops rather than on one shared segment. Switches join the
+// topology with AddSwitch and are wired with Link, which creates a
+// full-duplex trunk — a pair of ports whose receive handlers forward
+// into the peer switch — so frames traverse each hop with its own
+// serialization and forwarding latency.
+type Topology struct {
+	sched    *sim.Scheduler
+	switches []*Switch
+	byName   map[string]*Switch
+	trunks   []Trunk
+	owner    map[*Switch]bool
+}
+
+// Trunk is a full-duplex inter-switch link. A is the port on the first
+// switch passed to Link, B on the second. Frames flowing A's-switch →
+// B's-switch transit B.Send, so a fault injector attached with
+// B.SetTxInterceptor models loss on that direction of the trunk (and
+// symmetrically for A).
+type Trunk struct {
+	A, B *Port
+}
+
+// Topology construction errors, matched with errors.Is.
+var (
+	// ErrDupSwitch rejects a second switch with the same name.
+	ErrDupSwitch = errors.New("fabric: duplicate switch name")
+	// ErrForeignSwitch rejects a Link endpoint not created by AddSwitch
+	// on this topology.
+	ErrForeignSwitch = errors.New("fabric: switch does not belong to topology")
+	// ErrSelfLink rejects a trunk from a switch to itself.
+	ErrSelfLink = errors.New("fabric: trunk endpoints must differ")
+	// ErrForeignPort rejects a Learn home port on a switch outside the
+	// topology.
+	ErrForeignPort = errors.New("fabric: port does not belong to topology")
+)
+
+// NewTopology creates an empty topology on the simulation clock.
+func NewTopology(sched *sim.Scheduler) *Topology {
+	return &Topology{
+		sched:  sched,
+		byName: make(map[string]*Switch),
+		owner:  make(map[*Switch]bool),
+	}
+}
+
+// AddSwitch creates a switch inside the topology with the given
+// forwarding latency and port line rate (see NewSwitch).
+func (t *Topology) AddSwitch(name string, latency time.Duration, lineRateGbps float64) (*Switch, error) {
+	if _, ok := t.byName[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDupSwitch, name)
+	}
+	sw := NewSwitch(t.sched, name, latency, lineRateGbps)
+	t.switches = append(t.switches, sw)
+	t.byName[name] = sw
+	t.owner[sw] = true
+	return sw, nil
+}
+
+// Switch returns the named switch, or nil.
+func (t *Topology) Switch(name string) *Switch { return t.byName[name] }
+
+// Switches returns the topology's switches in creation order.
+func (t *Topology) Switches() []*Switch { return t.switches }
+
+// Trunks returns the inter-switch links in creation order.
+func (t *Topology) Trunks() []Trunk { return t.trunks }
+
+// Link wires a full-duplex trunk between two switches of the topology.
+// Each side gets a port named "trunk:<peer>"; what one switch delivers to
+// its trunk port is transmitted into the peer switch by the other side,
+// so the peer learns source MACs on its own trunk port and multi-hop
+// forwarding converges without any central routing.
+func (t *Topology) Link(a, b *Switch) (Trunk, error) {
+	if !t.owner[a] || !t.owner[b] {
+		return Trunk{}, ErrForeignSwitch
+	}
+	if a == b {
+		return Trunk{}, ErrSelfLink
+	}
+	var tr Trunk
+	tr.A = a.AddPort("trunk:"+b.name, func(frame []byte) { tr.B.Send(frame) })
+	tr.B = b.AddPort("trunk:"+a.name, func(frame []byte) { tr.A.Send(frame) })
+	t.trunks = append(t.trunks, tr)
+	return tr, nil
+}
+
+// Chain links the switches into a line — sws[0] ↔ sws[1] ↔ … — the
+// daisy-chained middlebox arrangement of Fig. 8, and returns the trunks
+// in hop order.
+func (t *Topology) Chain(sws ...*Switch) ([]Trunk, error) {
+	trunks := make([]Trunk, 0, len(sws)-1)
+	for i := 1; i < len(sws); i++ {
+		tr, err := t.Link(sws[i-1], sws[i])
+		if err != nil {
+			return nil, err
+		}
+		trunks = append(trunks, tr)
+	}
+	return trunks, nil
+}
+
+// Learn programs mac into the forwarding tables of every switch so that
+// frames addressed to it forward hop by hop toward home — the port the
+// device owning mac is attached to — without an initial flood. Real
+// fabrics converge the same state from source learning on the first
+// frames; priming it makes conservation accounting exact from slot zero
+// (a flood would deliver duplicate copies to every edge port). vlan
+// follows the builder convention: negative means untagged.
+func (t *Topology) Learn(mac eth.MAC, vlan int, home *Port) error {
+	if home == nil || !t.owner[home.sw] {
+		return ErrForeignPort
+	}
+	v := uint16(untaggedVLAN)
+	if vlan >= 0 {
+		v = uint16(vlan)
+	}
+	key := fdbKey{vlan: v, mac: mac}
+	home.sw.fdb[key] = home
+
+	// BFS over the trunk graph: each unvisited neighbor exits toward the
+	// home switch through its own side of the trunk that reached it.
+	visited := map[*Switch]bool{home.sw: true}
+	queue := []*Switch{home.sw}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, tr := range t.trunks {
+			var peer *Switch
+			var exit *Port
+			switch cur {
+			case tr.A.sw:
+				peer, exit = tr.B.sw, tr.B
+			case tr.B.sw:
+				peer, exit = tr.A.sw, tr.A
+			default:
+				continue
+			}
+			if visited[peer] {
+				continue
+			}
+			visited[peer] = true
+			peer.fdb[key] = exit
+			queue = append(queue, peer)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ranbooster/internal/sim"
+)
+
+func newChain(t *testing.T, s *sim.Scheduler, n int) (*Topology, []*Switch, []Trunk) {
+	t.Helper()
+	topo := NewTopology(s)
+	sws := make([]*Switch, n)
+	for i := range sws {
+		sw, err := topo.AddSwitch(string(rune('a'+i)), time.Microsecond, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sws[i] = sw
+	}
+	trunks, err := topo.Chain(sws...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, sws, trunks
+}
+
+func TestTopologyValidation(t *testing.T) {
+	s := sim.NewScheduler()
+	topo := NewTopology(s)
+	a, err := topo.AddSwitch("a", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.AddSwitch("a", 0, 0); !errors.Is(err, ErrDupSwitch) {
+		t.Fatalf("duplicate name: got %v, want ErrDupSwitch", err)
+	}
+	if _, err := topo.Link(a, a); !errors.Is(err, ErrSelfLink) {
+		t.Fatalf("self link: got %v, want ErrSelfLink", err)
+	}
+	foreign := NewSwitch(s, "x", 0, 0)
+	if _, err := topo.Link(a, foreign); !errors.Is(err, ErrForeignSwitch) {
+		t.Fatalf("foreign switch: got %v, want ErrForeignSwitch", err)
+	}
+	if err := topo.Learn(macA, -1, foreign.AddPort("p", nil)); !errors.Is(err, ErrForeignPort) {
+		t.Fatalf("foreign port: got %v, want ErrForeignPort", err)
+	}
+	if topo.Switch("a") != a || topo.Switch("zz") != nil {
+		t.Fatal("Switch lookup broken")
+	}
+}
+
+// TestTrunkForwarding wires two switches and checks that learning
+// converges across the trunk: the first frame floods through it, the
+// reply unicasts back, and from then on cross-switch traffic is unicast
+// in both directions.
+func TestTrunkForwarding(t *testing.T) {
+	s := sim.NewScheduler()
+	_, sws, _ := newChain(t, s, 2)
+	var gotA, gotB [][]byte
+	pa := sws[0].AddPort("hostA", func(f []byte) { gotA = append(gotA, f) })
+	pb := sws[1].AddPort("hostB", func(f []byte) { gotB = append(gotB, f) })
+
+	pa.Send(frame(macA, macB, -1, 1)) // floods across the trunk
+	s.Run()
+	if len(gotB) != 1 {
+		t.Fatalf("flood across trunk: B got %d frames", len(gotB))
+	}
+	pb.Send(frame(macB, macA, -1, 2)) // unicast back: both switches know macA
+	s.Run()
+	if len(gotA) != 1 {
+		t.Fatalf("reply across trunk: A got %d frames", len(gotA))
+	}
+	if sws[1].Flooded() != 1 {
+		t.Fatalf("downstream floods = %d, want only the initial teach frame", sws[1].Flooded())
+	}
+	pa.Send(frame(macA, macB, -1, 3))
+	s.Run()
+	if len(gotB) != 2 || sws[0].Flooded() != 1 {
+		t.Fatalf("steady state not unicast: B=%d floods=%d", len(gotB), sws[0].Flooded())
+	}
+}
+
+// TestTopologyLearn primes a three-hop chain and checks the very first
+// frame crosses two trunks unicast — zero floods anywhere — which is
+// what makes metro conservation accounting exact from slot zero.
+func TestTopologyLearn(t *testing.T) {
+	s := sim.NewScheduler()
+	topo, sws, _ := newChain(t, s, 3)
+	var got [][]byte
+	pa := sws[0].AddPort("src", nil)
+	pc := sws[2].AddPort("dst", func(f []byte) { got = append(got, f) })
+	if err := topo.Learn(macC, -1, pc); err != nil {
+		t.Fatal(err)
+	}
+
+	pa.Send(frame(macA, macC, -1, 7))
+	s.Run()
+	if len(got) != 1 {
+		t.Fatalf("primed unicast delivered %d frames, want 1", len(got))
+	}
+	for i, sw := range sws {
+		if sw.Flooded() != 0 {
+			t.Fatalf("switch %d flooded %d frames despite priming", i, sw.Flooded())
+		}
+	}
+}
+
+// TestTrunkInterceptorDirection pins the documented fault-injection
+// contract: an interceptor on Trunk.B sees exactly the A-side→B-side
+// direction and can drop frames there.
+func TestTrunkInterceptorDirection(t *testing.T) {
+	s := sim.NewScheduler()
+	topo, sws, trunks := newChain(t, s, 2)
+	var gotA, gotB int
+	pa := sws[0].AddPort("hostA", func([]byte) { gotA++ })
+	pb := sws[1].AddPort("hostB", func([]byte) { gotB++ })
+	if err := topo.Learn(macA, -1, pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Learn(macB, -1, pb); err != nil {
+		t.Fatal(err)
+	}
+
+	var crossed, dropped int
+	trunks[0].B.SetTxInterceptor(func(f []byte, forward func([]byte)) {
+		crossed++
+		if crossed%2 == 0 {
+			dropped++
+			return
+		}
+		forward(f)
+	})
+	for i := 0; i < 4; i++ {
+		pa.Send(frame(macA, macB, -1, byte(i))) // A→B: intercepted
+		pb.Send(frame(macB, macA, -1, byte(i))) // B→A: untouched
+	}
+	s.Run()
+	if crossed != 4 || dropped != 2 {
+		t.Fatalf("interceptor saw %d frames, dropped %d; want 4/2", crossed, dropped)
+	}
+	if gotB != 2 {
+		t.Fatalf("B received %d frames, want 2 after drops", gotB)
+	}
+	if gotA != 4 {
+		t.Fatalf("A received %d frames, want all 4 (reverse direction untouched)", gotA)
+	}
+}

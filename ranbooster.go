@@ -100,6 +100,12 @@ type (
 	// stall watchdog behind Engine.Supervise, and AIMD overload shedding.
 	// The zero value disables all three.
 	SupervisePolicy = core.SupervisePolicy
+	// ScalePolicy selects the engine's admission layout
+	// (EngineConfig.Scale): the zero value keeps the static eAxC→shard
+	// hash; WorkSteal replaces it with per-stream queues drained by a
+	// work-stealing worker pool that preserves per-eAxC FIFO order while
+	// spreading skewed load across all cores.
+	ScalePolicy = core.ScalePolicy
 	// BreakerState is the panic-isolation circuit breaker's position
 	// (EngineStats.Breaker, and the KPIBreaker telemetry series).
 	BreakerState = core.BreakerState
@@ -136,6 +142,18 @@ var (
 	// ErrBadShedWater rejects AIMD shed watermarks outside
 	// 0 <= low < high <= 1.
 	ErrBadShedWater = core.ErrBadShedWater
+	// ErrBadRing rejects a ring capacity out of range — the engine's
+	// RingSize or a ScalePolicy.StreamRing.
+	ErrBadRing = core.ErrBadRing
+	// ErrBadMaxStreams rejects a ScalePolicy.MaxStreams outside the
+	// supported range.
+	ErrBadMaxStreams = core.ErrBadMaxStreams
+	// ErrBadHedge rejects a negative ScalePolicy.HedgeAfterPolls.
+	ErrBadHedge = core.ErrBadHedge
+	// ErrScaleSupervise rejects combining work-stealing admission with a
+	// supervision mechanism that assumes the static shard layout (the
+	// stall watchdog, AIMD shedding).
+	ErrScaleSupervise = core.ErrScaleSupervise
 )
 
 // Datapath modes.
@@ -206,6 +224,18 @@ var (
 type (
 	// Testbed is the assembled five-floor deployment.
 	Testbed = testbed.TB
+	// Metro is a metro-scale scenario: hundreds of RUs over a multi-hop
+	// fabric with chained middleboxes on successive switches, driven by
+	// aggregate per-cell arrival processes instead of per-UE state.
+	Metro = testbed.Metro
+	// MetroConfig sizes a Metro (floors × cells, eAxC streams per RU,
+	// chain depth, admission layout).
+	MetroConfig = testbed.MetroConfig
+	// MetroSinkStats is what the far end of a metro chain observed.
+	MetroSinkStats = testbed.MetroSinkStats
+	// MetroConservation is the frame ledger of a finished metro run;
+	// its Check method verifies conservation at every hop and end to end.
+	MetroConservation = testbed.ConservationReport
 	// UE is a user device.
 	UE = air.UE
 	// CellConfig describes a cell.
@@ -244,6 +274,8 @@ type (
 var (
 	// NewTestbed builds an empty testbed for a deterministic seed.
 	NewTestbed = testbed.New
+	// NewMetro lays out a metro-scale chained scenario.
+	NewMetro = testbed.NewMetro
 	// NewCarrier positions a carrier (bandwidth MHz, center Hz).
 	NewCarrier = phy.NewCarrier
 	// NewCell builds a standard cell configuration.

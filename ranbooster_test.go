@@ -82,7 +82,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"fig10a", "fig10b", "fig10c",
 		"fig11", "fig12", "fig13", "fig14",
 		"fig15a", "fig15b", "fig16",
-		"costs", "interop", "chaos", "latency",
+		"costs", "interop", "chaos", "latency", "metro",
 		"ablate-alignment", "ablate-estimator", "ablate-ssb",
 		"ablate-widening", "ablate-xdp-placement",
 	}
