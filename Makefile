@@ -12,9 +12,11 @@ build:
 vet:
 	$(GO) vet ./...
 
-# ranvet enforces the datapath invariants (hot-path allocations, atomic
-# field discipline, shard safety, sim-clock purity, wire bounds). See
-# internal/analysis and DESIGN.md §6.4.
+# ranvet enforces the datapath invariants with the full v2 suite:
+# hot-path allocations, atomic field discipline, shard safety, sim-clock
+# purity, wire bounds, deterministic-path flow, state-machine transition
+# tables, SPSC ring ownership, metrics-registry consistency, and stale
+# suppressions. See internal/analysis and DESIGN.md §6.4 / §6.9.
 ranvet:
 	$(GO) run ./cmd/ranvet ./...
 

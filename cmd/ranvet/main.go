@@ -1,34 +1,65 @@
 // Command ranvet is the multichecker driver for the repo's datapath
-// invariant analyzers (internal/analysis): hotpathalloc, atomicfield,
-// shardsafe, simclock and wirebounds. It loads the module packages
-// matching the argument patterns (default ./...), runs the whole suite,
-// and prints go-vet-style diagnostics; the exit status is 1 when any
-// unsuppressed finding remains.
+// invariant analyzers (internal/analysis): the v1 invariants
+// (hotpathalloc, atomicfield, shardsafe, simclock, wirebounds) plus the
+// v2 whole-program checkers (detflow, statemach, spscsingle, metricreg,
+// staleallow). It loads the module packages matching the argument
+// patterns (default ./...), runs the whole suite, and prints
+// go-vet-style diagnostics; the exit status is 1 when any unsuppressed
+// finding remains.
 //
 // Usage:
 //
-//	go run ./cmd/ranvet [-list] [packages]
+//	go run ./cmd/ranvet [-list] [-json] [-github] [packages]
+//
+// -json emits the findings as a JSON array (one object per diagnostic:
+// analyzer, file, line, column, message) for toolchain consumers.
+// -github emits GitHub Actions workflow commands (::error
+// file=...,line=...,col=...) so CI findings surface as inline PR
+// annotations. The two are exclusive; plain go-vet lines are the
+// default.
 //
 // Suppressions are in-source: //ranvet:allow <analyzer> <reason> on or
 // above the flagged line, //ranvet:allowfile <analyzer> <reason> for a
-// whole file. A directive without a reason is itself an error.
+// whole file. A directive without a reason is itself an error, and a
+// directive whose analyzer no longer fires there is a staleallow
+// finding.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"ranbooster/internal/analysis"
 )
 
+// jsonDiagnostic is the stable wire shape of one finding. Field names
+// are part of the CI contract (.github/workflows/ci.yml parses them);
+// extend, don't rename.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of go-vet lines")
+	github := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ranvet [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: ranvet [-list] [-json] [-github] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *jsonOut && *github {
+		fmt.Fprintln(os.Stderr, "ranvet: -json and -github are exclusive")
+		os.Exit(2)
+	}
 
 	suite := analysis.All()
 	if *list {
@@ -51,13 +82,49 @@ func main() {
 		fatal(err)
 	}
 	diags := analysis.RunAnalyzers(prog, suite)
-	for _, d := range diags {
-		fmt.Println(d)
+	switch {
+	case *jsonOut:
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     relPath(root, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	case *github:
+		for _, d := range diags {
+			// Workflow-command values must escape %, \r and \n.
+			msg := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(
+				fmt.Sprintf("%s: %s", d.Analyzer, d.Message))
+			fmt.Printf("::error file=%s,line=%d,col=%d::%s\n",
+				relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, msg)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ranvet: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// relPath rewrites an absolute finding path relative to the module root
+// so JSON/annotation output matches the paths GitHub and editors expect.
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return path
 }
 
 func fatal(err error) {

@@ -26,10 +26,27 @@
 //	    analyzer for the whole file (one per file, conventionally at top).
 //
 // <analyzer> is a full name (hotpathalloc, atomicfield, shardsafe,
-// simclock, wirebounds) or its short alias (alloc, atomic, shard,
-// simclock, bounds). A directive without a reason, or naming an unknown
-// analyzer, is itself reported — unexplained suppressions defeat the
-// point of the suite.
+// simclock, wirebounds, detflow, statemach, spscsingle, metricreg,
+// staleallow) or its short alias (alloc, atomic, shard, simclock,
+// bounds, det, state, spsc, metric, stale). A directive without a
+// reason, or naming an unknown analyzer, is itself reported —
+// unexplained suppressions defeat the point of the suite. A directive
+// whose analyzer no longer fires on the covered lines is reported too
+// (staleallow): the inventory of excused findings must shrink with the
+// code, not outlive it.
+//
+// # Root annotations
+//
+// The v2 whole-program checkers are driven by in-source annotations
+// (doc-comment directives on declarations) rather than hard-coded
+// symbol lists; see reach.go for the shared reachability layer and the
+// individual analyzers for the grammar:
+//
+//	//ranvet:hotpath                       – hotpathalloc root
+//	//ranvet:detpath                       – detflow root (deterministic mode)
+//	//ranvet:statemach From->To ...        – statemach transition table (field doc)
+//	//ranvet:spsc produce|consume          – spscsingle ring entry (method doc)
+//	//ranvet:goroutine <label>             – spscsingle goroutine root
 package analysis
 
 import (
@@ -65,7 +82,11 @@ type Analyzer struct {
 	Run   func(prog *Program, report Reporter)
 }
 
-// All returns the ranvet suite in reporting order.
+// All returns the ranvet suite in reporting order. The v1 invariant
+// analyzers come first, then the v2 whole-program checkers added for the
+// post-metro datapath (burst retirement, supervision breakers,
+// work-stealing stream queues), and staleallow last — it audits the
+// suppressions the others consumed.
 func All() []*Analyzer {
 	return []*Analyzer{
 		HotPathAlloc,
@@ -73,6 +94,11 @@ func All() []*Analyzer {
 		ShardSafe,
 		SimClock,
 		WireBounds,
+		DetFlow,
+		StateMach,
+		SPSCSingle,
+		MetricReg,
+		StaleAllow,
 	}
 }
 
@@ -92,8 +118,14 @@ type suppression struct {
 	analyzer string // full analyzer name (resolved from name or alias)
 	file     string
 	line     int
+	column   int
 	fileWide bool
 	reason   string
+}
+
+// pos anchors staleallow findings to the directive itself.
+func (s suppression) pos() token.Position {
+	return token.Position{Filename: s.file, Line: s.line, Column: s.column}
 }
 
 const (
@@ -146,6 +178,7 @@ func parseSuppressions(prog *Program, suite []*Analyzer) ([]suppression, []Diagn
 						analyzer: a.Name,
 						file:     pos.Filename,
 						line:     pos.Line,
+						column:   pos.Column,
 						fileWide: fileWide,
 						reason:   reason,
 					})
@@ -169,7 +202,10 @@ func (s suppression) matches(d Diagnostic) bool {
 
 // RunAnalyzers applies the suite to the program and returns surviving
 // diagnostics, sorted by position. Suppressed findings are dropped;
-// malformed suppression directives are reported.
+// malformed suppression directives are reported; suppressions that
+// matched no raw finding are reported as staleallow findings (and a
+// //ranvet:allow staleallow directive can in turn excuse one of those —
+// one level, so the chain terminates).
 func RunAnalyzers(prog *Program, suite []*Analyzer) []Diagnostic {
 	var raw []Diagnostic
 	for _, a := range suite {
@@ -184,17 +220,57 @@ func RunAnalyzers(prog *Program, suite []*Analyzer) []Diagnostic {
 		a.Run(prog, report)
 	}
 	sups, bad := parseSuppressions(prog, suite)
+	matched := make([]bool, len(sups))
 	var kept []Diagnostic
 	for _, d := range raw {
 		suppressed := false
-		for _, s := range sups {
-			if s.matches(d) {
+		for i := range sups {
+			if sups[i].matches(d) {
+				matched[i] = true
 				suppressed = true
-				break
+				// Keep scanning: another directive covering the same
+				// finding (a duplicate allow) must count as used too, or
+				// it would be misreported as stale.
 			}
 		}
 		if !suppressed {
 			kept = append(kept, d)
+		}
+	}
+	// Stale pass 1: every non-staleallow directive that excused nothing.
+	var stale []Diagnostic
+	for i := range sups {
+		if matched[i] || sups[i].analyzer == StaleAllow.Name {
+			continue
+		}
+		stale = append(stale, Diagnostic{
+			Analyzer: StaleAllow.Name,
+			Pos:      sups[i].pos(),
+			Message: fmt.Sprintf("stale suppression: no %s finding is silenced by this directive — delete it (re-add it, with a fresh reason, if the finding ever returns)",
+				sups[i].analyzer),
+		})
+	}
+	// Stale pass 2: staleallow directives may excuse stale findings;
+	// a staleallow directive that excuses nothing is itself stale.
+	for _, d := range stale {
+		suppressed := false
+		for i := range sups {
+			if sups[i].analyzer == StaleAllow.Name && sups[i].matches(d) {
+				matched[i] = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for i := range sups {
+		if sups[i].analyzer == StaleAllow.Name && !matched[i] {
+			kept = append(kept, Diagnostic{
+				Analyzer: StaleAllow.Name,
+				Pos:      sups[i].pos(),
+				Message:  "stale suppression: this ranvet:allow staleallow directive excuses no stale directive — delete it",
+			})
 		}
 	}
 	kept = append(kept, bad...)

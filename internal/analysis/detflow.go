@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetFlow guards the seed-identical replay guarantee (DESIGN.md §6.1:
+// deterministic inline mode must replay bit-identically for a fixed
+// seed). Functions annotated //ranvet:detpath are roots of the
+// deterministic-mode datapath — the ingress entry points whose inline
+// drain is the whole engine when Cores workers are not spawned. In code
+// reachable from those roots the analyzer flags the constructs whose
+// outcome depends on the runtime scheduler or the map hash seed rather
+// than on program input:
+//
+//   - range over a map: iteration order is randomized per run, so any
+//     frame emission, counter accumulation or table mutation driven by
+//     the loop order diverges between seeded runs
+//   - go statements: a spawned goroutine races the inline drain
+//   - select with two or more communication cases: the winner is chosen
+//     by readiness and a pseudo-random tie-break (a single case plus
+//     default stays legal — readiness of one channel is deterministic
+//     under single-goroutine execution)
+//   - sync.Map iteration (Range): the concurrent map's order is as
+//     unspecified as the built-in one's
+//
+// Order-independent map walks (a sweep that deletes expired entries, a
+// reduction into a commutative sum) are real and stay suppressible with
+// //ranvet:allow detflow <reason> — the reason must say why no emitted
+// frame or counter observes the order.
+var DetFlow = &Analyzer{
+	Name:  "detflow",
+	Alias: "det",
+	Doc:   "flags nondeterminism sources reachable from //ranvet:detpath roots",
+	Run:   runDetFlow,
+}
+
+const detpathDirective = "ranvet:detpath"
+
+func runDetFlow(prog *Program, report Reporter) {
+	g := prog.graph()
+	roots := directiveRoots(prog, g, detpathDirective)
+	visited, parent := g.reach(roots)
+	for key := range visited {
+		node := g.funcs[key]
+		if node == nil {
+			continue
+		}
+		checkDetFunc(node, g.chainTo(key, parent), report)
+	}
+}
+
+func checkDetFunc(node *funcNode, via string, report Reporter) {
+	info := node.pkg.Info
+	pkg := node.pkg
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.RangeStmt:
+			if isMapType(info, e.X) {
+				report(pkg, e.Pos(),
+					"range over a map on the deterministic path (%s): iteration order is randomized per run; iterate a sorted key slice or keep insertion order", via)
+			}
+		case *ast.GoStmt:
+			report(pkg, e.Pos(),
+				"go statement on the deterministic path (%s): a spawned goroutine races the inline drain under the runtime scheduler", via)
+		case *ast.SelectStmt:
+			if commCases(e) >= 2 {
+				report(pkg, e.Pos(),
+					"multi-case select on the deterministic path (%s): the winner is chosen by readiness and a random tie-break", via)
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Range" {
+				if s, ok := info.Selections[sel]; ok && isSyncMap(s.Recv()) {
+					report(pkg, e.Pos(),
+						"sync.Map.Range on the deterministic path (%s): iteration order is unspecified", via)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isMapType reports whether the expression's static type is a map.
+func isMapType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// isSyncMap reports whether t is sync.Map (possibly behind a pointer).
+func isSyncMap(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Map"
+}
+
+// commCases counts a select statement's communication clauses, default
+// excluded.
+func commCases(s *ast.SelectStmt) int {
+	n := 0
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			n++
+		}
+	}
+	return n
+}

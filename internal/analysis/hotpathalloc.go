@@ -4,7 +4,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 )
 
 // HotPathAlloc enforces the allocation-free hot path (DESIGN.md §6: "hot
@@ -13,8 +12,9 @@ import (
 // the BFP codec, every App's Handle. A type annotated //ranvet:hotpath
 // roots its entire method set — the shape of a pooled scratch object
 // (bfp.Transcoder) whose every method runs per frame. The analyzer walks
-// the static call graph from those roots across the whole module and
-// flags constructs that heap-allocate (or are very likely to):
+// the static call graph (the shared reachability layer, reach.go) from
+// those roots across the whole module and flags constructs that
+// heap-allocate (or are very likely to):
 //
 //   - make, new, append (growth reallocates)
 //   - &T{...} and slice/map composite literals
@@ -47,214 +47,19 @@ var HotPathAlloc = &Analyzer{
 
 const hotpathDirective = "ranvet:hotpath"
 
-// funcNode is one function with a body in the analyzed module.
-type funcNode struct {
-	pkg  *Package
-	decl *ast.FuncDecl
-	name string // printable, e.g. (*shard).process
-}
-
-// funcKey canonically identifies a function across packages: the
-// *types.Func objects differ between a package's own check and an import
-// via export data, but FullName strings agree.
-func funcKey(fn *types.Func) string { return fn.FullName() }
-
 func runHotPathAlloc(prog *Program, report Reporter) {
-	// Pass 1: collect //ranvet:hotpath-annotated types. Methods are always
-	// declared in the type's own package, but the collection runs over the
-	// whole module first so declaration order never matters.
-	hotTypes := map[types.Object]bool{}
-	for _, pkg := range prog.Packages {
-		for _, f := range pkg.Files {
-			for _, d := range f.Decls {
-				gd, ok := d.(*ast.GenDecl)
-				if !ok || gd.Tok != token.TYPE {
-					continue
-				}
-				for _, spec := range gd.Specs {
-					ts, ok := spec.(*ast.TypeSpec)
-					if !ok {
-						continue
-					}
-					if hasDirective(gd.Doc, hotpathDirective) || hasDirective(ts.Doc, hotpathDirective) {
-						if obj := pkg.Info.Defs[ts.Name]; obj != nil {
-							hotTypes[obj] = true
-						}
-					}
-				}
-			}
-		}
-	}
-
-	// Pass 2: index every function declaration in the module and find the
-	// roots — directly annotated functions plus every method of a hot type.
-	funcs := map[string]*funcNode{}
-	var roots []string
-	rootSet := map[string]bool{}
-	for _, pkg := range prog.Packages {
-		for _, f := range pkg.Files {
-			for _, d := range f.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				key := funcKey(obj)
-				funcs[key] = &funcNode{pkg: pkg, decl: fd, name: displayName(obj)}
-				if (hasDirective(fd.Doc, hotpathDirective) || isHotTypeMethod(obj, hotTypes)) && !rootSet[key] {
-					rootSet[key] = true
-					roots = append(roots, key)
-				}
-			}
-		}
-	}
-
-	// BFS the static call graph, remembering how each function was reached
-	// so diagnostics can show the chain back to a root.
-	parent := map[string]string{}
-	visited := map[string]bool{}
-	queue := append([]string(nil), roots...)
-	for _, r := range roots {
-		visited[r] = true
-	}
-	for len(queue) > 0 {
-		key := queue[0]
-		queue = queue[1:]
-		node := funcs[key]
+	g := prog.graph()
+	roots := directiveRoots(prog, g, hotpathDirective)
+	visited, parent := g.reach(roots)
+	// Check in BFS order is not required — diagnostics are sorted by the
+	// driver — so walk the visited set through the graph's stable index.
+	for key := range visited {
+		node := g.funcs[key]
 		if node == nil {
 			continue
 		}
-		checkHotFunc(node, chain(key, parent, funcs), report)
-		for _, callee := range staticCallees(node) {
-			if visited[callee] {
-				continue
-			}
-			visited[callee] = true
-			parent[callee] = key
-			queue = append(queue, callee)
-		}
+		checkHotFunc(node, g.chainTo(key, parent), report)
 	}
-}
-
-// isHotTypeMethod reports whether fn is a method whose receiver's named
-// type carries the type-level //ranvet:hotpath directive.
-func isHotTypeMethod(fn *types.Func, hotTypes map[types.Object]bool) bool {
-	if len(hotTypes) == 0 {
-		return false
-	}
-	recv := fn.Type().(*types.Signature).Recv()
-	if recv == nil {
-		return false
-	}
-	t := recv.Type()
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	return ok && hotTypes[named.Obj()]
-}
-
-// chain renders the call path from a root down to key.
-func chain(key string, parent map[string]string, funcs map[string]*funcNode) string {
-	var names []string
-	for k := key; k != ""; k = parent[k] {
-		if n := funcs[k]; n != nil {
-			names = append(names, n.name)
-		}
-	}
-	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
-		names[i], names[j] = names[j], names[i]
-	}
-	return strings.Join(names, " → ")
-}
-
-// displayName renders a function the way diagnostics read best:
-// pkg.Func or (*pkg.Recv).Method.
-func displayName(fn *types.Func) string {
-	sig := fn.Type().(*types.Signature)
-	pkg := ""
-	if fn.Pkg() != nil {
-		pkg = shortPkg(fn.Pkg().Path()) + "."
-	}
-	if recv := sig.Recv(); recv != nil {
-		t := recv.Type()
-		ptr := ""
-		if p, ok := t.(*types.Pointer); ok {
-			t = p.Elem()
-			ptr = "*"
-		}
-		if named, ok := t.(*types.Named); ok {
-			return "(" + ptr + pkg + named.Obj().Name() + ")." + fn.Name()
-		}
-	}
-	return pkg + fn.Name()
-}
-
-func shortPkg(path string) string {
-	if i := strings.LastIndex(path, "/"); i >= 0 {
-		return path[i+1:]
-	}
-	return path
-}
-
-// hasDirective reports whether a doc comment carries the given directive.
-func hasDirective(doc *ast.CommentGroup, directive string) bool {
-	if doc == nil {
-		return false
-	}
-	for _, c := range doc.List {
-		if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), directive) {
-			return true
-		}
-	}
-	return false
-}
-
-// staticCallees returns the module functions node calls directly: plain
-// function calls and method calls on concrete receivers. Interface
-// dispatch and func values are unresolvable statically and skipped.
-func staticCallees(node *funcNode) []string {
-	info := node.pkg.Info
-	var out []string
-	seen := map[string]bool{}
-	add := func(fn *types.Func) {
-		if fn == nil || fn.Pkg() == nil {
-			return
-		}
-		key := funcKey(fn)
-		if !seen[key] {
-			seen[key] = true
-			out = append(out, key)
-		}
-	}
-	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		switch fun := ast.Unparen(call.Fun).(type) {
-		case *ast.Ident:
-			if fn, ok := info.Uses[fun].(*types.Func); ok {
-				add(fn)
-			}
-		case *ast.SelectorExpr:
-			if sel, ok := info.Selections[fun]; ok {
-				// Method (or method-value) call; skip interface dispatch.
-				if !types.IsInterface(sel.Recv()) {
-					if fn, ok := sel.Obj().(*types.Func); ok {
-						add(fn)
-					}
-				}
-			} else if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
-				add(fn) // package-qualified call
-			}
-		}
-		return true
-	})
-	return out
 }
 
 // checkHotFunc flags allocating constructs inside one hot function.

@@ -32,6 +32,19 @@ type Package struct {
 type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package // sorted by import path
+
+	// cg memoizes the module call graph (reach.go): several analyzers
+	// walk it from different root sets, and the suite runs them
+	// sequentially, so one build serves all.
+	cg *callGraph
+}
+
+// graph returns the module's static call graph, built on first use.
+func (p *Program) graph() *callGraph {
+	if p.cg == nil {
+		p.cg = buildCallGraph(p)
+	}
+	return p.cg
 }
 
 // listPackage is the subset of `go list -json` output the loader reads.

@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MetricReg cross-checks the metrics registry: a counter that exists but
+// is dropped on the floor between the shard datapath and the Prometheus
+// scrape is worse than no counter — dashboards read zeros and nobody
+// notices. Three whole-module consistency rules:
+//
+//   - Merge completeness: for every named struct type Stats with an
+//     Add(Stats) Stats combinator, each uint64 counter field must be
+//     mentioned in Add's body (composite-literal key or s.F += o.F —
+//     an unmentioned field silently vanishes when snapshots merge).
+//   - Snapshot completeness: a sibling method named snapshot/Snapshot
+//     that builds the Stats value through a composite literal must key
+//     every counter field (a missing key reads as zero forever).
+//   - Export completeness: a sibling function named WriteMetrics must
+//     read every counter field of Stats (st.F somewhere in its body),
+//     so every counter the datapath maintains reaches /metrics.
+//
+// And one for the event-series side:
+//
+//   - Every KPI* string constant (the telemetry bus series names) must
+//     have a recording site: a use anywhere in the module outside its
+//     own declaration. A KPI nobody publishes is a dashboard query that
+//     can never return data.
+var MetricReg = &Analyzer{
+	Name:  "metricreg",
+	Alias: "metric",
+	Doc:   "cross-checks Stats counters against Add/snapshot/WriteMetrics and KPI consts against recording sites",
+	Run:   runMetricReg,
+}
+
+func runMetricReg(prog *Program, report Reporter) {
+	for _, pkg := range prog.Packages {
+		checkStatsRegistry(pkg, report)
+	}
+	checkKPIConsts(prog, report)
+}
+
+// statsType resolves the package's named type "Stats" when it is a struct
+// with an Add(Stats) Stats method; nil otherwise.
+func statsType(pkg *Package) (*types.Named, *types.Struct) {
+	obj, ok := pkg.Pkg.Scope().Lookup("Stats").(*types.TypeName)
+	if !ok {
+		return nil, nil
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m.Name() != "Add" {
+			continue
+		}
+		sig := m.Type().(*types.Signature)
+		if sig.Params().Len() == 1 && sig.Results().Len() == 1 &&
+			types.Identical(sig.Params().At(0).Type(), named) &&
+			types.Identical(sig.Results().At(0).Type(), named) {
+			return named, st
+		}
+	}
+	return nil, nil
+}
+
+// counterFields lists the uint64 fields of the Stats struct — the
+// counters the consistency rules cover (state enums, trace pointers and
+// nested readouts are merged by other means and skipped).
+func counterFields(st *types.Struct) []string {
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		b, ok := f.Type().Underlying().(*types.Basic)
+		if ok && b.Kind() == types.Uint64 {
+			out = append(out, f.Name())
+		}
+	}
+	return out
+}
+
+func checkStatsRegistry(pkg *Package, report Reporter) {
+	named, st := statsType(pkg)
+	if named == nil {
+		return
+	}
+	counters := counterFields(st)
+	if len(counters) == 0 {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			switch {
+			case fd.Name.Name == "Add" && isStatsMethod(pkg, fd, named):
+				missing := unmentionedFields(pkg, fd, counters)
+				for _, m := range missing {
+					report(pkg, fd.Pos(),
+						"Stats.%s is not merged in %s.Add: snapshots combined with Add silently drop the counter",
+						m, shortPkg(pkg.Pkg.Path()))
+				}
+			case strings.EqualFold(fd.Name.Name, "snapshot") && returnsStats(pkg, fd, named):
+				checkSnapshotLiterals(pkg, fd, named, counters, report)
+			case fd.Name.Name == "WriteMetrics":
+				missing := unmentionedFields(pkg, fd, counters)
+				for _, m := range missing {
+					report(pkg, fd.Pos(),
+						"Stats.%s is never read in %s.WriteMetrics: the counter is maintained but not exported to /metrics",
+						m, shortPkg(pkg.Pkg.Path()))
+				}
+			}
+		}
+	}
+}
+
+// isStatsMethod reports whether fd is declared on the Stats type (value
+// or pointer receiver).
+func isStatsMethod(pkg *Package, fd *ast.FuncDecl, named *types.Named) bool {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return false
+	}
+	t := pkg.Info.Types[fd.Recv.List[0].Type].Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return types.Identical(t, named)
+}
+
+// returnsStats reports whether the function's (single) result is Stats.
+func returnsStats(pkg *Package, fd *ast.FuncDecl, named *types.Named) bool {
+	if fd.Type.Results == nil || len(fd.Type.Results.List) != 1 {
+		return false
+	}
+	t := pkg.Info.Types[fd.Type.Results.List[0].Type].Type
+	return t != nil && types.Identical(t, named)
+}
+
+// unmentionedFields returns the counter fields never selected (st.F) on a
+// Stats-typed operand anywhere in the body, sorted for stable output.
+func unmentionedFields(pkg *Package, fd *ast.FuncDecl, counters []string) []string {
+	mentioned := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if s, ok := pkg.Info.Selections[e]; ok && s.Kind() == types.FieldVal {
+				mentioned[e.Sel.Name] = true
+			}
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						mentioned[id.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	var missing []string
+	for _, c := range counters {
+		if !mentioned[c] {
+			missing = append(missing, c)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// checkSnapshotLiterals requires every Stats composite literal inside a
+// snapshot method to key every counter field.
+func checkSnapshotLiterals(pkg *Package, fd *ast.FuncDecl, named *types.Named, counters []string, report Reporter) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		t := pkg.Info.Types[cl].Type
+		if t == nil || !types.Identical(t, named) {
+			return true
+		}
+		keyed := map[string]bool{}
+		for _, elt := range cl.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				return true // positional literal: the compiler enforces completeness
+			}
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				keyed[id.Name] = true
+			}
+		}
+		var missing []string
+		for _, c := range counters {
+			if !keyed[c] {
+				missing = append(missing, c)
+			}
+		}
+		sort.Strings(missing)
+		for _, m := range missing {
+			report(pkg, cl.Pos(),
+				"Stats.%s is missing from the snapshot literal in %s.%s: the counter reads zero forever",
+				m, shortPkg(pkg.Pkg.Path()), fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// checkKPIConsts requires every KPI* string constant to be used somewhere
+// in the module beyond its declaration.
+func checkKPIConsts(prog *Program, report Reporter) {
+	type kpiConst struct {
+		pkg *Package
+		pos token.Pos
+		obj types.Object
+	}
+	var decls []kpiConst
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if !strings.HasPrefix(name.Name, "KPI") {
+							continue
+						}
+						obj := pkg.Info.Defs[name]
+						if obj == nil {
+							continue
+						}
+						b, ok := obj.Type().Underlying().(*types.Basic)
+						if !ok || b.Info()&types.IsString == 0 {
+							continue
+						}
+						decls = append(decls, kpiConst{pkg: pkg, pos: name.Pos(), obj: obj})
+					}
+				}
+			}
+		}
+	}
+	if len(decls) == 0 {
+		return
+	}
+	// A series is identified by its string value, not the constant's
+	// identity: a facade alias (ranbooster.KPIBreaker = core.KPIBreaker)
+	// is recorded whenever any constant carrying the same series name is.
+	usedValue := map[string]bool{}
+	for _, pkg := range prog.Packages {
+		for _, obj := range pkg.Info.Uses {
+			c, ok := obj.(*types.Const)
+			if !ok || c.Pkg() == nil || !strings.HasPrefix(c.Name(), "KPI") {
+				continue
+			}
+			usedValue[c.Val().ExactString()] = true
+		}
+	}
+	for _, d := range decls {
+		c := d.obj.(*types.Const)
+		if !usedValue[c.Val().ExactString()] {
+			report(d.pkg, d.pos,
+				"KPI constant %s has no recording site: nothing in the module publishes or reads this series name",
+				d.obj.Name())
+		}
+	}
+}

@@ -123,6 +123,66 @@ func TestWireBoundsFixture(t *testing.T) {
 	checkFixture(t, prog, diags)
 }
 
+func TestDetFlowFixture(t *testing.T) {
+	prog, diags := loadFixture(t, "detflow", "ranvetfixture/detflow")
+	checkFixture(t, prog, diags)
+}
+
+func TestStateMachFixture(t *testing.T) {
+	prog, diags := loadFixture(t, "statemach", "ranvetfixture/statemach")
+	checkFixture(t, prog, diags)
+}
+
+func TestStateMachBadTable(t *testing.T) {
+	prog, diags := loadFixture(t, "statebad", "ranvetfixture/statebad")
+	checkFixture(t, prog, diags)
+}
+
+func TestSPSCSingleFixture(t *testing.T) {
+	prog, diags := loadFixture(t, "spsc", "ranvetfixture/spsc")
+	checkFixture(t, prog, diags)
+}
+
+func TestMetricRegFixture(t *testing.T) {
+	prog, diags := loadFixture(t, "metricreg", "ranvetfixture/metricreg")
+	checkFixture(t, prog, diags)
+}
+
+// TestStaleAllowFixture asserts the driver's stale-suppression pass
+// directly: a stale finding lands on the directive's own line, where a
+// want comment cannot coexist with the directive, so the fixture is
+// checked by message rather than by want comments.
+func TestStaleAllowFixture(t *testing.T) {
+	_, diags := loadFixture(t, "stale", "ranvetfixture/stale")
+	var got []string
+	for _, d := range diags {
+		if d.Analyzer != StaleAllow.Name {
+			t.Errorf("unexpected non-stale diagnostic: %s", d)
+			continue
+		}
+		got = append(got, d.Message)
+	}
+	want := []string{
+		"no simclock finding is silenced by this directive",
+		"excuses no stale directive",
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no stale diagnostic containing %q (got %v)", w, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("got %d stale diagnostics, want %d: %v", len(got), len(want), got)
+	}
+}
+
 // TestBadSuppressions requires malformed directives to be reported:
 // a suppression without a reason (or naming an unknown analyzer) must
 // fail the run, not silently stop matching.
@@ -213,8 +273,8 @@ func TestSuiteMetadata(t *testing.T) {
 			t.Errorf("analyzer %s missing doc or run hook", a.Name)
 		}
 	}
-	if len(All()) != 5 {
-		t.Errorf("suite has %d analyzers, want 5", len(All()))
+	if len(All()) != 10 {
+		t.Errorf("suite has %d analyzers, want 10", len(All()))
 	}
 }
 

@@ -1,0 +1,295 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The shared reachability layer. PR 4's hotpathalloc carried its own
+// call-graph walker; the v2 analyzers (detflow, spscsingle) reason over
+// the same graph from different root sets, so the walker lives here once:
+// a whole-module index of function declarations, static call edges, and a
+// BFS from annotated roots that remembers how each function was reached.
+//
+// Root annotations are doc-comment directives:
+//
+//	//ranvet:hotpath            – per-frame datapath root (hotpathalloc)
+//	//ranvet:detpath            – deterministic-inline-mode root (detflow)
+//	//ranvet:goroutine <label>  – a goroutine root for spscsingle: the
+//	    function is a goroutine body or carries a documented single-caller
+//	    contract tying it to one goroutine. The label names the role
+//	    (e.g. "producer", "shard-worker"); two functions sharing a label
+//	    are alternative bodies of the same goroutine, never live together.
+//
+// A directive on a type declaration roots the type's entire method set —
+// the pooled-scratch-object shape (bfp.Transcoder) whose every method
+// runs in the annotated regime.
+
+// funcNode is one function with a body in the analyzed module.
+type funcNode struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	name string // printable, e.g. (*shard).process
+}
+
+// funcKey canonically identifies a function across packages: the
+// *types.Func objects differ between a package's own check and an import
+// via export data, but FullName strings agree.
+func funcKey(fn *types.Func) string { return fn.FullName() }
+
+// callGraph is the whole-module static call graph: every declared
+// function plus its directly-called module functions. Interface dispatch
+// and func-typed values are unresolvable statically and absent — exactly
+// why datapath roots are annotated per implementation.
+type callGraph struct {
+	funcs   map[string]*funcNode
+	callees map[string][]string
+}
+
+// buildCallGraph indexes every function declaration in the module and
+// resolves its static callees once; analyzers share the result.
+func buildCallGraph(prog *Program) *callGraph {
+	g := &callGraph{
+		funcs:   map[string]*funcNode{},
+		callees: map[string][]string{},
+	}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := funcKey(obj)
+				g.funcs[key] = &funcNode{pkg: pkg, decl: fd, name: displayName(obj)}
+			}
+		}
+	}
+	for key, node := range g.funcs {
+		g.callees[key] = staticCallees(node)
+	}
+	return g
+}
+
+// directiveRoots returns the funcKeys rooted by the given directive:
+// directly annotated functions plus every method of an annotated type.
+// Directives with arguments match on the directive word alone, so
+// callers re-parse arguments with directiveArgs when they need them.
+func directiveRoots(prog *Program, g *callGraph, directive string) []string {
+	rootTypes := annotatedTypes(prog, directive)
+	var roots []string
+	seen := map[string]bool{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := funcKey(obj)
+				if (hasDirective(fd.Doc, directive) || isAnnotatedTypeMethod(obj, rootTypes)) && !seen[key] {
+					seen[key] = true
+					roots = append(roots, key)
+				}
+			}
+		}
+	}
+	return roots
+}
+
+// annotatedTypes collects the named types whose declaration carries the
+// directive (on the TypeSpec or its enclosing GenDecl).
+func annotatedTypes(prog *Program, directive string) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if hasDirective(gd.Doc, directive) || hasDirective(ts.Doc, directive) {
+						if obj := pkg.Info.Defs[ts.Name]; obj != nil {
+							out[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isAnnotatedTypeMethod reports whether fn is a method whose receiver's
+// named type carries the type-level directive.
+func isAnnotatedTypeMethod(fn *types.Func, rootTypes map[types.Object]bool) bool {
+	if len(rootTypes) == 0 {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && rootTypes[named.Obj()]
+}
+
+// reach BFS-walks the graph from roots. The returned parent map records
+// how each function was first reached (roots map to ""), so diagnostics
+// can render the chain back to a root with chainTo.
+func (g *callGraph) reach(roots []string) (visited map[string]bool, parent map[string]string) {
+	visited = map[string]bool{}
+	parent = map[string]string{}
+	queue := append([]string(nil), roots...)
+	for _, r := range roots {
+		visited[r] = true
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		if g.funcs[key] == nil {
+			continue
+		}
+		for _, callee := range g.callees[key] {
+			if visited[callee] {
+				continue
+			}
+			visited[callee] = true
+			parent[callee] = key
+			queue = append(queue, callee)
+		}
+	}
+	return visited, parent
+}
+
+// chainTo renders the call path from a root down to key.
+func (g *callGraph) chainTo(key string, parent map[string]string) string {
+	var names []string
+	for k := key; k != ""; k = parent[k] {
+		if n := g.funcs[k]; n != nil {
+			names = append(names, n.name)
+		}
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " → ")
+}
+
+// directiveArgs returns the argument words of the first matching
+// directive in the doc comment ("//ranvet:goroutine producer" yields
+// ["producer"]), and whether the directive is present at all.
+func directiveArgs(doc *ast.CommentGroup, directive string) ([]string, bool) {
+	if doc == nil {
+		return nil, false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == directive {
+			return nil, true
+		}
+		if strings.HasPrefix(text, directive+" ") {
+			return strings.Fields(strings.TrimPrefix(text, directive+" ")), true
+		}
+	}
+	return nil, false
+}
+
+// displayName renders a function the way diagnostics read best:
+// pkg.Func or (*pkg.Recv).Method.
+func displayName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = shortPkg(fn.Pkg().Path()) + "."
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		ptr := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			ptr = "*"
+		}
+		if named, ok := t.(*types.Named); ok {
+			return "(" + ptr + pkg + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// hasDirective reports whether a doc comment carries the given directive
+// (exact word: "ranvet:hotpath" does not match "ranvet:hotpathx").
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	_, ok := directiveArgs(doc, directive)
+	return ok
+}
+
+// staticCallees returns the module functions node calls directly: plain
+// function calls and method calls on concrete receivers. Interface
+// dispatch and func values are unresolvable statically and skipped.
+func staticCallees(node *funcNode) []string {
+	info := node.pkg.Info
+	var out []string
+	seen := map[string]bool{}
+	add := func(fn *types.Func) {
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		key := funcKey(fn)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fn, ok := info.Uses[fun].(*types.Func); ok {
+				add(fn)
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[fun]; ok {
+				// Method (or method-value) call; skip interface dispatch.
+				if !types.IsInterface(sel.Recv()) {
+					if fn, ok := sel.Obj().(*types.Func); ok {
+						add(fn)
+					}
+				}
+			} else if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+				add(fn) // package-qualified call
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SPSCSingle enforces the single-producer/single-consumer contract of the
+// engine's lock-free rings at review time instead of under -race. Two
+// directive families feed it:
+//
+//	//ranvet:spsc produce  – on a method: the producer-side entry of an
+//	    SPSC type (ring.push)
+//	//ranvet:spsc consume  – the consumer-side entry (ring.popN)
+//	//ranvet:goroutine <label> – on a function: a goroutine root (a
+//	    goroutine body, or an entry point with a documented single-caller
+//	    contract). Functions sharing a label are alternative bodies of
+//	    the same goroutine role and never run together.
+//
+// For every call site of a produce (resp. consume) method the analyzer
+// computes which goroutine-root labels can reach it through the static
+// call graph. Two findings follow:
+//
+//   - a single call site reachable from two or more labels: two
+//     different goroutines can execute this push/pop
+//   - call sites of one SPSC side spanning two or more labels between
+//     them: a second producer (or drainer) exists somewhere in the module
+//
+// Call sites unreachable from any labeled root (tests are not loaded;
+// examples drive the engine from an unannotated main) are out of scope —
+// they cannot race a labeled goroutine that is not running.
+//
+// The deterministic inline mode deliberately violates the letter of the
+// contract: the producer drains streams on the spot while workers are
+// not spawned, so a handful of consume sites are reachable from both the
+// producer and the shard-worker labels. Those sites carry //ranvet:allow
+// spscsingle <reason> directives spelling out the mode exclusivity; any
+// new cross-goroutine call path fires at its own (unsuppressed) site.
+var SPSCSingle = &Analyzer{
+	Name:  "spscsingle",
+	Alias: "spsc",
+	Doc:   "checks SPSC ring push/pop call sites against //ranvet:goroutine roots",
+	Run:   runSPSCSingle,
+}
+
+const (
+	spscDirective      = "ranvet:spsc"
+	goroutineDirective = "ranvet:goroutine"
+)
+
+// spscMethod is one declared SPSC entry: the method's funcKey plus the
+// side it implements and a printable name.
+type spscMethod struct {
+	key  string
+	side string // "produce" or "consume"
+	name string
+}
+
+func runSPSCSingle(prog *Program, report Reporter) {
+	g := prog.graph()
+	methods := collectSPSCMethods(prog, report)
+	if len(methods) == 0 {
+		return
+	}
+	labels := collectGoroutineRoots(prog, report)
+	if len(labels) == 0 {
+		return
+	}
+	// Reachability per label: which functions can each goroutine role
+	// execute?
+	reachable := map[string]map[string]bool{}
+	labelNames := make([]string, 0, len(labels))
+	for label, roots := range labels {
+		visited, _ := g.reach(roots)
+		reachable[label] = visited
+		labelNames = append(labelNames, label)
+	}
+	sort.Strings(labelNames)
+
+	// Index the SPSC methods by funcKey for call-site matching.
+	byKey := map[string]*spscMethod{}
+	for i := range methods {
+		byKey[methods[i].key] = &methods[i]
+	}
+
+	// One pass over every function body: record each call site of an
+	// SPSC method together with the labels that reach the enclosing
+	// function.
+	type site struct {
+		pkg    *Package
+		pos    ast.Node
+		labels []string
+	}
+	sites := map[*spscMethod][]site{}
+	for key, node := range g.funcs {
+		var enclosing []string
+		for _, label := range labelNames {
+			if reachable[label][key] {
+				enclosing = append(enclosing, label)
+			}
+		}
+		if len(enclosing) == 0 {
+			continue
+		}
+		node := node
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeFunc(node.pkg.Info, sel)
+			if !ok {
+				return true
+			}
+			m, ok := byKey[funcKey(fn)]
+			if !ok {
+				return true
+			}
+			sites[m] = append(sites[m], site{pkg: node.pkg, pos: call, labels: enclosing})
+			return true
+		})
+	}
+
+	for i := range methods {
+		m := &methods[i]
+		ss := sites[m]
+		if len(ss) == 0 {
+			continue
+		}
+		union := map[string]bool{}
+		for _, s := range ss {
+			for _, l := range s.labels {
+				union[l] = true
+			}
+		}
+		var all []string
+		for l := range union {
+			all = append(all, l)
+		}
+		sort.Strings(all)
+		role := "producer"
+		if m.side == "consume" {
+			role = "drainer"
+		}
+		for _, s := range ss {
+			switch {
+			case len(s.labels) >= 2:
+				report(s.pkg, s.pos.Pos(),
+					"%s call reachable from %d goroutine roots (%s): two goroutines can execute this %s side of the SPSC ring",
+					m.name, len(s.labels), strings.Join(s.labels, ", "), m.side)
+			case len(union) >= 2:
+				report(s.pkg, s.pos.Pos(),
+					"%s has a second %s: call sites span goroutine roots %s — an SPSC ring admits exactly one (this site runs under %q)",
+					m.name, role, strings.Join(all, ", "), s.labels[0])
+			}
+		}
+	}
+}
+
+// collectSPSCMethods parses //ranvet:spsc directives on method
+// declarations. A directive with a side other than produce/consume, or
+// on a non-method, is reported.
+func collectSPSCMethods(prog *Program, report Reporter) []spscMethod {
+	var out []spscMethod
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				args, ok := directiveArgs(fd.Doc, spscDirective)
+				if !ok {
+					continue
+				}
+				if len(args) != 1 || (args[0] != "produce" && args[0] != "consume") {
+					report(pkg, fd.Pos(), "ranvet:spsc wants exactly one of produce|consume, got %q", strings.Join(args, " "))
+					continue
+				}
+				if fd.Recv == nil {
+					report(pkg, fd.Pos(), "ranvet:spsc must annotate a method of the SPSC type")
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				out = append(out, spscMethod{key: funcKey(obj), side: args[0], name: displayName(obj)})
+			}
+		}
+	}
+	return out
+}
+
+// collectGoroutineRoots parses //ranvet:goroutine <label> directives,
+// grouping funcKeys by label.
+func collectGoroutineRoots(prog *Program, report Reporter) map[string][]string {
+	labels := map[string][]string{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				args, ok := directiveArgs(fd.Doc, goroutineDirective)
+				if !ok {
+					continue
+				}
+				if len(args) != 1 {
+					report(pkg, fd.Pos(), "ranvet:goroutine wants exactly one label, got %q", strings.Join(args, " "))
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				labels[args[0]] = append(labels[args[0]], funcKey(obj))
+			}
+		}
+	}
+	return labels
+}

@@ -1,0 +1,27 @@
+package analysis
+
+// StaleAllow keeps the suppression inventory honest: a //ranvet:allow (or
+// allowfile) whose analyzer no longer fires on the covered lines is dead
+// weight — the construct it excused was refactored away, but the
+// directive keeps silencing whatever lands there next. The check runs
+// inside the driver (RunAnalyzers tracks which suppressions matched a raw
+// finding), so the analyzer's Run hook is empty; it exists as a suite
+// member so the findings carry its name, -list shows it, and a directive
+// can name it:
+//
+//	//ranvet:allow staleallow <reason>
+//
+// on the line above a directive that is intentionally kept while its
+// finding is gated off (a build-tag-dependent construct, an analyzer
+// temporarily disabled). A staleallow suppression that itself matches
+// nothing is reported too — one level of recursion, then the chain ends.
+//
+// The remedy for a stale suppression is deletion, not a fresh reason:
+// when the finding returns, so may the directive, with a reason written
+// for the code as it is then.
+var StaleAllow = &Analyzer{
+	Name:  "staleallow",
+	Alias: "stale",
+	Doc:   "flags //ranvet:allow directives whose analyzer no longer fires there",
+	Run:   func(prog *Program, report Reporter) {}, // driver-integrated; see RunAnalyzers
+}

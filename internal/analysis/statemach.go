@@ -1,0 +1,433 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// StateMach turns the engine's informal state-machine prose (the streamQ
+// idle/queued/running FIFO argument, the breaker Open/Half-Open/Closed
+// cycle, the shard health ladder) into a machine-checked transition
+// table. A struct field is declared a state machine with a directive in
+// its doc comment:
+//
+//	//ranvet:statemach wsIdle->wsQueued wsQueued->wsRunning ...
+//	state atomic.Uint32
+//
+// Each A->B pair names two constants visible in the declaring package;
+// a word that resolves to no constant is itself a finding (a table
+// naming a misspelled or deleted state silently checks nothing). The
+// analyzer then inspects every write to a declared field, module-wide:
+//
+//   - field.Store(v) / field.Swap(v): v must be a named state constant
+//     (possibly behind an integer conversion), and some table entry must
+//     target it — a Store is a transition whose origin the code did not
+//     check, so only the destination can be validated statically
+//   - field.CompareAndSwap(old, new): both must be named constants and
+//     the exact (old -> new) pair must be in the table
+//   - plain assignment to the field: same rule as Store
+//
+// A Store argument may also be a local variable, provided the analyzer
+// can prove the variable only ever holds named states: every assignment
+// to it within the enclosing function must be either a named state
+// constant (each one validated as a transition target) or the field's
+// own freshly-loaded value (`next := cur` where cur came from
+// field.Load() — writing the current state back is not a transition).
+// This admits the idiomatic decide-then-commit shape without weakening
+// the check: the decision branches themselves must name the states.
+//
+// Anything else — arithmetic (health = cur - 1), a function result, a
+// parameter — is flagged even when today's value happens to land on a
+// legal state: the next state inserted into the enum turns the
+// computation into an undeclared transition with no diff to review.
+// Every transition the code makes is either in the table or a
+// build-time finding.
+var StateMach = &Analyzer{
+	Name:  "statemach",
+	Alias: "state",
+	Doc:   "checks stores to //ranvet:statemach fields against the declared transition table",
+	Run:   runStateMach,
+}
+
+const statemachDirective = "ranvet:statemach"
+
+// stateTable is one declared state field: the set of legal (from, to)
+// transition pairs, by constant name.
+type stateTable struct {
+	field fieldKey
+	pairs map[[2]string]bool
+	tos   map[string]bool // transition targets (for Store/assign checks)
+	decl  token.Pos
+	pkg   *Package
+}
+
+func runStateMach(prog *Program, report Reporter) {
+	tables := collectStateTables(prog, report)
+	if len(tables) == 0 {
+		return
+	}
+	for _, pkg := range prog.Packages {
+		checkStateStores(pkg, tables, report)
+	}
+}
+
+// collectStateTables parses every //ranvet:statemach field directive in
+// the module. Malformed tables (odd grammar, names that resolve to no
+// constant in the declaring package) are reported immediately.
+func collectStateTables(prog *Program, report Reporter) map[fieldKey]*stateTable {
+	tables := map[fieldKey]*stateTable{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						args, ok := directiveArgs(field.Doc, statemachDirective)
+						if !ok {
+							continue
+						}
+						parseStateTable(pkg, ts, field, args, tables, report)
+					}
+				}
+			}
+		}
+	}
+	return tables
+}
+
+// parseStateTable validates one directive's transition list and indexes
+// it under the field's canonical key.
+func parseStateTable(pkg *Package, ts *ast.TypeSpec, field *ast.Field, args []string, tables map[fieldKey]*stateTable, report Reporter) {
+	if len(field.Names) != 1 {
+		report(pkg, field.Pos(), "ranvet:statemach must annotate exactly one named field")
+		return
+	}
+	name := field.Names[0]
+	tbl := &stateTable{
+		field: fieldKey{pkg: pkg.Pkg.Path(), typ: ts.Name.Name, field: name.Name},
+		pairs: map[[2]string]bool{},
+		tos:   map[string]bool{},
+		decl:  field.Pos(),
+		pkg:   pkg,
+	}
+	if len(args) == 0 {
+		report(pkg, field.Pos(), "ranvet:statemach on %s.%s declares no transitions", ts.Name.Name, name.Name)
+		return
+	}
+	ok := true
+	for _, a := range args {
+		from, to, found := strings.Cut(a, "->")
+		if !found || from == "" || to == "" {
+			report(pkg, field.Pos(), "ranvet:statemach transition %q is not of the form From->To", a)
+			ok = false
+			continue
+		}
+		for _, cname := range []string{from, to} {
+			if !isPackageConst(pkg, cname) {
+				report(pkg, field.Pos(),
+					"ranvet:statemach transition %q names %s, which is not a constant in package %s — the table checks nothing",
+					a, cname, shortPkg(pkg.Pkg.Path()))
+				ok = false
+			}
+		}
+		tbl.pairs[[2]string{from, to}] = true
+		tbl.tos[to] = true
+	}
+	if ok {
+		tables[tbl.field] = tbl
+	}
+}
+
+// isPackageConst reports whether name resolves to a constant at the
+// declaring package's scope.
+func isPackageConst(pkg *Package, name string) bool {
+	_, obj := pkg.Pkg.Scope().LookupParent(name, token.NoPos)
+	if obj == nil {
+		obj = types.Universe.Lookup(name)
+	}
+	_, isConst := obj.(*types.Const)
+	return isConst
+}
+
+// checkStateStores flags writes to declared state fields whose transition
+// is not in the table. The walk tracks the enclosing function so a store
+// of a local variable can be resolved through its assignments.
+func checkStateStores(pkg *Package, tables map[fieldKey]*stateTable, report Reporter) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.CallExpr:
+					sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					// The receiver chain of an atomic method call: state.Store(v)
+					// selects Store on the field selector sel.X.
+					fsel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					key, ok := fieldOf(pkg, fsel)
+					if !ok {
+						return true
+					}
+					tbl, declared := tables[key]
+					if !declared {
+						return true
+					}
+					switch sel.Sel.Name {
+					case "Store", "Swap":
+						if len(e.Args) == 1 {
+							checkStateTo(pkg, tbl, fd, e.Args[0], e.Pos(), sel.Sel.Name, report)
+						}
+					case "CompareAndSwap":
+						if len(e.Args) == 2 {
+							checkStatePair(pkg, tbl, e.Args[0], e.Args[1], e.Pos(), report)
+						}
+					}
+				case *ast.AssignStmt:
+					for i, lhs := range e.Lhs {
+						fsel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+						if !ok {
+							continue
+						}
+						key, ok := fieldOf(pkg, fsel)
+						if !ok {
+							continue
+						}
+						tbl, declared := tables[key]
+						if !declared {
+							continue
+						}
+						if i < len(e.Rhs) && len(e.Lhs) == len(e.Rhs) {
+							checkStateTo(pkg, tbl, fd, e.Rhs[i], e.Pos(), "assignment", report)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkStateTo validates a Store/Swap/assignment destination: a named
+// constant (or a provably state-valued local variable) whose every
+// target is in the table.
+func checkStateTo(pkg *Package, tbl *stateTable, fn *ast.FuncDecl, arg ast.Expr, pos token.Pos, how string, report Reporter) {
+	var names []string
+	if name, ok := stateConstName(pkg, arg); ok {
+		names = []string{name}
+	} else if resolved, ok := localStateConsts(pkg, tbl, fn, arg); ok {
+		names = resolved
+	} else {
+		report(pkg, pos,
+			"%s to state field %s.%s stores a computed value, not a named state constant — every transition must be declared in the ranvet:statemach table at %s",
+			how, tbl.field.typ, tbl.field.field, pkg.fset.Position(tbl.decl))
+		return
+	}
+	for _, name := range names {
+		if !tbl.tos[name] {
+			report(pkg, pos,
+				"%s of %s into state field %s.%s is an undeclared transition target — add From->%s to the ranvet:statemach table at %s or fix the store",
+				how, name, tbl.field.typ, tbl.field.field, name, pkg.fset.Position(tbl.decl))
+		}
+	}
+}
+
+// localStateConsts resolves a store argument that is a local variable to
+// the set of named constants it can hold. It accepts only shapes the
+// analyzer can prove: every assignment to the variable inside fn is a
+// named state constant, or the declared field's own freshly-loaded value
+// (no transition). Anything else — arithmetic, a call result, a
+// parameter, an unpacked tuple — refuses resolution.
+func localStateConsts(pkg *Package, tbl *stateTable, fn *ast.FuncDecl, arg ast.Expr) ([]string, bool) {
+	id, ok := unconvertIdent(pkg, arg)
+	if !ok {
+		return nil, false
+	}
+	obj, ok := pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		return nil, false
+	}
+	vals := assignedValues(pkg, fn, obj)
+	if len(vals) == 0 {
+		return nil, false // a parameter, or assigned outside fn
+	}
+	var consts []string
+	for _, rhs := range vals {
+		if name, isConst := stateConstName(pkg, rhs); isConst {
+			consts = append(consts, name)
+			continue
+		}
+		if !isFieldSelfValue(pkg, tbl, fn, rhs, 4) {
+			return nil, false
+		}
+	}
+	return consts, true
+}
+
+// assignedValues collects every right-hand side assigned to obj inside
+// fn (declarations included); an unattributable write — multi-value
+// unpacking, a var declaration without initializer — is recorded as nil
+// so the caller refuses resolution.
+func assignedValues(pkg *Package, fn *ast.FuncDecl, obj types.Object) []ast.Expr {
+	var out []ast.Expr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				lobj := pkg.Info.Defs[lid]
+				if lobj == nil {
+					lobj = pkg.Info.Uses[lid]
+				}
+				if lobj != obj {
+					continue
+				}
+				if len(st.Lhs) == len(st.Rhs) {
+					out = append(out, st.Rhs[i])
+				} else {
+					out = append(out, nil)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				if pkg.Info.Defs[name] != obj {
+					continue
+				}
+				if i < len(st.Values) && len(st.Names) == len(st.Values) {
+					out = append(out, st.Values[i])
+				} else {
+					out = append(out, nil)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isFieldSelfValue reports whether e is (a conversion of) the declared
+// field's own loaded value: field.Load() directly, or a local variable
+// all of whose assignments are themselves self-values (depth-bounded).
+func isFieldSelfValue(pkg *Package, tbl *stateTable, fn *ast.FuncDecl, e ast.Expr, depth int) bool {
+	if e == nil || depth == 0 {
+		return false
+	}
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if len(call.Args) == 1 {
+			if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+				return isFieldSelfValue(pkg, tbl, fn, call.Args[0], depth)
+			}
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Load" || len(call.Args) != 0 {
+			return false
+		}
+		fsel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		key, ok := fieldOf(pkg, fsel)
+		return ok && key == tbl.field
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		obj, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok {
+			return false
+		}
+		vals := assignedValues(pkg, fn, obj)
+		if len(vals) == 0 {
+			return false
+		}
+		for _, v := range vals {
+			if !isFieldSelfValue(pkg, tbl, fn, v, depth-1) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// unconvertIdent unwraps type conversions down to a plain identifier.
+func unconvertIdent(pkg *Package, e ast.Expr) (*ast.Ident, bool) {
+	for {
+		e = ast.Unparen(e)
+		if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+			if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+				e = call.Args[0]
+				continue
+			}
+		}
+		id, ok := e.(*ast.Ident)
+		return id, ok
+	}
+}
+
+// checkStatePair validates a CompareAndSwap against the exact declared
+// (from -> to) pairs.
+func checkStatePair(pkg *Package, tbl *stateTable, old, new ast.Expr, pos token.Pos, report Reporter) {
+	from, okFrom := stateConstName(pkg, old)
+	to, okTo := stateConstName(pkg, new)
+	if !okFrom || !okTo {
+		report(pkg, pos,
+			"CompareAndSwap on state field %s.%s uses a computed value, not named state constants — every transition must be declared in the ranvet:statemach table at %s",
+			tbl.field.typ, tbl.field.field, pkg.fset.Position(tbl.decl))
+		return
+	}
+	if !tbl.pairs[[2]string{from, to}] {
+		report(pkg, pos,
+			"CompareAndSwap %s -> %s on state field %s.%s is not in the ranvet:statemach table at %s — declare the transition or fix the store",
+			from, to, tbl.field.typ, tbl.field.field, pkg.fset.Position(tbl.decl))
+	}
+}
+
+// stateConstName unwraps integer conversions (uint32(BreakerOpen)) down
+// to a plain identifier and reports the named constant it denotes.
+func stateConstName(pkg *Package, e ast.Expr) (string, bool) {
+	for {
+		ex := ast.Unparen(e)
+		if call, ok := ex.(*ast.CallExpr); ok && len(call.Args) == 1 {
+			if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+				e = call.Args[0]
+				continue
+			}
+		}
+		var id *ast.Ident
+		switch v := ex.(type) {
+		case *ast.Ident:
+			id = v
+		case *ast.SelectorExpr:
+			id = v.Sel // pkg-qualified constant from another package
+		default:
+			return "", false
+		}
+		if _, isConst := pkg.Info.Uses[id].(*types.Const); !isConst {
+			return "", false
+		}
+		return id.Name, true
+	}
+}

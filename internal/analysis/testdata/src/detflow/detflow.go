@@ -1,0 +1,70 @@
+// Package detflow is the detflow fixture: one annotated deterministic
+// root, a transitively reached drain full of nondeterminism sources, the
+// suppressed order-independent walk, and the negatives the analyzer must
+// stay quiet about (slice range, single-case select, a map range off the
+// deterministic path).
+package detflow
+
+import "sync"
+
+type table struct {
+	m  map[int]int
+	sm sync.Map
+}
+
+var shared table
+
+// ingress is the deterministic-mode entry; everything it reaches is
+// checked.
+//
+//ranvet:detpath
+func ingress(frame []byte) {
+	drain(frame)
+	sweepAllowed()
+}
+
+func drain(frame []byte) {
+	for k := range shared.m { // want `range over a map on the deterministic path`
+		_ = k
+	}
+	go emit(frame) // want `go statement on the deterministic path`
+	ch := make(chan int, 1)
+	done := make(chan int, 1)
+	select { // want `multi-case select on the deterministic path`
+	case v := <-ch:
+		_ = v
+	case v := <-done:
+		_ = v
+	}
+	shared.sm.Range(func(k, v any) bool { return true }) // want `sync\.Map\.Range on the deterministic path`
+
+	// Negatives: a slice range is ordered, and a single communication
+	// case plus default has a deterministic winner under one goroutine.
+	for i := range frame {
+		_ = i
+	}
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}
+
+func emit([]byte) {}
+
+// sweepAllowed is the suppressed negative: an order-independent walk
+// with a written reason.
+func sweepAllowed() {
+	//ranvet:allow detflow the walk deletes every expired key unconditionally; no emission or counter observes the order
+	for k := range shared.m {
+		delete(shared.m, k)
+	}
+}
+
+// setup is not reachable from the detpath root: map iteration off the
+// deterministic path is fine.
+func setup() {
+	for k := range shared.m {
+		_ = k
+	}
+}

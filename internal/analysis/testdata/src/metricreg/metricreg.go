@@ -1,0 +1,59 @@
+// Package metricreg is the metricreg fixture: a Stats registry whose
+// Add, snapshot and WriteMetrics each drop one counter, a KPI constant
+// nobody records, the value-aliased and suppressed negatives.
+package metricreg
+
+import (
+	"fmt"
+	"io"
+)
+
+// Stats is the counter registry under test.
+type Stats struct {
+	Kept    uint64
+	Lost    uint64
+	Skipped uint64
+	note    string // non-uint64: out of scope
+}
+
+// Add forgets Lost: merged snapshots silently drop it.
+func (s Stats) Add(o Stats) Stats { // want `Stats\.Lost is not merged in metricreg\.Add`
+	return Stats{
+		Kept:    s.Kept + o.Kept,
+		Skipped: s.Skipped + o.Skipped,
+	}
+}
+
+type collector struct {
+	kept, lost, skipped uint64
+}
+
+// snapshot forgets to key Skipped: the counter reads zero forever.
+func (c *collector) snapshot() Stats {
+	return Stats{ // want `Stats\.Skipped is missing from the snapshot literal`
+		Kept: c.kept,
+		Lost: c.lost,
+	}
+}
+
+// WriteMetrics never reads Kept.
+func WriteMetrics(w io.Writer, st Stats) { // want `Stats\.Kept is never read in metricreg\.WriteMetrics`
+	fmt.Fprintf(w, "lost %d\nskipped %d\n", st.Lost, st.Skipped)
+}
+
+// KPIDrop is recorded below.
+const KPIDrop = "fixture.drop"
+
+// KPIOrphan has no recording site anywhere in the module.
+const KPIOrphan = "fixture.orphan" // want `KPI constant KPIOrphan has no recording site`
+
+// KPIAlias shares KPIDrop's series name: a facade alias of a recorded
+// series is recorded.
+const KPIAlias = "fixture.drop"
+
+// KPIReserved is the suppressed negative.
+//
+//ranvet:allow metricreg reserved series name; an external scraper records it
+const KPIReserved = "fixture.reserved"
+
+func record() string { return KPIDrop }

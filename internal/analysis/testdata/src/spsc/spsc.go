@@ -1,0 +1,81 @@
+// Package spsc is the spscsingle fixture: a ring with annotated
+// produce/consume entries, goroutine roots that violate the
+// single-producer and single-consumer contracts, the suppressed
+// mode-exclusive drain, and malformed directives.
+package spsc
+
+type ring struct {
+	buf  []int
+	head int
+	tail int
+}
+
+// push is the producer-side entry.
+//
+//ranvet:spsc produce
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v)
+	r.tail++
+}
+
+// pop is the consumer-side entry.
+//
+//ranvet:spsc consume
+func (r *ring) pop() (int, bool) {
+	if r.head == r.tail {
+		return 0, false
+	}
+	v := r.buf[r.head]
+	r.head++
+	return v, true
+}
+
+var shared ring
+
+// ingest is the intended producer goroutine.
+//
+//ranvet:goroutine ingest
+func ingest(vs []int) {
+	for _, v := range vs {
+		shared.push(v) // want `has a second producer: call sites span goroutine roots flush, ingest`
+	}
+}
+
+// flush is a second goroutine that also pushes: both sites are flagged.
+//
+//ranvet:goroutine flush
+func flush() {
+	shared.push(0) // want `has a second producer: call sites span goroutine roots flush, ingest`
+}
+
+// drainA and drainB share one consume site: the site itself is
+// executable by two goroutines.
+//
+//ranvet:goroutine drainA
+func drainA() { drainShared() }
+
+//ranvet:goroutine drainB
+func drainB() { drainShared() }
+
+func drainShared() {
+	_, _ = shared.pop() // want `reachable from 2 goroutine roots \(drainA, drainB\)`
+}
+
+// inlineDrain is the suppressed negative: a mode-exclusive drain with a
+// written reason.
+//
+//ranvet:goroutine inline
+func inlineDrain() {
+	//ranvet:allow spscsingle mode-exclusive: inlineDrain runs only when drainA/drainB are not spawned
+	_, _ = shared.pop()
+}
+
+// peek carries a malformed side.
+//
+//ranvet:spsc sideways
+func (r *ring) peek() int { return 0 } // want `ranvet:spsc wants exactly one of produce\|consume`
+
+// extra carries a malformed label list.
+//
+//ranvet:goroutine two labels
+func extra() {} // want `ranvet:goroutine wants exactly one label`

@@ -1,0 +1,26 @@
+// Package stale exercises the staleallow driver pass: a directive whose
+// analyzer no longer fires is a finding, a //ranvet:allow staleallow one
+// level up excuses a deliberately retained directive, and a staleallow
+// directive that excuses nothing is itself stale. The expectations live
+// in TestStaleAllowFixture (a finding anchored to a directive line
+// cannot carry a trailing want comment of its own).
+package stale
+
+// orphaned once excused a wall-clock read that was since removed: the
+// simclock directive matches nothing and must be reported.
+//
+//ranvet:allow simclock the scheduler shim reads the wall clock
+func orphaned() {}
+
+// kept retains its directive while the tagged variant that needs it is
+// gated off; the staleallow directive above it takes the blame.
+//
+//ranvet:allow staleallow the directive below covers the build-tagged variant of kept
+//ranvet:allow atomicfield the tagged variant touches stats plainly
+func kept() {}
+
+// overreach excuses nothing: one level of recursion, then the chain
+// ends.
+//
+//ranvet:allow staleallow nothing below is stale
+func overreach() {}

@@ -1,0 +1,21 @@
+// Package statebad is the statemach bad-table fixture: a transition
+// table whose grammar or state names are wrong is itself a finding — a
+// table naming a misspelled state silently checks nothing.
+package statebad
+
+import "sync/atomic"
+
+const sOK uint32 = 0
+
+type m struct {
+	// state's table has a bad pair grammar and a name that is no
+	// constant.
+	//
+	//ranvet:statemach sOK=>sOK sOK->sMissing
+	state atomic.Uint32 // want `transition "sOK=>sOK" is not of the form From->To` `names sMissing, which is not a constant`
+}
+
+type m2 struct {
+	//ranvet:statemach
+	state atomic.Uint32 // want `declares no transitions`
+}

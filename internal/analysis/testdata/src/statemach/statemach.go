@@ -1,0 +1,86 @@
+// Package statemach is the statemach fixture: a declared transition
+// table, legal stores and CAS pairs, the undeclared-transition and
+// computed-value positives, the local-variable decide-then-commit shapes
+// (provable and unprovable), and a suppressed restore path.
+package statemach
+
+import "sync/atomic"
+
+// Queue states.
+const (
+	qIdle uint32 = iota
+	qRun
+	qDone
+)
+
+// qBad is a constant, but no table entry targets it.
+const qBad uint32 = 9
+
+type q struct {
+	// state is the declared machine.
+	//
+	//ranvet:statemach qIdle->qRun qRun->qDone qDone->qIdle
+	state atomic.Uint32
+	// plain carries no table: stores to it are unchecked.
+	plain atomic.Uint32
+}
+
+// good makes only declared transitions.
+func good(x *q) {
+	x.state.Store(qRun)
+	x.state.CompareAndSwap(qIdle, qRun)
+	x.state.Swap(qDone)
+	x.plain.Store(12345)
+}
+
+// badTarget stores a constant no entry targets.
+func badTarget(x *q) {
+	x.state.Store(qBad) // want `Store of qBad into state field q\.state is an undeclared transition target`
+}
+
+// badPair uses two declared states in an undeclared combination.
+func badPair(x *q) {
+	x.state.CompareAndSwap(qDone, qRun) // want `CompareAndSwap qDone -> qRun on state field q\.state is not in the ranvet:statemach table`
+}
+
+// computed stores arithmetic on the current state.
+func computed(x *q) {
+	x.state.Store(x.state.Load() + 1) // want `stores a computed value, not a named state constant`
+}
+
+// decideGood is the provable decide-then-commit shape: every assignment
+// to next is a named declared state or the field's own loaded value.
+func decideGood(x *q, ready bool) {
+	cur := x.state.Load()
+	next := cur
+	if ready && cur == qIdle {
+		next = qRun
+	}
+	if next != cur {
+		x.state.Store(next)
+	}
+}
+
+// decideBad routes an undeclared state through the local variable.
+func decideBad(x *q, abort bool) {
+	next := qRun
+	if abort {
+		next = qBad
+	}
+	x.state.Store(next) // want `Store of qBad into state field q\.state is an undeclared transition target`
+}
+
+// decideOpaque assigns the variable from a call: unprovable, flagged.
+func decideOpaque(x *q) {
+	next := pick()
+	x.state.Store(next) // want `stores a computed value, not a named state constant`
+}
+
+func pick() uint32 { return qRun }
+
+// restore is the suppressed negative: a checkpoint decode validated the
+// raw value before this store.
+func restore(x *q, raw uint32) {
+	//ranvet:allow statemach restoring a checkpointed state; the decoder validated raw against the enum
+	x.state.Store(raw)
+}

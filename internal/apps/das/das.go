@@ -89,6 +89,7 @@ func (a *App) Control(cmd string, args map[string]string) error {
 // Handle implements core.App.
 //
 //ranvet:hotpath
+//ranvet:detpath
 func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 	switch {
 	case pkt.Eth.Src == a.cfg.DU:
@@ -107,6 +108,7 @@ func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 // mismatch on a lossy fronthaul) must not discard the rest of the burst.
 //
 //ranvet:hotpath
+//ranvet:detpath
 func (a *App) HandleBurst(ctx *core.Context, pkts []*fh.Packet) error {
 	for _, pkt := range pkts {
 		if err := a.Handle(ctx, pkt); err != nil {

@@ -99,6 +99,7 @@ func (a *App) ruForPort(p int) (idx int, local uint8, err error) {
 // Handle implements core.App.
 //
 //ranvet:hotpath
+//ranvet:detpath
 func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 	if pkt.Eth.Src == a.cfg.DU {
 		return a.handleDownlink(ctx, pkt)
@@ -116,6 +117,7 @@ func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 // Context.PacketError so the rest of the burst still flows.
 //
 //ranvet:hotpath
+//ranvet:detpath
 func (a *App) HandleBurst(ctx *core.Context, pkts []*fh.Packet) error {
 	for _, pkt := range pkts {
 		if err := a.Handle(ctx, pkt); err != nil {

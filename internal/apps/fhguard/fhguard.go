@@ -79,6 +79,7 @@ func (a *App) Stats() Stats { return a.stats }
 // Handle implements core.App.
 //
 //ranvet:hotpath
+//ranvet:detpath
 func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 	src := pkt.Eth.Src
 	if src != a.cfg.DU && src != a.cfg.RU {

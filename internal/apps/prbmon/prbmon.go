@@ -132,6 +132,7 @@ func (a *App) Control(cmd string, args map[string]string) error {
 // transparent forwarding to the opposite endpoint.
 //
 //ranvet:hotpath
+//ranvet:detpath
 func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 	a.windowStart.CompareAndSwap(notStarted, int64(ctx.Now()))
 	a.estimate(ctx, pkt)
@@ -146,6 +147,7 @@ func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 // not discard the rest of the burst.
 //
 //ranvet:hotpath
+//ranvet:detpath
 func (a *App) HandleBurst(ctx *core.Context, pkts []*fh.Packet) error {
 	a.windowStart.CompareAndSwap(notStarted, int64(ctx.Now()))
 	for _, pkt := range pkts {

@@ -83,6 +83,7 @@ func (a *App) Active() int { return a.active }
 // Handle implements core.App.
 //
 //ranvet:hotpath
+//ranvet:detpath
 func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 	src := pkt.Eth.Src
 	if src == a.cfg.RU {

@@ -96,6 +96,7 @@ func (a *App) Aligned(i int) bool { return a.align[i] }
 // Handle implements core.App.
 //
 //ranvet:hotpath
+//ranvet:detpath
 func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 	if i, ok := a.byMAC[pkt.Eth.Src]; ok {
 		return a.fromDU(ctx, pkt, i)
@@ -113,6 +114,7 @@ func (a *App) Handle(ctx *core.Context, pkt *fh.Packet) error {
 // other tenants' frames of the same burst.
 //
 //ranvet:hotpath
+//ranvet:detpath
 func (a *App) HandleBurst(ctx *core.Context, pkts []*fh.Packet) error {
 	for _, pkt := range pkts {
 		if err := a.Handle(ctx, pkt); err != nil {

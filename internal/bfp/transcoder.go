@@ -69,7 +69,6 @@ func (t *Transcoder) Reset() {
 // are retained across Reset.
 func (t *Transcoder) Grid(slot, n int) iq.Grid {
 	for len(t.grids) <= slot {
-		//ranvet:allow alloc slot table grows once per (shard, app) working set, then is reused
 		t.grids = append(t.grids, nil)
 	}
 	g := t.grids[slot]

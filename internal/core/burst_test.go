@@ -138,8 +138,8 @@ func TestBurstAdapterFallsBackPerFrame(t *testing.T) {
 		frames[i] = uplaneFrame(t, b, oran.Downlink, 0, uint8(i%14), 100)
 	}
 	drainDirect(t, e, frames)
-	if app.handled != 10 {
-		t.Fatalf("Handle invoked %d times, want 10", app.handled)
+	if app.handled.Load() != 10 {
+		t.Fatalf("Handle invoked %d times, want 10", app.handled.Load())
 	}
 	if st := e.Snapshot(); st.TxFrames != 10 {
 		t.Fatalf("TxFrames = %d, want 10", st.TxFrames)
@@ -206,8 +206,8 @@ func TestKernelRetirement(t *testing.T) {
 		e.Ingress(cplaneFrame(t, b, oran.Downlink, 0))
 	}
 	s.Run()
-	if app.handled != 0 {
-		t.Fatalf("App.Handle invoked %d times for kernel-retired traffic", app.handled)
+	if app.handled.Load() != 0 {
+		t.Fatalf("App.Handle invoked %d times for kernel-retired traffic", app.handled.Load())
 	}
 	st := e.Snapshot()
 	if st.KernelTx != 6 || st.KernelDrop != 2 || st.KernelRetired != 8 || st.Punts != 0 {

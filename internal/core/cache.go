@@ -18,11 +18,24 @@ type Cache struct {
 	MaxAge time.Duration
 
 	entries map[fh.Key]*cacheEntry
-	swept   uint64
+	// order is the insertion-order sweep queue: entry stamps are
+	// monotone in a run, so expired entries form a prefix and Sweep
+	// scans exactly that prefix — never the map, whose iteration order
+	// is randomized per process and would make seeded replays diverge.
+	// A record whose key was Taken (or re-inserted) in the meantime is
+	// recognized by its stale stamp and skipped.
+	order []sweepRecord
+	swept uint64
 }
 
 type cacheEntry struct {
 	pkts     []*fh.Packet
+	inserted sim.Time
+}
+
+// sweepRecord is one insertion event in the sweep queue.
+type sweepRecord struct {
+	key      fh.Key
 	inserted sim.Time
 }
 
@@ -38,6 +51,7 @@ func (c *Cache) Put(key fh.Key, pkt *fh.Packet, now sim.Time) {
 		//ranvet:allow alloc one entry per active (symbol, port) key, reclaimed by Sweep
 		e = &cacheEntry{inserted: now}
 		c.entries[key] = e
+		c.order = append(c.order, sweepRecord{key: key, inserted: now})
 	}
 	//ranvet:allow alloc the A3 store retains packets beyond the frame; growth is the action's documented cost
 	e.pkts = append(e.pkts, pkt)
@@ -63,14 +77,28 @@ func (c *Cache) Take(key fh.Key) []*fh.Packet {
 }
 
 // Sweep drops entries older than MaxAge and reports how many packets were
-// discarded.
+// discarded. It walks the insertion-order queue, not the map, so the scan
+// touches only the expired prefix and runs identically under a fixed
+// seed: map iteration here would randomize nothing observable today, but
+// any future per-entry effect (an eviction callback, an early exit)
+// would silently start replaying differently.
 func (c *Cache) Sweep(now sim.Time) int {
 	dropped := 0
-	for k, e := range c.entries {
-		if now.Sub(e.inserted) > c.MaxAge {
-			dropped += len(e.pkts)
-			delete(c.entries, k)
+	i := 0
+	for ; i < len(c.order); i++ {
+		rec := c.order[i]
+		if now.Sub(rec.inserted) <= c.MaxAge {
+			break // stamps are monotone: everything after is fresher
 		}
+		e := c.entries[rec.key]
+		if e == nil || e.inserted != rec.inserted {
+			continue // taken, or re-created since this record was queued
+		}
+		dropped += len(e.pkts)
+		delete(c.entries, rec.key)
+	}
+	if i > 0 {
+		c.order = c.order[:copy(c.order, c.order[i:])]
 	}
 	c.swept += uint64(dropped)
 	return dropped

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -52,12 +53,13 @@ func cplaneFrame(t *testing.T, b *fh.Builder, dir oran.Direction, port uint8) []
 	return b.CPlane(ecpri.PcID{RUPort: port}, msg)
 }
 
-// forwarder forwards every packet unchanged.
-type forwarder struct{ handled int }
+// forwarder forwards every packet unchanged. handled is atomic because
+// the work-stealing tests run this app on several shard workers at once.
+type forwarder struct{ handled atomic.Int64 }
 
 func (f *forwarder) Name() string { return "forwarder" }
 func (f *forwarder) Handle(ctx *Context, pkt *fh.Packet) error {
-	f.handled++
+	f.handled.Add(1)
 	ctx.Forward(pkt)
 	return nil
 }
@@ -80,8 +82,8 @@ func TestEngineForwards(t *testing.T) {
 	b := fh.NewBuilder(duMAC, ruMAC, 6)
 	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 3, 100))
 	s.Run()
-	if app.handled != 1 || len(*out) != 1 {
-		t.Fatalf("handled=%d out=%d", app.handled, len(*out))
+	if app.handled.Load() != 1 || len(*out) != 1 {
+		t.Fatalf("handled=%d out=%d", app.handled.Load(), len(*out))
 	}
 	st := e.Snapshot()
 	if st.RxFrames != 1 || st.TxFrames != 1 {
@@ -208,6 +210,52 @@ func TestCacheSweep(t *testing.T) {
 	}
 	if c.Take(key) != nil {
 		t.Fatal("swept entry still takeable")
+	}
+}
+
+// TestCacheSweepQueue pins the insertion-order sweep introduced when the
+// map-range sweep was removed (detflow: map iteration order is
+// randomized per process). The sweep must drop exactly the expired
+// entries even when the queue holds stale records: a Taken key must not
+// be double-counted, and a key re-inserted after Take must survive a
+// sweep that expires only its original record.
+func TestCacheSweepQueue(t *testing.T) {
+	c := NewCache(time.Millisecond)
+	var p fh.Packet
+	b := fh.NewBuilder(duMAC, ruMAC, 6)
+	if err := p.Decode(b.CPlane(ecpri.PcID{}, &oran.CPlaneMsg{
+		SectionType: oran.SectionType1, Sections: []oran.CSection{{NumPRB: 1}}})); err != nil {
+		t.Fatal(err)
+	}
+	k1 := fh.Key{EAxC: 1}
+	k2 := fh.Key{EAxC: 2}
+	k3 := fh.Key{EAxC: 3}
+	c.Put(k1, &p, sim.Time(0))
+	c.Put(k2, &p, sim.Time(100_000))
+	c.Put(k3, &p, sim.Time(200_000))
+	// k2 leaves through Take; its queue record goes stale.
+	if c.Take(k2) == nil {
+		t.Fatal("take k2")
+	}
+	// k2 comes back young: the stale record must not evict the fresh entry.
+	c.Put(k2, &p, sim.Time(900_000))
+	// At t=1.15ms the originals (t=0, 0.1ms) are expired, k3 (0.2ms) is
+	// not — MaxAge is 1ms — and neither is the re-inserted k2.
+	if n := c.Sweep(sim.Time(1_150_000)); n != 1 {
+		t.Fatalf("sweep dropped %d packets, want 1 (k1 only)", n)
+	}
+	if c.Peek(k1) != nil {
+		t.Fatal("k1 survived its expiry")
+	}
+	if c.Peek(k2) == nil || c.Peek(k3) == nil {
+		t.Fatal("sweep evicted a live entry via a stale queue record")
+	}
+	// Everything expires eventually; repeated sweeps stay idempotent.
+	if n := c.Sweep(sim.Time(5_000_000)); n != 2 {
+		t.Fatalf("final sweep dropped %d packets, want 2", n)
+	}
+	if n := c.Sweep(sim.Time(6_000_000)); n != 0 || c.Len() != 0 {
+		t.Fatalf("idempotent re-sweep dropped %d, len=%d", n, c.Len())
 	}
 }
 

@@ -572,6 +572,9 @@ func (e *Engine) shardFor(frame []byte) *shard {
 // full ring drops a frame unconditionally (Stats.RingDrops) — as a
 // saturated NIC queue would. Every frame handed to Ingress is therefore
 // accounted for as processed, shed, or ring-dropped.
+//
+//ranvet:detpath
+//ranvet:goroutine producer
 func (e *Engine) Ingress(frame []byte) {
 	if e.ws != nil {
 		e.wsIngress(frame, true)
@@ -591,6 +594,9 @@ func (e *Engine) Ingress(frame []byte) {
 // TryIngress is the backpressure variant of Ingress for producers that
 // prefer retry over drop: it reports whether the frame was accepted and
 // never counts a drop.
+//
+//ranvet:detpath
+//ranvet:goroutine producer
 func (e *Engine) TryIngress(frame []byte) bool {
 	if e.ws != nil {
 		return e.wsIngress(frame, false)
@@ -645,7 +651,6 @@ func (e *Engine) runKernel(w *worker, pkt *fh.Packet) (KernelVerdict, time.Durat
 			// array is reused instead of reallocated per Tx verdict.
 			sh.kernelEmits = sh.kernelEmits[:0]
 			for j := range r.Mirrors {
-				//ranvet:allow alloc A2 mirroring copies the frame by definition; charged as CostReplicate
 				cp := pkt.Clone()
 				r.Mirrors[j].apply(cp)
 				cost += cpu.CostReplicate + cpu.CostHeaderMod

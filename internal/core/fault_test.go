@@ -100,8 +100,8 @@ func TestInvalidFrameDropped(t *testing.T) {
 	if st.InvalidFrames != 2 {
 		t.Fatalf("InvalidFrames = %d, want 2", st.InvalidFrames)
 	}
-	if app.handled != 1 || len(*out) != 1 {
-		t.Fatalf("app saw %d frames, out %d — corrupted input leaked", app.handled, len(*out))
+	if app.handled.Load() != 1 || len(*out) != 1 {
+		t.Fatalf("app saw %d frames, out %d — corrupted input leaked", app.handled.Load(), len(*out))
 	}
 }
 
@@ -236,6 +236,55 @@ func TestHealthMachine(t *testing.T) {
 	}
 	if last, ok := rec.Last(KPIHealth); !ok || Health(last.Value) != Healthy {
 		t.Fatalf("Last = %+v, %v", last, ok)
+	}
+}
+
+// TestHealthNamedTransitions pins the branch semantics updateHealth kept
+// when its arithmetic step-down (next = cur - 1, flagged by statemach as
+// an undeclared transition) was rewritten into named-constant branches:
+// faults during Stalled must not step the state anywhere, and an open
+// breaker floors recovery at Degraded without ever blocking the
+// Stalled -> Degraded step.
+func TestHealthNamedTransitions(t *testing.T) {
+	s := sim.NewScheduler()
+	e, err := NewEngine(s, Config{Name: "mb", Mode: ModeDPDK, App: &forwarder{}, CarrierPRBs: 106})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetOutput(func([]byte) {})
+	sh := e.shards[0]
+
+	// Stall the shard, then observe a faulty (not clean) window: Stalled
+	// absorbs the fault without a transition.
+	sh.stats.ringDrops.Add(1)
+	sh.updateHealth()
+	if got := e.Snapshot().Health; got != Stalled {
+		t.Fatalf("after ring drop: %v, want stalled", got)
+	}
+	sh.stats.seqGaps.Add(1)
+	sh.updateHealth()
+	if got := e.Snapshot().Health; got != Stalled {
+		t.Fatalf("faults while stalled: %v, want stalled (no step-down)", got)
+	}
+
+	// With the breaker open, clean windows recover Stalled -> Degraded
+	// and then hold: a bypassed App keeps the shard at least Degraded.
+	sh.brk.state.Store(uint32(BreakerOpen))
+	sh.updateHealth()
+	if got := e.Snapshot().Health; got != Degraded {
+		t.Fatalf("clean window while stalled: %v, want degraded", got)
+	}
+	sh.updateHealth()
+	sh.updateHealth()
+	if got := e.Snapshot().Health; got != Degraded {
+		t.Fatalf("clean windows with open breaker: %v, want degraded floor", got)
+	}
+
+	// Breaker closes: the next clean window completes the recovery.
+	sh.brk.state.Store(uint32(BreakerClosed))
+	sh.updateHealth()
+	if got := e.Snapshot().Health; got != Healthy {
+		t.Fatalf("clean window after breaker closed: %v, want healthy", got)
 	}
 }
 

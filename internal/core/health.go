@@ -57,6 +57,12 @@ func maxHealth(a, b Health) Health {
 // window steps the state down one level (Stalled recovers through
 // Degraded, not directly to Healthy). It runs on the shard's consumer
 // goroutine only; transitions are published as KPIHealth samples.
+//
+// Every branch assigns a named Health constant — never arithmetic on the
+// current state — so the statemach transition table on shardStats.health
+// stays checkable: a new severity level inserted into the enum forces
+// every transition here to be revisited instead of silently renumbering
+// a `cur - 1` step-down.
 func (sh *shard) updateHealth() {
 	ring := sh.stats.ringDrops.Load() + sh.stats.shedUPlane.Load() +
 		sh.stats.shedPRACH.Load()
@@ -69,15 +75,21 @@ func (sh *shard) updateHealth() {
 	case ring > sh.lastRing:
 		next = Stalled
 	case faults > sh.lastFaults:
-		next = maxHealth(Degraded, cur)
-	case cur > Healthy:
-		next = cur - 1
+		// Escalate to at least Degraded; an already-Stalled shard stays
+		// Stalled until it sees a clean window.
+		if cur == Healthy {
+			next = Degraded
+		}
+	case cur == Stalled:
+		next = Degraded
+	case cur == Degraded:
+		next = Healthy
 	}
 	// A breaker that is Open (or probing Half-Open) means the App is
 	// being bypassed: the shard cannot be considered healthy while raw
 	// passthrough substitutes for its workload.
-	if BreakerState(sh.brk.state.Load()) != BreakerClosed {
-		next = maxHealth(next, Degraded)
+	if next == Healthy && BreakerState(sh.brk.state.Load()) != BreakerClosed {
+		next = Degraded
 	}
 	sh.lastRing, sh.lastFaults = ring, faults
 	if next == cur {

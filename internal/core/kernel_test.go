@@ -117,7 +117,7 @@ func TestKernelNoMatchPunts(t *testing.T) {
 	b := fh.NewBuilder(duMAC, ruMAC, 6)
 	e.Ingress(uplaneFrame(t, b, oran.Downlink, 0, 2, 50)) // port 0: no match
 	s.Run()
-	if app.handled != 1 {
+	if app.handled.Load() != 1 {
 		t.Fatal("packet did not reach userspace")
 	}
 	if e.Snapshot().Punts != 1 {

@@ -73,6 +73,8 @@ func newRing(size int) *ring {
 
 // push enqueues a frame stamped with its arrival instant, reporting false
 // when the ring is full.
+//
+//ranvet:spsc produce
 func (r *ring) push(frame []byte, at sim.Time) bool {
 	t := r.tail.Load()
 	if t-r.head.Load() == uint64(len(r.buf)) {
@@ -86,6 +88,8 @@ func (r *ring) push(frame []byte, at sim.Time) bool {
 
 // pop dequeues the oldest frame and its enqueue stamp, reporting false
 // when the ring is empty.
+//
+//ranvet:spsc consume
 func (r *ring) pop() ([]byte, sim.Time, bool) {
 	h := r.head.Load()
 	if h == r.tail.Load() {
@@ -103,6 +107,8 @@ func (r *ring) pop() ([]byte, sim.Time, bool) {
 // head load, one publish: the burst equivalent of a NIC RX burst read,
 // paying the cross-core cursor synchronization once per vector instead of
 // once per frame.
+//
+//ranvet:spsc consume
 func (r *ring) popN(frames [][]byte, stamps []sim.Time) int {
 	h := r.head.Load()
 	n := int(r.tail.Load() - h)
@@ -140,7 +146,12 @@ type shardStats struct {
 	appPanics, quarantined          atomic.Uint64
 	shardRestarts, shedPRACH        atomic.Uint64
 	steals                          atomic.Uint64
-	health                          atomic.Uint32
+	// health is the graceful-degradation ladder (health.go): escalation
+	// may skip levels, recovery steps through Degraded one window at a
+	// time, and a supervisor restart lands on Stalled.
+	//
+	//ranvet:statemach Healthy->Degraded Healthy->Stalled Degraded->Stalled Degraded->Healthy Stalled->Degraded
+	health atomic.Uint32
 }
 
 func (s *shardStats) snapshot() Stats {
@@ -528,6 +539,7 @@ func (w *worker) drain(max int) int {
 		if want > len(sh.burstFrames) {
 			want = len(sh.burstFrames)
 		}
+		//ranvet:allow spscsingle mode-exclusive: the producer reaches drain only through the deterministic inline path, where workers are never spawned
 		n := sh.in.popN(sh.burstFrames[:want], sh.burstTs[:want])
 		if n == 0 {
 			break
@@ -546,6 +558,7 @@ func (w *worker) drain(max int) int {
 // and the idle block, so a restart can only interleave at those points.
 //
 //ranvet:hotpath
+//ranvet:goroutine shard-worker
 func (w *worker) run(stop <-chan struct{}) {
 	w.guarded = w.eng.cfg.Supervise.StallAfter > 0
 	defer w.retire()

@@ -144,6 +144,12 @@ var errShardRetired = errors.New("core: shard worker retired by supervisor")
 // while panics is touched only by worker incarnations (handoff between
 // incarnations is ordered by the supervision mutex).
 type breaker struct {
+	// state is the trip/probe/recover cycle: the worker trips (any state
+	// can reach Open), Supervise or an admitting worker thaws
+	// Open->HalfOpen after the cooldown, and the probe outcome settles
+	// HalfOpen back to Closed (success) or Open (another panic).
+	//
+	//ranvet:statemach BreakerClosed->BreakerOpen BreakerHalfOpen->BreakerOpen BreakerOpen->BreakerHalfOpen BreakerHalfOpen->BreakerClosed
 	state    atomic.Uint32
 	openedAt atomic.Int64
 	// panics counts budget consumed since the last clean probe/trip.

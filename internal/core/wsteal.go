@@ -69,6 +69,8 @@ type streamQ struct {
 	home int
 	in   *ring
 	// state is the idle/queued/running machine documented above.
+	//
+	//ranvet:statemach wsIdle->wsQueued wsQueued->wsRunning wsRunning->wsQueued wsRunning->wsIdle
 	state atomic.Uint32
 	// queuedAt is the pool poll-epoch when the stream was last published
 	// — the staleness clock for hedged pickup.
@@ -92,7 +94,6 @@ type wsDeque struct {
 // push appends a stream to the deque tail.
 func (d *wsDeque) push(sq *streamQ) {
 	d.mu.Lock()
-	//ranvet:allow alloc deque growth is amortized over the stream population, not paid per frame
 	d.q = append(d.q, sq)
 	d.mu.Unlock()
 }
@@ -100,7 +101,6 @@ func (d *wsDeque) push(sq *streamQ) {
 // pushAll appends a stolen batch under one lock acquisition.
 func (d *wsDeque) pushAll(sqs []*streamQ) {
 	d.mu.Lock()
-	//ranvet:allow alloc deque growth is amortized over the stream population, not paid per frame
 	d.q = append(d.q, sqs...)
 	d.mu.Unlock()
 }
@@ -363,6 +363,7 @@ func (p *wsPool) next(sh *shard, final bool) *streamQ {
 // drain step claims whole streams instead of polling one ring.
 //
 //ranvet:hotpath
+//ranvet:goroutine shard-worker
 func (w *worker) runWS(stop <-chan struct{}) {
 	defer w.retire()
 	p := w.eng.ws
@@ -407,6 +408,7 @@ func (w *worker) runStream(sq *streamQ) {
 	sh := w.sh
 	w.cache = sq.cache
 	w.seq = sq.seq
+	//ranvet:allow spscsingle mode-exclusive: runStream runs only under parallel workers; the producer's inline drain (drainStream) exists only when workers are not spawned
 	n := sq.in.popN(sh.burstFrames, sh.burstTs)
 	if n > 0 {
 		w.processBurst(sh.burstFrames[:n], sh.burstTs[:n])
@@ -433,6 +435,7 @@ func (w *worker) drainStream(sq *streamQ) {
 	w.cache = sq.cache
 	w.seq = sq.seq
 	for {
+		//ranvet:allow spscsingle mode-exclusive: the inline drain runs on the producer goroutine only in deterministic mode, where worker goroutines are never spawned
 		n := sq.in.popN(sh.burstFrames, sh.burstTs)
 		if n == 0 {
 			return

@@ -134,8 +134,6 @@ func satI32(v int32) int16 {
 type Grid []PRB
 
 // NewGrid allocates a zeroed grid of n PRBs.
-//
-//ranvet:allow alloc grid buffers are per-merge working state, amortized once per (symbol, port)
 func NewGrid(n int) Grid { return make(Grid, n) }
 
 // Clear zeroes every PRB in g. Reused scratch grids must be cleared (or
